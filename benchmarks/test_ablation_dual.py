@@ -1,0 +1,42 @@
+"""Benchmark A2 — dual-test internals: α vs γ counting, ε granularity.
+
+The γ machine count (Section 4.4) exists purely to make Class Jumping's
+jump structure tractable; both counts give valid 3/2-duals.  The benches
+compare their test cost and the construction cost, plus the ε-search cost
+as a function of 1/ε (the O(n log 1/ε) claim of Theorem 2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.api import solve
+from repro.algos.pmtn_general import pmtn_dual_schedule, pmtn_dual_test
+from repro.core import Variant, t_min
+
+
+@pytest.mark.parametrize("mode", ["alpha", "gamma"])
+def test_pmtn_dual_test_mode(benchmark, medium_instance, mode):
+    T = 2 * t_min(medium_instance, Variant.PREEMPTIVE)
+    d = benchmark(lambda: pmtn_dual_test(medium_instance, T, mode))
+    assert d.accepted
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["case"] = d.case
+
+
+@pytest.mark.parametrize("mode", ["alpha", "gamma"])
+def test_pmtn_dual_construction_mode(benchmark, medium_instance, mode):
+    T = 2 * t_min(medium_instance, Variant.PREEMPTIVE)
+    sched = benchmark(lambda: pmtn_dual_schedule(medium_instance, T, mode))
+    assert sched.makespan() <= Fraction(3, 2) * T
+
+
+@pytest.mark.parametrize("inv_eps", [4, 64, 1024])
+def test_eps_granularity(benchmark, medium_instance, inv_eps):
+    eps = Fraction(1, inv_eps)
+    res = benchmark(lambda: solve(medium_instance, Variant.PREEMPTIVE, "eps", eps=eps))
+    benchmark.extra_info["inv_eps"] = inv_eps
+    benchmark.extra_info["ratio_bound"] = float(res.ratio_bound)
+    assert res.ratio_bound <= Fraction(3, 2) * (1 + eps)

@@ -1,0 +1,64 @@
+"""Benchmark A1 — Class Jumping vs the alternatives it replaces.
+
+Three ways to find a 3/2-certified makespan:
+
+* Class Jumping (Algorithms 1/4) — O(log(c+m)) dual tests, *exact* flip;
+* exhaustive piece scan — exact flip, O(#pieces) dual tests;
+* (3/2+ε) binary search (Theorem 2) — O(log 1/ε) tests, ε-approximate.
+
+The benchmarks demonstrate the paper's point: jumping gets exactness at
+binary-search-like cost.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.jumping_pmtn import find_flip_pmtn
+from repro.algos.jumping_split import find_flip_splittable
+from repro.algos.search import binary_search_dual, slow_flip_splittable
+from repro.algos.splittable import split_dual_schedule, split_dual_test
+from repro.core import Variant
+
+
+def test_split_class_jumping(benchmark, medium_instance):
+    T_star, calls = benchmark(lambda: find_flip_splittable(medium_instance))
+    benchmark.extra_info["dual_tests"] = calls
+    benchmark.extra_info["flip"] = str(T_star)
+
+
+def test_split_slow_reference(benchmark, medium_instance):
+    T_star = benchmark(lambda: slow_flip_splittable(medium_instance))
+    assert T_star == find_flip_splittable(medium_instance)[0]
+
+
+def test_split_eps_binary_search(benchmark, medium_instance):
+    inst = medium_instance
+
+    def run():
+        return binary_search_dual(
+            inst,
+            Variant.SPLITTABLE,
+            lambda T: split_dual_test(inst, T).accepted,
+            lambda T: split_dual_schedule(inst, T),
+            eps=Fraction(1, 100),
+        )
+
+    sr = benchmark(run)
+    benchmark.extra_info["dual_tests"] = sr.accept_calls
+    # eps search never beats the exact flip from below
+    assert sr.T >= find_flip_splittable(inst)[0]
+
+
+def test_pmtn_class_jumping(benchmark, medium_instance):
+    T_star, _, calls = benchmark(lambda: find_flip_pmtn(medium_instance, use_base_jump=True))
+    benchmark.extra_info["dual_tests"] = calls
+    benchmark.extra_info["flip"] = str(T_star)
+
+
+def test_pmtn_exhaustive_scan(benchmark, medium_instance):
+    fast = find_flip_pmtn(medium_instance, use_base_jump=True)
+    slow = benchmark(lambda: find_flip_pmtn(medium_instance, use_base_jump=False))
+    assert fast[:2] == slow[:2]

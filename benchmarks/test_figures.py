@@ -1,0 +1,19 @@
+"""Benchmarks F1-F13 — regenerate every figure of the paper.
+
+Timing figure generation keeps the whole pipeline (algorithm + rendering)
+under benchmark control; the asserted substrings pin the figure content.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FIGURES, render_figure
+
+
+@pytest.mark.parametrize("fig_id", sorted(FIGURES, key=lambda s: (len(s), s)))
+def test_figure(benchmark, fig_id):
+    art = benchmark(lambda: render_figure(fig_id))
+    assert "Figure" in art
+    benchmark.extra_info["figure"] = fig_id
+    benchmark.extra_info["lines"] = len(art.splitlines())

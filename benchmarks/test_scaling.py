@@ -1,0 +1,38 @@
+"""Benchmark S1 — the near-linear scaling series (abstract's running times).
+
+The series n ∈ {100, 400, 1600} per algorithm gives the log-log slope the
+paper's complexity claims predict (≈ 1 up to logarithmic factors); the
+asserted fits run in repro.experiments.scaling / tests, here we produce the
+raw timing rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algos.api import solve
+from repro.core import Variant
+from repro.generators import uniform_instance
+
+SIZES = [100, 400, 1600]
+
+
+def _instance(n: int):
+    c = max(2, n // 20)
+    return uniform_instance(m=max(2, n // 50), c=c, n_per_class=max(1, n // c), seed=17)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("variant", list(Variant), ids=str)
+def test_three_halves_scaling(benchmark, variant, n):
+    inst = _instance(n)
+    benchmark.extra_info["n"] = inst.n
+    benchmark.extra_info["variant"] = str(variant)
+    benchmark(lambda: solve(inst, variant, "three_halves"))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_two_approx_scaling(benchmark, n):
+    inst = _instance(n)
+    benchmark.extra_info["n"] = inst.n
+    benchmark(lambda: solve(inst, Variant.NONPREEMPTIVE, "two"))

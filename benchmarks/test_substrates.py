@@ -1,0 +1,61 @@
+"""Substrate microbenchmarks: wrap engine, knapsack, validators, exact DP.
+
+These pin the costs of the building blocks the near-linear claims rest on
+(Lemma 7's O(|Q|+|ω|) wrap, the O(c log c) knapsack, the O(n) validator).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.twoapprox import two_approx_splittable
+from repro.core import (
+    Batch,
+    KnapsackItem,
+    Schedule,
+    Variant,
+    WrapSequence,
+    solve_continuous,
+    template_for_machines,
+    validate_schedule,
+    wrap,
+)
+from repro.exact import exact_nonpreemptive_opt
+from repro.generators import uniform_instance
+
+
+def test_wrap_large_sequence(benchmark, large_instance):
+    inst = large_instance
+    height = -(-inst.total_load // inst.m)
+    template = template_for_machines(list(range(inst.m)), inst.smax, inst.smax + height)
+    seq = WrapSequence.of([Batch.of(i, inst.class_jobs(i)) for i in range(inst.c)])
+
+    def run():
+        sched = Schedule(inst)
+        return wrap(sched, seq, template)
+
+    res = benchmark(run)
+    benchmark.extra_info["items"] = seq.length
+    benchmark.extra_info["splits"] = res.splits
+
+
+def test_validator_large(benchmark, large_instance):
+    sched = two_approx_splittable(large_instance).schedule
+    cmax = benchmark(lambda: validate_schedule(sched, Variant.SPLITTABLE))
+    benchmark.extra_info["placements"] = sched.count_placements()
+    assert cmax > 0
+
+
+def test_continuous_knapsack(benchmark):
+    items = [KnapsackItem.of(i, Fraction(i % 17 + 1), Fraction(i % 23 + 1)) for i in range(500)]
+    sol = benchmark(lambda: solve_continuous(items, Fraction(1500)))
+    assert sol.value > 0
+
+
+def test_exact_dp_reference(benchmark):
+    inst = uniform_instance(m=3, c=3, n_per_class=4, seed=9)  # n = 12
+    opt = benchmark(lambda: exact_nonpreemptive_opt(inst))
+    benchmark.extra_info["n"] = inst.n
+    assert opt >= 1

@@ -1,0 +1,69 @@
+"""Benchmark T1 — every implementable Table-1 cell on the medium workload.
+
+Each benchmark times one (variant, algorithm) cell and records the measured
+approximation ratio against the certified dual lower bound in
+``extra_info`` — the data behind the reproduction of Table 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.api import solve
+from repro.baselines import (
+    full_split_schedule,
+    grouped_lpt_schedule,
+    job_lpt_schedule,
+    monma_potts_schedule,
+    next_fit_schedule,
+)
+from repro.core import Variant, validate_schedule
+
+OURS = [
+    (Variant.NONPREEMPTIVE, "two"),
+    (Variant.NONPREEMPTIVE, "eps"),
+    (Variant.NONPREEMPTIVE, "three_halves"),
+    (Variant.PREEMPTIVE, "two"),
+    (Variant.PREEMPTIVE, "eps"),
+    (Variant.PREEMPTIVE, "three_halves"),
+    (Variant.SPLITTABLE, "two"),
+    (Variant.SPLITTABLE, "eps"),
+    (Variant.SPLITTABLE, "three_halves"),
+]
+
+
+@pytest.mark.parametrize("variant,algorithm", OURS, ids=lambda p: str(p))
+def test_table1_ours(benchmark, medium_instance, variant, algorithm):
+    result = benchmark(lambda: solve(medium_instance, variant, algorithm))
+    cmax = validate_schedule(result.schedule, variant)
+    ratio = Fraction(cmax) / Fraction(result.opt_lower_bound)
+    benchmark.extra_info["variant"] = str(variant)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["ratio_vs_dual_lb"] = float(ratio)
+    benchmark.extra_info["guarantee"] = float(result.ratio_bound)
+    # the certified contract: makespan <= ratio_bound * T
+    assert cmax <= result.ratio_bound * result.T * (1 + Fraction(1, 2**40))
+
+
+BASELINES = [
+    ("monma_potts[10]", Variant.PREEMPTIVE, monma_potts_schedule, 2.0),
+    ("next_fit[6]", Variant.NONPREEMPTIVE, next_fit_schedule, 3.0),
+    ("grouped_lpt", Variant.NONPREEMPTIVE, grouped_lpt_schedule, None),
+    ("job_lpt", Variant.NONPREEMPTIVE, job_lpt_schedule, None),
+    ("full_split", Variant.SPLITTABLE, full_split_schedule, None),
+]
+
+
+@pytest.mark.parametrize("name,variant,runner,bound", BASELINES, ids=lambda p: str(p))
+def test_table1_baselines(benchmark, medium_instance, name, variant, runner, bound):
+    schedule = benchmark(lambda: runner(medium_instance))
+    cmax = validate_schedule(schedule, variant)
+    ref = solve(medium_instance, variant, "three_halves").opt_lower_bound
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["ratio_vs_dual_lb"] = float(Fraction(cmax) / Fraction(ref))
+    if bound is not None:
+        from repro.core import lower_bound
+
+        assert cmax <= bound * lower_bound(medium_instance, variant)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Adversarial gallery — the instances that stress each mechanism.
+
+Walks the adversarial families of ``repro.generators.adversarial``, shows
+which part of the paper's machinery each one exercises, and verifies the
+3/2 guarantee holds on all of them (it does — that is the point of having
+proofs).
+
+Run:  python examples/adversarial_gallery.py
+"""
+
+from fractions import Fraction
+
+from repro import Variant, solve, validate_schedule
+from repro.analysis import format_table
+from repro.algos.pmtn_general import pmtn_dual_test
+from repro.core.bounds import t_min
+from repro.generators import (
+    expensive_heavy,
+    giant_class,
+    jump_dense,
+    knapsack_critical,
+    odd_exp_minus,
+    sawtooth_ratio,
+)
+
+GALLERY = [
+    ("expensive-heavy", expensive_heavy(m=10, seed=13),
+     "all setups > T/2: Lemma 2 pins classes to disjoint machines"),
+    ("jump-dense", jump_dense(m=8, c=16, seed=13),
+     "coprime loads: maximal number of beta/gamma jumps in the window"),
+    ("knapsack-critical", knapsack_critical(scale=3),
+     "case 3a: the continuous knapsack decides the large-machine bottoms"),
+    ("odd-exp-minus", odd_exp_minus(m=12, pairs=3, seed=13),
+     "odd |I-exp|: the lone class machine mu and gap (mu, T, 3T/2)"),
+    ("giant-class", giant_class(m=8, seed=13),
+     "one class is 95% of the work: splitting is mandatory"),
+    ("sawtooth", sawtooth_ratio(m=8, seed=13),
+     "setup==job pairs: drives the O(n) 2-approx toward its factor"),
+]
+
+rows = []
+for name, inst, what in GALLERY:
+    entry = [name, f"n={inst.n},c={inst.c},m={inst.m}"]
+    for variant in Variant:
+        res = solve(inst, variant, "three_halves")
+        cmax = validate_schedule(res.schedule, variant)
+        ratio = Fraction(cmax) / Fraction(res.opt_lower_bound)
+        assert ratio <= Fraction(3, 2) * (1 + Fraction(1, 2**40)), (name, variant)
+        entry.append(f"{float(ratio):.3f}")
+    rows.append(entry)
+    print(f"{name:>18}: {what}")
+
+print()
+print(
+    format_table(
+        ["family", "size", "nonp ratio", "pmtn ratio", "split ratio"],
+        rows,
+        title="3/2 guarantee vs certified dual LB on every adversarial family",
+    )
+)
+
+inst = knapsack_critical(scale=3)
+T = 3 * Fraction(20)
+d = pmtn_dual_test(inst, T)
+print()
+print(f"knapsack-critical at T={T}: case={d.case}, selected="
+      f"{sorted(set(d.partition.chp_star) - set(d.unselected) - {d.split_class})}, "
+      f"split={d.split_class}, unselected={list(d.unselected)}")
+print(f"window for this instance: [{t_min(inst, Variant.PREEMPTIVE)}, "
+      f"{2 * t_min(inst, Variant.PREEMPTIVE)}]")

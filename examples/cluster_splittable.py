@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI build farm — the splittable variant with container-image setups.
+
+A build farm compiles test shards on identical runners.  Before a runner
+can execute shards of a project it must pull and warm that project's
+container image (the *setup*); shards are embarrassingly parallel, so a
+project's work can be split across any number of runners at once
+(``P|split,setup=s_i|Cmax``).
+
+The script sizes the farm: it sweeps the runner count, solves each point
+with the Class-Jumping 3/2-approximation (Theorem 3, O(n + c log(c+m)))
+and shows the certified makespan curve plus the naive alternatives.
+
+Run:  python examples/cluster_splittable.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import Instance, Variant, solve, validate_schedule
+from repro.analysis import format_table
+from repro.baselines import full_split_schedule, no_split_schedule
+
+rng = random.Random(7)
+
+# 10 projects: image warm-up seconds, test shard durations.
+projects = []
+for _ in range(10):
+    warmup = rng.choice([30, 45, 60, 90, 120])
+    shards = [rng.randint(20, 300) for _ in range(rng.randint(4, 30))]
+    projects.append((warmup, shards))
+
+rows = []
+for runners in (2, 4, 8, 16, 32, 64):
+    farm = Instance.build(m=runners, classes=projects)
+    res = solve(farm, Variant.SPLITTABLE, "three_halves", portfolio=True)
+    cmax = validate_schedule(res.schedule, Variant.SPLITTABLE)
+    full = validate_schedule(full_split_schedule(farm), Variant.SPLITTABLE)
+    none = validate_schedule(no_split_schedule(farm), Variant.SPLITTABLE)
+    rows.append(
+        [
+            runners,
+            f"{float(cmax):.0f}s",
+            f"{float(res.opt_lower_bound):.0f}s",
+            f"{float(Fraction(cmax) / Fraction(res.opt_lower_bound)):.3f}",
+            f"{float(full):.0f}s",
+            f"{float(none):.0f}s",
+        ]
+    )
+
+farm1 = Instance.build(m=8, classes=projects)
+print(f"Farm workload: {farm1.n} shards across {farm1.c} projects, "
+      f"{farm1.total_processing}s of tests, {sum(s for s, _ in projects)}s of warmups")
+print()
+print(
+    format_table(
+        ["runners", "3/2 makespan", "certified LB", "ratio vs LB",
+         "always-split", "never-split"],
+        rows,
+        title="Farm sizing sweep (Theorem 3 Class Jumping vs naive policies)",
+    )
+)
+print()
+print("Reading: always-split pays every warm-up on every runner and loses badly")
+print("on large farms; never-split cannot parallelize big projects on small ones.")
+print("The 3/2 algorithm interpolates and carries a certificate either way.")

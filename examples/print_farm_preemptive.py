@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""3D-print farm — the preemptive variant and the paper's headline result.
+
+A farm of identical 3D printers runs jobs grouped by material (PLA, ABS,
+resins…).  Changing material means purging and re-calibrating the extruder
+(the batch *setup*).  A print may be paused and resumed on another printer
+(preemption) but a single physical object can obviously not grow on two
+printers at once — exactly ``P|pmtn,setup=s_i|Cmax``.
+
+Before this paper the best unrestricted guarantee was Monma & Potts'
+``2 − (⌊m/2⌋+1)^{-1}``; Theorem 6 gives 3/2 in O(n log n).  The script
+runs both on the same farm and reports the certified gap.
+
+Run:  python examples/print_farm_preemptive.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import Instance, Variant, solve, validate_schedule
+from repro.analysis import format_table, render_gantt
+from repro.baselines import monma_potts_bound, monma_potts_schedule
+
+rng = random.Random(99)
+
+MATERIALS = [
+    ("PLA", 8), ("PETG", 12), ("ABS", 20), ("TPU", 25),
+    ("nylon", 35), ("resin-a", 45), ("resin-b", 45), ("carbon", 60),
+]
+classes = []
+for _name, purge in MATERIALS:
+    prints = [rng.randint(10, 90) for _ in range(rng.randint(2, 8))]
+    classes.append((purge, prints))
+
+rows = []
+for printers in (2, 4, 8, 12):
+    farm = Instance.build(m=printers, classes=classes)
+    ours = solve(farm, Variant.PREEMPTIVE, "three_halves", portfolio=True)
+    ours_cmax = validate_schedule(ours.schedule, Variant.PREEMPTIVE)
+    mp = monma_potts_schedule(farm)
+    mp_cmax = validate_schedule(mp, Variant.PREEMPTIVE)
+    mp_guarantee = Fraction(2) - Fraction(1, printers // 2 + 1)
+    rows.append(
+        [
+            printers,
+            str(mp_cmax),
+            f"{float(mp_guarantee):.3f}",
+            str(ours_cmax),
+            "1.500",
+            f"{float(Fraction(ours_cmax) / Fraction(ours.opt_lower_bound)):.3f}",
+            f"{float(1 - Fraction(ours_cmax) / Fraction(mp_cmax)):+.1%}",
+        ]
+    )
+
+print(
+    format_table(
+        ["printers", "Monma-Potts Cmax", "MP guarantee", "3/2+portfolio Cmax",
+         "our guarantee", "measured vs LB", "improvement"],
+        rows,
+        title="Previous best (guarantee -> 2) vs this paper's certified 3/2 "
+              "(portfolio keeps the proof, takes the best feasible schedule)",
+    )
+)
+
+farm = Instance.build(m=8, classes=classes)
+ours = solve(farm, Variant.PREEMPTIVE, "three_halves", portfolio=True)
+print()
+print(
+    render_gantt(
+        ours.schedule,
+        width=96,
+        markers={"T*": ours.T, "3T*/2": Fraction(3, 2) * ours.T},
+        title="3/2-approximate print plan (jobs may migrate, never run twice at once)",
+    )
+)

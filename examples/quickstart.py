@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: build an instance, solve all three variants, inspect results.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import Instance, Variant, solve, validate_schedule
+from repro.analysis import render_gantt
+
+# 3 machines; classes are (setup_time, [job processing times]).
+instance = Instance.build(
+    m=3,
+    classes=[
+        (4, [5, 3, 6]),    # class 0: moderate setup
+        (2, [2, 2, 2, 2]), # class 1: cheap setup, small jobs
+        (7, [9]),          # class 2: expensive setup, one big job
+    ],
+)
+print(instance.describe())
+print()
+
+for variant in Variant:
+    result = solve(instance, variant, algorithm="three_halves")
+    cmax = validate_schedule(result.schedule, variant)  # exact feasibility check
+    print(
+        f"{variant.value:>14}: makespan = {cmax}  "
+        f"(proven <= {result.ratio_bound} x OPT; certified OPT >= {result.opt_lower_bound})"
+    )
+
+# Render the preemptive schedule — the paper's main result (Theorem 6).
+result = solve(instance, Variant.PREEMPTIVE, "three_halves")
+print()
+print(
+    render_gantt(
+        result.schedule,
+        width=72,
+        markers={"T": result.T, "3T/2": Fraction(3, 2) * result.T},
+        title=f"Preemptive 3/2-approximation (T* = {result.T})",
+    )
+)
+
+# The O(n) 2-approximation and the (3/2+eps) search are one argument away:
+fast = solve(instance, Variant.NONPREEMPTIVE, "two")
+eps = solve(instance, Variant.NONPREEMPTIVE, "eps", eps=Fraction(1, 1000))
+print()
+print(f"2-approx makespan:     {fast.makespan}")
+print(f"(3/2+eps) makespan:    {eps.makespan}  (ratio bound {float(eps.ratio_bound):.4f})")

@@ -1,0 +1,372 @@
+"""Class Jumping for preemptive scheduling (Algorithm 4, Theorem 6).
+
+The goal is the exact acceptance flip ``T* = min{T : Theorem-5 test (γ
+mode) accepts}``; the built schedule then has makespan ≤ (3/2)T* ≤
+(3/2)·OPT.  Structure (cf. DESIGN.md, deviation #3):
+
+1. **Base flip** ``T̃``: Class Jumping on the *monotone core* of the test —
+   ``L_base(T) = P(J) + Σ_{I⁺exp} γ_i(T)s_i + Σ_{[c]∖I⁺exp} s_i`` and
+   ``m′(T)``.  The γ machine count has the closed form
+   ``γ_i(T) = max(1, ⌈2(s_i+P_i)/T⌉ − 2)`` (the §4.4 jump equation
+   rearranged), so its jumps are ``2(s_i+P_i)/j`` and Lemma 5 bounds the
+   jumps between consecutive jumps of the fastest class ``f`` (max
+   ``s_f+P_f``) by one per class — exactly Algorithm 1 with ``s_i+P_i`` in
+   place of ``P_i``.  ``L_base ≤ L_pmtn`` and both core functions are
+   non-increasing, so *every* ``T < T̃`` is certifiably rejected.
+
+2. **Piece scan** from ``T̃`` upward: between consecutive change points
+   (membership boundaries ``2s_i, 4s_i, s_i+P_i, 4(s_i+P_i)/3``, star-job
+   boundaries ``2(s_i+t_j)`` and γ-jumps) all sets are constant except the
+   knapsack's unselected set, whose changes are located exactly by solving
+   the density crossings ``s_i w_j(T) = s_j w_i(T)`` and the prefix-weight/
+   capacity crossings ``S_k(T) = Y(T)`` — all *linear* equations in ``T``
+   because weights and capacity are affine on a piece.  Each resulting
+   stable subinterval has constant ``L_pmtn``, so the flip inside it is
+   ``max(lo, L_pmtn/m)``.  The scan is exhaustive, hence the certificate
+   "everything below the returned point is rejected" needs no monotonicity
+   of the knapsack term (which genuinely is not monotone in corner cases).
+
+The flip may be an *infimum that is not attained* (an open membership
+boundary whose left endpoint is rejected while everything above accepts).
+Then ``T_star`` is the infimum and ``T_witness`` an accepted point within
+a relative ``2^{-40}`` of it; the schedule is built at the witness, so the
+proven ratio is ``(3/2)(1+2^{-40})`` in that measure-zero corner and
+exactly 3/2 otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..core.bounds import Variant, t_min
+from ..core.instance import Instance
+from ..core.numeric import Time, frac_ceil, frac_floor
+from ..core.schedule import Schedule
+from .pmtn_general import pmtn_dual_schedule, pmtn_dual_test
+from .search import right_interval_bisect
+
+#: relative witness offset for non-attained infima
+_WITNESS_EPS = Fraction(1, 2**40)
+
+
+@dataclass(frozen=True)
+class PmtnJumpResult:
+    T_star: Time            # infimum of accepted makespans
+    T_witness: Time         # accepted point the schedule is built at
+    schedule: Schedule
+    accept_calls: int
+
+    @property
+    def ratio_bound(self) -> Fraction:
+        return Fraction(3, 2) * self.T_witness / self.T_star if self.T_star else Fraction(3, 2)
+
+
+def gamma_closed(instance: Instance, T: Time, cls: int) -> int:
+    """``γ_i(T) = max(1, ⌈2(s_i+P_i)/T⌉ − 2)`` (§4.4 jump equation)."""
+    sp = 2 * (instance.setups[cls] + instance.processing(cls))
+    return max(1, frac_ceil(Fraction(sp) / T) - 2)
+
+
+def _base_core(instance: Instance, T: Time) -> tuple[Time, int]:
+    """``(L_base(T), m′(T))`` — the monotone core of the Theorem-5 test."""
+    half = T / 2
+    load = Fraction(instance.total_processing)
+    l = 0
+    gsum = 0
+    minus = 0
+    for i in range(instance.c):
+        s = instance.setups[i]
+        if s > half:
+            total = s + instance.processing(i)
+            if total >= T:
+                g = gamma_closed(instance, T, i)
+                load += g * s
+                gsum += g
+                continue
+            if total > 3 * T / 4:
+                l += 1
+            else:
+                minus += 1
+        load += s
+    m_prime = l + gsum + (-(-minus // 2))
+    return load, m_prime
+
+
+def _base_accept(instance: Instance, T: Time) -> bool:
+    load, m_prime = _base_core(instance, T)
+    return instance.m * T >= load and instance.m >= m_prime
+
+
+def _base_flip(instance: Instance, tmin: Time, thi: Time) -> Time:
+    """Class Jumping on the monotone core (Algorithm 4 steps 2-7).
+
+    Returns ``T̃ = min{T ≥ tmin : base-accept}``; everything below is
+    rejected by the full test too (``L_base ≤ L_pmtn``, ``m′`` shared).
+    """
+    if _base_accept(instance, tmin):
+        return tmin
+    accept = lambda T: _base_accept(instance, T)
+
+    # membership candidates that move classes across I+exp / I0exp / I-exp /
+    # cheap (these change m' discontinuously and bound gamma's domain)
+    pts: set[Time] = set()
+    for i in range(instance.c):
+        s, P = instance.setups[i], instance.processing(i)
+        for b in (Fraction(2 * s), Fraction(s + P), Fraction(4 * (s + P), 3)):
+            if tmin < b < thi:
+                pts.add(b)
+    candidates = [tmin] + sorted(pts) + [thi]
+    A1, T1 = right_interval_bisect(candidates, accept)
+
+    # fastest jumping class f among I+exp on the open interior
+    mid = (A1 + T1) / 2
+    half = mid / 2
+    exp_plus = [
+        i
+        for i in range(instance.c)
+        if instance.setups[i] > half
+        and instance.setups[i] + instance.processing(i) >= mid
+    ]
+    if not exp_plus:
+        return _flip_constant_core(instance, A1, T1)
+
+    f = max(exp_plus, key=lambda i: instance.setups[i] + instance.processing(i))
+    SPf = Fraction(2 * (instance.setups[f] + instance.processing(f)))
+    k_lo = max(1, frac_ceil(SPf / T1))
+    if SPf / k_lo >= T1:
+        k_lo += 1
+    k_hi = frac_floor(SPf / A1)
+    if k_hi >= k_lo and SPf / k_hi <= A1:
+        k_hi -= 1
+    lo_b, hi_b = A1, T1
+    if k_hi >= k_lo:
+        jump_candidates = [A1] + [SPf / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        lo_b, hi_b = right_interval_bisect(jump_candidates, accept)
+
+    inner: set[Time] = set()
+    for i in exp_plus:
+        SPi = Fraction(2 * (instance.setups[i] + instance.processing(i)))
+        k_min = max(1, frac_ceil(SPi / hi_b))
+        if SPi / k_min >= hi_b:
+            k_min += 1
+        k_max = frac_floor(SPi / lo_b)
+        if k_max >= k_min and SPi / k_max <= lo_b:
+            k_max -= 1
+        for k in range(k_min, k_max + 1):
+            inner.add(SPi / k)
+    assert len(inner) <= len(exp_plus), "Lemma 5 violated"
+    if inner:
+        lo_b, hi_b = right_interval_bisect([lo_b] + sorted(inner) + [hi_b], accept)
+    return _flip_constant_core(instance, lo_b, hi_b)
+
+
+def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time) -> Time:
+    """Step 9 analogue for the monotone core on a jump-free right interval."""
+    load, m_prime = _base_core(instance, T_fail)
+    if instance.m < m_prime:
+        return T_ok
+    T_new = load / instance.m
+    if T_new >= T_ok:
+        return T_ok
+    assert T_fail < T_new
+    return T_new
+
+
+# --------------------------------------------------------------------------- #
+# exhaustive piece scan (knapsack-aware)
+# --------------------------------------------------------------------------- #
+
+
+def _change_points(instance: Instance, lo: Time, hi: Time) -> list[Time]:
+    """All points in ``(lo, hi)`` where the Theorem-5 data may change."""
+    pts: set[Time] = set()
+    for i in range(instance.c):
+        s, P = instance.setups[i], instance.processing(i)
+        for b in (Fraction(2 * s), Fraction(4 * s), Fraction(s + P), Fraction(4 * (s + P), 3)):
+            if lo < b < hi:
+                pts.add(b)
+        # gamma jumps 2(s+P)/j
+        SP = Fraction(2 * (s + P))
+        j0 = max(1, frac_ceil(SP / hi))
+        j1 = frac_floor(SP / lo)
+        for j in range(j0, j1 + 1):
+            b = SP / j
+            if lo < b < hi:
+                pts.add(b)
+        # star-job boundaries 2(s_i + t_j)
+        for t in instance.jobs[i]:
+            b = Fraction(2 * (s + t))
+            if lo < b < hi:
+                pts.add(b)
+    return sorted(pts)
+
+
+def _knapsack_stable_points(instance: Instance, lo: Time, hi: Time) -> list[Time]:
+    """Points in ``(lo, hi)`` where the knapsack's unselected set can change.
+
+    Preconditions: no membership/γ change point inside ``(lo, hi)``; then
+    item weights ``w_i(T)`` and the capacity ``Y(T)`` are affine, so both
+    density-order changes and prefix/capacity crossings are roots of linear
+    equations.
+    """
+    mid = (lo + hi) / 2
+    d = pmtn_dual_test(instance, mid, mode="gamma")
+    if d.partition.is_nice:
+        return []
+    part = d.partition
+    m, l = instance.m, d.l
+
+    # affine data: value(T) = slope*T + icept
+    def affine_weight(i: int) -> tuple[Fraction, Fraction]:
+        stars = part.big_jobs(i)
+        p_star = sum(instance.job_time(j) for j in stars)
+        # w_i = P(C_i) − [p_star − |C*|(T/2 − s_i)] = const + |C*|/2 · T
+        c0 = Fraction(instance.processing(i) - p_star) - Fraction(len(stars) * instance.setups[i])
+        return Fraction(len(stars), 2), c0
+
+    # F(T) = (m−l)T − Σ_{I+exp}(γ s + P) − Σ_{I-exp ∪ I+chp}(s+P): γ constant here
+    base_c = sum(
+        d.counts[i] * instance.setups[i] + instance.processing(i) for i in part.exp_plus
+    ) + sum(
+        instance.setups[i] + instance.processing(i)
+        for i in tuple(part.exp_minus) + tuple(part.chp_plus)
+    )
+    if not part.chp_star:
+        # only the case boundary F(T) = demand (= 0) matters: below it the
+        # dual rejects outright (F < L* = 0), above it case 3b applies.
+        pts0: list[Time] = []
+        if m - l != 0:
+            root = (d.demand_star + base_c) / Fraction(m - l)
+            if lo < root < hi:
+                pts0.append(root)
+        return pts0
+    # L*(T) = Σ_{I*}(s_i + p*_i − |C*_i|(T/2 − s_i))
+    lstar_slope = Fraction(0)
+    lstar_c = Fraction(0)
+    for i in part.chp_star:
+        stars = part.big_jobs(i)
+        lstar_slope -= Fraction(len(stars), 2)
+        lstar_c += Fraction(
+            instance.setups[i]
+            + sum(instance.job_time(j) for j in stars)
+            + len(stars) * instance.setups[i]
+        )
+    y_slope = Fraction(m - l) - lstar_slope
+    y_c = Fraction(-base_c) - lstar_c
+
+    items = [(i, Fraction(instance.setups[i]), *affine_weight(i)) for i in part.chp_star]
+    pts: set[Time] = set()
+
+    # case boundary 3a/3b: F(T) = demand_star  (F slope m−l, intercept −base_c)
+    if m - l != 0:
+        root = (d.demand_star + base_c) / Fraction(m - l)
+        if lo < root < hi:
+            pts.add(root)
+    # capacity sign change: Y(T) = 0
+    if y_slope != 0:
+        root = -y_c / y_slope
+        if lo < root < hi:
+            pts.add(root)
+
+    # density crossings: s_i (wj_s T + wj_c) = s_j (wi_s T + wi_c)
+    for a in range(len(items)):
+        for b in range(a + 1, len(items)):
+            _, si, wis, wic = items[a]
+            _, sj, wjs, wjc = items[b]
+            num = sj * wic - si * wjc
+            den = si * wjs - sj * wis
+            if den != 0:
+                root = num / den
+                if lo < root < hi:
+                    pts.add(root)
+
+    # prefix/capacity crossings, per density-order region
+    regions = [lo] + sorted(pts) + [hi]
+    for r_lo, r_hi in zip(regions, regions[1:]):
+        r_mid = (r_lo + r_hi) / 2
+
+        def density_key(item):
+            _, s, ws, wc = item
+            w = ws * r_mid + wc
+            if w == 0:
+                return (0, Fraction(0), -s, repr(item[0]))
+            return (1, -(s / w), -s, repr(item[0]))
+
+        order = sorted(items, key=density_key)
+        acc_s, acc_c = Fraction(0), Fraction(0)
+        for _, _, ws, wc in order:
+            acc_s += ws
+            acc_c += wc
+            den = acc_s - y_slope
+            if den != 0:
+                root = (y_c - acc_c) / den
+                if r_lo < root < r_hi:
+                    pts.add(root)
+    return sorted(pts)
+
+
+def find_flip_pmtn(instance: Instance, *, use_base_jump: bool = True) -> tuple[Time, Time, int]:
+    """Exact flip of the Theorem-5 (γ) test: ``(T_star, T_witness, calls)``.
+
+    ``use_base_jump=False`` disables the Class-Jumping acceleration and
+    scans every piece from ``T_min`` — the slow reference used by tests and
+    the ablation benchmark.
+    """
+    calls = 0
+
+    def accept(T: Time) -> bool:
+        nonlocal calls
+        calls += 1
+        return pmtn_dual_test(instance, T, mode="gamma").accepted
+
+    tmin = t_min(instance, Variant.PREEMPTIVE)
+    thi = 2 * tmin
+    if accept(tmin):
+        return tmin, tmin, calls
+
+    t_base = _base_flip(instance, tmin, thi) if use_base_jump else tmin
+
+    # exhaustive left-to-right scan from the certified frontier
+    points = [t_base] + _change_points(instance, t_base, thi) + [thi]
+    for idx, p in enumerate(points):
+        if p != tmin and accept(p):
+            return p, p, calls
+        if idx + 1 >= len(points):
+            break
+        q = points[idx + 1]
+        stable = [p] + _knapsack_stable_points(instance, p, q) + [q]
+        for a, b in zip(stable, stable[1:]):
+            if a != p and accept(a):
+                return a, a, calls
+            mid = (a + b) / 2
+            d = pmtn_dual_test(instance, mid, mode="gamma")
+            calls += 1
+            if instance.m < d.machines_needed:
+                continue
+            if d.case == "trivial":
+                continue
+            if any("F < L*" in r for r in d.reject_reasons):
+                continue  # Y < 0 on the whole subinterval: rejected
+            flip = d.load / instance.m
+            if flip <= a:
+                # the whole open interval (a, b) is accepted: infimum a not
+                # attained (a itself was rejected above)
+                witness = a + min((b - a) / 2, a * _WITNESS_EPS)
+                assert accept(witness)
+                return a, witness, calls
+            if flip < b:
+                assert accept(flip)
+                return flip, flip, calls
+    assert accept(thi)
+    return thi, thi, calls
+
+
+def three_halves_preemptive(instance: Instance) -> PmtnJumpResult:
+    """Theorem 6 — 3/2-approximation for ``P|pmtn,setup=s_i|Cmax``."""
+    T_star, T_witness, calls = find_flip_pmtn(instance)
+    schedule = pmtn_dual_schedule(instance, T_witness, mode="gamma")
+    return PmtnJumpResult(
+        T_star=T_star, T_witness=T_witness, schedule=schedule, accept_calls=calls
+    )

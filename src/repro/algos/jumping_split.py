@@ -1,0 +1,147 @@
+"""Class Jumping for splittable scheduling (Algorithm 1, Theorem 3).
+
+Finds the exact acceptance flip point ``T* = min{T : Theorem-7 test
+accepts}`` with ``O(log(c+m))`` dual tests after O(n) preprocessing, giving
+a true 3/2-approximation in ``O(n + c log(c+m))``:
+
+1. a *right interval* ``(A₁, T₁]`` between consecutive doubled setup values
+   ``2s̃`` — the expensive/cheap partition is constant on ``[A₁, T₁)``;
+2. the *fastest jumping class* ``f`` (max ``P_f``) partitions the interval
+   by its jumps ``2P_f/k``; a bisection over ``k`` narrows to a window
+   between consecutive ``f``-jumps;
+3. by Lemma 3 every other class jumps at most once inside that window, so
+   the ≤ c remaining jumps are sorted and bisected to a jump-free right
+   interval ``(T_fail, T_ok]``;
+4. on ``[T_fail, T_ok)`` the load ``L_split`` and machine demand ``m_exp``
+   are constant, so the flip is either ``T_ok`` itself or
+   ``T_new = L_split(T_fail)/m`` (step 9's case analysis).
+
+Correctness leans on the monotonicity of ``L_split`` and ``m_exp`` in ``T``
+(larger ``T`` ⟹ fewer forced setups/machines), which makes every point
+below the returned value provably rejected; the returned value is therefore
+≤ OPT and the built schedule is a 3/2-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..core.bounds import Variant, t_min
+from ..core.instance import Instance
+from ..core.numeric import Time, frac_ceil, frac_floor
+from ..core.schedule import Schedule
+from .search import right_interval_bisect
+from .splittable import split_dual_schedule, split_dual_test
+
+
+@dataclass(frozen=True)
+class JumpSearchResult:
+    """Flip point, schedule built at it, and bookkeeping for ablations."""
+
+    T_star: Time
+    schedule: Schedule
+    accept_calls: int
+    #: proven approximation factor of the schedule (always 3/2 here since
+    #: T_star ≤ OPT and makespan ≤ (3/2)·T_star).
+    ratio_bound: Fraction = Fraction(3, 2)
+
+
+def three_halves_splittable(instance: Instance) -> JumpSearchResult:
+    """Theorem 3 — 3/2-approximation in ``O(n + c log(c+m))``."""
+    T_star, calls = find_flip_splittable(instance)
+    schedule = split_dual_schedule(instance, T_star)
+    return JumpSearchResult(T_star=T_star, schedule=schedule, accept_calls=calls)
+
+
+def find_flip_splittable(instance: Instance) -> tuple[Time, int]:
+    """Locate ``T* = min accepted T`` via Algorithm 1. Returns (T*, #tests)."""
+    calls = 0
+
+    def accept(T: Time) -> bool:
+        nonlocal calls
+        calls += 1
+        return split_dual_test(instance, T).accepted
+
+    tmin = t_min(instance, Variant.SPLITTABLE)
+    thi = 2 * tmin
+    if accept(tmin):
+        return tmin, calls
+
+    # ---- step 4: right interval between doubled setups ---------------- #
+    setup_bounds = sorted({Fraction(2 * s) for s in instance.setups if tmin < 2 * s < thi})
+    candidates = [tmin] + setup_bounds + [thi]
+    A1, T1 = right_interval_bisect(candidates, accept)
+    # Partition (I_exp, I_chp) is constant on [A1, T1); evaluate it at A1.
+    interior = split_dual_test(instance, A1)
+    exp = interior.exp
+
+    if not exp:
+        # No expensive classes: L_split constant on [A1, T1); the flip is
+        # either T_new = L/m inside the interval or T1 itself.
+        return _flip_on_constant_piece(instance, A1, T1, accept), calls
+
+    # ---- step 5: fastest jumping class f ------------------------------ #
+    f = max(exp, key=lambda i: instance.processing(i))
+    Pf2 = Fraction(2 * instance.processing(f))
+
+    # ---- step 6: bisect over f's jumps 2P_f/k inside (A1, T1) --------- #
+    # k-range of jumps strictly inside the interval: A1 < Pf2/k < T1.
+    k_lo = max(1, frac_ceil(Pf2 / T1))
+    if Pf2 / k_lo >= T1:
+        k_lo += 1
+    k_hi = frac_floor(Pf2 / A1)
+    if k_hi >= k_lo and Pf2 / k_hi <= A1:
+        k_hi -= 1
+    lo_b, hi_b = A1, T1
+    if k_hi >= k_lo:
+        # candidate jumps are decreasing in k; build ascending candidate list
+        jump_candidates = [A1] + [Pf2 / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        lo_b, hi_b = right_interval_bisect(jump_candidates, accept)
+
+    # ---- steps 7-8: collect the ≤ c jumps inside (lo_b, hi_b) --------- #
+    inner: set[Time] = set()
+    for i in exp:
+        Pi2 = Fraction(2 * instance.processing(i))
+        if Pi2 <= 0:
+            continue
+        k_min = frac_ceil(Pi2 / hi_b)
+        if k_min > 0 and Pi2 / k_min >= hi_b:
+            k_min += 1
+        k_max = frac_floor(Pi2 / lo_b) if lo_b > 0 else 0
+        if k_max > 0 and Pi2 / k_max <= lo_b:
+            k_max -= 1
+        for k in range(max(k_min, 1), k_max + 1):
+            inner.add(Pi2 / k)
+    # Lemma 3: at most one jump per class between consecutive f-jumps.
+    assert len(inner) <= len(exp), "Lemma 3 violated: too many jumps in X"
+    if inner:
+        jump_list = [lo_b] + sorted(inner) + [hi_b]
+        T_fail, T_ok = right_interval_bisect(jump_list, accept)
+    else:
+        T_fail, T_ok = lo_b, hi_b
+
+    # ---- step 9: constant piece [T_fail, T_ok) ------------------------ #
+    return _flip_on_constant_piece(instance, T_fail, T_ok, accept), calls
+
+
+def _flip_on_constant_piece(instance: Instance, T_fail: Time, T_ok: Time, accept) -> Time:
+    """Step 9's case analysis on a jump-free right interval.
+
+    ``L_split`` and ``m_exp`` are constant on ``[T_fail, T_ok)``; ``T_fail``
+    is rejected and ``T_ok`` accepted.
+    """
+    dual = split_dual_test(instance, T_fail)
+    m = instance.m
+    if m < dual.machines_exp:
+        # the whole piece needs too many machines: everything < T_ok rejected
+        return T_ok
+    T_new = dual.load / m
+    if T_new >= T_ok:
+        # every T < T_ok has mT < L_split: rejected
+        return T_ok
+    # T_fail rejected by load ⟹ T_new = L/m > T_fail; accepted at T_new.
+    assert T_fail < T_new < T_ok
+    assert accept(T_new)
+    return T_new

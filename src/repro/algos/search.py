@@ -1,0 +1,202 @@
+"""Dual-approximation search routines (Theorems 2 and 8) and references.
+
+A ρ-dual approximation (Hochbaum–Shmoys) takes the input and a makespan
+``T`` and either builds a feasible schedule with makespan ≤ ρT or *rejects*
+``T``, certifying ``T < OPT``.  Each variant provides such a dual with
+ρ = 3/2; this module turns them into approximation algorithms:
+
+* :func:`binary_search_dual` — Theorem 2: bisect ``[T_min, 2T_min]`` for
+  ``O(log 1/ε)`` rounds; the returned ``T`` satisfies ``T ≤ (1+ε)·OPT``,
+  hence ratio ``(3/2)(1+ε)``.
+* :func:`integer_search_dual` — Theorem 8: for the non-preemptive problem
+  ``OPT ∈ N``, so bisecting integers finds ``T ≤ OPT`` *exactly* in
+  ``O(log T_min) = O(log(n+Δ))`` accept-tests; ratio exactly 3/2.
+* :func:`right_interval_bisect` — the primitive behind Class Jumping: given
+  candidates ``c_0 < … < c_k`` with ``c_0`` rejected and ``c_k`` accepted,
+  find an adjacent rejected/accepted pair.
+* :func:`slow_flip_splittable` — an O(#pieces) reference computation of the
+  exact acceptance flip point ``T* = min{T : accepted}`` for the splittable
+  dual, used to cross-validate Algorithm 1 in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Sequence
+
+from ..core.bounds import Variant, t_min
+from ..core.instance import Instance
+from ..core.numeric import Time, TimeLike, as_time, frac_ceil
+from ..core.schedule import Schedule
+
+AcceptFn = Callable[[Time], bool]
+BuildFn = Callable[[Time], Schedule]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """A makespan guess with its schedule and the search's certificate."""
+
+    T: Time                    # the accepted guess the schedule was built for
+    schedule: Schedule
+    certificate_lo: Time       # every T' < certificate_lo is proven < OPT...
+    accept_calls: int          # ...so makespan ≤ (3/2)·T ≤ (3/2)(T/certificate_lo)·OPT
+
+    @property
+    def ratio_bound(self) -> Fraction:
+        """Proven approximation factor ``(3/2)·T / certificate_lo``."""
+        return Fraction(3, 2) * self.T / self.certificate_lo
+
+
+def binary_search_dual(
+    instance: Instance,
+    variant: Variant,
+    accept: AcceptFn,
+    build: BuildFn,
+    eps: Fraction = Fraction(1, 100),
+) -> SearchResult:
+    """Theorem 2 — (3/2)(1+ε)-approximation with O(log 1/ε) dual tests."""
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    tmin = t_min(instance, variant)
+    calls = 0
+
+    def test(T: Time) -> bool:
+        nonlocal calls
+        calls += 1
+        return accept(T)
+
+    if test(tmin):
+        # T_min ≤ OPT: ratio exactly 3/2.
+        return SearchResult(tmin, build(tmin), certificate_lo=tmin, accept_calls=calls)
+    lo, hi = tmin, 2 * tmin  # lo rejected (lo < OPT), hi accepted (hi ≥ ... 2Tmin ≥ OPT)
+    # Shrink the gap below eps*tmin ≤ eps*OPT.
+    while hi - lo > eps * tmin:
+        mid = (lo + hi) / 2
+        if test(mid):
+            hi = mid
+        else:
+            lo = mid
+    # lo < OPT and hi ≤ lo + eps*tmin < (1+eps)·OPT.
+    return SearchResult(hi, build(hi), certificate_lo=lo, accept_calls=calls)
+
+
+def integer_search_dual(
+    instance: Instance,
+    variant: Variant,
+    accept: AcceptFn,
+    build: BuildFn,
+) -> SearchResult:
+    """Theorem 8 — exact 3/2 ratio when OPT is integral (non-preemptive)."""
+    tmin = t_min(instance, variant)
+    lo_int = frac_ceil(tmin)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
+    hi_int = frac_ceil(2 * tmin)
+    calls = 0
+
+    def test(T: int) -> bool:
+        nonlocal calls
+        calls += 1
+        return accept(Fraction(T))
+
+    if test(lo_int):
+        return SearchResult(
+            Fraction(lo_int), build(Fraction(lo_int)),
+            certificate_lo=Fraction(lo_int), accept_calls=calls,
+        )
+    lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if test(mid):
+            hi = mid
+        else:
+            lo = mid
+    # hi accepted, hi−1 rejected ⟹ OPT > hi−1 ⟹ OPT ≥ hi (integrality).
+    return SearchResult(
+        Fraction(hi), build(Fraction(hi)), certificate_lo=Fraction(hi), accept_calls=calls
+    )
+
+
+def right_interval_bisect(
+    candidates: Sequence[Time],
+    accept: AcceptFn,
+    *,
+    first_rejected: bool = True,
+    last_accepted: bool = True,
+) -> tuple[Time, Time]:
+    """Find adjacent ``(c_j, c_{j+1}]`` with ``c_j`` rejected, ``c_{j+1}`` accepted.
+
+    Preconditions (asserted if the flags are False): ``candidates[0]`` is
+    rejected and ``candidates[-1]`` accepted.  Needs O(log k) accept calls.
+    """
+    if len(candidates) < 2:
+        raise ValueError("need at least two candidates")
+    if not first_rejected and accept(candidates[0]):
+        raise ValueError("candidates[0] must be rejected")
+    if not last_accepted and not accept(candidates[-1]):
+        raise ValueError("candidates[-1] must be accepted")
+    lo, hi = 0, len(candidates) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if accept(candidates[mid]):
+            hi = mid
+        else:
+            lo = mid
+    return candidates[lo], candidates[hi]
+
+
+# --------------------------------------------------------------------------- #
+# slow reference flip finder for the splittable dual
+# --------------------------------------------------------------------------- #
+
+
+def splittable_breakpoints(instance: Instance, lo: Time, hi: Time) -> list[Time]:
+    """All points in ``(lo, hi)`` where the splittable dual's data changes.
+
+    These are the partition boundaries ``2s_i`` and the class jumps
+    ``2P(C_i)/k``; between consecutive breakpoints ``L_split`` and ``m_exp``
+    are constant (both are left-continuous step functions that only change
+    at these points).
+    """
+    pts: set[Time] = set()
+    for s in instance.setups:
+        b = Fraction(2 * s)
+        if lo < b < hi:
+            pts.add(b)
+    for i in range(instance.c):
+        P2 = Fraction(2 * instance.processing(i))
+        if P2 <= 0:
+            continue
+        k_lo = max(1, frac_ceil(P2 / hi))
+        k_hi = (P2 / lo).__floor__() if lo > 0 else 0
+        for k in range(k_lo, k_hi + 1):
+            b = P2 / k
+            if lo < b < hi:
+                pts.add(b)
+    return sorted(pts)
+
+
+def slow_flip_splittable(instance: Instance) -> Time:
+    """Exact ``T* = min{T ≥ T_min : splittable dual accepts}`` by full scan.
+
+    O(c·m) pieces — only used for cross-validation and ablations.
+    """
+    from .splittable import split_dual_test  # local import to avoid a cycle
+
+    tmin = t_min(instance, Variant.SPLITTABLE)
+    thi = 2 * tmin
+    if split_dual_test(instance, tmin).accepted:
+        return tmin
+    bounds = [tmin] + splittable_breakpoints(instance, tmin, thi) + [thi]
+    m = instance.m
+    for b, b_next in zip(bounds, bounds[1:]):
+        dual = split_dual_test(instance, b)
+        if m < dual.machines_exp:
+            continue  # whole piece [b, b_next) rejected on machine count
+        candidate = max(b, dual.load / m)
+        if candidate < b_next:
+            # accepted inside the piece (L, m_exp constant on [b, b_next))
+            assert split_dual_test(instance, candidate).accepted
+            return candidate
+    assert split_dual_test(instance, thi).accepted
+    return thi

@@ -1,0 +1,22 @@
+"""Analysis utilities: Gantt rendering, metrics, runtime fits, tables."""
+
+from .complexity import ScalingFit, ScalingPoint, fit_loglog, time_algorithm
+from .gantt import class_glyph, render_gantt, render_template
+from .metrics import ScheduleMetrics, evaluate_schedule
+from .reporting import fmt_ratio, fmt_time, format_markdown, format_table
+
+__all__ = [
+    "ScalingFit",
+    "ScalingPoint",
+    "fit_loglog",
+    "time_algorithm",
+    "class_glyph",
+    "render_gantt",
+    "render_template",
+    "ScheduleMetrics",
+    "evaluate_schedule",
+    "fmt_ratio",
+    "fmt_time",
+    "format_markdown",
+    "format_table",
+]

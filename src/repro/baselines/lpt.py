@@ -1,0 +1,70 @@
+"""List-scheduling baselines: grouped LPT and job-level LPT with setups.
+
+Classic heuristics a practitioner would try first — no approximation
+guarantee is claimed for the setup model (a single huge class defeats
+grouped LPT; job-level LPT over-pays setups).  They anchor the empirical
+comparison: the paper's algorithms should beat or match them on the
+adversarial suites while carrying a proof.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+
+def grouped_lpt_schedule(instance: Instance) -> Schedule:
+    """Whole classes, largest total first, onto the least-loaded machine.
+
+    Each class pays exactly one setup; a class never splits, so one giant
+    class yields makespan ≈ s + P(C) regardless of m.
+    """
+    schedule = Schedule(instance)
+    heap: list[tuple[Fraction, int]] = [(Fraction(0), u) for u in range(instance.m)]
+    heapq.heapify(heap)
+    order = sorted(
+        range(instance.c),
+        key=lambda i: instance.setups[i] + instance.processing(i),
+        reverse=True,
+    )
+    for i in order:
+        load, u = heapq.heappop(heap)
+        t = load
+        schedule.add_setup(u, t, i)
+        t += instance.setups[i]
+        for job, length in instance.class_jobs(i):
+            schedule.add_job(u, t, job)
+            t += length
+        heapq.heappush(heap, (t, u))
+    return schedule
+
+
+def job_lpt_schedule(instance: Instance) -> Schedule:
+    """Job-level LPT: longest job first onto the machine finishing earliest.
+
+    A setup is inserted whenever the machine is not configured for the
+    job's class — with many classes this pays up to one setup per job.
+    """
+    schedule = Schedule(instance)
+    loads = [Fraction(0)] * instance.m
+    state: list[int | None] = [None] * instance.m
+
+    jobs = sorted(instance.iter_jobs(), key=lambda jt: jt[1], reverse=True)
+    for job, length in jobs:
+        s = instance.setups[job.cls]
+
+        def completion(u: int) -> Fraction:
+            extra = s if state[u] != job.cls else 0
+            return loads[u] + extra + length
+
+        u = min(range(instance.m), key=completion)
+        if state[u] != job.cls:
+            schedule.add_setup(u, loads[u], job.cls)
+            loads[u] += s
+            state[u] = job.cls
+        schedule.add_job(u, loads[u], job)
+        loads[u] += length
+    return schedule

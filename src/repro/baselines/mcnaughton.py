@@ -1,0 +1,65 @@
+"""McNaughton's wrap-around rule for ``P|pmtn|Cmax`` (no setups) [8].
+
+The 1959 classic the paper's Batch Wrapping generalizes: the optimal
+preemptive makespan without setups is ``max(t_max, P(J)/m)``; wrapping the
+job stream into ``m`` lanes of that height and splitting at the border
+attains it.  Exposed both as a substrate (other baselines build on it) and
+as an *idealized comparator*: the gap between McNaughton on the setup-free
+relaxation and the setup-aware algorithms is exactly the price of setups.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.numeric import Time
+from ..core.schedule import Schedule
+
+
+def mcnaughton_bound(instance: Instance) -> Time:
+    """``max(t_max, P(J)/m)`` — OPT of the setup-free relaxation."""
+    return max(Fraction(instance.tmax), Fraction(instance.total_processing, instance.m))
+
+
+def relaxed_instance(instance: Instance) -> Instance:
+    """The setup-free relaxation (all ``s_i = 0``)."""
+    return Instance(m=instance.m, setups=(0,) * instance.c, jobs=instance.jobs)
+
+
+def mcnaughton_schedule(instance: Instance) -> Schedule:
+    """Optimal wrap-around schedule for a zero-setup instance.
+
+    Raises for instances with non-zero setups — apply
+    :func:`relaxed_instance` first; the result is then the relaxation's
+    (infeasible for the true model, but optimal for the relaxed one).
+    """
+    if any(instance.setups):
+        raise InvalidInstanceError(
+            "mcnaughton_schedule requires zero setups; use relaxed_instance()"
+        )
+    T = mcnaughton_bound(instance)
+    schedule = Schedule(instance)
+    u = 0
+    t = Fraction(0)
+    configured: set[int] = set()
+
+    def ensure_setup(machine: int, at: Time, cls: int) -> None:
+        key = machine * instance.c + cls
+        if key not in configured:
+            schedule.add_setup(machine, at, cls)  # zero-length marker
+            configured.add(key)
+
+    for job, length in instance.iter_jobs():
+        remaining = Fraction(length)
+        while remaining > 0:
+            if t >= T:
+                u += 1
+                t = Fraction(0)
+            ensure_setup(u, t, job.cls)
+            piece = min(remaining, T - t)
+            schedule.add_piece(u, t, job, piece)
+            t += piece
+            remaining -= piece
+    return schedule

@@ -1,0 +1,45 @@
+"""Naive splittable baselines (comparators for Theorem 3's algorithm).
+
+* :func:`full_split_schedule` — split every class evenly over all ``m``
+  machines, paying every setup on every machine.  Optimal for one class
+  (``s + P/m``), pathological for many classes (``Σ s_i + P/m``).
+* :func:`no_split_schedule` — grouped LPT (never split): optimal for many
+  tiny classes, pathological for one big class.
+
+The paper's splittable 3/2 dominates the *minimum* of the two up to its
+guarantee, which the ratio benchmarks demonstrate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from .lpt import grouped_lpt_schedule
+
+
+def full_split_schedule(instance: Instance) -> Schedule:
+    """Every class on every machine: makespan = Σ s_i + P(J)/m exactly."""
+    schedule = Schedule(instance)
+    share = [Fraction(instance.processing(i), instance.m) for i in range(instance.c)]
+    for u in range(instance.m):
+        t = Fraction(0)
+        for i in range(instance.c):
+            if share[i] == 0:
+                continue
+            schedule.add_setup(u, t, i)
+            t += instance.setups[i]
+            remaining = share[i]
+            for job, length in instance.class_jobs(i):
+                piece = Fraction(length, instance.m)
+                schedule.add_piece(u, t, job, piece)
+                t += piece
+                remaining -= piece
+            assert remaining == 0
+    return schedule
+
+
+def no_split_schedule(instance: Instance) -> Schedule:
+    """Whole-class LPT — the never-split comparator."""
+    return grouped_lpt_schedule(instance)

@@ -1,0 +1,52 @@
+"""Jansen–Land next-fit 3-approximation for the non-preemptive case [6].
+
+Jansen and Land (2016) open with "an approximation ratio 3 using a next-fit
+strategy running in time O(n)".  Reconstruction with a proven ratio 3:
+stream the batch sequence over machines with threshold ``θ = LB + s_max``
+(``LB`` the non-preemptive lower bound); a job that would start at or above
+``θ`` opens the next machine (with a fresh setup for its class).
+
+* machines: every closed machine carries > ``θ − s_max = LB`` of *original*
+  load (its extra setup not counted), so at most ``N/LB ≤ m`` machines;
+* makespan ≤ ``θ + s_max + t_max ≤ 2·LB + (s_i+t_j) ≤ 3·LB ≤ 3·OPT``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.bounds import Variant, lower_bound
+from ..core.errors import ConstructionError
+from ..core.instance import Instance
+from ..core.numeric import Time
+from ..core.schedule import Schedule
+
+
+def next_fit_threshold(instance: Instance) -> Time:
+    return lower_bound(instance, Variant.NONPREEMPTIVE) + instance.smax
+
+
+def next_fit_schedule(instance: Instance) -> Schedule:
+    """O(n) non-preemptive next-fit with ratio ≤ 3 (comparator for Table 1)."""
+    theta = next_fit_threshold(instance)
+    schedule = Schedule(instance)
+    u = 0
+    t = Fraction(0)
+    state: int | None = None
+    for cls in range(instance.c):
+        for job, length in instance.class_jobs(cls):
+            s = Fraction(instance.setups[cls])
+            if t > theta:
+                # the closed machine carries > θ, i.e. > LB of original load
+                u += 1
+                if u >= instance.m:
+                    raise ConstructionError("next-fit exceeded m machines")
+                t = Fraction(0)
+                state = None
+            if state != cls:
+                schedule.add_setup(u, t, cls)
+                t += s
+                state = cls
+            schedule.add_job(u, t, job)
+            t += length
+    return schedule

@@ -1,0 +1,87 @@
+"""Core substrate: instance/schedule model, partitions, bounds, wrapping.
+
+Everything the approximation algorithms in :mod:`repro.algos` build on.
+"""
+
+from .bounds import (
+    Variant,
+    average_load,
+    lower_bound,
+    setup_plus_tmax,
+    t_max_window,
+    t_min,
+    trivial_upper_bound,
+)
+from .classification import (
+    NonpPartition,
+    PmtnPartition,
+    alpha,
+    alpha_prime,
+    beta,
+    beta_prime,
+    gamma,
+    nonp_partition,
+    pmtn_partition,
+    split_expensive_cheap,
+)
+from .errors import (
+    ConstructionError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    RejectedMakespanError,
+    ReproError,
+)
+from .instance import Instance, JobRef, concat_instances
+from .knapsack import ContinuousSolution, KnapsackItem, solve_continuous, solve_integral
+from .numeric import Time, as_time, frac_ceil, frac_floor, time_str
+from .schedule import Placement, Schedule
+from .validate import is_feasible, validate_schedule
+from .wrapping import Batch, Gap, WrapResult, WrapSequence, WrapTemplate, template_for_machines, wrap
+
+__all__ = [
+    "Variant",
+    "average_load",
+    "lower_bound",
+    "setup_plus_tmax",
+    "t_max_window",
+    "t_min",
+    "trivial_upper_bound",
+    "NonpPartition",
+    "PmtnPartition",
+    "alpha",
+    "alpha_prime",
+    "beta",
+    "beta_prime",
+    "gamma",
+    "nonp_partition",
+    "pmtn_partition",
+    "split_expensive_cheap",
+    "ConstructionError",
+    "InfeasibleScheduleError",
+    "InvalidInstanceError",
+    "RejectedMakespanError",
+    "ReproError",
+    "Instance",
+    "JobRef",
+    "concat_instances",
+    "ContinuousSolution",
+    "KnapsackItem",
+    "solve_continuous",
+    "solve_integral",
+    "Time",
+    "as_time",
+    "frac_ceil",
+    "frac_floor",
+    "time_str",
+    "Placement",
+    "Schedule",
+    "is_feasible",
+    "validate_schedule",
+    "Batch",
+    "Gap",
+    "WrapResult",
+    "WrapSequence",
+    "WrapTemplate",
+    "template_for_machines",
+    "wrap",
+]

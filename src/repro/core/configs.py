@@ -1,0 +1,172 @@
+"""Compressed schedules: machine configurations with multiplicities.
+
+Section 3.2 allows a schedule to "consist of machine configurations with
+associated multiplicities instead of explicitly mapping each job (piece)".
+The proof of Theorem 7 uses this for the true O(n) bound (independent of
+``m``): when a long job is wrapped across a *range of identical gaps*, the
+middle machines all carry the same configuration — one setup at the gap
+base and one full-gap piece of the same job — so the range is stored as a
+single :class:`ConfigBlock` with a multiplicity instead of ``µ_j``
+physical placements (the paper cites Jansen et al. [5] for the same
+idea).
+
+The compressed form is exact and loses nothing: :func:`expand` turns it
+into an explicit :class:`~repro.core.schedule.Schedule` (O(output) work)
+that the validators check.  :func:`compress_splittable_expensive`
+implements the fast path for the splittable step (1): it emits O(1)
+blocks per job instead of O(β_i) placements, so building the compressed
+schedule costs O(n + c) even when ``Σ β_i ≫ n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from .errors import ConstructionError
+from .instance import Instance, JobRef
+from .numeric import Time, TimeLike, as_time
+from .schedule import Placement, Schedule
+
+
+@dataclass(frozen=True)
+class ConfigItem:
+    """One item of a machine configuration (times relative to the machine)."""
+
+    start: Time
+    length: Time
+    cls: int
+    job: Optional[JobRef] = None  # None = setup
+
+    def materialize(self, machine: int) -> Placement:
+        return Placement(
+            machine=machine, start=self.start, length=self.length,
+            cls=self.cls, job=self.job,
+        )
+
+
+@dataclass(frozen=True)
+class ConfigBlock:
+    """``multiplicity`` consecutive machines sharing one configuration.
+
+    The block covers machines ``first_machine .. first_machine +
+    multiplicity − 1``.
+    """
+
+    first_machine: int
+    multiplicity: int
+    items: tuple[ConfigItem, ...]
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+
+    @property
+    def machines(self) -> range:
+        return range(self.first_machine, self.first_machine + self.multiplicity)
+
+
+@dataclass
+class ConfigSchedule:
+    """A compressed schedule: disjoint machine blocks."""
+
+    instance: Instance
+    blocks: list[ConfigBlock]
+
+    def add_block(self, block: ConfigBlock) -> None:
+        if block.machines.stop > self.instance.m:
+            raise ConstructionError(
+                f"block {block.machines} exceeds m={self.instance.m}"
+            )
+        self.blocks.append(block)
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def machine_count(self) -> int:
+        return sum(b.multiplicity for b in self.blocks)
+
+    def makespan(self) -> Time:
+        return max(
+            (it.start + it.length for b in self.blocks for it in b.items),
+            default=Fraction(0),
+        )
+
+
+def expand(compressed: ConfigSchedule) -> Schedule:
+    """Materialize every block into explicit placements (O(output))."""
+    schedule = Schedule(compressed.instance)
+    seen: set[int] = set()
+    for block in compressed.blocks:
+        for u in block.machines:
+            if u in seen:
+                raise ConstructionError(f"machine {u} covered by two blocks")
+            seen.add(u)
+            for item in block.items:
+                schedule.add(item.materialize(u))
+    return schedule
+
+
+def compress_splittable_expensive(
+    instance: Instance, T: TimeLike, exp_classes: Iterable[int],
+    betas: dict[int, int], first_machine: int = 0,
+) -> ConfigSchedule:
+    """Step (1) of the splittable construction in compressed form.
+
+    For each expensive class ``i``: machines carry the setup ``[0, s_i]``
+    and job load filling ``[s_i, s_i + T/2]``.  A job longer than the gap
+    occupies a *run* of machines with identical full-gap configurations —
+    emitted as one multi-machine block.  Output size is O(n + c) blocks,
+    independent of ``Σ β_i``.
+    """
+    T = as_time(T)
+    half = T / 2
+    out = ConfigSchedule(instance=instance, blocks=[])
+    u = first_machine
+    for i in exp_classes:
+        s = Fraction(instance.setups[i])
+        beta_i = betas[i]
+        gap = half  # job capacity per machine
+        # walk the jobs, cutting at machine capacity; coalesce full-gap runs
+        pending: list[ConfigItem] = [ConfigItem(Fraction(0), s, i)]
+        fill = Fraction(0)
+        machines_used = 0
+
+        def flush(mult: int = 1) -> None:
+            nonlocal pending, fill, u, machines_used
+            out.add_block(ConfigBlock(first_machine=u, multiplicity=mult, items=tuple(pending)))
+            u += mult
+            machines_used += mult
+            pending = [ConfigItem(Fraction(0), s, i)]
+            fill = Fraction(0)
+
+        for job, t in instance.class_jobs(i):
+            remaining = Fraction(t)
+            while remaining > 0:
+                room = gap - fill
+                if room <= 0:
+                    flush()
+                    room = gap
+                if remaining >= room + gap and fill == 0 and room == gap:
+                    # the job covers >= 2 whole machines: emit a run block
+                    runs = int(remaining // gap)
+                    if remaining % gap == 0:
+                        runs -= 1  # keep a tail so the machine count matches
+                    runs = max(runs, 1)
+                    pending.append(ConfigItem(s, gap, i, job))
+                    flush(mult=runs)
+                    remaining -= gap * runs
+                    continue
+                piece = min(remaining, room)
+                pending.append(ConfigItem(s + fill, piece, i, job))
+                fill += piece
+                remaining -= piece
+        if fill > 0 or machines_used < beta_i:
+            flush()
+        if machines_used != beta_i:
+            raise ConstructionError(
+                f"class {i}: compressed step used {machines_used} machines, "
+                f"expected beta={beta_i}"
+            )
+    return out

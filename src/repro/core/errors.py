@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every failure mode raised by the library derives from :class:`ReproError`, so
+callers can distinguish library errors from programming errors.  Validators
+raise :class:`InfeasibleScheduleError` with a precise human-readable reason;
+the algorithms raise :class:`ConstructionError` only if an internal invariant
+proven in the paper is violated (i.e. a bug, never an expected condition).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """The scheduling instance violates the paper's model assumptions."""
+
+
+class InfeasibleScheduleError(ReproError):
+    """A schedule failed feasibility validation.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable tag of the violated rule (e.g. ``"overlap"``,
+        ``"setup-missing"``, ``"job-parallel"``).
+    detail:
+        Human-readable description including machine/job/time coordinates.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"[{reason}] {detail}" if detail else reason)
+
+
+class ConstructionError(ReproError, AssertionError):
+    """An algorithm's internal invariant was violated (library bug).
+
+    The dual constructions in the paper are proven to succeed whenever the
+    corresponding acceptance test passes; hitting this exception therefore
+    indicates an implementation error, not an unfortunate input.
+    """
+
+
+class RejectedMakespanError(ReproError):
+    """A dual approximation was asked to build a schedule for a rejected T."""

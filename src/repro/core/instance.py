@@ -1,0 +1,207 @@
+"""The scheduling instance model.
+
+An :class:`Instance` is the quintuple of the paper's Section 1: ``m``
+identical machines, ``n`` jobs partitioned into ``c`` non-empty classes
+``C_1, ..., C_c``, a processing time ``t_j ∈ N`` per job and a setup time
+``s_i`` per class.  Instances are immutable; all aggregate quantities the
+algorithms need in O(1) (``P(C_i)``, ``t^(i)_max``, ``N``, ``s_max``) are
+computed once at construction, which keeps every per-``T`` dual test at
+O(c) as required by Class Jumping (Sections 3.4, 4.4).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+from .errors import InvalidInstanceError
+
+
+def _as_int(value, what: str) -> int:
+    """Exact integer coercion; rejects floats like ``1.5`` loudly."""
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise InvalidInstanceError(f"{what} must be an integer, got {value!r}") from None
+
+
+class JobRef(NamedTuple):
+    """Stable identity of a job: class index and position within the class.
+
+    Class indices are 0-based in code (the paper uses 1-based ``i ∈ [c]``).
+    """
+
+    cls: int
+    idx: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C{self.cls}#{self.idx}"
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable batch-setup scheduling instance.
+
+    Parameters
+    ----------
+    m:
+        Number of identical parallel machines (``m ≥ 1``).
+    setups:
+        ``setups[i]`` is the setup time ``s_i`` of class ``i`` (non-negative
+        integer; the paper assumes ``s_i ≥ 1`` and all provided generators
+        follow that, but zero setups are accepted and handled).
+    jobs:
+        ``jobs[i]`` is the tuple of processing times of the jobs in class
+        ``i``; every class is non-empty and every ``t_j ≥ 1``.
+    """
+
+    m: int
+    setups: tuple[int, ...]
+    jobs: tuple[tuple[int, ...], ...]
+
+    # Aggregates (filled in __post_init__, object.__setattr__ because frozen).
+    class_processing: tuple[int, ...] = field(init=False, repr=False)
+    class_tmax: tuple[int, ...] = field(init=False, repr=False)
+    class_sizes: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.m, int) or self.m < 1:
+            raise InvalidInstanceError(f"m must be a positive integer, got {self.m!r}")
+        if len(self.setups) != len(self.jobs):
+            raise InvalidInstanceError(
+                f"setups ({len(self.setups)}) and jobs ({len(self.jobs)}) must have "
+                "one entry per class"
+            )
+        if len(self.jobs) == 0:
+            raise InvalidInstanceError("instance needs at least one class")
+        for i, s in enumerate(self.setups):
+            if not isinstance(s, int) or s < 0:
+                raise InvalidInstanceError(f"setup s_{i} must be a non-negative int, got {s!r}")
+        for i, times in enumerate(self.jobs):
+            if len(times) == 0:
+                raise InvalidInstanceError(f"class {i} is empty; the paper requires C_i != {{}}")
+            for t in times:
+                if not isinstance(t, int) or t < 1:
+                    raise InvalidInstanceError(
+                        f"processing times must be positive ints, class {i} has {t!r}"
+                    )
+        object.__setattr__(self, "class_processing", tuple(sum(ts) for ts in self.jobs))
+        object.__setattr__(self, "class_tmax", tuple(max(ts) for ts in self.jobs))
+        object.__setattr__(self, "class_sizes", tuple(len(ts) for ts in self.jobs))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def build(m: int, classes: Sequence[tuple[int, Sequence[int]]]) -> "Instance":
+        """Build from ``[(s_i, [t_j, ...]), ...]`` — the natural literal form."""
+        return Instance(
+            m=m,
+            setups=tuple(_as_int(s, "setup") for s, _ in classes),
+            jobs=tuple(tuple(_as_int(t, "processing time") for t in ts) for _, ts in classes),
+        )
+
+    @staticmethod
+    def from_flat(
+        m: int, setups: Sequence[int], job_classes: Sequence[int], job_times: Sequence[int]
+    ) -> "Instance":
+        """Build from flat parallel arrays (``job_classes[k]`` is 0-based)."""
+        if len(job_classes) != len(job_times):
+            raise InvalidInstanceError("job_classes and job_times must have equal length")
+        buckets: list[list[int]] = [[] for _ in setups]
+        for cls, t in zip(job_classes, job_times):
+            if not 0 <= cls < len(setups):
+                raise InvalidInstanceError(f"job class {cls} out of range [0, {len(setups)})")
+            buckets[cls].append(_as_int(t, "processing time"))
+        return Instance(
+            m=m,
+            setups=tuple(_as_int(s, "setup") for s in setups),
+            jobs=tuple(map(tuple, buckets)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def c(self) -> int:
+        """Number of classes."""
+        return len(self.setups)
+
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return sum(self.class_sizes)
+
+    @property
+    def total_processing(self) -> int:
+        """``P(J) = Σ_j t_j``."""
+        return sum(self.class_processing)
+
+    @property
+    def total_load(self) -> int:
+        """``N = Σ_i s_i + Σ_j t_j`` — everything on one machine (page 2)."""
+        return sum(self.setups) + self.total_processing
+
+    @property
+    def smax(self) -> int:
+        """Largest setup time."""
+        return max(self.setups)
+
+    @property
+    def tmax(self) -> int:
+        """Largest processing time."""
+        return max(self.class_tmax)
+
+    @property
+    def delta(self) -> int:
+        """``Δ = max{s_max, t_max}`` — the largest input value (Theorem 8)."""
+        return max(self.smax, self.tmax)
+
+    def processing(self, cls: int) -> int:
+        """``P(C_i)`` — total processing time of class ``cls``."""
+        return self.class_processing[cls]
+
+    def job_time(self, job: JobRef) -> int:
+        """Processing time ``t_j`` of a :class:`JobRef`."""
+        return self.jobs[job.cls][job.idx]
+
+    def iter_jobs(self) -> Iterator[tuple[JobRef, int]]:
+        """Yield ``(JobRef, t_j)`` for every job, grouped by class."""
+        for cls, times in enumerate(self.jobs):
+            for idx, t in enumerate(times):
+                yield JobRef(cls, idx), t
+
+    def class_jobs(self, cls: int) -> list[tuple[JobRef, int]]:
+        """All ``(JobRef, t_j)`` of one class."""
+        return [(JobRef(cls, idx), t) for idx, t in enumerate(self.jobs[cls])]
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """One-line summary used by examples and experiment logs."""
+        return (
+            f"Instance(m={self.m}, n={self.n}, c={self.c}, N={self.total_load}, "
+            f"smax={self.smax}, tmax={self.tmax})"
+        )
+
+    def with_machines(self, m: int) -> "Instance":
+        """Copy with a different machine count (used by sweeps)."""
+        return Instance(m=m, setups=self.setups, jobs=self.jobs)
+
+
+def concat_instances(m: int, parts: Iterable[Instance]) -> Instance:
+    """Union of the classes of several instances on ``m`` machines.
+
+    Used by generators to compose adversarial families from building blocks.
+    """
+    setups: list[int] = []
+    jobs: list[tuple[int, ...]] = []
+    for part in parts:
+        setups.extend(part.setups)
+        jobs.extend(part.jobs)
+    return Instance(m=m, setups=tuple(setups), jobs=tuple(jobs))

@@ -1,0 +1,151 @@
+"""Continuous knapsack with a split item (Section 4.2, case 3a).
+
+Algorithm 3 maximizes the total setup time of the ``I*chp`` classes that are
+scheduled *entirely outside* the large machines: items are classes, profit
+``p_i = s_i``, weight ``w_i = P(C_i) − L*_i`` and capacity ``Y = F − L*``.
+The continuous relaxation is solved greedily by profit density; at most one
+item ``e`` ends up fractional (``0 < (x_cks)_e < 1``) — the *split item* —
+and the schedule construction turns that fraction into job pieces ``j^[1] /
+j^[2]`` of class ``e``.
+
+An exact 0/1 solver (branch and bound on the same greedy order) is included
+as a test reference: the continuous optimum must dominate the integral one,
+and rounding the split item down must be feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Optional, Sequence
+
+from .numeric import Time, TimeLike, as_time
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One item: an opaque ``key`` with exact rational profit and weight."""
+
+    key: Hashable
+    profit: Time
+    weight: Time
+
+    @staticmethod
+    def of(key: Hashable, profit: TimeLike, weight: TimeLike) -> "KnapsackItem":
+        p, w = as_time(profit), as_time(weight)
+        if p < 0 or w < 0:
+            raise ValueError(f"knapsack item {key!r} has negative profit/weight")
+        return KnapsackItem(key, p, w)
+
+
+@dataclass(frozen=True)
+class ContinuousSolution:
+    """Optimal fractional solution ``x ∈ [0,1]^I`` with at most one fraction."""
+
+    fractions: dict[Hashable, Fraction]
+    value: Time
+    used_capacity: Time
+    split_key: Optional[Hashable]
+
+    def x(self, key: Hashable) -> Fraction:
+        return self.fractions.get(key, Fraction(0))
+
+    @property
+    def selected(self) -> list[Hashable]:
+        """Keys with ``x_i = 1``."""
+        return [k for k, v in self.fractions.items() if v == 1]
+
+    @property
+    def unselected(self) -> list[Hashable]:
+        """Keys with ``x_i = 0`` — the classes forced onto large machines."""
+        return [k for k, v in self.fractions.items() if v == 0]
+
+
+def _greedy_order(items: Sequence[KnapsackItem]) -> list[KnapsackItem]:
+    """Profit-density order; deterministic tie-break by (profit desc, repr)."""
+
+    def density_key(it: KnapsackItem):
+        if it.weight == 0:
+            return (0, Fraction(0), -it.profit, repr(it.key))
+        return (1, -(it.profit / it.weight), -it.profit, repr(it.key))
+
+    return sorted(items, key=density_key)
+
+
+def solve_continuous(items: Sequence[KnapsackItem], capacity: TimeLike) -> ContinuousSolution:
+    """Greedy continuous knapsack — exact optimum of the LP relaxation.
+
+    Runs in O(|I| log |I|) (the paper counts O(|I|) after a selection-based
+    median routine; sorting keeps the code simple and is dominated by O(n)
+    elsewhere).  Capacity ≤ 0 yields the all-zero solution.
+    """
+    capacity = as_time(capacity)
+    fractions: dict[Hashable, Fraction] = {it.key: Fraction(0) for it in items}
+    if len(fractions) != len(items):
+        raise ValueError("duplicate knapsack keys")
+    value = Fraction(0)
+    used = Fraction(0)
+    split_key: Optional[Hashable] = None
+    if capacity <= 0:
+        return ContinuousSolution(fractions, value, used, None)
+    remaining = capacity
+    for it in _greedy_order(items):
+        if remaining <= 0:
+            break
+        if it.weight <= remaining:
+            fractions[it.key] = Fraction(1)
+            value += it.profit
+            used += it.weight
+            remaining -= it.weight
+        else:
+            frac = remaining / it.weight
+            fractions[it.key] = frac
+            value += it.profit * frac
+            used += remaining
+            split_key = it.key
+            remaining = Fraction(0)
+            break
+    return ContinuousSolution(fractions, value, used, split_key)
+
+
+def solve_integral(items: Sequence[KnapsackItem], capacity: TimeLike) -> tuple[Time, set]:
+    """Exact 0/1 knapsack by branch and bound (test reference, small inputs).
+
+    Returns ``(optimal value, selected keys)``.
+    """
+    capacity = as_time(capacity)
+    order = _greedy_order(items)
+    best_value = Fraction(0)
+    best_set: set = set()
+
+    def fractional_bound(k: int, cap: Time) -> Time:
+        bound = Fraction(0)
+        for it in order[k:]:
+            if cap <= 0:
+                break
+            if it.weight <= cap:
+                bound += it.profit
+                cap -= it.weight
+            else:
+                if it.weight > 0:
+                    bound += it.profit * (cap / it.weight)
+                cap = Fraction(0)
+        return bound
+
+    def rec(k: int, cap: Time, value: Time, chosen: set) -> None:
+        nonlocal best_value, best_set
+        if value > best_value:
+            best_value, best_set = value, set(chosen)
+        if k == len(order) or cap <= 0:
+            return
+        if value + fractional_bound(k, cap) <= best_value:
+            return
+        it = order[k]
+        if it.weight <= cap:
+            chosen.add(it.key)
+            rec(k + 1, cap - it.weight, value + it.profit, chosen)
+            chosen.remove(it.key)
+        rec(k + 1, cap, value, chosen)
+
+    rec(0, capacity, Fraction(0), set())
+    return best_value, best_set

@@ -1,0 +1,86 @@
+"""Exact rational time arithmetic.
+
+The paper's inputs are natural numbers, but the algorithms manipulate
+fractional quantities throughout: makespan guesses ``T = L/m``, class-jump
+points ``2P_i/k``, half-lines ``T/2``, and the continuous-knapsack fraction
+``(x_cks)_e``.  Floating point would blur the accept/reject boundary of the
+dual tests and the exact start/end times the validators check, so the whole
+library standardizes on :class:`fractions.Fraction`.
+
+Only small helper utilities live here; they are deliberately boring.  The
+HPC guideline applied is "make it work reliably first": exactness buys
+trustworthy tests, and the near-linear algorithms remain near-linear because
+all Fractions appearing in the constructions have denominators bounded by
+``2m`` (products of ``2`` and machine counts), so arithmetic is O(1)-ish on
+word-sized inputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+#: Public alias used in signatures throughout the package.
+Time = Fraction
+
+#: Anything we are willing to coerce into a :class:`Time`.
+TimeLike = Union[int, Fraction]
+
+
+def as_time(value: TimeLike) -> Time:
+    """Coerce ``value`` to an exact :class:`Time`.
+
+    Floats are rejected on purpose: silently converting ``0.1`` to
+    ``3602879701896397/36028797018963968`` produces exact-but-wrong
+    boundaries.  Callers with float data should quantize explicitly.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}: {value!r}")
+
+
+def ceil_div(num: int, den: int) -> int:
+    """Exact ``ceil(num/den)`` for integers, ``den > 0``."""
+    if den <= 0:
+        raise ValueError(f"ceil_div requires den > 0, got {den}")
+    return -((-num) // den)
+
+
+def frac_ceil(x: TimeLike) -> int:
+    """Exact ceiling of a rational."""
+    x = as_time(x)
+    return -((-x.numerator) // x.denominator)
+
+
+def frac_floor(x: TimeLike) -> int:
+    """Exact floor of a rational."""
+    x = as_time(x)
+    return x.numerator // x.denominator
+
+
+def fsum(values: Iterable[TimeLike]) -> Time:
+    """Exact sum of rationals (name mirrors :func:`math.fsum`)."""
+    total = Fraction(0)
+    for v in values:
+        total += as_time(v)
+    return total
+
+
+def fmax(values: Iterable[TimeLike], default: TimeLike = 0) -> Time:
+    """Exact max with a default for empty iterables."""
+    best = None
+    for v in values:
+        v = as_time(v)
+        if best is None or v > best:
+            best = v
+    return as_time(default) if best is None else best
+
+
+def time_str(x: TimeLike) -> str:
+    """Compact human-readable rendering (``7/2`` rather than ``Fraction(7, 2)``)."""
+    x = as_time(x)
+    if x.denominator == 1:
+        return str(x.numerator)
+    return f"{x.numerator}/{x.denominator}"

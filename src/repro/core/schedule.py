@@ -1,0 +1,203 @@
+"""Explicit schedule representation.
+
+A :class:`Schedule` is a set of :class:`Placement` items — setups and job
+pieces — each pinned to a machine and a closed-open time interval
+``[start, start+length)``.  This is the *stronger* notion of schedule from
+Section 3.2: the splittable algorithms may compute machine configurations
+with multiplicities internally (see :mod:`repro.core.wrapping`), but
+everything is materialized into explicit placements before validation, so
+the validators never have to trust an algorithm's own bookkeeping.
+
+All times are exact rationals (:mod:`repro.core.numeric`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Iterable, Iterator, Optional
+
+from .instance import Instance, JobRef
+from .numeric import Time, TimeLike, as_time, time_str
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One contiguous item on one machine.
+
+    ``job is None`` marks a setup of class ``cls``; otherwise the placement
+    is a *job piece* of ``job`` (a full job is a single piece covering its
+    whole processing time).
+    """
+
+    machine: int
+    start: Time
+    length: Time
+    cls: int
+    job: Optional[JobRef] = None
+
+    @property
+    def end(self) -> Time:
+        return self.start + self.length
+
+    @property
+    def is_setup(self) -> bool:
+        return self.job is None
+
+    def shifted(self, delta: TimeLike) -> "Placement":
+        """Copy moved by ``delta`` in time."""
+        return replace(self, start=self.start + as_time(delta))
+
+    def on_machine(self, machine: int) -> "Placement":
+        """Copy moved to another machine (same times)."""
+        return replace(self, machine=machine)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"setup(s{self.cls})" if self.is_setup else f"job({self.job})"
+        return f"[{time_str(self.start)},{time_str(self.end)}) {kind} @M{self.machine}"
+
+
+class Schedule:
+    """A mutable bag of placements with per-machine indexing.
+
+    The class is deliberately permissive — algorithms build and repair
+    schedules through it — and :mod:`repro.core.validate` is the single
+    source of truth for feasibility.
+    """
+
+    def __init__(self, instance: Instance, placements: Iterable[Placement] = ()):
+        self.instance = instance
+        self._by_machine: list[list[Placement]] = [[] for _ in range(instance.m)]
+        for p in placements:
+            self.add(p)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, placement: Placement) -> Placement:
+        if not 0 <= placement.machine < self.instance.m:
+            raise ValueError(
+                f"machine {placement.machine} out of range [0, {self.instance.m})"
+            )
+        if placement.length < 0:
+            raise ValueError(f"negative length placement: {placement}")
+        if placement.start < 0:
+            raise ValueError(f"placement starts before time 0: {placement}")
+        self._by_machine[placement.machine].append(placement)
+        return placement
+
+    def add_setup(self, machine: int, start: TimeLike, cls: int) -> Placement:
+        """Place a (full, non-preempted) setup of ``cls`` at ``start``."""
+        return self.add(
+            Placement(
+                machine=machine,
+                start=as_time(start),
+                length=as_time(self.instance.setups[cls]),
+                cls=cls,
+            )
+        )
+
+    def add_piece(
+        self, machine: int, start: TimeLike, job: JobRef, length: TimeLike
+    ) -> Placement:
+        """Place a job piece; ``length`` may be any positive rational ≤ t_j."""
+        return self.add(
+            Placement(
+                machine=machine,
+                start=as_time(start),
+                length=as_time(length),
+                cls=job.cls,
+                job=job,
+            )
+        )
+
+    def add_job(self, machine: int, start: TimeLike, job: JobRef) -> Placement:
+        """Place a whole job as one piece."""
+        return self.add_piece(machine, start, job, self.instance.job_time(job))
+
+    def remove(self, placement: Placement) -> None:
+        """Remove one placement (identity by value)."""
+        self._by_machine[placement.machine].remove(placement)
+
+    def replace_machine(self, machine: int, items: Iterable[Placement]) -> None:
+        """Swap out the full contents of one machine (used by repair passes).
+
+        Incoming placements that still live on another machine's list are
+        moved (removed there, retagged here), so the schedule never holds a
+        placement twice.
+        """
+        new_items = []
+        for p in items:
+            if p.machine != machine:
+                old = self._by_machine[p.machine]
+                if p in old:
+                    old.remove(p)
+                p = p.on_machine(machine)
+            new_items.append(p)
+        self._by_machine[machine] = new_items
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def items_on(self, machine: int) -> list[Placement]:
+        """Placements on ``machine`` sorted by start time."""
+        return sorted(self._by_machine[machine], key=lambda p: (p.start, p.end))
+
+    def raw_items_on(self, machine: int) -> list[Placement]:
+        """Placements on ``machine`` in insertion order (no sort)."""
+        return list(self._by_machine[machine])
+
+    def iter_all(self) -> Iterator[Placement]:
+        for items in self._by_machine:
+            yield from items
+
+    def machine_load(self, machine: int) -> Time:
+        """``L(u)`` — total setup + processing time on the machine (page 2)."""
+        return sum((p.length for p in self._by_machine[machine]), Fraction(0))
+
+    def machine_end(self, machine: int) -> Time:
+        """Completion time of the machine (max placement end; 0 if empty)."""
+        items = self._by_machine[machine]
+        return max((p.end for p in items), default=Fraction(0))
+
+    def makespan(self) -> Time:
+        """``C_max`` — the latest completion time over all machines."""
+        return max((self.machine_end(u) for u in range(self.instance.m)), default=Fraction(0))
+
+    def total_load(self) -> Time:
+        """``L(σ) = Σ_u L(u)``."""
+        return sum((self.machine_load(u) for u in range(self.instance.m)), Fraction(0))
+
+    def used_machines(self) -> list[int]:
+        return [u for u in range(self.instance.m) if self._by_machine[u]]
+
+    def job_pieces(self, job: JobRef) -> list[Placement]:
+        """All pieces of one job across all machines."""
+        return [p for p in self.iter_all() if p.job == job]
+
+    def job_total(self, job: JobRef) -> Time:
+        """Scheduled processing amount of one job."""
+        return sum((p.length for p in self.iter_all() if p.job == job), Fraction(0))
+
+    def setup_count(self, cls: int) -> int:
+        """Setup multiplicity ``λ_i`` of class ``cls`` in this schedule."""
+        return sum(1 for p in self.iter_all() if p.is_setup and p.cls == cls)
+
+    def count_placements(self) -> int:
+        return sum(len(items) for items in self._by_machine)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Schedule":
+        return Schedule(self.instance, self.iter_all())
+
+    def describe(self) -> str:
+        used = len(self.used_machines())
+        return (
+            f"Schedule(makespan={time_str(self.makespan())}, placements="
+            f"{self.count_placements()}, machines_used={used}/{self.instance.m})"
+        )

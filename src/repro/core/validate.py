@@ -1,0 +1,196 @@
+"""Strict feasibility validators — the backbone of the test suite.
+
+A schedule is feasible (Section 1) iff
+
+1. machines are single-threaded: placements on one machine never overlap;
+2. *all* jobs are completely scheduled (the pieces of job ``j`` sum to
+   ``t_j`` exactly; nothing is over-scheduled);
+3. a setup ``s_i`` precedes the processing of class ``i`` whenever a machine
+   starts processing load of class ``i`` or switches from another class;
+   setups are never preempted (they appear as atomic placements of length
+   exactly ``s_i``);
+4. variant rules:
+   * non-preemptive — every job is a single contiguous piece on one machine,
+   * preemptive — pieces of the same job never overlap in time (a job may
+     not be parallelized, Section 3.1),
+   * splittable — no additional rule.
+
+Conventions: idle time is allowed anywhere; the machine keeps its
+configuration across idle gaps (a setup of class ``i`` remains valid until an
+item of a different class is processed).  This is the weakest reading of the
+model and every construction in the paper satisfies it; all constructions
+here are additionally *gap-consistent* (the setup immediately precedes its
+batch) but we do not reject foreign schedules that rely on idle gaps.
+
+Everything is exact: all comparisons are on rationals, so "off by 1/10^9"
+bugs cannot hide.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from .bounds import Variant
+from .errors import InfeasibleScheduleError
+from .instance import JobRef
+from .numeric import Time, TimeLike, as_time, time_str
+from .schedule import Placement, Schedule
+
+
+def validate_schedule(
+    schedule: Schedule,
+    variant: Variant,
+    makespan_bound: Optional[TimeLike] = None,
+) -> Time:
+    """Validate ``schedule`` for ``variant``; return its makespan.
+
+    Raises :class:`InfeasibleScheduleError` with a machine-readable
+    ``reason`` tag on the first violation found.
+    """
+    _check_placement_sanity(schedule)
+    _check_machine_overlap(schedule)
+    _check_setup_states(schedule)
+    _check_job_completeness(schedule)
+    if variant is Variant.NONPREEMPTIVE:
+        _check_nonpreemptive(schedule)
+    elif variant is Variant.PREEMPTIVE:
+        _check_no_self_parallelism(schedule)
+    cmax = schedule.makespan()
+    if makespan_bound is not None:
+        bound = as_time(makespan_bound)
+        if cmax > bound:
+            raise InfeasibleScheduleError(
+                "makespan",
+                f"makespan {time_str(cmax)} exceeds bound {time_str(bound)}",
+            )
+    return cmax
+
+
+def is_feasible(
+    schedule: Schedule,
+    variant: Variant,
+    makespan_bound: Optional[TimeLike] = None,
+) -> bool:
+    """Boolean wrapper around :func:`validate_schedule`."""
+    try:
+        validate_schedule(schedule, variant, makespan_bound)
+    except InfeasibleScheduleError:
+        return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# individual rules (exposed for targeted unit tests)
+# --------------------------------------------------------------------------- #
+
+
+def _check_placement_sanity(schedule: Schedule) -> None:
+    inst = schedule.instance
+    for p in schedule.iter_all():
+        if p.start < 0:
+            raise InfeasibleScheduleError("negative-start", str(p))
+        if not 0 <= p.cls < inst.c:
+            raise InfeasibleScheduleError("bad-class", str(p))
+        if p.is_setup:
+            expected = Fraction(inst.setups[p.cls])
+            if p.length != expected:
+                raise InfeasibleScheduleError(
+                    "setup-preempted",
+                    f"{p} has length {time_str(p.length)}, setup s_{p.cls} is "
+                    f"{time_str(expected)} (setups may not be split)",
+                )
+        else:
+            job = p.job
+            assert job is not None
+            if not (0 <= job.cls < inst.c and 0 <= job.idx < len(inst.jobs[job.cls])):
+                raise InfeasibleScheduleError("unknown-job", str(p))
+            if job.cls != p.cls:
+                raise InfeasibleScheduleError(
+                    "class-mismatch", f"{p}: piece tagged class {p.cls}, job is {job}"
+                )
+            if p.length <= 0:
+                raise InfeasibleScheduleError("empty-piece", str(p))
+            if p.length > inst.job_time(job):
+                raise InfeasibleScheduleError(
+                    "piece-too-long",
+                    f"{p}: piece longer than t_j={inst.job_time(job)}",
+                )
+
+
+def _check_machine_overlap(schedule: Schedule) -> None:
+    for u in range(schedule.instance.m):
+        items = schedule.items_on(u)
+        for prev, cur in zip(items, items[1:]):
+            if cur.start < prev.end:
+                raise InfeasibleScheduleError(
+                    "overlap",
+                    f"machine {u}: {prev} overlaps {cur}",
+                )
+
+
+def _check_setup_states(schedule: Schedule) -> None:
+    """The machine must be configured for class ``i`` when it processes it."""
+    for u in range(schedule.instance.m):
+        state: Optional[int] = None
+        for p in schedule.items_on(u):
+            if p.is_setup:
+                state = p.cls
+            else:
+                if state != p.cls:
+                    raise InfeasibleScheduleError(
+                        "setup-missing",
+                        f"machine {u}: {p} processed while machine is set up "
+                        f"for {'nothing' if state is None else f'class {state}'}",
+                    )
+
+
+def _check_job_completeness(schedule: Schedule) -> None:
+    inst = schedule.instance
+    totals: dict[JobRef, Fraction] = {}
+    for p in schedule.iter_all():
+        if not p.is_setup:
+            assert p.job is not None
+            totals[p.job] = totals.get(p.job, Fraction(0)) + p.length
+    for job, t in inst.iter_jobs():
+        got = totals.pop(job, Fraction(0))
+        if got != t:
+            raise InfeasibleScheduleError(
+                "job-incomplete",
+                f"{job}: scheduled {time_str(got)} of t_j={t}",
+            )
+    if totals:  # pieces of jobs that do not exist are caught in sanity already
+        raise InfeasibleScheduleError("job-unknown", f"extra pieces: {totals}")
+
+
+def _check_no_self_parallelism(schedule: Schedule) -> None:
+    """Preemptive rule: a job never runs on two machines at the same time."""
+    pieces: dict[JobRef, list[Placement]] = {}
+    for p in schedule.iter_all():
+        if not p.is_setup:
+            assert p.job is not None
+            pieces.setdefault(p.job, []).append(p)
+    for job, plist in pieces.items():
+        plist.sort(key=lambda p: (p.start, p.end))
+        for prev, cur in zip(plist, plist[1:]):
+            if cur.start < prev.end:
+                raise InfeasibleScheduleError(
+                    "job-parallel",
+                    f"{job}: piece {prev} runs in parallel with {cur}",
+                )
+
+
+def _check_nonpreemptive(schedule: Schedule) -> None:
+    """Non-preemptive rule: one contiguous piece per job."""
+    seen: dict[JobRef, Placement] = {}
+    for p in schedule.iter_all():
+        if p.is_setup:
+            continue
+        assert p.job is not None
+        if p.job in seen:
+            raise InfeasibleScheduleError(
+                "job-preempted",
+                f"{p.job} split into pieces {seen[p.job]} and {p}",
+            )
+        seen[p.job] = p
+    # piece length == t_j is then implied by completeness, checked separately.

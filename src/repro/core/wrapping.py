@@ -1,0 +1,249 @@
+"""Batch Wrapping (Appendix A.1) — McNaughton's rule generalized to setups.
+
+A :class:`WrapTemplate` ``ω`` is a list of *gaps* ``(u_r, a_r, b_r)`` on
+strictly increasing machines; ``S(ω) = Σ (b_r − a_r)`` is the provided time.
+A :class:`WrapSequence` ``Q = [s_{i_l}, C'_l]_l`` is a stream of batches:
+a setup followed by jobs/job pieces of one class; ``L(Q) = Σ (s_{i_l} +
+P(C'_l))``.
+
+:func:`wrap` schedules ``Q`` into ``ω`` in McNaughton's wrap-around style
+(Algorithm 5, ``Split``): items are placed left to right inside the current
+gap; when an item hits the border ``b_r``
+
+* a **setup** is moved below the next gap (interval ``[a_{r+1}−s_i,
+  a_{r+1}]`` on machine ``u_{r+1}``), so the following jobs stay feasible;
+* a **job (piece)** is split at ``b_r``; the remainder continues at the top
+  of the next gap, again with a fresh setup placed below the gap.  A very
+  long piece may span several gaps (the ``while`` loop of Algorithm 5).
+
+Lemma 6: if ``L(Q) ≤ S(ω)`` and there is free time ≥ the largest setup of
+``Q`` below every gap but the first, the placement is feasible.  Lemma 7:
+the running time is ``O(|Q| + |ω|)`` — our implementation does a constant
+amount of work per item plus per gap switch.
+
+Pieces of a split job all carry the same :class:`~repro.core.instance.JobRef`,
+which is exactly the ``parent(j)`` bookkeeping Algorithm 6 (non-preemptive)
+needs for its repair step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .errors import ConstructionError
+from .instance import JobRef
+from .numeric import Time, TimeLike, as_time, time_str
+from .schedule import Placement, Schedule
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One free interval ``[a, b)`` on a machine."""
+
+    machine: int
+    a: Time
+    b: Time
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.a < self.b:
+            raise ValueError(f"gap requires 0 <= a < b, got [{self.a}, {self.b})")
+
+    @property
+    def size(self) -> Time:
+        return self.b - self.a
+
+
+@dataclass(frozen=True)
+class WrapTemplate:
+    """Definition 2 — gaps on strictly increasing machines."""
+
+    gaps: tuple[Gap, ...]
+
+    def __post_init__(self) -> None:
+        for g1, g2 in zip(self.gaps, self.gaps[1:]):
+            if g1.machine >= g2.machine:
+                raise ValueError(
+                    f"wrap template machines must strictly increase, got "
+                    f"{g1.machine} then {g2.machine}"
+                )
+
+    @staticmethod
+    def of(gaps: Iterable[tuple[int, TimeLike, TimeLike]]) -> "WrapTemplate":
+        return WrapTemplate(tuple(Gap(u, as_time(a), as_time(b)) for u, a, b in gaps))
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def capacity(self) -> Time:
+        """``S(ω)``."""
+        return sum((g.size for g in self.gaps), Fraction(0))
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One ``[s_i, C'_l]`` block of a wrap sequence.
+
+    ``items`` are ``(job, length)`` pairs; ``length`` may be smaller than the
+    job's full processing time when the caller wraps job *pieces* (the
+    preemptive algorithm does this for the knapsack split class).
+    """
+
+    cls: int
+    items: tuple[tuple[JobRef, Time], ...]
+
+    @staticmethod
+    def of(cls: int, items: Iterable[tuple[JobRef, TimeLike]]) -> "Batch":
+        out = tuple((j, as_time(t)) for j, t in items)
+        for j, t in out:
+            if t <= 0:
+                raise ValueError(f"batch item {j} has non-positive length {t}")
+            if j.cls != cls:
+                raise ValueError(f"batch of class {cls} contains job {j}")
+        return Batch(cls=cls, items=out)
+
+    @property
+    def processing(self) -> Time:
+        return sum((t for _, t in self.items), Fraction(0))
+
+
+@dataclass(frozen=True)
+class WrapSequence:
+    """A sequence of batches ``Q = [s_{i_l}, C'_l]_{l∈[k]}``."""
+
+    batches: tuple[Batch, ...]
+
+    @staticmethod
+    def of(batches: Iterable[Batch]) -> "WrapSequence":
+        return WrapSequence(tuple(b for b in batches if b.items))
+
+    @staticmethod
+    def single_class(cls: int, items: Iterable[tuple[JobRef, TimeLike]]) -> "WrapSequence":
+        """The simple sequence ``[s_i, C_i]`` used all over the paper."""
+        return WrapSequence.of([Batch.of(cls, items)])
+
+    def load(self, setups: Sequence[int]) -> Time:
+        """``L(Q) = Σ_l (s_{i_l} + P(C'_l))``."""
+        return sum((Fraction(setups[b.cls]) + b.processing for b in self.batches), Fraction(0))
+
+    @property
+    def length(self) -> int:
+        """``|Q| = k + Σ n_l``."""
+        return sum(1 + len(b.items) for b in self.batches)
+
+    def max_setup(self, setups: Sequence[int]) -> int:
+        """``s^(Q)_max`` from Lemma 6."""
+        return max((setups[b.cls] for b in self.batches), default=0)
+
+
+@dataclass
+class WrapResult:
+    """What :func:`wrap` placed."""
+
+    placements: list[Placement]
+    #: index of the last gap that received an item (−1 if nothing placed).
+    last_gap: int
+    #: number of job splits performed.
+    splits: int
+
+    def pieces_of(self, job: JobRef) -> list[Placement]:
+        return [p for p in self.placements if p.job == job]
+
+
+def wrap(schedule: Schedule, sequence: WrapSequence, template: WrapTemplate) -> WrapResult:
+    """Wrap ``sequence`` into ``template``, adding placements to ``schedule``.
+
+    Raises :class:`ConstructionError` if the template overflows — by Lemma 6
+    that can only happen when the caller violated ``L(Q) ≤ S(ω)``, which all
+    call sites in this library prove beforehand.
+    """
+    setups = schedule.instance.setups
+    load = sequence.load(setups)
+    cap = template.capacity
+    if load > cap:
+        raise ConstructionError(
+            f"wrap overflow: L(Q)={time_str(load)} > S(ω)={time_str(cap)} "
+            "(caller must guarantee Lemma 6's precondition)"
+        )
+    gaps = template.gaps
+    placed: list[Placement] = []
+    splits = 0
+    r = 0
+    if not gaps:
+        if sequence.batches:
+            raise ConstructionError("non-empty sequence wrapped into empty template")
+        return WrapResult([], -1, 0)
+    t: Time = gaps[0].a
+    last_gap = -1
+
+    def advance_gap(cls: int) -> None:
+        """Move to the next gap, placing the class setup below it (Split)."""
+        nonlocal r, t
+        r += 1
+        if r >= len(gaps):
+            raise ConstructionError(
+                "wrap ran out of gaps despite L(Q) <= S(ω); template/sequence bug"
+            )
+        g = gaps[r]
+        s = Fraction(setups[cls])
+        placed.append(
+            schedule.add(
+                Placement(machine=g.machine, start=g.a - s, length=s, cls=cls)
+            )
+        )
+        t = g.a
+
+    for batch in sequence.batches:
+        cls = batch.cls
+        s = Fraction(setups[cls])
+        # Place the batch's initial setup inside the current gap; if it hits
+        # the border, move it below the next gap instead (Wrap's setup rule).
+        if t + s > gaps[r].b:
+            advance_gap(cls)  # setup goes below the next gap
+            last_gap = r
+        else:
+            placed.append(
+                schedule.add(
+                    Placement(machine=gaps[r].machine, start=t, length=s, cls=cls)
+                )
+            )
+            t += s
+            last_gap = max(last_gap, r)
+        for job, length in batch.items:
+            remaining = length
+            # Skip over exhausted gap space before starting the piece, so we
+            # never create zero-length pieces.
+            while t >= gaps[r].b:
+                advance_gap(cls)
+            while t + remaining > gaps[r].b:  # Split's while loop
+                room = gaps[r].b - t
+                if room > 0:
+                    placed.append(schedule.add_piece(gaps[r].machine, t, job, room))
+                    remaining -= room
+                    splits += 1
+                advance_gap(cls)
+            if remaining > 0:
+                placed.append(schedule.add_piece(gaps[r].machine, t, job, remaining))
+                t += remaining
+            last_gap = max(last_gap, r)
+
+    return WrapResult(placements=placed, last_gap=last_gap, splits=splits)
+
+
+def template_for_machines(
+    machines: Sequence[int], a: TimeLike, b: TimeLike, first: tuple[TimeLike, TimeLike] | None = None
+) -> WrapTemplate:
+    """Convenience: identical gaps ``[a,b)`` on ``machines``.
+
+    ``first`` optionally overrides the first gap's interval — the common
+    pattern ``ω_1 = (u, 0, T)``, ``ω_{1+r} = (u+r, s_i, T)`` from the paper.
+    """
+    gaps: list[tuple[int, TimeLike, TimeLike]] = []
+    for k, u in enumerate(machines):
+        if k == 0 and first is not None:
+            gaps.append((u, first[0], first[1]))
+        else:
+            gaps.append((u, a, b))
+    return WrapTemplate.of(gaps)

@@ -1,0 +1,24 @@
+"""Exact reference solvers for small instances (ratio experiments, tests)."""
+
+from .nonpreemptive_dp import (
+    MAX_JOBS,
+    brute_force_opt,
+    exact_nonpreemptive_opt,
+    exact_nonpreemptive_schedule,
+)
+from .preemptive_special import (
+    exact_nonpreemptive_opt_special,
+    exact_preemptive_opt_special,
+)
+from .splittable_hall import exact_splittable_opt, single_class_splittable_opt
+
+__all__ = [
+    "MAX_JOBS",
+    "brute_force_opt",
+    "exact_nonpreemptive_opt",
+    "exact_nonpreemptive_schedule",
+    "exact_nonpreemptive_opt_special",
+    "exact_preemptive_opt_special",
+    "exact_splittable_opt",
+    "single_class_splittable_opt",
+]

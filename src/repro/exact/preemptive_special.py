@@ -1,0 +1,45 @@
+"""Exact preemptive OPT for special families.
+
+``P|pmtn,setup=s_i|Cmax`` is NP-hard already for ``m = 2`` (Monma & Potts),
+and unlike the non-preemptive case there is no finite candidate set of
+makespans to search, so the library provides exact optima only where closed
+forms exist; ratio experiments on general instances fall back to the dual
+lower bounds (which is how the paper itself argues).
+
+* one machine: ``OPT = N`` (all three variants);
+* one class: McNaughton with a setup prefix on each of ``k ≤ m`` machines
+  gives ``s + max(t_max, P/k)``, minimized at ``k = m``;
+* ``m ≥ n``: one job per machine, ``OPT = max_i (s_i + t^(i)_max)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..core.bounds import setup_plus_tmax
+from ..core.instance import Instance
+from ..core.numeric import Time
+
+
+def exact_preemptive_opt_special(instance: Instance) -> Optional[Time]:
+    """Exact ``OPT_pmtn`` if the instance lies in a solved family, else None."""
+    if instance.m == 1:
+        return Fraction(instance.total_load)
+    if instance.m >= instance.n:
+        return Fraction(setup_plus_tmax(instance))
+    if instance.c == 1:
+        s = Fraction(instance.setups[0])
+        P = Fraction(instance.processing(0))
+        tmax = Fraction(instance.class_tmax[0])
+        return s + max(tmax, P / instance.m)
+    return None
+
+
+def exact_nonpreemptive_opt_special(instance: Instance) -> Optional[Time]:
+    """Closed-form non-preemptive optima (cross-checks for the DP)."""
+    if instance.m == 1:
+        return Fraction(instance.total_load)
+    if instance.m >= instance.n:
+        return Fraction(setup_plus_tmax(instance))
+    return None

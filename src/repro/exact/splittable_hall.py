@@ -1,0 +1,73 @@
+"""Exact splittable OPT via configuration enumeration + Hall's condition.
+
+In the splittable model only class-level loads matter: a *configuration*
+assigns each class ``i`` a non-empty machine set ``M_i`` (the machines that
+carry a setup of ``i``).  Given a configuration, class loads are fully
+divisible, so a makespan ``T`` is feasible iff the transportation problem
+with machine capacities ``T − setups(u)`` is — by Hall's theorem exactly
+when for every subset ``C`` of classes
+
+    Σ_{i∈C} P(C_i)  ≤  Σ_{u ∈ ∪_{i∈C} M_i} (T − setups(u)).
+
+Solving for ``T`` gives the closed form
+
+    T(config) = max( max_u setups(u) + [u carries load > 0 forced? 0],
+                     max_{∅≠C} (Σ_{i∈C} P_i + Σ_{u∈U(C)} setups(u)) / |U(C)| )
+
+and ``OPT = min over configurations``.  Enumeration is ``(2^m−1)^c`` — use
+only for tiny instances (the exactness, not speed, is the point).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations, product
+
+from ..core.instance import Instance
+from ..core.numeric import Time
+
+MAX_CONFIGS = 2_000_000
+
+
+def exact_splittable_opt(instance: Instance) -> Time:
+    """Exact ``OPT_split`` (a rational) for tiny instances."""
+    m, c = instance.m, instance.c
+    machine_sets = []
+    for k in range(1, m + 1):
+        machine_sets.extend(frozenset(s) for s in combinations(range(m), k))
+    if len(machine_sets) ** c > MAX_CONFIGS:
+        raise ValueError(
+            f"too many configurations ({len(machine_sets)}^{c}); exact solver "
+            "is for tiny instances only"
+        )
+    P = [Fraction(p) for p in instance.class_processing]
+    best: Time | None = None
+    class_subsets = [
+        [i for i in range(c) if sel >> i & 1] for sel in range(1, 1 << c)
+    ]
+    for config in product(machine_sets, repeat=c):
+        setups_on = [Fraction(0)] * m
+        for i, ms in enumerate(config):
+            for u in ms:
+                setups_on[u] += instance.setups[i]
+        T_cfg = max(setups_on)  # every machine must finish its setups
+        for members in class_subsets:
+            union: set[int] = set()
+            demand = Fraction(0)
+            for i in members:
+                union |= config[i]
+                demand += P[i]
+            need = (demand + sum(setups_on[u] for u in union)) / len(union)
+            if need > T_cfg:
+                T_cfg = need
+        if best is None or T_cfg < best:
+            best = T_cfg
+    assert best is not None
+    return best
+
+
+def single_class_splittable_opt(instance: Instance) -> Time:
+    """Closed form for ``c = 1``: use all machines, ``OPT = s + P/m``."""
+    if instance.c != 1:
+        raise ValueError("closed form requires exactly one class")
+    return Fraction(instance.setups[0]) + Fraction(instance.processing(0), instance.m)

@@ -1,0 +1,38 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figures --fig 1
+    python -m repro.experiments scaling
+    python -m repro.experiments ratio
+    python -m repro.experiments ablation
+"""
+
+from .figures import FIGURES, render_all, render_figure
+from .ratio_study import (
+    render_counting_ablation,
+    render_jump_ablation,
+    render_ratio_study,
+    run_jump_ablation,
+    run_ratio_study,
+)
+from .scaling import render_scaling, run_scaling
+from .table1 import QUOTED_ROWS, Table1Row, render_table1, run_table1
+
+__all__ = [
+    "FIGURES",
+    "render_all",
+    "render_figure",
+    "render_counting_ablation",
+    "render_jump_ablation",
+    "render_ratio_study",
+    "run_jump_ablation",
+    "run_ratio_study",
+    "render_scaling",
+    "run_scaling",
+    "QUOTED_ROWS",
+    "Table1Row",
+    "render_table1",
+    "run_table1",
+]

@@ -1,0 +1,50 @@
+"""CLI: ``python -m repro.experiments <command>`` — see package docstring."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    render_all,
+    render_counting_ablation,
+    render_figure,
+    render_jump_ablation,
+    render_ratio_study,
+    render_scaling,
+    render_table1,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1: guarantees vs measured ratios")
+    fig = sub.add_parser("figures", help="Figures 1-13 as ASCII Gantt charts")
+    fig.add_argument("--fig", default="all", help="figure id (1, 1a, 1b, 2..13) or 'all'")
+    scal = sub.add_parser("scaling", help="Experiment S1: runtime scaling")
+    scal.add_argument("--sizes", type=int, nargs="*", default=None)
+    sub.add_parser("ratio", help="Experiment R1: ratio study")
+    sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        print(render_table1())
+    elif args.command == "figures":
+        print(render_all() if args.fig == "all" else render_figure(args.fig))
+    elif args.command == "scaling":
+        print(render_scaling(sizes=args.sizes))
+    elif args.command == "ratio":
+        print(render_ratio_study())
+    elif args.command == "ablation":
+        print(render_jump_ablation())
+        print()
+        print(render_counting_ablation())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Deterministic instance generators: random, adversarial, schedule-first."""
+
+from .adversarial import (
+    expensive_heavy,
+    giant_class,
+    jump_dense,
+    knapsack_critical,
+    odd_exp_minus,
+    sawtooth_ratio,
+)
+from .random_instances import (
+    RandomSpec,
+    bimodal_setup_instance,
+    many_small_classes,
+    random_instance,
+    uniform_instance,
+    unit_jobs_equal_setups,
+    zipf_instance,
+)
+from .schedule_first import CertifiedInstance, schedule_first_instance
+from .suites import SUITES, adversarial_suite, medium_suite, scaling_suite, small_exact_suite
+
+__all__ = [
+    "expensive_heavy",
+    "giant_class",
+    "jump_dense",
+    "knapsack_critical",
+    "odd_exp_minus",
+    "sawtooth_ratio",
+    "RandomSpec",
+    "bimodal_setup_instance",
+    "many_small_classes",
+    "random_instance",
+    "uniform_instance",
+    "unit_jobs_equal_setups",
+    "zipf_instance",
+    "CertifiedInstance",
+    "schedule_first_instance",
+    "SUITES",
+    "adversarial_suite",
+    "medium_suite",
+    "scaling_suite",
+    "small_exact_suite",
+]

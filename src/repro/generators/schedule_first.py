@@ -1,0 +1,89 @@
+"""Schedule-first generation: instances with a *known feasible makespan*.
+
+For dual-contract tests ("rejection certifies ``T < OPT``") one needs
+instances whose optimum is bounded from above by construction.  This
+module draws a random feasible schedule first and reads the instance off
+it: machines are packed with batches (setup + jobs) up to a target height
+``T0``; the resulting instance provably has ``OPT ≤ T0`` for *all three*
+variants (the generated schedule is non-preemptive), so every dual test
+must accept every ``T ≥ T0``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+
+
+@dataclass(frozen=True)
+class CertifiedInstance:
+    """An instance with a certificate ``OPT ≤ feasible_makespan``."""
+
+    instance: Instance
+    feasible_makespan: int
+
+
+def schedule_first_instance(
+    m: int,
+    T0: int,
+    seed: int,
+    classes: int | None = None,
+    reuse_classes: bool = True,
+) -> CertifiedInstance:
+    """Pack each machine up to height ``T0`` with random batches.
+
+    ``reuse_classes`` lets a class appear on several machines (its setup
+    paid once per machine), which makes the certificate non-trivial: the
+    instance's lower bound can sit well below ``T0``.
+    """
+    if T0 < 4:
+        raise ValueError("T0 must be at least 4")
+    rng = random.Random(seed)
+    n_classes = classes if classes is not None else max(2, m)
+    setups = [rng.randint(1, max(1, T0 // 4)) for _ in range(n_classes)]
+    jobs: list[list[int]] = [[] for _ in range(n_classes)]
+    for _u in range(m):
+        height = 0
+        while True:
+            i = rng.randrange(n_classes) if reuse_classes else _u % n_classes
+            s = setups[i]
+            if height + s + 1 > T0:
+                break
+            height += s
+            batch = rng.randint(1, 4)
+            placed_any = False
+            for _ in range(batch):
+                tmax_here = T0 - height
+                if tmax_here < 1:
+                    break
+                t = rng.randint(1, tmax_here)
+                jobs[i].append(t)
+                height += t
+                placed_any = True
+            if not placed_any:
+                break
+            if rng.random() < 0.35:
+                break
+    # every class must be non-empty (model requirement)
+    for i in range(n_classes):
+        if not jobs[i]:
+            jobs[i].append(1)
+            setups[i] = min(setups[i], max(1, T0 - 1))
+    inst = Instance(m=m, setups=tuple(setups), jobs=tuple(map(tuple, jobs)))
+    return CertifiedInstance(instance=inst, feasible_makespan=T0 + _slack(jobs, setups, T0))
+
+
+def _slack(jobs: list[list[int]], setups: list[int], T0: int) -> int:
+    """Padding classes added for non-emptiness may exceed T0 on one machine.
+
+    Each padding batch is at most ``s_i + 1``; stacking all of them on one
+    machine after the packing keeps feasibility at ``T0 + Σ padding``.
+    In practice padding is rare; the certificate stays tight.
+    """
+    pad = 0
+    for i, js in enumerate(jobs):
+        if js == [1]:
+            pad += setups[i] + 1
+    return pad

@@ -1,0 +1,146 @@
+"""Tests for the baseline/prior-work comparators."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, InvalidInstanceError, Variant, lower_bound, validate_schedule
+from repro.baselines import (
+    full_split_schedule,
+    grouped_lpt_schedule,
+    job_lpt_schedule,
+    mcnaughton_bound,
+    mcnaughton_schedule,
+    monma_potts_bound,
+    monma_potts_schedule,
+    next_fit_schedule,
+    no_split_schedule,
+    relaxed_instance,
+)
+
+from .conftest import mk
+
+
+def inst_strategy(max_m=6, max_classes=5, max_jobs=5, max_t=20, max_s=10):
+    return st.builds(
+        Instance.build,
+        st.integers(1, max_m),
+        st.lists(
+            st.tuples(
+                st.integers(1, max_s),
+                st.lists(st.integers(1, max_t), min_size=1, max_size=max_jobs),
+            ),
+            min_size=1,
+            max_size=max_classes,
+        ),
+    )
+
+
+class TestMcNaughton:
+    def test_optimal_no_setups(self):
+        inst = Instance(m=3, setups=(0, 0), jobs=((5, 5), (4, 4, 4)))
+        sched = mcnaughton_schedule(inst)
+        cmax = validate_schedule(sched, Variant.PREEMPTIVE)
+        assert cmax == mcnaughton_bound(inst) == max(5, Fraction(22, 3))
+
+    def test_tmax_dominates(self):
+        inst = Instance(m=4, setups=(0,), jobs=((10, 1, 1),))
+        sched = mcnaughton_schedule(inst)
+        assert validate_schedule(sched, Variant.PREEMPTIVE) == 10
+
+    def test_rejects_setups(self):
+        with pytest.raises(InvalidInstanceError):
+            mcnaughton_schedule(mk(2, (3, [4])))
+
+    def test_relaxed_instance(self):
+        inst = mk(2, (3, [4]), (2, [1, 1]))
+        rel = relaxed_instance(inst)
+        assert rel.setups == (0, 0) and rel.jobs == inst.jobs
+        sched = mcnaughton_schedule(rel)
+        validate_schedule(sched, Variant.PREEMPTIVE)
+
+    @settings(max_examples=50, deadline=None)
+    @given(inst=inst_strategy())
+    def test_relaxation_is_optimal(self, inst):
+        rel = relaxed_instance(inst)
+        sched = mcnaughton_schedule(rel)
+        cmax = validate_schedule(sched, Variant.PREEMPTIVE)
+        assert cmax == mcnaughton_bound(rel) == lower_bound(rel, Variant.PREEMPTIVE)
+
+
+class TestMonmaPotts:
+    def test_feasible_and_two_approx(self):
+        inst = mk(4, (7, [9, 4]), (3, [5, 5, 5]), (1, [2]))
+        sched = monma_potts_schedule(inst)
+        cmax = validate_schedule(sched, Variant.PREEMPTIVE)
+        assert cmax <= monma_potts_bound(inst)
+        assert cmax <= 2 * lower_bound(inst, Variant.PREEMPTIVE)
+
+    @settings(max_examples=80, deadline=None)
+    @given(inst=inst_strategy())
+    def test_property(self, inst):
+        sched = monma_potts_schedule(inst)
+        cmax = validate_schedule(sched, Variant.PREEMPTIVE)
+        assert cmax <= 2 * lower_bound(inst, Variant.PREEMPTIVE)
+
+
+class TestNextFit:
+    def test_feasible_and_three_approx(self):
+        inst = mk(4, (7, [9, 4]), (3, [5, 5, 5]), (1, [2]))
+        sched = next_fit_schedule(inst)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax <= 3 * lower_bound(inst, Variant.NONPREEMPTIVE)
+
+    @settings(max_examples=80, deadline=None)
+    @given(inst=inst_strategy())
+    def test_property(self, inst):
+        sched = next_fit_schedule(inst)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax <= 3 * lower_bound(inst, Variant.NONPREEMPTIVE)
+        assert len(sched.used_machines()) <= inst.m
+
+
+class TestLPTFamilies:
+    @settings(max_examples=50, deadline=None)
+    @given(inst=inst_strategy())
+    def test_grouped_lpt_feasible(self, inst):
+        sched = grouped_lpt_schedule(inst)
+        validate_schedule(sched, Variant.NONPREEMPTIVE)
+        # exactly one setup per class
+        for i in range(inst.c):
+            assert sched.setup_count(i) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(inst=inst_strategy())
+    def test_job_lpt_feasible(self, inst):
+        sched = job_lpt_schedule(inst)
+        validate_schedule(sched, Variant.NONPREEMPTIVE)
+
+    def test_grouped_lpt_pathological_giant(self):
+        """A giant class shows grouped LPT has no constant guarantee."""
+        inst = mk(4, (1, [10, 10, 10, 10]), (1, [1]))
+        sched = grouped_lpt_schedule(inst)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax == 41  # the whole class on one machine
+
+
+class TestNaiveSplit:
+    def test_full_split_exact_formula(self):
+        inst = mk(4, (3, [8, 8]), (2, [4]))
+        sched = full_split_schedule(inst)
+        cmax = validate_schedule(sched, Variant.SPLITTABLE)
+        assert cmax == 3 + 2 + Fraction(20, 4)
+
+    def test_single_class_optimal(self):
+        inst = mk(5, (3, [50]))
+        sched = full_split_schedule(inst)
+        cmax = validate_schedule(sched, Variant.SPLITTABLE)
+        assert cmax == 13  # s + P/m = 3 + 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(inst=inst_strategy())
+    def test_both_feasible(self, inst):
+        validate_schedule(full_split_schedule(inst), Variant.SPLITTABLE)
+        validate_schedule(no_split_schedule(inst), Variant.SPLITTABLE)

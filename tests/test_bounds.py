@@ -1,0 +1,74 @@
+"""Unit tests for lower bounds and the search window."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Instance,
+    Variant,
+    average_load,
+    lower_bound,
+    setup_plus_tmax,
+    t_max_window,
+    t_min,
+    trivial_upper_bound,
+)
+
+from .conftest import mk
+
+
+class TestComponents:
+    def test_average_load(self):
+        inst = mk(4, (2, [3, 4]), (1, [2]))  # N = 3 + 9 = 12
+        assert average_load(inst) == 3
+        assert average_load(inst.with_machines(5)) == Fraction(12, 5)
+
+    def test_setup_plus_tmax(self):
+        inst = mk(2, (2, [3, 4]), (10, [1]))
+        assert setup_plus_tmax(inst) == 11  # class 1: 10 + 1
+
+    def test_trivial_upper(self):
+        inst = mk(2, (2, [3, 4]), (1, [2]))
+        assert trivial_upper_bound(inst) == 12
+
+
+class TestLowerBound:
+    def test_splittable_ignores_job_bound(self):
+        # one giant job: splittable can parallelize it, pmtn/nonp cannot
+        inst = mk(10, (1, [100]))
+        assert lower_bound(inst, Variant.SPLITTABLE) == Fraction(101, 10)
+        assert lower_bound(inst, Variant.PREEMPTIVE) == 101
+        assert lower_bound(inst, Variant.NONPREEMPTIVE) == 101
+
+    def test_smax_dominates(self):
+        inst = mk(10, (50, [1]), (1, [1]))
+        assert lower_bound(inst, Variant.SPLITTABLE) == 50
+        assert lower_bound(inst, Variant.PREEMPTIVE) == 51
+
+    def test_window(self):
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        for v in Variant:
+            assert t_max_window(inst, v) == 2 * t_min(inst, v)
+
+
+@given(
+    m=st.integers(1, 6),
+    classes=st.lists(
+        st.tuples(st.integers(1, 20), st.lists(st.integers(1, 30), min_size=1, max_size=5)),
+        min_size=1,
+        max_size=5,
+    ),
+)
+def test_bound_ordering(m, classes):
+    """splittable LB <= pmtn LB == nonp LB, and all within [smax, N]."""
+    inst = Instance.build(m, classes)
+    lb_split = lower_bound(inst, Variant.SPLITTABLE)
+    lb_pmtn = lower_bound(inst, Variant.PREEMPTIVE)
+    lb_nonp = lower_bound(inst, Variant.NONPREEMPTIVE)
+    assert lb_split <= lb_pmtn == lb_nonp
+    assert lb_split >= inst.smax
+    assert lb_nonp <= inst.total_load  # OPT <= N and LB <= OPT
+    if m == 1:
+        assert lb_split == inst.total_load

@@ -1,0 +1,253 @@
+"""Unit tests for the Section 2/4/Appendix-D partitions and machine counts."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Instance,
+    JobRef,
+    alpha,
+    alpha_prime,
+    beta,
+    beta_prime,
+    gamma,
+    nonp_partition,
+    pmtn_partition,
+    split_expensive_cheap,
+)
+
+from .conftest import mk
+
+
+class TestExpensiveCheap:
+    def test_strict_boundary(self):
+        # s=5, T=10: s == T/2 → cheap (definition: cheap iff s_i <= T/2)
+        inst = mk(2, (5, [1]), (6, [1]), (4, [1]))
+        exp, chp = split_expensive_cheap(inst, 10)
+        assert exp == [1]
+        assert chp == [0, 2]
+
+    def test_all_cheap_for_huge_T(self):
+        inst = mk(2, (5, [1]), (6, [1]))
+        exp, chp = split_expensive_cheap(inst, 1000)
+        assert exp == []
+        assert chp == [0, 1]
+
+    def test_fractional_T(self):
+        inst = mk(2, (5, [1]),)
+        exp, _ = split_expensive_cheap(inst, Fraction(19, 2))  # T/2 = 19/4 < 5
+        assert exp == [0]
+
+
+class TestMachineCounts:
+    def test_alpha_matches_definition(self):
+        inst = mk(3, (2, [5, 5]))  # P = 10
+        # T = 7: alpha = ceil(10/5) = 2, alpha' = 2
+        assert alpha(inst, 7, 0) == 2
+        assert alpha_prime(inst, 7, 0) == 2
+        # T = 8: alpha = ceil(10/6) = 2, alpha' = floor(10/6) = 1
+        assert alpha(inst, 8, 0) == 2
+        assert alpha_prime(inst, 8, 0) == 1
+
+    def test_alpha_requires_T_above_setup(self):
+        inst = mk(1, (5, [1]))
+        with pytest.raises(ValueError):
+            alpha(inst, 5, 0)
+        with pytest.raises(ValueError):
+            alpha_prime(inst, 4, 0)
+
+    def test_beta(self):
+        inst = mk(3, (6, [5, 5]))  # P = 10
+        assert beta(inst, 10, 0) == 2      # ceil(20/10)
+        assert beta_prime(inst, 10, 0) == 2
+        assert beta(inst, 9, 0) == 3       # ceil(20/9)
+        assert beta_prime(inst, 9, 0) == 2
+
+    @given(st.integers(1, 50), st.integers(1, 100), st.integers(2, 60))
+    def test_beta_le_alpha_for_expensive(self, s_extra, P, T2):
+        # build an expensive class: s > T/2
+        T = Fraction(T2)
+        s = T2 // 2 + s_extra  # s > T/2
+        if s >= T:  # alpha undefined; Lemma 1 assumes feasible T > s
+            return
+        inst = Instance.build(1, [(s, [P])])
+        assert 1 <= beta(inst, T, 0) <= alpha(inst, T, 0)
+
+    def test_gamma_fold_case(self):
+        # T = 10, s = 6, P = 12: beta' = floor(24/10) = 2, rem = 12-10 = 2 <= T-s = 4
+        # → gamma = 2 (= beta' ; beta = ceil(24/10) = 3)
+        inst = mk(3, (6, [12]))
+        assert gamma(inst, 10, 0) == 2
+        assert beta(inst, 10, 0) == 3
+
+    def test_gamma_no_fold_case(self):
+        # T = 10, s = 6, P = 19: beta' = 3, rem = 19 - 15 = 4 <= 4 → fold, gamma = 3
+        inst = mk(3, (6, [19]))
+        assert gamma(inst, 10, 0) == 3
+        # P = 19.5 impossible (ints); use P = 20: beta' = 4, rem = 0 → gamma = 4
+        inst = mk(3, (6, [20]))
+        assert gamma(inst, 10, 0) == 4
+
+    def test_gamma_min_one(self):
+        # tiny class: P < T/2 → beta' = 0 → gamma = 1
+        inst = mk(3, (6, [2]))
+        assert gamma(inst, 10, 0) == 1
+
+    @given(
+        s=st.integers(1, 40),
+        P=st.integers(1, 400),
+        T=st.integers(2, 80),
+    )
+    def test_gamma_le_beta(self, s, P, T):
+        # gamma is only used for i in I+exp (s > T/2, s + P >= T); restrict
+        if not (s > Fraction(T, 2) and s + P >= T):
+            return
+        inst = Instance.build(1, [(s, [P])])
+        g = gamma(inst, T, 0)
+        assert 1 <= g <= beta(inst, T, 0)
+
+
+class TestPmtnPartition:
+    def test_four_way_split(self):
+        T = 20  # T/2 = 10, T/4 = 5, 3T/4 = 15
+        inst = mk(
+            4,
+            (12, [30]),   # exp, s+P = 42 >= 20 → I+exp
+            (12, [4]),    # exp, s+P = 16 ∈ (15, 20) → I0exp
+            (12, [2]),    # exp, s+P = 14 <= 15 → I-exp
+            (7, [3]),     # chp, 5 <= s <= 10 → I+chp
+            (3, [4]),     # chp, s < 5 → I-chp, s+t = 7 <= 10 → no star
+            (4, [8, 1]),  # chp, s < 5 → I-chp, s+8 = 12 > 10 → star
+        )
+        part = pmtn_partition(inst, T)
+        assert part.exp == (0, 1, 2)
+        assert part.chp == (3, 4, 5)
+        assert part.exp_plus == (0,)
+        assert part.exp_zero == (1,)
+        assert part.exp_minus == (2,)
+        assert part.chp_plus == (3,)
+        assert part.chp_minus == (4, 5)
+        assert part.chp_star == (5,)
+        assert part.big_jobs(5) == (JobRef(5, 0),)
+        assert part.big_jobs(4) == ()
+        assert not part.is_nice
+
+    def test_nice_detection(self):
+        inst = mk(2, (12, [30]), (3, [4]))
+        part = pmtn_partition(inst, 20)
+        assert part.is_nice
+
+    def test_exp_plus_boundary_inclusive(self):
+        # s + P == T exactly → I+exp
+        inst = mk(2, (12, [8]))
+        part = pmtn_partition(inst, 20)
+        assert part.exp_plus == (0,)
+
+    def test_exp_zero_boundaries_strict(self):
+        # s + P == 3T/4 exactly → I-exp (not I0exp)
+        inst = mk(2, (12, [3]))
+        part = pmtn_partition(inst, 20)
+        assert part.exp_minus == (0,)
+
+    def test_chp_plus_boundary_inclusive(self):
+        # s == T/4 → I+chp ; s == T/2 → I+chp
+        inst = mk(2, (5, [1]), (10, [1]))
+        part = pmtn_partition(inst, 20)
+        assert part.chp_plus == (0, 1)
+
+    def test_star_requires_strict_half(self):
+        # s + t == T/2 exactly → NOT a big job
+        inst = mk(2, (4, [6]))
+        part = pmtn_partition(inst, 20)
+        assert part.chp_star == ()
+
+    def test_non_big_jobs(self):
+        inst = mk(2, (4, [8, 1, 2]))
+        part = pmtn_partition(inst, 20)
+        assert part.big_jobs(0) == (JobRef(0, 0),)
+        assert part.non_big_jobs(0) == [(JobRef(0, 1), 1), (JobRef(0, 2), 2)]
+
+    def test_partition_is_exhaustive(self):
+        inst = mk(3, (9, [2, 7]), (5, [6]), (1, [1, 9]), (10, [20]))
+        part = pmtn_partition(inst, 19)
+        every = sorted(part.exp_plus + part.exp_zero + part.exp_minus
+                       + part.chp_plus + part.chp_minus)
+        assert every == list(range(inst.c))
+
+    def test_rejects_nonpositive_T(self):
+        inst = mk(1, (1, [1]))
+        with pytest.raises(ValueError):
+            pmtn_partition(inst, 0)
+
+
+class TestNonpPartition:
+    def test_example(self):
+        T = 20  # T/2 = 10
+        inst = mk(
+            4,
+            (12, [5, 5, 5]),       # expensive: m_i = alpha = ceil(15/8) = 2
+            (4, [11, 9, 7, 2]),    # cheap: J+ = {11}, K = {9, 7} (s+t > 10, t <= 10)
+            (1, [2, 3]),           # cheap: nothing big
+        )
+        part = nonp_partition(inst, T)
+        assert part.exp == (0,)
+        assert part.chp == (1, 2)
+        assert part.m_i(0) == 2
+        # class 1: |J+| = 1, K-processing = 16, ceil(16/16) = 1 → m_1 = 2
+        assert part.big_jobs[1] == (JobRef(1, 0),)
+        assert part.k_jobs[1] == (JobRef(1, 1), JobRef(1, 2))
+        assert part.m_i(1) == 2
+        assert part.m_i(2) == 0
+        assert part.m_total == 4
+
+    def test_x_i_values(self):
+        T = 20
+        inst = mk(4, (12, [5, 5, 5]), (1, [2, 3]))
+        part = nonp_partition(inst, T)
+        # class 0: x = 15 - 2*(20-12) = -1
+        assert part.x_i(0) == -1
+        # class 1: m_1 = 0, x = 5 - 0 = 5
+        assert part.x_i(1) == 5
+
+    def test_l_jobs(self):
+        T = 20
+        inst = mk(4, (12, [5, 5]), (4, [11, 9, 2]))
+        part = nonp_partition(inst, T)
+        assert part.l_jobs(0) == (JobRef(0, 0), JobRef(0, 1))
+        assert part.l_jobs(1) == (JobRef(1, 0), JobRef(1, 1))
+
+    def test_half_boundary_job(self):
+        # t == T/2 is small (J-), and s + t > T/2 puts it in K
+        inst = mk(2, (1, [10]))
+        part = nonp_partition(inst, 20)
+        assert part.big_jobs.get(0) is None
+        assert part.k_jobs[0] == (JobRef(0, 0),)
+
+    @given(
+        m=st.integers(1, 5),
+        classes=st.lists(
+            st.tuples(st.integers(1, 15), st.lists(st.integers(1, 25), min_size=1, max_size=5)),
+            min_size=1,
+            max_size=4,
+        ),
+        T_num=st.integers(16, 80),
+    )
+    def test_note4_L_characterization(self, m, classes, T_num):
+        """Note 4: L = union over classes of {j : s_i + t_j > T/2}."""
+        inst = Instance.build(m, classes)
+        T = Fraction(T_num)
+        if any(s >= T for s, _ in classes):  # alpha undefined; not a searched T
+            return
+        part = nonp_partition(inst, T)
+        expected = {
+            job
+            for job, t in inst.iter_jobs()
+            if inst.setups[job.cls] + t > T / 2
+        }
+        got = set()
+        for i in range(inst.c):
+            got.update(part.l_jobs(i))
+        assert got == expected

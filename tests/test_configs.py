@@ -1,0 +1,123 @@
+"""Tests for compressed configuration schedules (Section 3.2 fast path)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstructionError, Instance, Variant, validate_schedule
+from repro.core.classification import beta, split_expensive_cheap
+from repro.core.configs import (
+    ConfigBlock,
+    ConfigItem,
+    ConfigSchedule,
+    compress_splittable_expensive,
+    expand,
+)
+
+from .conftest import mk
+
+
+class TestBlocks:
+    def test_multiplicity_positive(self):
+        with pytest.raises(ValueError):
+            ConfigBlock(first_machine=0, multiplicity=0, items=())
+
+    def test_machines_range(self):
+        b = ConfigBlock(first_machine=3, multiplicity=4, items=())
+        assert list(b.machines) == [3, 4, 5, 6]
+
+    def test_add_block_bounds(self):
+        cs = ConfigSchedule(instance=mk(2, (1, [1])), blocks=[])
+        with pytest.raises(ConstructionError):
+            cs.add_block(ConfigBlock(first_machine=1, multiplicity=2, items=()))
+
+    def test_expand_rejects_overlap(self):
+        inst = mk(3, (1, [1]))
+        cs = ConfigSchedule(instance=inst, blocks=[])
+        cs.add_block(ConfigBlock(0, 2, ()))
+        cs.add_block(ConfigBlock(1, 1, ()))
+        with pytest.raises(ConstructionError):
+            expand(cs)
+
+    def test_makespan(self):
+        inst = mk(2, (2, [3]))
+        item = ConfigItem(Fraction(0), Fraction(2), 0)
+        cs = ConfigSchedule(instance=inst, blocks=[ConfigBlock(0, 1, (item,))])
+        assert cs.makespan() == 2
+
+
+class TestCompressedSplittable:
+    def _check(self, inst: Instance, T) -> ConfigSchedule:
+        T = Fraction(T)
+        exp, _ = split_expensive_cheap(inst, T)
+        betas = {i: beta(inst, T, i) for i in exp}
+        cs = compress_splittable_expensive(inst, T, exp, betas)
+        # machine count equals sum of betas (Lemma 1's bound, used exactly)
+        assert cs.machine_count() == sum(betas.values())
+        # expansion must be a valid partial schedule: machine-exclusive,
+        # setup-consistent, loads within s_i + T/2 per machine
+        sched = expand(cs)
+        for u in range(cs.machine_count()):
+            items = sched.items_on(u)
+            assert items and items[0].is_setup
+            assert sched.machine_end(u) <= Fraction(inst.setups[items[0].cls]) + T / 2
+        # per-class processing is fully scheduled
+        for i in exp:
+            placed = sum(
+                (p.length for p in sched.iter_all() if p.cls == i and not p.is_setup),
+                Fraction(0),
+            )
+            assert placed == inst.processing(i)
+        return cs
+
+    def test_single_long_job_compresses(self):
+        # one job spanning many machines: block count stays tiny
+        inst = mk(64, (30, [1000]))
+        T = Fraction(40)  # beta = ceil(2000/40) = 50 machines
+        cs = self._check(inst, T)
+        assert cs.machine_count() == 50
+        assert cs.block_count() <= 4, "run of identical machines must coalesce"
+
+    def test_many_small_jobs(self):
+        inst = mk(16, (12, [3] * 20))
+        cs = self._check(inst, 20)
+        assert cs.block_count() >= 1
+
+    def test_exact_fit(self):
+        inst = mk(8, (12, [10, 10]))
+        self._check(inst, 20)  # gap = 10, each job exactly one machine
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        s_extra=st.integers(1, 10),
+        jobs=st.lists(st.integers(1, 120), min_size=1, max_size=8),
+        T=st.integers(4, 60),
+    )
+    def test_property_vs_beta(self, s_extra, jobs, T):
+        s = T // 2 + s_extra  # expensive at T
+        inst = Instance.build(256, [(s, jobs)])
+        Tf = Fraction(T)
+        b = beta(inst, Tf, 0)
+        if b > 256:
+            return
+        cs = compress_splittable_expensive(inst, Tf, [0], {0: b})
+        assert cs.machine_count() == b
+        sched = expand(cs)
+        placed = sum(
+            (p.length for p in sched.iter_all() if not p.is_setup), Fraction(0)
+        )
+        assert placed == inst.processing(0)
+        # compression: blocks never exceed items + classes
+        assert cs.block_count() <= len(jobs) * 2 + 2
+
+    def test_splittable_validator_on_expansion(self):
+        """Full splittable feasibility of the expanded step-1 layout."""
+        inst = mk(8, (12, [9, 9]), (11, [12]))
+        T = Fraction(20)
+        exp, _ = split_expensive_cheap(inst, T)
+        betas = {i: beta(inst, T, i) for i in exp}
+        cs = compress_splittable_expensive(inst, T, exp, betas)
+        sched = expand(cs)
+        validate_schedule(sched, Variant.SPLITTABLE)

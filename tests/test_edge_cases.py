@@ -1,0 +1,167 @@
+"""Degenerate inputs and cross-variant invariants, end to end."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Variant, solve
+from repro.core import validate_schedule
+from repro.core.bounds import t_min
+from repro.exact import (
+    exact_nonpreemptive_opt,
+    exact_preemptive_opt_special,
+    exact_splittable_opt,
+)
+from repro.generators import schedule_first_instance
+
+from .conftest import mk
+
+
+class TestDegenerateInstances:
+    """m=1, c=1, huge m, zero setups, identical everything."""
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_single_machine_everything_serial(self, variant):
+        inst = mk(1, (3, [5, 2]), (1, [4]))
+        res = solve(inst, variant, "three_halves")
+        cmax = validate_schedule(res.schedule, variant)
+        assert cmax == inst.total_load == 15  # OPT on one machine is N
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_single_class_single_job(self, variant):
+        inst = mk(2, (4, [6]))
+        res = solve(inst, variant, "three_halves")
+        cmax = validate_schedule(res.schedule, variant)
+        if variant is Variant.SPLITTABLE:
+            # may split: OPT = s + P/m = 7; 3/2-approx ≤ 10.5
+            assert cmax <= Fraction(21, 2)
+        else:
+            assert cmax == 10  # trivial path: one job on one machine
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_zero_setups_everywhere(self, variant):
+        inst = Instance(m=3, setups=(0, 0), jobs=((4, 4, 4), (6, 3)))
+        res = solve(inst, variant, "three_halves")
+        cmax = validate_schedule(res.schedule, variant)
+        # with no setups OPT >= max(tmax, P/m) = max(6, 7) = 7
+        assert cmax <= Fraction(3, 2) * max(Fraction(7), Fraction(res.opt_lower_bound))
+
+    def test_huge_machine_count_splittable(self):
+        inst = mk(1000, (5, [300]))
+        res = solve(inst, Variant.SPLITTABLE, "three_halves")
+        cmax = validate_schedule(res.schedule, Variant.SPLITTABLE)
+        # OPT = 5 + 300/1000; our guarantee 1.5x
+        assert cmax <= Fraction(3, 2) * (5 + Fraction(300, 1000))
+
+    @pytest.mark.parametrize("variant", [Variant.NONPREEMPTIVE, Variant.PREEMPTIVE])
+    def test_m_equals_n(self, variant):
+        inst = mk(4, (2, [5]), (3, [4]), (1, [7]), (2, [2]))
+        res = solve(inst, variant)
+        assert res.algorithm == "trivial"
+        assert validate_schedule(res.schedule, variant) == 8  # 1 + 7
+
+    def test_identical_classes(self):
+        inst = mk(4, *[(3, [5, 5])] * 4)
+        for variant in Variant:
+            res = solve(inst, variant, "three_halves")
+            cmax = validate_schedule(res.schedule, variant)
+            # symmetric optimum: one class per machine = 13
+            assert cmax <= Fraction(3, 2) * 13
+
+    def test_all_setups_dominate(self):
+        """Setups ≫ jobs: setup count decides everything."""
+        inst = mk(3, (100, [1]), (100, [1]), (100, [1]), (100, [1]))
+        for variant in Variant:
+            res = solve(inst, variant, "three_halves")
+            cmax = validate_schedule(res.schedule, variant)
+            # 4 classes / 3 machines: some machine pays 2 setups: OPT >= 202
+            assert cmax >= 202
+            assert cmax <= Fraction(3, 2) * Fraction(res.opt_lower_bound)
+
+    def test_single_unit_job(self):
+        inst = mk(1, (1, [1]))
+        for variant in Variant:
+            res = solve(inst, variant, "three_halves")
+            assert validate_schedule(res.schedule, variant) == 2
+
+
+class TestCrossVariantOrdering:
+    """OPT_split ≤ OPT_pmtn ≤ OPT_nonp, and the solvers must respect it."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        inst=st.builds(
+            Instance.build,
+            st.integers(1, 3),
+            st.lists(
+                st.tuples(
+                    st.integers(1, 8),
+                    st.lists(st.integers(1, 10), min_size=1, max_size=3),
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+        )
+    )
+    def test_exact_opt_ordering(self, inst):
+        if inst.n > 8:
+            return
+        nonp = Fraction(exact_nonpreemptive_opt(inst))
+        split = exact_splittable_opt(inst)
+        pmtn = exact_preemptive_opt_special(inst)
+        assert split <= nonp
+        if pmtn is not None:
+            assert split <= pmtn <= nonp
+        # certified lower bounds must never exceed the exact optima
+        assert Fraction(solve(inst, Variant.NONPREEMPTIVE, "three_halves").opt_lower_bound) <= nonp
+        assert Fraction(solve(inst, Variant.SPLITTABLE, "three_halves").opt_lower_bound) <= split
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_schedule_first_certificates_all_variants(self, seed):
+        cert = schedule_first_instance(m=3, T0=30, seed=seed)
+        for variant in Variant:
+            res = solve(cert.instance, variant, "three_halves")
+            # T* is a lower bound on OPT <= feasible_makespan
+            assert res.opt_lower_bound <= cert.feasible_makespan
+            validate_schedule(res.schedule, variant)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("algorithm", ["two", "eps", "three_halves"])
+    def test_solve_is_deterministic(self, variant, algorithm):
+        inst = mk(3, (4, [5, 3]), (2, [2, 2, 6]), (6, [7]))
+        a = solve(inst, variant, algorithm)
+        b = solve(inst, variant, algorithm)
+        assert a.makespan == b.makespan
+        assert a.T == b.T
+        assert list(a.schedule.iter_all()) == list(b.schedule.iter_all())
+
+
+class TestWindowInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        inst=st.builds(
+            Instance.build,
+            st.integers(1, 6),
+            st.lists(
+                st.tuples(
+                    st.integers(1, 12),
+                    st.lists(st.integers(1, 20), min_size=1, max_size=4),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+        )
+    )
+    def test_flip_inside_window(self, inst):
+        """Every returned T sits in [T_min, 2 T_min] (Appendix A.2 window)."""
+        for variant in Variant:
+            res = solve(inst, variant, "three_halves")
+            if res.algorithm == "trivial":
+                continue
+            tmin = t_min(inst, variant)
+            assert tmin <= res.T <= 2 * tmin + 1  # +1: integer rounding (Thm 8)

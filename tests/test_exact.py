@@ -1,0 +1,157 @@
+"""Tests for the exact reference solvers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Variant, lower_bound, validate_schedule
+from repro.exact import (
+    brute_force_opt,
+    exact_nonpreemptive_opt,
+    exact_nonpreemptive_opt_special,
+    exact_nonpreemptive_schedule,
+    exact_preemptive_opt_special,
+    exact_splittable_opt,
+    single_class_splittable_opt,
+)
+
+from .conftest import mk
+
+
+def tiny_strategy(max_m=3, max_classes=3, max_jobs=3, max_t=12, max_s=8):
+    return st.builds(
+        Instance.build,
+        st.integers(1, max_m),
+        st.lists(
+            st.tuples(
+                st.integers(1, max_s),
+                st.lists(st.integers(1, max_t), min_size=1, max_size=max_jobs),
+            ),
+            min_size=1,
+            max_size=max_classes,
+        ),
+    )
+
+
+class TestNonpreemptiveDP:
+    def test_single_machine_is_N(self):
+        inst = mk(1, (2, [3]), (4, [1, 5]))
+        assert exact_nonpreemptive_opt(inst) == inst.total_load == 15
+
+    def test_two_machines_hand_example(self):
+        # classes (2,[3,4]) and (1,[2,2,2]): split as {s0,3,4}=9 | {s1,2,2,2}=7
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        assert exact_nonpreemptive_opt(inst) == 9
+
+    def test_m_ge_n(self):
+        inst = mk(4, (2, [3]), (5, [4, 1]))
+        assert exact_nonpreemptive_opt(inst) == 9  # max(s+t) = 5+4
+
+    def test_setup_shared_within_machine(self):
+        # putting both class-0 jobs together saves a setup
+        inst = mk(2, (10, [1, 1]), (1, [12]))
+        assert exact_nonpreemptive_opt(inst) == 13
+
+    def test_schedule_matches_opt(self):
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        opt, sched = exact_nonpreemptive_schedule(inst)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax == opt == 9
+
+    def test_size_guard(self):
+        inst = mk(2, (1, [1] * 17))
+        with pytest.raises(ValueError):
+            exact_nonpreemptive_opt(inst)
+
+    @settings(max_examples=60, deadline=None)
+    @given(inst=tiny_strategy())
+    def test_matches_brute_force(self, inst):
+        if inst.n > 7:
+            return
+        assert exact_nonpreemptive_opt(inst) == brute_force_opt(inst)
+
+    @settings(max_examples=60, deadline=None)
+    @given(inst=tiny_strategy(max_jobs=4))
+    def test_dp_schedule_feasible_and_bounded(self, inst):
+        opt, sched = exact_nonpreemptive_schedule(inst)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax == opt
+        assert opt >= lower_bound(inst, Variant.NONPREEMPTIVE)
+
+    def test_special_cases_agree(self):
+        inst = mk(1, (2, [3]), (4, [1, 5]))
+        assert exact_nonpreemptive_opt_special(inst) == 15
+        inst2 = mk(5, (2, [3]), (4, [1, 5]))
+        assert exact_nonpreemptive_opt_special(inst2) == exact_nonpreemptive_opt(inst2)
+
+
+class TestSplittableExact:
+    def test_single_class_closed_form(self):
+        inst = mk(3, (6, [18]))
+        assert single_class_splittable_opt(inst) == 12
+        assert exact_splittable_opt(inst) == 12
+
+    def test_single_class_requires_c1(self):
+        with pytest.raises(ValueError):
+            single_class_splittable_opt(mk(2, (1, [1]), (1, [1])))
+
+    def test_two_classes_no_sharing_better(self):
+        # two classes, two machines: one per machine
+        inst = mk(2, (3, [7]), (3, [7]))
+        assert exact_splittable_opt(inst) == 10
+
+    def test_sharing_helps(self):
+        # one big class + one tiny: big spreads over both machines
+        inst = mk(2, (1, [20]), (1, [2]))
+        # config: big on both machines, tiny on one:
+        # Hall: T >= (20 + 1 + 1)/2 = 11 with tiny adding 1 setup +2 load on one
+        opt = exact_splittable_opt(inst)
+        assert opt == Fraction(25, 2)
+
+    def test_guard(self):
+        inst = mk(6, *[(1, [1])] * 10)
+        with pytest.raises(ValueError):
+            exact_splittable_opt(inst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(inst=tiny_strategy(max_m=3, max_classes=3))
+    def test_sandwich_bounds(self, inst):
+        opt = exact_splittable_opt(inst)
+        assert lower_bound(inst, Variant.SPLITTABLE) <= opt
+        # splittable OPT never exceeds non-preemptive OPT
+        if inst.n <= 8:
+            assert opt <= exact_nonpreemptive_opt(inst)
+
+
+class TestPreemptiveSpecial:
+    def test_one_machine(self):
+        inst = mk(1, (2, [3]), (4, [1, 5]))
+        assert exact_preemptive_opt_special(inst) == 15
+
+    def test_one_class(self):
+        inst = mk(3, (6, [9, 9]))
+        # s + max(tmax, P/m) = 6 + max(9, 6) = 15
+        assert exact_preemptive_opt_special(inst) == 15
+
+    def test_m_ge_n(self):
+        inst = mk(4, (2, [3]), (5, [4, 1]))
+        assert exact_preemptive_opt_special(inst) == 9
+
+    def test_general_returns_none(self):
+        inst = mk(2, (2, [3, 3]), (5, [4, 1]))
+        assert exact_preemptive_opt_special(inst) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(inst=tiny_strategy())
+    def test_order_between_variants(self, inst):
+        """OPT_split <= OPT_pmtn <= OPT_nonp on solvable families."""
+        pmtn = exact_preemptive_opt_special(inst)
+        if pmtn is None or inst.n > 8:
+            return
+        nonp = exact_nonpreemptive_opt(inst)
+        split = exact_splittable_opt(inst) if inst.m <= 3 and inst.c <= 3 else None
+        assert pmtn <= nonp
+        if split is not None:
+            assert split <= pmtn

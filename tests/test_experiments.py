@@ -1,0 +1,84 @@
+"""Integration tests for the experiment harnesses (Table 1, figures, CLI)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Variant
+from repro.experiments import (
+    FIGURES,
+    render_figure,
+    render_scaling,
+    run_scaling,
+    run_table1,
+)
+from repro.experiments.figures import fig7_instance, fig10_13_instance
+from repro.experiments.table1 import QUOTED_ROWS, best_reference
+from repro.experiments.__main__ import main as cli_main
+from repro.generators import small_exact_suite
+
+
+class TestFigures:
+    @pytest.mark.parametrize("fig_id", sorted(FIGURES))
+    def test_each_figure_renders(self, fig_id):
+        art = render_figure(fig_id)
+        assert "Figure" in art
+        assert "M" in art  # at least one machine row
+
+    def test_figure_1_combined(self):
+        art = render_figure("1")
+        assert "Figure 1(a)" in art and "Figure 1(b)" in art
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            render_figure("99")
+
+    def test_fig7_instance_is_m_eq_c_5(self):
+        inst = fig7_instance()
+        assert inst.m == inst.c == 5
+
+    def test_fig10_instance_shape(self):
+        inst, T = fig10_13_instance()
+        assert inst.c == 5 and T == 20
+
+
+class TestTable1:
+    def test_small_run_respects_guarantees(self):
+        rows = run_table1(include_medium=False, include_adversarial=False)
+        executed = [r for r in rows if r.measured_max is not None]
+        assert len(executed) >= 10
+        by_name = {(r.variant, r.algorithm): r for r in executed}
+        for (variant, name), row in by_name.items():
+            if "Thm 1" in name:
+                assert row.measured_max <= 2.0 + 1e-9
+            if "Thm 3" in name or "Thm 6" in name or "Thm 8" in name:
+                assert row.measured_max <= 1.5 + 1e-9
+
+    def test_quoted_rows_present(self):
+        rows = run_table1(include_medium=False, include_adversarial=False)
+        quoted = [r for r in rows if r.measured_max is None]
+        assert len(quoted) == len(QUOTED_ROWS)
+        assert all("quoted" in r.note for r in quoted)
+
+    def test_best_reference_is_opt_on_small(self):
+        _, inst = small_exact_suite()[0]
+        ref, kind = best_reference(inst, Variant.NONPREEMPTIVE)
+        assert kind == "opt" and ref > 0
+
+
+class TestScaling:
+    def test_tiny_scaling_run(self):
+        rows = run_scaling(sizes=[40, 80], repeats=1)
+        assert len(rows) == 9  # 3 variants x 3 algorithms
+        out = render_scaling(rows)
+        assert "fit exp" in out
+
+
+class TestCLI:
+    def test_figures_command(self, capsys):
+        assert cli_main(["figures", "--fig", "6"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        assert cli_main(["scaling", "--sizes", "30", "60"]) == 0
+        assert "Experiment S1" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Tests for the instance generators (determinism + advertised shapes)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Variant, lower_bound
+from repro.algos.pmtn_general import pmtn_dual_test
+from repro.algos.nonpreemptive import nonp_dual_test
+from repro.algos.splittable import split_dual_test
+from repro.generators import (
+    CertifiedInstance,
+    adversarial_suite,
+    expensive_heavy,
+    giant_class,
+    jump_dense,
+    knapsack_critical,
+    medium_suite,
+    odd_exp_minus,
+    sawtooth_ratio,
+    scaling_suite,
+    schedule_first_instance,
+    small_exact_suite,
+    uniform_instance,
+    unit_jobs_equal_setups,
+    zipf_instance,
+    bimodal_setup_instance,
+    many_small_classes,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: uniform_instance(4, 5, 3, seed=s),
+            lambda s: zipf_instance(4, 5, seed=s),
+            lambda s: bimodal_setup_instance(4, 6, seed=s),
+            lambda s: many_small_classes(4, 8, seed=s),
+            lambda s: expensive_heavy(5, seed=s),
+            lambda s: jump_dense(4, 8, seed=s),
+            lambda s: giant_class(4, seed=s),
+            lambda s: sawtooth_ratio(4, seed=s),
+            lambda s: odd_exp_minus(6, 2, seed=s),
+        ],
+    )
+    def test_same_seed_same_instance(self, factory):
+        assert factory(42) == factory(42)
+        assert factory(42) != factory(43)
+
+
+class TestShapes:
+    def test_unit_jobs(self):
+        inst = unit_jobs_equal_setups(4, 5, 6, s=3, seed=1)
+        assert all(t == 1 for ts in inst.jobs for t in ts)
+        assert set(inst.setups) == {3}
+
+    def test_giant_class_dominates(self):
+        inst = giant_class(6, seed=3, total=5000)
+        assert inst.processing(0) >= Fraction(9, 10) * inst.total_processing
+
+    def test_knapsack_critical_hits_case_3a(self):
+        inst = knapsack_critical(scale=1)
+        d = pmtn_dual_test(inst, 20)
+        assert d.case == "3a" and d.accepted
+
+    def test_odd_exp_minus_partition(self):
+        inst = odd_exp_minus(m=12, pairs=3, seed=5, base=20)
+        T = Fraction(41)  # just above 2*base: setups 21..23 are expensive
+        d = pmtn_dual_test(inst, T)
+        assert len(d.partition.exp_minus) % 2 == 1
+        assert len(d.partition.exp_minus) >= 7
+
+    def test_suites_nonempty_and_labelled(self):
+        for suite in (small_exact_suite(), medium_suite(), adversarial_suite()):
+            assert len(suite) > 3
+            labels = [label for label, _ in suite]
+            assert len(set(labels)) == len(labels)
+
+    def test_scaling_suite_sizes(self):
+        suite = scaling_suite([50, 100, 200])
+        ns = [inst.n for _, inst in suite]
+        assert ns[0] < ns[1] < ns[2]
+
+
+class TestScheduleFirst:
+    def test_certificate_holds_all_variants(self):
+        for seed in range(25):
+            cert = schedule_first_instance(m=4, T0=40, seed=seed)
+            inst, T0 = cert.instance, cert.feasible_makespan
+            assert lower_bound(inst, Variant.NONPREEMPTIVE) <= T0
+            # the certificate makes every dual accept at T0
+            assert nonp_dual_test(inst, T0).accepted, seed
+            assert pmtn_dual_test(inst, T0).accepted, seed
+            assert split_dual_test(inst, T0).accepted, seed
+
+    def test_nontrivial_gap(self):
+        """The certificate should usually sit above the input lower bound."""
+        gaps = 0
+        for seed in range(20):
+            cert = schedule_first_instance(m=4, T0=60, seed=seed)
+            if lower_bound(cert.instance, Variant.NONPREEMPTIVE) < cert.feasible_makespan:
+                gaps += 1
+        assert gaps >= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_first_instance(m=2, T0=3, seed=1)
+
+    def test_type(self):
+        cert = schedule_first_instance(m=2, T0=20, seed=0)
+        assert isinstance(cert, CertifiedInstance)

@@ -1,0 +1,134 @@
+"""Tests for Algorithm 6 / Theorems 8-9 (non-preemptive scheduling)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, RejectedMakespanError, Variant, t_min, validate_schedule
+from repro.algos.nonpreemptive import (
+    nonp_dual_schedule,
+    nonp_dual_test,
+    three_halves_nonpreemptive,
+)
+from repro.algos.twoapprox import two_approx_grouped
+
+from .conftest import mk
+
+
+def inst_strategy(max_m=8, max_classes=6, max_jobs=6, max_t=20, max_s=12):
+    return st.builds(
+        Instance.build,
+        st.integers(1, max_m),
+        st.lists(
+            st.tuples(
+                st.integers(1, max_s),
+                st.lists(st.integers(1, max_t), min_size=1, max_size=max_jobs),
+            ),
+            min_size=1,
+            max_size=max_classes,
+        ),
+    )
+
+
+class TestDualTest:
+    def test_manual_example(self):
+        T = 20
+        inst = mk(4, (12, [5, 5, 5]), (4, [11, 9, 7, 2]), (1, [2, 3]))
+        d = nonp_dual_test(inst, T)
+        # m_0 = ceil(15/8) = 2, m_1 = 1 + ceil(16/16) = 2, m_2 = 0 → m' = 4
+        assert d.machines_needed == 4
+        # x_0 = 15-16 = -1, x_1 = 29-32 = -3, x_2 = 5 > 0 → extra setup s_2
+        # L = P(J) + (2*12 + 2*4 + 0*1) + 1 = 49 + 32 + 1 = 82
+        assert d.load == 82
+        # mT = 80 < 82 → T=20 is certifiably below OPT
+        assert not d.accepted
+        assert d.reject_reasons == ("mT < L_nonp",)
+        # one more unit of makespan flips the verdict: 4*21 = 84 >= 82
+        assert nonp_dual_test(inst, 21).accepted
+
+    def test_note2_rejection(self):
+        inst = mk(3, (5, [10]), (1, [1]))
+        d = nonp_dual_test(inst, 10)
+        assert not d.accepted
+        assert "T < max(s_i + t_max^i)" in d.reject_reasons
+
+    def test_accept_at_2tmin(self):
+        for inst in [
+            mk(1, (1, [1])),
+            mk(5, (9, [3, 3]), (2, [8, 8, 8])),
+            mk(3, (2, [7]), (10, [1])),
+        ]:
+            T = 2 * t_min(inst, Variant.NONPREEMPTIVE)
+            assert nonp_dual_test(inst, T).accepted
+
+
+class TestDualSchedule:
+    def test_rejected_raises(self):
+        inst = mk(3, (5, [10]), (1, [1]))
+        with pytest.raises(RejectedMakespanError):
+            nonp_dual_schedule(inst, 10)
+
+    def test_figure10_13_shape(self):
+        """One expensive class + cheap classes, like Figures 10-13."""
+        T = 20
+        inst = mk(
+            8,
+            (12, [6, 6, 6, 6]),     # expensive: alpha = ceil(24/8) = 3
+            (4, [11, 9, 9, 3, 3]),  # cheap with J+ = {11} and K = {9,9}
+            (3, [2, 2]),            # small cheap
+            (2, [5, 4]),
+            (1, [3, 3, 3]),
+        )
+        d = nonp_dual_test(inst, T)
+        assert d.accepted, d.reject_reasons
+        sched = nonp_dual_schedule(inst, T)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax <= Fraction(3, 2) * T
+
+    @settings(max_examples=250, deadline=None)
+    @given(inst=inst_strategy(), num=st.integers(0, 8))
+    def test_accepted_builds_valid_three_halves(self, inst, num):
+        tmin = t_min(inst, Variant.NONPREEMPTIVE)
+        T = tmin + tmin * Fraction(num, 8)
+        d = nonp_dual_test(inst, T)
+        if not d.accepted:
+            return
+        sched = nonp_dual_schedule(inst, T)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax <= Fraction(3, 2) * T
+
+    @settings(max_examples=80, deadline=None)
+    @given(inst=inst_strategy(max_m=6))
+    def test_schedule_first_contract(self, inst):
+        """Any T ≥ a known feasible makespan must be accepted."""
+        T0 = two_approx_grouped(inst).schedule.makespan()
+        d = nonp_dual_test(inst, T0)
+        assert d.accepted, (inst.describe(), d.reject_reasons)
+
+
+class TestThreeHalves:
+    def test_small(self):
+        inst = mk(3, (2, [3, 4]), (1, [2, 2, 2]))
+        res = three_halves_nonpreemptive(inst)
+        cmax = validate_schedule(res.schedule, Variant.NONPREEMPTIVE)
+        # integer search: returned T <= OPT, so ratio is a true 3/2
+        assert cmax <= Fraction(3, 2) * res.T
+        assert res.T == res.certificate_lo
+
+    @settings(max_examples=100, deadline=None)
+    @given(inst=inst_strategy())
+    def test_end_to_end_property(self, inst):
+        res = three_halves_nonpreemptive(inst)
+        cmax = validate_schedule(res.schedule, Variant.NONPREEMPTIVE)
+        assert cmax <= Fraction(3, 2) * res.T
+        tmin = t_min(inst, Variant.NONPREEMPTIVE)
+        assert tmin <= res.T <= -(-2 * tmin // 1)
+
+    def test_below_returned_T_rejected(self):
+        inst = mk(4, (3, [7, 5]), (2, [4, 4, 4]), (5, [6]))
+        res = three_halves_nonpreemptive(inst)
+        T = int(res.T)
+        if Fraction(T) > t_min(inst, Variant.NONPREEMPTIVE):
+            assert not nonp_dual_test(inst, T - 1).accepted

@@ -1,0 +1,232 @@
+"""Unit and property tests for Batch Wrapping (Appendix A.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Batch,
+    ConstructionError,
+    Instance,
+    JobRef,
+    Schedule,
+    Variant,
+    WrapSequence,
+    WrapTemplate,
+    template_for_machines,
+    validate_schedule,
+    wrap,
+)
+
+from .conftest import mk
+
+
+class TestTemplates:
+    def test_capacity(self):
+        w = WrapTemplate.of([(0, 0, 10), (1, 2, 10)])
+        assert w.capacity == 18
+        assert len(w) == 2
+
+    def test_machines_must_increase(self):
+        with pytest.raises(ValueError):
+            WrapTemplate.of([(1, 0, 10), (0, 0, 10)])
+        with pytest.raises(ValueError):
+            WrapTemplate.of([(0, 0, 10), (0, 2, 10)])
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            WrapTemplate.of([(0, 5, 5)])
+        with pytest.raises(ValueError):
+            WrapTemplate.of([(0, -1, 5)])
+
+    def test_template_for_machines(self):
+        w = template_for_machines([3, 5, 7], 2, 10, first=(0, 10))
+        assert [g.machine for g in w.gaps] == [3, 5, 7]
+        assert (w.gaps[0].a, w.gaps[0].b) == (0, 10)
+        assert (w.gaps[1].a, w.gaps[1].b) == (2, 10)
+
+
+class TestSequences:
+    def test_load_and_length(self):
+        inst = mk(1, (3, [2, 4]), (1, [5]))
+        q = WrapSequence.of(
+            [
+                Batch.of(0, inst.class_jobs(0)),
+                Batch.of(1, inst.class_jobs(1)),
+            ]
+        )
+        assert q.load(inst.setups) == (3 + 6) + (1 + 5)
+        assert q.length == 3 + 2
+        assert q.max_setup(inst.setups) == 3
+
+    def test_batch_rejects_wrong_class(self):
+        with pytest.raises(ValueError):
+            Batch.of(0, [(JobRef(1, 0), 5)])
+
+    def test_batch_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Batch.of(0, [(JobRef(0, 0), 0)])
+
+    def test_empty_batches_dropped(self):
+        q = WrapSequence.of([Batch(cls=0, items=())])
+        assert q.batches == ()
+
+
+class TestWrapBasics:
+    def test_single_gap_single_class(self):
+        inst = mk(1, (2, [3, 4]))
+        sched = Schedule(inst)
+        res = wrap(
+            sched,
+            WrapSequence.single_class(0, inst.class_jobs(0)),
+            WrapTemplate.of([(0, 0, 20)]),
+        )
+        validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert sched.makespan() == 9
+        assert res.splits == 0
+        assert res.last_gap == 0
+
+    def test_job_split_at_border_adds_setup_below(self):
+        inst = mk(2, (2, [6, 6]))
+        sched = Schedule(inst)
+        # gaps [0,10) and [4,14): job 2 splits at 10, setup placed at [2,4)
+        res = wrap(
+            sched,
+            WrapSequence.single_class(0, inst.class_jobs(0)),
+            WrapTemplate.of([(0, 0, 10), (1, 4, 14)]),
+        )
+        validate_schedule(sched, Variant.SPLITTABLE)
+        assert res.splits == 1
+        pieces = sched.job_pieces(JobRef(0, 1))
+        assert len(pieces) == 2
+        assert {p.machine for p in pieces} == {0, 1}
+        # the second machine has a setup ending exactly at its gap start
+        setups1 = [p for p in sched.items_on(1) if p.is_setup]
+        assert setups1[0].start == 2 and setups1[0].end == 4
+
+    def test_preemptive_safety_when_condition_holds(self):
+        # Wrap with gaps [s, T): split pieces must not self-overlap because
+        # s + t_j <= T (the paper's Note-1 regime).
+        T = 10
+        inst = mk(3, (6, [4, 4, 4]))
+        sched = Schedule(inst)
+        wrap(
+            sched,
+            WrapSequence.single_class(0, inst.class_jobs(0)),
+            WrapTemplate.of([(0, 0, T), (1, 6, T), (2, 6, T)]),
+        )
+        validate_schedule(sched, Variant.PREEMPTIVE)
+
+    def test_setup_moved_below_next_gap_when_crossing(self):
+        inst = mk(2, (4, [2]), (4, [5]))
+        sched = Schedule(inst)
+        # gap 1 [0,7): setup0 (4) + job 2 = 6; setup1 would end at 10 > 7 →
+        # moved below gap 2 [4, 12) at [0,4).
+        wrap(
+            sched,
+            WrapSequence.of([Batch.of(0, inst.class_jobs(0)), Batch.of(1, inst.class_jobs(1))]),
+            WrapTemplate.of([(0, 0, 7), (1, 4, 12)]),
+        )
+        validate_schedule(sched, Variant.NONPREEMPTIVE)
+        m1 = sched.items_on(1)
+        assert m1[0].is_setup and m1[0].cls == 1 and (m1[0].start, m1[0].end) == (0, 4)
+        assert m1[1].job == JobRef(1, 0) and m1[1].start == 4
+
+    def test_long_job_spans_multiple_gaps(self):
+        inst = mk(3, (1, [25]))
+        sched = Schedule(inst)
+        res = wrap(
+            sched,
+            WrapSequence.single_class(0, inst.class_jobs(0)),
+            WrapTemplate.of([(0, 0, 10), (1, 1, 10), (2, 1, 10)]),
+        )
+        # splittable: parallel self-execution is fine
+        validate_schedule(sched, Variant.SPLITTABLE)
+        assert res.splits == 2
+        assert len(sched.job_pieces(JobRef(0, 0))) == 3
+
+    def test_exact_fit_no_zero_pieces(self):
+        inst = mk(2, (2, [8, 10]))
+        sched = Schedule(inst)
+        # gap 1 exactly holds setup + job 1: [0,10); job 2 must start in gap 2
+        wrap(
+            sched,
+            WrapSequence.single_class(0, inst.class_jobs(0)),
+            WrapTemplate.of([(0, 0, 10), (1, 2, 12)]),
+        )
+        validate_schedule(sched, Variant.PREEMPTIVE)
+        for p in sched.iter_all():
+            assert p.is_setup or p.length > 0
+        assert len(sched.job_pieces(JobRef(0, 1))) == 1
+
+    def test_overflow_raises(self):
+        inst = mk(1, (2, [20]))
+        sched = Schedule(inst)
+        with pytest.raises(ConstructionError):
+            wrap(
+                sched,
+                WrapSequence.single_class(0, inst.class_jobs(0)),
+                WrapTemplate.of([(0, 0, 10)]),
+            )
+
+    def test_empty_sequence(self):
+        inst = mk(1, (2, [1]))
+        sched = Schedule(inst)
+        res = wrap(sched, WrapSequence.of([]), WrapTemplate.of([(0, 0, 5)]))
+        assert res.placements == [] and res.last_gap == -1
+
+
+class TestWrapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(1, 6),
+        classes=st.lists(
+            st.tuples(st.integers(1, 9), st.lists(st.integers(1, 30), min_size=1, max_size=6)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_lemma8_style_wrap_always_feasible(self, m, classes):
+        """Lemma 6 instantiated: gaps [smax, smax + ceil(N/m)] on every machine."""
+        inst = Instance.build(m, classes)
+        height = -(-inst.total_load // m)  # ceil(N/m)
+        template = template_for_machines(
+            list(range(m)), inst.smax, inst.smax + height
+        )
+        sched = Schedule(inst)
+        seq = WrapSequence.of([Batch.of(i, inst.class_jobs(i)) for i in range(inst.c)])
+        res = wrap(sched, seq, template)
+        cmax = validate_schedule(sched, Variant.SPLITTABLE)
+        assert cmax <= inst.smax + height
+        # load conservation: everything placed is setups + all processing
+        placed = sum((p.length for p in sched.iter_all()), Fraction(0))
+        n_setups = sum(1 for p in sched.iter_all() if p.is_setup)
+        assert placed == inst.total_processing + sum(
+            Fraction(inst.setups[p.cls]) for p in sched.iter_all() if p.is_setup
+        )
+        # work bound from Lemma 7: O(|Q| + |ω|) items placed
+        assert len(res.placements) <= seq.length + 2 * m + inst.c
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        jobs=st.lists(st.integers(1, 12), min_size=1, max_size=8),
+        setup=st.integers(1, 5),
+        gap_height=st.integers(6, 20),
+    )
+    def test_single_class_split_chain_consistency(self, jobs, setup, gap_height):
+        """All pieces of a job carry the JobRef; totals are conserved."""
+        inst = Instance.build(8, [(setup, jobs)])
+        need = setup + sum(jobs)
+        k = -(-need // (gap_height - setup)) + 1
+        if k > 8:
+            return
+        template = template_for_machines(
+            list(range(k)), setup, gap_height, first=(0, gap_height)
+        )
+        if template.capacity < need:
+            return
+        sched = Schedule(inst)
+        wrap(sched, WrapSequence.single_class(0, inst.class_jobs(0)), template)
+        validate_schedule(sched, Variant.SPLITTABLE)
