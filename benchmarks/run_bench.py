@@ -1,0 +1,101 @@
+"""Performance trajectory benchmark: ``python benchmarks/run_bench.py``.
+
+Times ``repro.solve`` on the standard medium/large/zipf workloads for all
+three variants, on both numeric kernels:
+
+* ``fast``     — the scaled-integer kernel (:mod:`repro.core.fastnum` plus
+  the integer construction paths), the library default;
+* ``fraction`` — the preserved pre-kernel Fraction-only reference path.
+
+Results are written as a flat ``{bench_name: seconds}`` JSON (default
+``BENCH_PR1.json`` in the repository root) so future PRs can diff the
+trajectory.  Bench names follow ``solve/<fixture>/<variant>/<kernel>``;
+derived ``speedup/<fixture>/<variant>`` entries record the
+fraction-over-fast ratio (dimensionless, for convenience).
+
+Each measurement is the best of ``--reps`` runs on a freshly constructed
+instance (cold per-instance caches), so the per-solve cache building is
+charged to every run of both kernels alike.
+
+``--smoke`` restricts to the medium fixture with fewer repetitions — used
+by CI to catch gross regressions without burning minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algos.api import solve  # noqa: E402
+from repro.core.bounds import Variant  # noqa: E402
+from repro.core.instance import Instance  # noqa: E402
+from repro.generators import uniform_instance, zipf_instance  # noqa: E402
+
+FIXTURES = {
+    "medium": lambda: uniform_instance(m=8, c=12, n_per_class=6, seed=101),
+    "large": lambda: uniform_instance(m=16, c=40, n_per_class=20, seed=202),
+    "zipf": lambda: zipf_instance(m=8, c=16, seed=303),
+}
+KERNELS = ("fast", "fraction")
+
+
+def bench_solve(inst: Instance, variant: Variant, kernel: str, reps: int) -> float:
+    """Best-of-``reps`` wall time of one solve, cold caches each run."""
+    best = float("inf")
+    for _ in range(reps):
+        fresh = Instance(m=inst.m, setups=inst.setups, jobs=inst.jobs)
+        t0 = time.perf_counter()
+        solve(fresh, variant, "three_halves", kernel=kernel)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(fixtures: dict, reps: int) -> dict[str, float]:
+    results: dict[str, float] = {}
+    for fixture_name, make in fixtures.items():
+        inst = make()
+        for variant in Variant:
+            times = {}
+            for kernel in KERNELS:
+                seconds = bench_solve(inst, variant, kernel, reps)
+                name = f"solve/{fixture_name}/{variant.value}/{kernel}"
+                results[name] = seconds
+                times[kernel] = seconds
+                print(f"{name:45s} {seconds * 1000:9.3f} ms")
+            speedup = times["fraction"] / times["fast"]
+            results[f"speedup/{fixture_name}/{variant.value}"] = speedup
+            print(f"{'speedup/' + fixture_name + '/' + variant.value:45s} {speedup:9.2f} x")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        help="output JSON path (default: repo-root BENCH_PR1.json)",
+    )
+    parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: medium fixture only, 2 repetitions",
+    )
+    args = parser.parse_args(argv)
+
+    fixtures = {"medium": FIXTURES["medium"]} if args.smoke else dict(FIXTURES)
+    reps = 2 if args.smoke else args.reps
+    results = run(fixtures, reps)
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {len(results)} entries to {out} (python {platform.python_version()})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

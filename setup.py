@@ -1,3 +1,5 @@
+"""Shim for legacy tooling; the src-layout package is declared in pyproject.toml."""
+
 from setuptools import setup
 
 setup()

@@ -21,6 +21,7 @@ from fractions import Fraction
 from typing import Literal, Optional
 
 from ..core.bounds import Variant, lower_bound, t_min
+from ..core.fastnum import fast_nonp_test, fast_pmtn_test, fast_split_test, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time
 from ..core.schedule import Schedule
@@ -33,6 +34,7 @@ from .splittable import split_dual_schedule, split_dual_test
 from .twoapprox import two_approx
 
 Algorithm = Literal["two", "eps", "three_halves"]
+Kernel = Literal["fast", "fraction"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,7 @@ def solve(
     algorithm: Algorithm = "three_halves",
     eps: Fraction = Fraction(1, 100),
     portfolio: bool = False,
+    kernel: Kernel = "fast",
 ) -> SolveResult:
     """Solve ``instance`` under ``variant`` with the requested guarantee.
 
@@ -113,14 +116,22 @@ def solve(
     paper's algorithms are *dual* constructions — they optimize the
     worst-case certificate, not the average case — so the portfolio often
     improves the constants while keeping the proof.
+
+    ``kernel`` selects the numeric backend of the per-``T`` hot paths:
+    ``"fast"`` (default) runs the dual tests and constructions on the
+    scaled-integer kernel of :mod:`repro.core.fastnum`; ``"fraction"``
+    keeps the exact-rational reference path.  Results are bit-identical —
+    the differential suite asserts the same accepts, makespans and ratio
+    bounds on every generator-suite instance.
     """
+    validate_kernel(kernel)
     trivial = _trivial_single_machine(instance, variant) or _trivial_one_per_machine(
         instance, variant
     )
     if trivial is not None:
         return trivial
     if portfolio:
-        base = solve(instance, variant, algorithm, eps, portfolio=False)
+        base = solve(instance, variant, algorithm, eps, portfolio=False, kernel=kernel)
         best = _portfolio_improve(instance, variant, base)
         return best
     lb = lower_bound(instance, variant)
@@ -133,7 +144,7 @@ def solve(
         )
 
     if algorithm == "eps":
-        accept, build = _dual_for(instance, variant)
+        accept, build = _dual_for(instance, variant, kernel)
         sr = binary_search_dual(instance, variant, accept, build, eps)
         return SolveResult(
             schedule=sr.schedule, variant=variant, algorithm="eps",
@@ -143,20 +154,20 @@ def solve(
 
     if algorithm == "three_halves":
         if variant is Variant.SPLITTABLE:
-            jr = three_halves_splittable(instance)
+            jr = three_halves_splittable(instance, kernel=kernel)
             return SolveResult(
                 schedule=jr.schedule, variant=variant, algorithm="three_halves",
                 T=jr.T_star, ratio_bound=Fraction(3, 2),
                 opt_lower_bound=max(lb, jr.T_star),
             )
         if variant is Variant.PREEMPTIVE:
-            pr = three_halves_preemptive(instance)
+            pr = three_halves_preemptive(instance, kernel=kernel)
             return SolveResult(
                 schedule=pr.schedule, variant=variant, algorithm="three_halves",
                 T=pr.T_witness, ratio_bound=pr.ratio_bound,
                 opt_lower_bound=max(lb, pr.T_star),
             )
-        sr = three_halves_nonpreemptive(instance)
+        sr = three_halves_nonpreemptive(instance, kernel=kernel)
         return SolveResult(
             schedule=sr.schedule, variant=variant, algorithm="three_halves",
             T=sr.T, ratio_bound=Fraction(3, 2),
@@ -190,19 +201,27 @@ def _portfolio_improve(instance: Instance, variant: Variant, base: SolveResult) 
     )
 
 
-def _dual_for(instance: Instance, variant: Variant):
+def _dual_for(instance: Instance, variant: Variant, kernel: Kernel = "fast"):
     """(accept, build) pair of the variant's 3/2-dual approximation."""
+    if kernel == "fast":
+        ctx = instance.fast_ctx()
+        if variant is Variant.SPLITTABLE:
+            accept = lambda T: fast_split_test(ctx, T.numerator, T.denominator).accepted
+        elif variant is Variant.PREEMPTIVE:
+            accept = lambda T: fast_pmtn_test(ctx, T.numerator, T.denominator).accepted
+        else:
+            accept = lambda T: fast_nonp_test(ctx, T.numerator, T.denominator).accepted
+    else:
+        if variant is Variant.SPLITTABLE:
+            accept = lambda T: split_dual_test(instance, T).accepted
+        elif variant is Variant.PREEMPTIVE:
+            accept = lambda T: pmtn_dual_test(instance, T).accepted
+        else:
+            accept = lambda T: nonp_dual_test(instance, T).accepted
     if variant is Variant.SPLITTABLE:
-        return (
-            lambda T: split_dual_test(instance, T).accepted,
-            lambda T: split_dual_schedule(instance, T),
-        )
-    if variant is Variant.PREEMPTIVE:
-        return (
-            lambda T: pmtn_dual_test(instance, T).accepted,
-            lambda T: pmtn_dual_schedule(instance, T),
-        )
-    return (
-        lambda T: nonp_dual_test(instance, T).accepted,
-        lambda T: nonp_dual_schedule(instance, T),
-    )
+        build = lambda T: split_dual_schedule(instance, T, kernel=kernel)
+    elif variant is Variant.PREEMPTIVE:
+        build = lambda T: pmtn_dual_schedule(instance, T, kernel=kernel)
+    else:
+        build = lambda T: nonp_dual_schedule(instance, T, kernel=kernel)
+    return accept, build

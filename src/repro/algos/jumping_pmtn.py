@@ -41,6 +41,7 @@ from fractions import Fraction
 from typing import Callable, Optional
 
 from ..core.bounds import Variant, t_min
+from ..core.fastnum import PmtnVerdict, fast_base_core, fast_pmtn_test, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
@@ -99,15 +100,27 @@ def _base_accept(instance: Instance, T: Time) -> bool:
     return instance.m * T >= load and instance.m >= m_prime
 
 
-def _base_flip(instance: Instance, tmin: Time, thi: Time) -> Time:
+def _base_flip(instance: Instance, tmin: Time, thi: Time, *, kernel: str = "fast") -> Time:
     """Class Jumping on the monotone core (Algorithm 4 steps 2-7).
 
     Returns ``T̃ = min{T ≥ tmin : base-accept}``; everything below is
     rejected by the full test too (``L_base ≤ L_pmtn``, ``m′`` shared).
     """
-    if _base_accept(instance, tmin):
+    if validate_kernel(kernel):
+        ctx = instance.fast_ctx()
+
+        def base_core(T: Time) -> tuple:
+            return fast_base_core(ctx, T.numerator, T.denominator)
+
+    else:
+        base_core = lambda T: _base_core(instance, T)
+
+    def accept(T: Time) -> bool:
+        load, m_prime = base_core(T)
+        return instance.m * T.numerator >= load * T.denominator and instance.m >= m_prime
+
+    if accept(tmin):
         return tmin
-    accept = lambda T: _base_accept(instance, T)
 
     # membership candidates that move classes across I+exp / I0exp / I-exp /
     # cheap (these change m' discontinuously and bound gamma's domain)
@@ -130,7 +143,7 @@ def _base_flip(instance: Instance, tmin: Time, thi: Time) -> Time:
         and instance.setups[i] + instance.processing(i) >= mid
     ]
     if not exp_plus:
-        return _flip_constant_core(instance, A1, T1)
+        return _flip_constant_core(instance, A1, T1, base_core)
 
     f = max(exp_plus, key=lambda i: instance.setups[i] + instance.processing(i))
     SPf = Fraction(2 * (instance.setups[f] + instance.processing(f)))
@@ -159,15 +172,15 @@ def _base_flip(instance: Instance, tmin: Time, thi: Time) -> Time:
     assert len(inner) <= len(exp_plus), "Lemma 5 violated"
     if inner:
         lo_b, hi_b = right_interval_bisect([lo_b] + sorted(inner) + [hi_b], accept)
-    return _flip_constant_core(instance, lo_b, hi_b)
+    return _flip_constant_core(instance, lo_b, hi_b, base_core)
 
 
-def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time) -> Time:
+def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time, base_core) -> Time:
     """Step 9 analogue for the monotone core on a jump-free right interval."""
-    load, m_prime = _base_core(instance, T_fail)
+    load, m_prime = base_core(T_fail)
     if instance.m < m_prime:
         return T_ok
-    T_new = load / instance.m
+    T_new = Fraction(load, instance.m)
     if T_new >= T_ok:
         return T_ok
     assert T_fail < T_new
@@ -307,26 +320,43 @@ def _knapsack_stable_points(instance: Instance, lo: Time, hi: Time) -> list[Time
     return sorted(pts)
 
 
-def find_flip_pmtn(instance: Instance, *, use_base_jump: bool = True) -> tuple[Time, Time, int]:
+def find_flip_pmtn(
+    instance: Instance, *, use_base_jump: bool = True, kernel: str = "fast"
+) -> tuple[Time, Time, int]:
     """Exact flip of the Theorem-5 (γ) test: ``(T_star, T_witness, calls)``.
 
     ``use_base_jump=False`` disables the Class-Jumping acceleration and
     scans every piece from ``T_min`` — the slow reference used by tests and
-    the ablation benchmark.
+    the ablation benchmark.  ``kernel`` selects the scaled-integer or the
+    Fraction dual test for the accept/structure probes (identical
+    decisions either way; the knapsack stable-point analysis always runs
+    on the exact reference since it needs the full partition).
     """
     calls = 0
+    fast = validate_kernel(kernel)
+    ctx = instance.fast_ctx() if fast else None
+
+    def probe(T: Time) -> PmtnVerdict:
+        """(accepted, load, m', case, y_neg) of the γ test at ``T``."""
+        if fast:
+            return fast_pmtn_test(ctx, T.numerator, T.denominator, "gamma")
+        d = pmtn_dual_test(instance, T, mode="gamma")
+        return PmtnVerdict(
+            d.accepted, d.load, d.machines_needed, d.case,
+            any("F < L*" in r for r in d.reject_reasons),
+        )
 
     def accept(T: Time) -> bool:
         nonlocal calls
         calls += 1
-        return pmtn_dual_test(instance, T, mode="gamma").accepted
+        return probe(T).accepted
 
     tmin = t_min(instance, Variant.PREEMPTIVE)
     thi = 2 * tmin
     if accept(tmin):
         return tmin, tmin, calls
 
-    t_base = _base_flip(instance, tmin, thi) if use_base_jump else tmin
+    t_base = _base_flip(instance, tmin, thi, kernel=kernel) if use_base_jump else tmin
 
     # exhaustive left-to-right scan from the certified frontier
     points = [t_base] + _change_points(instance, t_base, thi) + [thi]
@@ -341,15 +371,15 @@ def find_flip_pmtn(instance: Instance, *, use_base_jump: bool = True) -> tuple[T
             if a != p and accept(a):
                 return a, a, calls
             mid = (a + b) / 2
-            d = pmtn_dual_test(instance, mid, mode="gamma")
+            d = probe(mid)
             calls += 1
             if instance.m < d.machines_needed:
                 continue
             if d.case == "trivial":
                 continue
-            if any("F < L*" in r for r in d.reject_reasons):
+            if d.y_negative:
                 continue  # Y < 0 on the whole subinterval: rejected
-            flip = d.load / instance.m
+            flip = Fraction(d.load, instance.m)
             if flip <= a:
                 # the whole open interval (a, b) is accepted: infimum a not
                 # attained (a itself was rejected above)
@@ -363,10 +393,10 @@ def find_flip_pmtn(instance: Instance, *, use_base_jump: bool = True) -> tuple[T
     return thi, thi, calls
 
 
-def three_halves_preemptive(instance: Instance) -> PmtnJumpResult:
+def three_halves_preemptive(instance: Instance, *, kernel: str = "fast") -> PmtnJumpResult:
     """Theorem 6 — 3/2-approximation for ``P|pmtn,setup=s_i|Cmax``."""
-    T_star, T_witness, calls = find_flip_pmtn(instance)
-    schedule = pmtn_dual_schedule(instance, T_witness, mode="gamma")
+    T_star, T_witness, calls = find_flip_pmtn(instance, kernel=kernel)
+    schedule = pmtn_dual_schedule(instance, T_witness, mode="gamma", kernel=kernel)
     return PmtnJumpResult(
         T_star=T_star, T_witness=T_witness, schedule=schedule, accept_calls=calls
     )

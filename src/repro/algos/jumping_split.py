@@ -29,6 +29,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..core.bounds import Variant, t_min
+from ..core.fastnum import SplitVerdict, fast_split_test, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
@@ -48,21 +49,37 @@ class JumpSearchResult:
     ratio_bound: Fraction = Fraction(3, 2)
 
 
-def three_halves_splittable(instance: Instance) -> JumpSearchResult:
+def three_halves_splittable(instance: Instance, *, kernel: str = "fast") -> JumpSearchResult:
     """Theorem 3 — 3/2-approximation in ``O(n + c log(c+m))``."""
-    T_star, calls = find_flip_splittable(instance)
-    schedule = split_dual_schedule(instance, T_star)
+    T_star, calls = find_flip_splittable(instance, kernel=kernel)
+    schedule = split_dual_schedule(instance, T_star, kernel=kernel)
     return JumpSearchResult(T_star=T_star, schedule=schedule, accept_calls=calls)
 
 
-def find_flip_splittable(instance: Instance) -> tuple[Time, int]:
-    """Locate ``T* = min accepted T`` via Algorithm 1. Returns (T*, #tests)."""
+def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[Time, int]:
+    """Locate ``T* = min accepted T`` via Algorithm 1. Returns (T*, #tests).
+
+    The ``O(log(c+m))`` accept probes run on the scaled-integer kernel by
+    default; ``kernel="fraction"`` probes the Theorem-7 reference instead
+    (bit-identical decisions, differential-tested).
+    """
     calls = 0
+    fast = validate_kernel(kernel)
+    ctx = instance.fast_ctx() if fast else None
 
     def accept(T: Time) -> bool:
         nonlocal calls
         calls += 1
+        if fast:
+            return fast_split_test(ctx, T.numerator, T.denominator).accepted
         return split_dual_test(instance, T).accepted
+
+    def core(T: Time) -> SplitVerdict:
+        """(accepted, load, m_exp) of the dual at ``T`` — kernel-dispatched."""
+        if fast:
+            return fast_split_test(ctx, T.numerator, T.denominator)
+        d = split_dual_test(instance, T)
+        return SplitVerdict(d.accepted, d.load, d.machines_exp)
 
     tmin = t_min(instance, Variant.SPLITTABLE)
     thi = 2 * tmin
@@ -74,13 +91,14 @@ def find_flip_splittable(instance: Instance) -> tuple[Time, int]:
     candidates = [tmin] + setup_bounds + [thi]
     A1, T1 = right_interval_bisect(candidates, accept)
     # Partition (I_exp, I_chp) is constant on [A1, T1); evaluate it at A1.
-    interior = split_dual_test(instance, A1)
-    exp = interior.exp
+    exp = tuple(
+        i for i, s in enumerate(instance.setups) if 2 * s * A1.denominator > A1.numerator
+    )
 
     if not exp:
         # No expensive classes: L_split constant on [A1, T1); the flip is
         # either T_new = L/m inside the interval or T1 itself.
-        return _flip_on_constant_piece(instance, A1, T1, accept), calls
+        return _flip_on_constant_piece(instance, A1, T1, accept, core), calls
 
     # ---- step 5: fastest jumping class f ------------------------------ #
     f = max(exp, key=lambda i: instance.processing(i))
@@ -123,21 +141,24 @@ def find_flip_splittable(instance: Instance) -> tuple[Time, int]:
         T_fail, T_ok = lo_b, hi_b
 
     # ---- step 9: constant piece [T_fail, T_ok) ------------------------ #
-    return _flip_on_constant_piece(instance, T_fail, T_ok, accept), calls
+    return _flip_on_constant_piece(instance, T_fail, T_ok, accept, core), calls
 
 
-def _flip_on_constant_piece(instance: Instance, T_fail: Time, T_ok: Time, accept) -> Time:
+def _flip_on_constant_piece(
+    instance: Instance, T_fail: Time, T_ok: Time, accept, core
+) -> Time:
     """Step 9's case analysis on a jump-free right interval.
 
     ``L_split`` and ``m_exp`` are constant on ``[T_fail, T_ok)``; ``T_fail``
-    is rejected and ``T_ok`` accepted.
+    is rejected and ``T_ok`` accepted.  ``core(T)`` supplies the dual's
+    ``(accepted, load, m_exp)`` through the caller's kernel.
     """
-    dual = split_dual_test(instance, T_fail)
+    dual = core(T_fail)
     m = instance.m
     if m < dual.machines_exp:
         # the whole piece needs too many machines: everything < T_ok rejected
         return T_ok
-    T_new = dual.load / m
+    T_new = Fraction(dual.load, m)
     if T_new >= T_ok:
         # every T < T_ok has mT < L_split: rejected
         return T_ok

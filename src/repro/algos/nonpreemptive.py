@@ -46,6 +46,7 @@ from typing import Iterator, Optional
 from ..core.bounds import Variant, setup_plus_tmax, t_min
 from ..core.classification import NonpPartition, nonp_partition
 from ..core.errors import ConstructionError, RejectedMakespanError
+from ..core.fastnum import fast_nonp_test, validate_kernel
 from ..core.instance import Instance, JobRef
 from ..core.numeric import Time, TimeLike, as_time, time_str
 from ..core.schedule import Placement, Schedule
@@ -98,11 +99,17 @@ def nonp_dual_test(instance: Instance, T: TimeLike) -> NonpDual:
 
 @dataclass(eq=False)
 class _It:
-    """One contiguous item in a machine's bottom-to-top item list."""
+    """One contiguous item in a machine's bottom-to-top item list.
+
+    ``length`` is *scaled* time: the construction pre-multiplies every
+    duration by the denominator of ``T`` (the :mod:`repro.core.fastnum`
+    convention), so with the default fast kernel all lengths are exact
+    machine ints; the reference kernel keeps plain rationals (scale 1).
+    """
 
     cls: int
     job: Optional[JobRef]   # None = setup
-    length: Time
+    length: object          # scaled duration: int (fast) or Fraction (reference)
     is_piece: bool = False  # True while this is a partial piece of its job
     from_step3: bool = False
     crossed: bool = False   # pushed its machine past T when placed in step 3
@@ -113,21 +120,37 @@ class _It:
         return self.job is None
 
 
-def _machine_end(items: list[_It]) -> Time:
-    return sum((it.length for it in items), Fraction(0))
+def _machine_end(items: list[_It]):
+    return sum(it.length for it in items) if items else 0
 
 
-def _materialize(instance: Instance, machines: list[list[_It]]) -> Schedule:
-    """Build a Schedule from item lists (prefix-sum start times)."""
+def _materialize(
+    instance: Instance,
+    machines: list[list[_It]],
+    scale: int = 1,
+    trusted: bool = False,
+) -> Schedule:
+    """Build a Schedule from item lists (prefix-sum start times).
+
+    ``scale`` is the common denominator the item lengths were multiplied
+    by; times are divided back out exactly at this single boundary.
+    ``trusted`` skips the per-placement sign checks (prefix sums of
+    positive scaled lengths cannot go negative).
+    """
     schedule = Schedule(instance)
+    add = schedule.append_trusted if trusted else schedule.add
     for u, items in enumerate(machines):
-        t = Fraction(0)
+        t = 0
         for it in items:
-            if it.is_setup:
-                schedule.add(Placement(machine=u, start=t, length=it.length, cls=it.cls))
-            else:
-                assert it.job is not None
-                schedule.add_piece(u, t, it.job, it.length)
+            add(
+                Placement(
+                    machine=u,
+                    start=Fraction(t, scale),
+                    length=Fraction(it.length, scale),
+                    cls=it.cls,
+                    job=it.job,
+                )
+            )
             t += it.length
     return schedule
 
@@ -141,12 +164,22 @@ def _configured_class(items: list[_It], upto: int) -> Optional[int]:
 
 
 def nonp_dual_schedule(
-    instance: Instance, T: TimeLike, stages_out: Optional[dict] = None
+    instance: Instance,
+    T: TimeLike,
+    stages_out: Optional[dict] = None,
+    *,
+    kernel: str = "fast",
 ) -> Schedule:
     """Theorem 9(ii): a feasible non-preemptive schedule ≤ 3T/2.
 
     ``stages_out`` (a dict) receives Figure-10..13 snapshots: Schedules
     materialized after steps 1, 2, 3 and the final repaired schedule.
+
+    With ``kernel="fast"`` every duration is pre-multiplied by the
+    denominator of ``T``, so the whole construction (quotas, splits,
+    machine ends, repairs) is integer-only and times become rationals
+    again only in :func:`_materialize`.  ``kernel="fraction"`` keeps the
+    historical rational arithmetic; both produce identical schedules.
     """
     T = as_time(T)
     dual = nonp_dual_test(instance, T)
@@ -154,10 +187,268 @@ def nonp_dual_schedule(
         raise RejectedMakespanError(
             f"T={time_str(T)} rejected by Theorem 9: {', '.join(dual.reject_reasons)}"
         )
+    if not validate_kernel(kernel):
+        return _nonp_schedule_reference(instance, T, dual, stages_out)
+    D: int = T.denominator          # everything below is scaled by D
+    Ts = T.numerator                # T·D — an int
 
     def snapshot(key: str, machines: list[list["_It"]]) -> None:
         if stages_out is not None:
+            stages_out[key] = _materialize(instance, machines, D, trusted=True)
+    part = dual.partition
+    assert part is not None
+    machines: list[list[_It]] = [[] for _ in range(instance.m)]
+    ends = [0] * instance.m  # running scaled machine ends (valid through step 3)
+    pieces_of: dict[JobRef, list[tuple[int, _It]]] = {}
+    next_machine = 0
+
+    def take_machine() -> int:
+        nonlocal next_machine
+        if next_machine >= instance.m:
+            raise ConstructionError("Algorithm 6 ran out of machines")
+        next_machine += 1
+        return next_machine - 1
+
+    def place(u: int, it: _It) -> _It:
+        machines[u].append(it)
+        ends[u] += it.length
+        if it.job is not None:
+            pieces_of.setdefault(it.job, []).append((u, it))
+        return it
+
+    # ---- step 1: schedule L on m_i machines per class ------------------- #
+    class_machines: dict[int, list[int]] = {i: [] for i in range(instance.c)}
+
+    def wrap_quota(i: int, jobs: list[tuple[JobRef, int]]) -> None:
+        """Wrap ``[s_i, jobs]`` onto fresh machines with job quota T−s_i."""
+        s = instance.setups[i] * D
+        quota_full = Ts - s
+        total = sum(t for _, t in jobs) * D
+        if total <= 0:
+            return
+        k = -(-total // quota_full) if quota_full > 0 else None
+        if k is None or k <= 0:
+            raise ConstructionError(f"class {i}: bad quota at T={time_str(T)}")
+        stream: Iterator[tuple[JobRef, object]] = iter((j, t * D) for j, t in jobs)
+        carry: Optional[tuple[JobRef, object]] = None
+        for b in range(int(k)):
+            u = take_machine()
+            class_machines[i].append(u)
+            place(u, _It(cls=i, job=None, length=s))
+            room = quota_full if b < k - 1 else total - quota_full * (k - 1)
+            while room > 0:
+                if carry is not None:
+                    j, length = carry
+                    carry = None
+                else:
+                    nxt = next(stream, None)
+                    if nxt is None:
+                        break
+                    j, length = nxt
+                put = min(length, room)
+                place(u, _It(cls=i, job=j, length=put,
+                             is_piece=put < instance.job_time(j) * D))
+                room -= put
+                if put < length:
+                    carry = (j, length - put)
+        if carry is not None or next(stream, None) is not None:
+            raise ConstructionError(f"class {i}: quota wrap left residual load")
+
+    for i in range(instance.c):
+        if i in part.exp:
+            wrap_quota(i, list(instance.class_jobs(i)))
+        else:
+            for j in part.big_jobs.get(i, ()):  # C_i ∩ J⁺, one machine each
+                u = take_machine()
+                class_machines[i].append(u)
+                place(u, _It(cls=i, job=None, length=instance.setups[i] * D))
+                place(u, _It(cls=i, job=j, length=instance.job_time(j) * D))
+            k_jobs = [(j, instance.job_time(j)) for j in part.k_jobs.get(i, ())]
+            if k_jobs:
+                wrap_quota(i, k_jobs)
+
+    if next_machine != part.m_total:
+        raise ConstructionError(
+            f"step 1 used {next_machine} machines, expected m'={part.m_total}"
+        )
+    snapshot("step1", machines)
+
+    # ---- step 2: fill C_i \ L onto class-i machines ---------------------- #
+    residual: dict[int, list[tuple[JobRef, object]]] = {}
+    for i in part.chp:
+        l_set = set(part.l_jobs(i))
+        todo: list[tuple[JobRef, object]] = [
+            (j, t * D) for j, t in instance.class_jobs(i) if j not in l_set
+        ]
+        if not todo:
+            continue
+        pos = 0  # pointer into todo; todo[pos] may shrink when split
+        for u in class_machines[i]:
+            room = Ts - ends[u]
+            while room > 0 and pos < len(todo):
+                j, length = todo[pos]
+                put = min(length, room)
+                place(u, _It(cls=i, job=j, length=put,
+                             is_piece=put < instance.job_time(j) * D))
+                room -= put
+                if put < length:
+                    todo[pos] = (j, length - put)
+                else:
+                    pos += 1
+            if pos >= len(todo):
+                break
+        if pos < len(todo):
+            residual[i] = todo[pos:]
+    snapshot("step2", machines)
+
+    # ---- step 3: stream the residual Q over used, then unused machines --- #
+    step3_order: list[tuple[int, _It]] = []
+    q_stream: list[_It] = []
+    for i in sorted(residual):
+        q_stream.append(_It(cls=i, job=None, length=instance.setups[i] * D,
+                            from_step3=True))
+        for j, length in residual[i]:
+            q_stream.append(_It(cls=i, job=j, length=length,
+                                is_piece=length < instance.job_time(j) * D,
+                                from_step3=True))
+    q_iter = iter(q_stream)
+    item = next(q_iter, None)
+    fill_machines = [u for u in range(next_machine) if ends[u] < Ts]
+    fill_machines += list(range(next_machine, instance.m))
+    for u in fill_machines:
+        if item is None:
+            break
+        while item is not None:
+            place(u, item)
+            step3_order.append((u, item))
+            if ends[u] > Ts:
+                item.crossed = True
+                item = next(q_iter, None)
+                break  # crossing item stays; turn to the next machine
+            item = next(q_iter, None)
+    if item is not None:
+        raise ConstructionError("step 3 ran out of machines (R <= (m-m')T violated)")
+    snapshot("step3", machines)
+
+    # ---- step 4a: de-preempt --------------------------------------------- #
+    # A preempted job's pieces sit at the tops of machines: step-1/2 splits
+    # happen exactly when a machine fills (so those pieces end closed, full
+    # machines), while the residual piece streams into step 3.  Consolidate
+    # at a *closed* (non-step-3) machine when one exists: closed machines
+    # never receive step-3 items or step-4b relocations, so de-preemption
+    # growth (< t_j ≤ T/2 above T) cannot stack with a relocated chunk
+    # there.  Consolidating at the step-3 piece first can stack both on one
+    # machine and break the 3T/2 bound (see test_nonpreemptive regression).
+    for from3 in (False, True):
+        for u in range(instance.m):
+            if not machines[u]:
+                continue
+            last = machines[u][-1]
+            if last.is_setup or not last.is_piece or last.from_step3 != from3:
+                continue
+            job = last.job
+            assert job is not None
+            # replace the last piece by the whole parent job, drop siblings
+            for (v, piece) in pieces_of[job]:
+                if piece is last:
+                    continue
+                piece.removed = True
+                machines[v].remove(piece)
+            last.length = instance.job_time(job) * D
+            last.is_piece = False
+            pieces_of[job] = [(u, last)]
+
+    # ---- step 4b: relocate the step-3 crossing items ---------------------- #
+    # "Crossing" is judged at step-3 time (the paper's reading): step 4a's
+    # shift-downs may have pulled an item back below T, but the machine
+    # *transition* it marks still needs its setup carried over.
+    for idx, (u, it) in enumerate(step3_order):
+        if not it.crossed:
+            continue
+        # the item placed next that is still alive anchors the insertion
+        nxt: Optional[tuple[int, _It]] = None
+        for v, cand in step3_order[idx + 1:]:
+            if not cand.removed:
+                nxt = (v, cand)
+                break
+        if nxt is None:
+            # q ends Q.  If (post step-4a) it no longer exceeds T, it stays.
+            # Otherwise it moves to the next machine in fill order — the
+            # paper's "passes away its last item to u+" with no anchor item.
+            # A target always exists: used fill machines keep load < T slack
+            # by the x_i accounting, and crossed machines satisfy
+            # k·T < R ≤ (m−m')T, leaving a fresh machine otherwise.
+            if it.removed or _machine_end(machines[u]) <= Ts or machines[u][-1] is not it:
+                break
+            machines[u].remove(it)
+            if it.job is None:
+                break  # a trailing setup is simply dropped
+            pos_u = fill_machines.index(u)
+            target = next(
+                (v for v in fill_machines[pos_u + 1:] if _machine_end(machines[v]) <= Ts),
+                None,
+            )
+            if target is None:
+                target = next((v for v in range(instance.m) if not machines[v]), None)
+            if target is None:
+                raise ConstructionError("no machine available for the final crossing item")
+            machines[target].append(
+                _It(cls=it.cls, job=None, length=instance.setups[it.cls] * D)
+            )
+            machines[target].append(it)
+            break
+        v, anchor = nxt
+        pos = machines[v].index(anchor)
+        if it.removed:
+            # The crossing item was a job piece whose parent was re-homed by
+            # step 4a.  The continuation on machine v still needs a setup if
+            # the anchor is a mid-class job; cost ≤ s_i ≤ T/2, same bound as
+            # a regular move.
+            if anchor.job is not None and _configured_class(machines[v], pos) != anchor.cls:
+                machines[v].insert(
+                    pos,
+                    _It(cls=anchor.cls, job=None, length=instance.setups[anchor.cls] * D),
+                )
+            continue
+        machines[u].remove(it)
+        if it.job is not None:
+            setup = _It(cls=it.cls, job=None, length=instance.setups[it.cls] * D)
+            machines[v].insert(pos, setup)
+            machines[v].insert(pos + 1, it)
+        else:
+            machines[v].insert(pos, it)
+
+    # ---- cleanup: drop trailing setups ------------------------------------ #
+    for items in machines:
+        while items and items[-1].is_setup:
+            items.pop()
+
+    # ---- materialize ------------------------------------------------------ #
+    schedule = _materialize(instance, machines, D, trusted=True)
+    snapshot("step4", machines)
+    return schedule
+
+
+def _nonp_schedule_reference(
+    instance: Instance, T: Time, dual: NonpDual, stages_out: Optional[dict]
+) -> Schedule:
+    """The pre-kernel Algorithm-6 construction (reference path).
+
+    Kept verbatim from the Fraction-only implementation — per-item exact
+    rationals, machine ends recomputed by summation — as the differential
+    and benchmark baseline for the scaled-integer path.  The only change
+    tracked from the original is the step-4a consolidation order (the
+    non-step-3 preference), which is a correctness fix shared by both
+    kernels.  Do not optimize this function.
+    """
+
+    def frac_end(items: list[_It]) -> Time:
+        return sum((it.length for it in items), Fraction(0))
+
+    def snapshot(key: str, machines: list[list[_It]]) -> None:
+        if stages_out is not None:
             stages_out[key] = _materialize(instance, machines)
+
     part = dual.partition
     assert part is not None
     machines: list[list[_It]] = [[] for _ in range(instance.m)]
@@ -246,7 +537,7 @@ def nonp_dual_schedule(
             continue
         pos = 0  # pointer into todo; todo[pos] may shrink when split
         for u in class_machines[i]:
-            room = T - _machine_end(machines[u])
+            room = T - frac_end(machines[u])
             while room > 0 and pos < len(todo):
                 j, length = todo[pos]
                 put = min(length, room)
@@ -273,7 +564,7 @@ def nonp_dual_schedule(
                                 is_piece=length < instance.job_time(j), from_step3=True))
     q_iter = iter(q_stream)
     item = next(q_iter, None)
-    fill_machines = [u for u in range(next_machine) if _machine_end(machines[u]) < T]
+    fill_machines = [u for u in range(next_machine) if frac_end(machines[u]) < T]
     fill_machines += list(range(next_machine, instance.m))
     for u in fill_machines:
         if item is None:
@@ -281,7 +572,7 @@ def nonp_dual_schedule(
         while item is not None:
             place(u, item)
             step3_order.append((u, item))
-            if _machine_end(machines[u]) > T:
+            if frac_end(machines[u]) > T:
                 item.crossed = True
                 item = next(q_iter, None)
                 break  # crossing item stays; turn to the next machine
@@ -290,53 +581,44 @@ def nonp_dual_schedule(
         raise ConstructionError("step 3 ran out of machines (R <= (m-m')T violated)")
     snapshot("step3", machines)
 
-    # ---- step 4a: de-preempt --------------------------------------------- #
-    for u in range(instance.m):
-        if not machines[u]:
-            continue
-        last = machines[u][-1]
-        if last.is_setup or not last.is_piece:
-            continue
-        job = last.job
-        assert job is not None
-        # replace the last piece by the whole parent job, drop siblings
-        for (v, piece) in pieces_of[job]:
-            if piece is last:
+    # ---- step 4a: de-preempt (non-step-3 pieces first; see fast path) ----- #
+    for from3 in (False, True):
+        for u in range(instance.m):
+            if not machines[u]:
                 continue
-            piece.removed = True
-            machines[v].remove(piece)
-        last.length = Fraction(instance.job_time(job))
-        last.is_piece = False
-        pieces_of[job] = [(u, last)]
+            last = machines[u][-1]
+            if last.is_setup or not last.is_piece or last.from_step3 != from3:
+                continue
+            job = last.job
+            assert job is not None
+            # replace the last piece by the whole parent job, drop siblings
+            for (v, piece) in pieces_of[job]:
+                if piece is last:
+                    continue
+                piece.removed = True
+                machines[v].remove(piece)
+            last.length = Fraction(instance.job_time(job))
+            last.is_piece = False
+            pieces_of[job] = [(u, last)]
 
     # ---- step 4b: relocate the step-3 crossing items ---------------------- #
-    # "Crossing" is judged at step-3 time (the paper's reading): step 4a's
-    # shift-downs may have pulled an item back below T, but the machine
-    # *transition* it marks still needs its setup carried over.
     for idx, (u, it) in enumerate(step3_order):
         if not it.crossed:
             continue
-        # the item placed next that is still alive anchors the insertion
         nxt: Optional[tuple[int, _It]] = None
         for v, cand in step3_order[idx + 1:]:
             if not cand.removed:
                 nxt = (v, cand)
                 break
         if nxt is None:
-            # q ends Q.  If (post step-4a) it no longer exceeds T, it stays.
-            # Otherwise it moves to the next machine in fill order — the
-            # paper's "passes away its last item to u+" with no anchor item.
-            # A target always exists: used fill machines keep load < T slack
-            # by the x_i accounting, and crossed machines satisfy
-            # k·T < R ≤ (m−m')T, leaving a fresh machine otherwise.
-            if it.removed or _machine_end(machines[u]) <= T or machines[u][-1] is not it:
+            if it.removed or frac_end(machines[u]) <= T or machines[u][-1] is not it:
                 break
             machines[u].remove(it)
             if it.job is None:
                 break  # a trailing setup is simply dropped
             pos_u = fill_machines.index(u)
             target = next(
-                (v for v in fill_machines[pos_u + 1:] if _machine_end(machines[v]) <= T),
+                (v for v in fill_machines[pos_u + 1:] if frac_end(machines[v]) <= T),
                 None,
             )
             if target is None:
@@ -351,13 +633,10 @@ def nonp_dual_schedule(
         v, anchor = nxt
         pos = machines[v].index(anchor)
         if it.removed:
-            # The crossing item was a job piece whose parent was re-homed by
-            # step 4a.  The continuation on machine v still needs a setup if
-            # the anchor is a mid-class job; cost ≤ s_i ≤ T/2, same bound as
-            # a regular move.
             if anchor.job is not None and _configured_class(machines[v], pos) != anchor.cls:
                 machines[v].insert(
-                    pos, _It(cls=anchor.cls, job=None, length=Fraction(instance.setups[anchor.cls]))
+                    pos,
+                    _It(cls=anchor.cls, job=None, length=Fraction(instance.setups[anchor.cls])),
                 )
             continue
         machines[u].remove(it)
@@ -373,17 +652,28 @@ def nonp_dual_schedule(
         while items and items[-1].is_setup:
             items.pop()
 
-    # ---- materialize ------------------------------------------------------ #
     schedule = _materialize(instance, machines)
     snapshot("step4", machines)
     return schedule
 
 
-def three_halves_nonpreemptive(instance: Instance) -> SearchResult:
-    """Theorem 8 — 3/2-approximation in ``O(n log(n+Δ))``."""
+def three_halves_nonpreemptive(instance: Instance, *, kernel: str = "fast") -> SearchResult:
+    """Theorem 8 — 3/2-approximation in ``O(n log(n+Δ))``.
+
+    ``kernel="fast"`` (default) probes the Theorem-9 test through the
+    scaled-integer kernel (:func:`repro.core.fastnum.fast_nonp_test`);
+    ``kernel="fraction"`` keeps the exact-rational reference path.  Both
+    make identical accept/reject decisions (differential-tested), hence
+    return identical schedules.
+    """
+    if validate_kernel(kernel):
+        ctx = instance.fast_ctx()
+        accept = lambda T: fast_nonp_test(ctx, T.numerator, T.denominator).accepted
+    else:
+        accept = lambda T: nonp_dual_test(instance, T).accepted
     return integer_search_dual(
         instance,
         Variant.NONPREEMPTIVE,
-        accept=lambda T: nonp_dual_test(instance, T).accepted,
-        build=lambda T: nonp_dual_schedule(instance, T),
+        accept=accept,
+        build=lambda T: nonp_dual_schedule(instance, T, kernel=kernel),
     )

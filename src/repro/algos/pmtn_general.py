@@ -44,9 +44,12 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Literal, Optional
 
+from functools import cmp_to_key
+
 from ..core.bounds import setup_plus_tmax
 from ..core.classification import PmtnPartition, pmtn_partition
 from ..core.errors import ConstructionError, RejectedMakespanError
+from ..core.fastnum import count_scaled, knapsack_order_cmp, validate_kernel
 from ..core.instance import Instance, JobRef
 from ..core.knapsack import ContinuousSolution, KnapsackItem, solve_continuous
 from ..core.numeric import Time, TimeLike, as_time, time_str
@@ -199,6 +202,189 @@ def pmtn_dual_test(instance: Instance, T: TimeLike, mode: CountMode = "alpha") -
     )
 
 
+def pmtn_dual_test_fast(instance: Instance, T: TimeLike, mode: CountMode = "alpha") -> PmtnDual:
+    """:func:`pmtn_dual_test` on the scaled-integer kernel.
+
+    Produces the same :class:`PmtnDual` field for field — including the
+    partition, the continuous-knapsack solution (same greedy order, same
+    split fraction) and the reject reasons — but runs the per-class and
+    per-job arithmetic on machine ints with ``T = tn/td`` cross-multiplied
+    out (weights and capacity at scale ``2·td``).  The differential suite
+    asserts the equivalence on every generator-suite instance; the fast
+    construction path uses this to avoid the reference's Fraction scans.
+
+    .. note:: KEEP IN SYNC — three implementations of the Theorem-5 test
+       coexist on purpose: :func:`pmtn_dual_test` (Fraction reference),
+       :func:`repro.core.fastnum.fast_pmtn_test` (verdict-only, the flip
+       search's hot path — it skips the partition/JobRef materialization
+       this function needs) and this full fast dual.  Any change to the
+       classification boundaries, counts, F/L*/Y scaling or the knapsack
+       rule must land in all three; ``tests/test_fastnum_differential.py``
+       probes all of them at the same points and is the gate.
+    """
+    T = as_time(T)
+    if T <= 0:
+        raise ValueError("T must be positive")
+    ctx = instance.fast_ctx()
+    tn, td = T.numerator, T.denominator
+    m, setups, P, jobs = ctx.m, ctx.setups, ctx.P, instance.jobs
+
+    # ---- partition (Section 4.1/4.2) in integer arithmetic -------------- #
+    exp: list[int] = []
+    chp: list[int] = []
+    exp_plus: list[int] = []
+    exp_zero: list[int] = []
+    exp_minus: list[int] = []
+    chp_plus: list[int] = []
+    chp_minus: list[int] = []
+    chp_star: list[int] = []
+    star_jobs: dict[int, tuple[JobRef, ...]] = {}
+    for i in range(ctx.c):
+        s = setups[i]
+        std2 = 2 * s * td
+        total = s + P[i]
+        if std2 > tn:  # s_i > T/2
+            exp.append(i)
+            if total * td >= tn:
+                exp_plus.append(i)
+            elif 4 * total * td > 3 * tn:
+                exp_zero.append(i)
+            else:
+                exp_minus.append(i)
+        else:
+            chp.append(i)
+            if 2 * std2 >= tn:  # s_i ≥ T/4
+                chp_plus.append(i)
+            else:
+                chp_minus.append(i)
+                if 2 * (s + ctx.class_tmax[i]) * td > tn:  # C*_i ≠ ∅
+                    thr = (tn - std2) // (2 * td)  # t > thr ⟺ s_i + t > T/2
+                    stars = tuple(
+                        JobRef(i, idx) for idx, t in enumerate(jobs[i]) if t > thr
+                    )
+                    chp_star.append(i)
+                    star_jobs[i] = stars
+    part = PmtnPartition(
+        instance=instance, T=T, exp=tuple(exp), chp=tuple(chp),
+        exp_plus=tuple(exp_plus), exp_zero=tuple(exp_zero),
+        exp_minus=tuple(exp_minus), chp_plus=tuple(chp_plus),
+        chp_minus=tuple(chp_minus), chp_star=tuple(chp_star),
+        star_jobs=star_jobs,
+    )
+
+    if tn < ctx.spt * td:
+        # Note 1: OPT ≥ max_i (s_i + t^(i)_max) > T.
+        return PmtnDual(
+            T=T, mode=mode, case="trivial", partition=part, counts={}, l=0,
+            F=Fraction(0), L_star=Fraction(0), demand_star=Fraction(0),
+            knapsack=None, unselected=(), split_class=None,
+            load=Fraction(ctx.total_load), machines_needed=0,
+            accepted=False, reject_reasons=("T < max(s_i + t_max^i)",),
+        )
+
+    counts = {i: count_scaled(mode, tn, td, setups[i], P[i]) for i in exp_plus}
+    l = len(exp_zero)
+    m_prime = l + sum(counts.values()) + (-(-len(exp_minus) // 2))
+
+    base = sum(counts[i] * setups[i] + P[i] for i in exp_plus)
+    base += sum(setups[i] + P[i] for i in exp_minus)
+    base += sum(setups[i] + P[i] for i in chp_plus)
+    F2 = 2 * (m - l) * tn - 2 * base * td  # F · 2td
+
+    td2 = 2 * td
+    lstar2 = 0   # L_star · 2td
+    demand = 0   # Σ_{I*chp}(s_i + P_i) — an int
+    star_data: list[tuple[int, int]] = []  # per chp_star: (|C*_i|, p*_i)
+    for i in chp_star:
+        s = setups[i]
+        stars = star_jobs[i]
+        cnt = len(stars)
+        p_star = sum(jobs[i][j.idx] for j in stars)
+        star_data.append((cnt, p_star))
+        demand += s + P[i]
+        lstar2 += td2 * (s + p_star) - cnt * (tn - 2 * s * td)
+
+    load = ctx.total_processing
+    load += sum(counts[i] * setups[i] for i in exp_plus)
+    exp_plus_set = set(exp_plus)
+    load += sum(setups[i] for i in range(ctx.c) if i not in exp_plus_set)
+
+    reasons: list[str] = []
+    knap: Optional[ContinuousSolution] = None
+    unselected: tuple[int, ...] = ()
+    split_class: Optional[int] = None
+
+    if part.is_nice:
+        case: Case = "nice"
+        accepted = m * tn >= load * td and m >= m_prime
+        if not accepted:
+            if m * tn < load * td:
+                reasons.append("mT < L_nice")
+            if m < m_prime:
+                reasons.append("m < m_nice")
+    elif F2 < demand * td2:
+        case = "3a"
+        Y2 = F2 - lstar2
+        if Y2 < 0:
+            reasons.append("F < L* (obligatory outside load exceeds residual time)")
+            accepted = False
+        else:
+            # Continuous knapsack at scale 2td: same greedy order and split
+            # fraction as knapsack.solve_continuous on the Fraction weights.
+            items = [
+                (i, setups[i], td2 * (P[i] - p_star) + cnt * (tn - 2 * setups[i] * td))
+                for i, (cnt, p_star) in zip(chp_star, star_data)
+            ]
+            order = sorted(items, key=cmp_to_key(knapsack_order_cmp))
+            fracs: dict[int, Fraction] = {i: Fraction(0) for i in chp_star}
+            value = Fraction(0)
+            used = Fraction(0)
+            if Y2 > 0:
+                rem2 = Y2
+                for i, profit, w2 in order:
+                    if rem2 <= 0:
+                        break
+                    if w2 <= rem2:
+                        fracs[i] = Fraction(1)
+                        value += profit
+                        used += Fraction(w2, td2)
+                        rem2 -= w2
+                    else:
+                        fr = Fraction(rem2, w2)
+                        fracs[i] = fr
+                        value += profit * fr
+                        used += Fraction(rem2, td2)
+                        split_class = i
+                        break
+            knap = ContinuousSolution(
+                fractions=fracs, value=value, used_capacity=used,
+                split_key=split_class,
+            )
+            unselected = tuple(sorted(k for k, v in fracs.items() if v == 0))
+            load += sum(setups[i] for i in unselected)
+            accepted = m * tn >= load * td and m >= m_prime
+            if m * tn < load * td:
+                reasons.append("mT < L_pmtn")
+            if m < m_prime:
+                reasons.append("m < m'")
+    else:
+        case = "3b"
+        accepted = m * tn >= load * td and m >= m_prime
+        if m * tn < load * td:
+            reasons.append("mT < L_pmtn")
+        if m < m_prime:
+            reasons.append("m < m'")
+
+    return PmtnDual(
+        T=T, mode=mode, case=case, partition=part, counts=counts, l=l,
+        F=Fraction(F2, td2), L_star=Fraction(lstar2, td2),
+        demand_star=Fraction(demand), knapsack=knap,
+        unselected=unselected, split_class=split_class,
+        load=Fraction(load), machines_needed=m_prime,
+        accepted=accepted, reject_reasons=tuple(reasons),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # construction
 # --------------------------------------------------------------------------- #
@@ -217,11 +403,23 @@ class PmtnBuildParts:
 
 def pmtn_dual_schedule(
     instance: Instance, T: TimeLike, mode: CountMode = "alpha",
-    *, parts_out: Optional[PmtnBuildParts] = None,
+    *, parts_out: Optional[PmtnBuildParts] = None, kernel: str = "fast",
 ) -> Schedule:
-    """Theorem 5(ii)/4(ii): build a ≤ 3T/2 schedule for an accepted ``T``."""
+    """Theorem 5(ii)/4(ii): build a ≤ 3T/2 schedule for an accepted ``T``.
+
+    ``kernel="fast"`` reuses the instance's cached Fraction job views and
+    routes the wrap engine through its scaled-integer path;
+    ``kernel="fraction"`` rebuilds every view per call (the historical
+    reference).  Both produce identical placements.
+    """
     T = as_time(T)
-    dual = pmtn_dual_test(instance, T, mode)
+    fast = validate_kernel(kernel)
+    if fast:
+        jobs_of = instance.class_jobs_frac
+        dual = pmtn_dual_test_fast(instance, T, mode)
+    else:
+        jobs_of = lambda cls: [(j, Fraction(t)) for j, t in instance.class_jobs(cls)]
+        dual = pmtn_dual_test(instance, T, mode)
     if not dual.accepted:
         raise RejectedMakespanError(
             f"T={time_str(T)} rejected by Theorem 5: {', '.join(dual.reject_reasons)}"
@@ -233,7 +431,10 @@ def pmtn_dual_schedule(
     if dual.case == "nice":
         from .pmtn_nice import full_view
 
-        schedule_nice_view(schedule, T, full_view(instance), list(range(instance.m)), mode)
+        schedule_nice_view(
+            schedule, T, full_view(instance), list(range(instance.m)), mode,
+            exact_ints=fast, trusted_views=fast,
+        )
         return schedule
 
     # ---- step 1: large machines ---------------------------------------- #
@@ -243,8 +444,8 @@ def pmtn_dual_schedule(
         t = half
         schedule.add_setup(u, t, i)
         t += instance.setups[i]
-        for job, length in instance.class_jobs(i):
-            schedule.add_piece(u, t, job, Fraction(length))
+        for job, length in jobs_of(i):
+            schedule.add_piece(u, t, job, length)
             t += length
 
     residual = list(range(l, instance.m))
@@ -252,7 +453,7 @@ def pmtn_dual_schedule(
     # ---- steps 2-3: split the cheap-light load -------------------------- #
     view: NiceView = {}
     for i in tuple(part.exp_plus) + tuple(part.exp_minus) + tuple(part.chp_plus):
-        view[i] = [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
+        view[i] = jobs_of(i)
 
     k_items: dict[int, list[tuple[JobRef, Time]]] = {}  # class -> bottom items
 
@@ -264,18 +465,18 @@ def pmtn_dual_schedule(
             x = knap.x(i)
             stars = set(part.big_jobs(i))
             if x == 1:
-                view[i] = [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
+                view[i] = jobs_of(i)
             elif i == e:
                 nice_items: list[tuple[JobRef, Time]] = []
                 bottom_items: list[tuple[JobRef, Time]] = []
-                for j, t in instance.class_jobs(i):
+                for j, t in jobs_of(i):
                     if j in stars:
                         t1, t2 = _star_piece_lengths(instance, T, i, j)
                         t_hi = x * t1 + t2          # j^[2] — outside
                         t_lo = (1 - x) * t1         # j^[1] — bottoms
                     else:
-                        t_hi = x * Fraction(t)
-                        t_lo = (1 - x) * Fraction(t)
+                        t_hi = x * t
+                        t_lo = (1 - x) * t
                     if t_hi > 0:
                         nice_items.append((j, t_hi))
                     if t_lo > 0:
@@ -286,14 +487,14 @@ def pmtn_dual_schedule(
             else:  # unselected: obligatory pieces outside, rest to bottoms
                 nice_items = []
                 bottom_items = []
-                for j, t in instance.class_jobs(i):
+                for j, t in jobs_of(i):
                     if j in stars:
                         t1, t2 = _star_piece_lengths(instance, T, i, j)
                         nice_items.append((j, t2))
                         if t1 > 0:
                             bottom_items.append((j, t1))
                     else:
-                        bottom_items.append((j, Fraction(t)))
+                        bottom_items.append((j, t))
                 if nice_items:
                     view[i] = nice_items
                 if bottom_items:
@@ -302,11 +503,11 @@ def pmtn_dual_schedule(
         for i in part.chp_minus:
             if i in part.chp_star:
                 continue
-            k_items[i] = [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
+            k_items[i] = jobs_of(i)
     else:  # case 3b
         # all of I*chp goes outside in full
         for i in part.chp_star:
-            view[i] = [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
+            view[i] = jobs_of(i)
         # greedily fill Q1 (outside) with I⁻chp \ I*chp up to F − demand_star
         target = dual.F - dual.demand_star
         acc = Fraction(0)
@@ -315,7 +516,7 @@ def pmtn_dual_schedule(
             s = Fraction(instance.setups[i])
             block = s + Fraction(instance.processing(i))
             if acc + block <= target:
-                view[i] = [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
+                view[i] = jobs_of(i)
                 acc += block
                 continue
             room = target - acc - s  # job load affordable after the setup
@@ -323,8 +524,7 @@ def pmtn_dual_schedule(
                 nice_items = []
                 bottom_items = []
                 filled = Fraction(0)
-                for j, t in instance.class_jobs(i):
-                    t = Fraction(t)
+                for j, t in jobs_of(i):
                     hi = min(t, max(Fraction(0), room - filled))
                     if hi > 0:
                         nice_items.append((j, hi))
@@ -335,19 +535,21 @@ def pmtn_dual_schedule(
                 if bottom_items:
                     k_items[i] = bottom_items
                 for j2 in rest[idx + 1:]:
-                    k_items[j2] = [(j, Fraction(t)) for j, t in instance.class_jobs(j2)]
+                    k_items[j2] = jobs_of(j2)
             else:
                 # cannot even afford this class's setup outside: the whole
                 # tail goes to the bottoms (Q1 stays slightly underfilled —
                 # shortfall < s_i ≤ T/4, absorbed by the ω slack; see module
                 # docstring and the fuzz tests).
                 for j2 in rest[idx:]:
-                    k_items[j2] = [(j, Fraction(t)) for j, t in instance.class_jobs(j2)]
+                    k_items[j2] = jobs_of(j2)
             break
 
     # ---- nice instance on the residual machines ------------------------- #
     view = {i: items for i, items in view.items() if items}
-    schedule_nice_view(schedule, T, view, residual, mode)
+    schedule_nice_view(
+        schedule, T, view, residual, mode, exact_ints=fast, trusted_views=fast
+    )
 
     # ---- step 4: K at the bottoms of the large machines ------------------ #
     quarter = T / 4
@@ -384,7 +586,10 @@ def pmtn_dual_schedule(
             raise ConstructionError("no large machines left for K-")
         gaps = [(l_prime, Fraction(0), half)]
         gaps += [(l_prime + r, quarter, half) for r in range(1, l - l_prime)]
-        wrap(schedule, WrapSequence.of(k_minus_batches), WrapTemplate.of(gaps))
+        wrap(
+            schedule, WrapSequence.of(k_minus_batches), WrapTemplate.of(gaps),
+            exact_ints=fast,
+        )
 
     if parts_out is not None:
         parts_out.dual = dual

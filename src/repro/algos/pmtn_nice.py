@@ -51,15 +51,17 @@ from ..core.wrapping import Batch, WrapSequence, WrapTemplate, wrap
 CountMode = Literal["alpha", "gamma"]
 
 #: A view: class index -> items (job pieces) to schedule for that class.
-NiceView = dict[int, list[tuple[JobRef, Time]]]
+#: Item sequences are only ever iterated, so cached tuples are fine.
+NiceView = dict[int, Sequence[tuple[JobRef, Time]]]
 
 
 def full_view(instance: Instance) -> NiceView:
-    """The identity view: every class with all of its jobs."""
-    return {
-        i: [(j, Fraction(t)) for j, t in instance.class_jobs(i)]
-        for i in range(instance.c)
-    }
+    """The identity view: every class with all of its jobs.
+
+    Uses the instance's cached Fraction job views — building this per call
+    used to dominate the preemptive construction on large instances.
+    """
+    return {i: instance.class_jobs_frac(i) for i in range(instance.c)}
 
 
 def view_processing(view: NiceView, cls: int) -> Time:
@@ -195,6 +197,9 @@ def schedule_nice_view(
     view: NiceView,
     machines: Sequence[int],
     mode: CountMode = "alpha",
+    *,
+    exact_ints: bool = True,
+    trusted_views: bool = False,
 ) -> None:
     """Algorithm 2 on a view, placing onto ``machines`` (ascending order).
 
@@ -287,9 +292,19 @@ def schedule_nice_view(
             t += length
 
     # ---- step 3: wrap the cheap classes -------------------------------- #
-    cheap_batches = [
-        Batch.of(i, [(j, t) for j, t in view[i] if t > 0]) for i in part.cheap
-    ]
+    if trusted_views:
+        # Internal fast path only: views built by Algorithm 3 / full_view
+        # are pre-validated (JobRef class, positive lengths after the
+        # filter), so skip Batch.of's per-item checks.  External callers
+        # keep the checks regardless of the wrap engine in use.
+        cheap_batches = [
+            Batch(cls=i, items=tuple((j, t) for j, t in view[i] if t > 0))
+            for i in part.cheap
+        ]
+    else:
+        cheap_batches = [
+            Batch.of(i, [(j, t) for j, t in view[i] if t > 0]) for i in part.cheap
+        ]
     sequence = WrapSequence.of(cheap_batches)
     if not sequence.batches:
         return
@@ -299,7 +314,7 @@ def schedule_nice_view(
     gaps += [(machines[r], half, 3 * half) for r in range(cursor, len(machines))]
     if not gaps:
         raise ConstructionError("no gaps left for cheap classes (L_nice bound violated)")
-    wrap(schedule, sequence, WrapTemplate.of(gaps))
+    wrap(schedule, sequence, WrapTemplate.of(gaps), exact_ints=exact_ints)
 
 
 def nice_dual_schedule(

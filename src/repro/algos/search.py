@@ -17,6 +17,13 @@ A ρ-dual approximation (Hochbaum–Shmoys) takes the input and a makespan
 * :func:`slow_flip_splittable` — an O(#pieces) reference computation of the
   exact acceptance flip point ``T* = min{T : accepted}`` for the splittable
   dual, used to cross-validate Algorithm 1 in tests and ablations.
+
+The searches are kernel-agnostic: ``accept`` is a black box, and the
+callers (:mod:`repro.algos.api`, :mod:`repro.algos.nonpreemptive`) wire it
+to either the scaled-integer kernel (:mod:`repro.core.fastnum`, default)
+or the Fraction reference tests.  Every probed ``T`` is an exact rational,
+so both kernels see identical probe sequences and return identical
+results.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from fractions import Fraction
 from ..core.bounds import Variant, t_min
 from ..core.classification import beta, split_expensive_cheap
 from ..core.errors import RejectedMakespanError
+from ..core.fastnum import ceil_div, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, TimeLike, as_time, time_str
 from ..core.schedule import Schedule
@@ -77,13 +78,57 @@ def split_dual_test(instance: Instance, T: TimeLike) -> SplitDual:
     )
 
 
-def split_dual_schedule(instance: Instance, T: TimeLike) -> Schedule:
+def split_dual_test_fast(instance: Instance, T: TimeLike) -> SplitDual:
+    """:func:`split_dual_test` on the scaled-integer kernel.
+
+    Same ``SplitDual`` field for field (the differential suite asserts
+    it); the per-class β and load arithmetic runs on machine ints with
+    ``T = tn/td`` cross-multiplied out.
+    """
+    T = as_time(T)
+    if T <= 0:
+        raise ValueError("T must be positive")
+    tn, td = T.numerator, T.denominator
+    ctx = instance.fast_ctx()
+    exp: list[int] = []
+    chp: list[int] = []
+    betas: dict[int, int] = {}
+    load = ctx.total_processing
+    m_exp = 0
+    setups, P = ctx.setups, ctx.P
+    for i in range(ctx.c):
+        s = setups[i]
+        if 2 * s * td > tn:
+            b = ceil_div(2 * P[i] * td, tn)
+            exp.append(i)
+            betas[i] = b
+            load += b * s
+            m_exp += b
+        else:
+            chp.append(i)
+            load += s
+    return SplitDual(
+        T=T,
+        exp=tuple(exp),
+        chp=tuple(chp),
+        betas=betas,
+        load=Fraction(load),
+        machines_exp=m_exp,
+        accepted=ctx.m * tn >= load * td and ctx.m >= m_exp,
+    )
+
+
+def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast") -> Schedule:
     """Theorem 7(ii): build a feasible schedule with makespan ≤ 3T/2.
 
     Raises :class:`RejectedMakespanError` when ``T`` fails the dual test.
+    ``kernel="fast"`` routes the wrap engine through its scaled-integer
+    path and reuses the instance's cached job views; ``"fraction"`` is the
+    rational reference.  Both produce identical placements.
     """
     T = as_time(T)
-    dual = split_dual_test(instance, T)
+    fast = validate_kernel(kernel)
+    dual = split_dual_test_fast(instance, T) if fast else split_dual_test(instance, T)
     if not dual.accepted:
         raise RejectedMakespanError(
             f"T={time_str(T)} rejected: load={time_str(dual.load)} vs "
@@ -91,6 +136,7 @@ def split_dual_schedule(instance: Instance, T: TimeLike) -> Schedule:
         )
     schedule = Schedule(instance)
     half = T / 2
+    jobs_of = instance.class_jobs_frac if fast else instance.class_jobs
 
     # ---- step 1: expensive classes ---------------------------------- #
     next_machine = 0
@@ -101,7 +147,12 @@ def split_dual_schedule(instance: Instance, T: TimeLike) -> Schedule:
         gaps = [(next_machine, Fraction(0), s + half)]
         gaps += [(next_machine + r, s, s + half) for r in range(1, b)]
         template = WrapTemplate.of(gaps)
-        wrap(schedule, WrapSequence.single_class(i, instance.class_jobs(i)), template)
+        if fast:
+            # cached views are pre-validated: skip Batch.of's per-item checks
+            sequence = WrapSequence((Batch(cls=i, items=jobs_of(i)),))
+        else:
+            sequence = WrapSequence.single_class(i, jobs_of(i))
+        wrap(schedule, sequence, template, exact_ints=fast)
         u_last = next_machine + b - 1
         last_machines.append((i, u_last))
         next_machine += b
@@ -110,17 +161,27 @@ def split_dual_schedule(instance: Instance, T: TimeLike) -> Schedule:
     if dual.chp:
         gaps = []
         for i, u in last_machines:
-            load_u = schedule.machine_load(u)
+            if fast:
+                # Wrap fills every gap but the last completely, so the last
+                # machine's load is s_i + P_i − (β_i−1)·T/2 — no need to
+                # re-sum its placements.
+                load_u = (
+                    Fraction(instance.setups[i] + instance.class_processing[i])
+                    - (dual.betas[i] - 1) * half
+                )
+            else:
+                load_u = schedule.machine_load(u)
             if load_u < T:
                 # Reserve [L, L+T/2] for one cheap setup below the gap.
                 gaps.append((u, load_u + half, 3 * half))
         for u in range(next_machine, instance.m):
             gaps.append((u, half, 3 * half))
         template = WrapTemplate.of(gaps)
-        sequence = WrapSequence.of(
-            [Batch.of(i, instance.class_jobs(i)) for i in dual.chp]
-        )
-        wrap(schedule, sequence, template)
+        if fast:
+            sequence = WrapSequence(tuple(Batch(cls=i, items=jobs_of(i)) for i in dual.chp))
+        else:
+            sequence = WrapSequence.of([Batch.of(i, jobs_of(i)) for i in dual.chp])
+        wrap(schedule, sequence, template, exact_ints=fast)
 
     return schedule
 

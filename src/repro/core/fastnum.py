@@ -1,0 +1,394 @@
+"""Scaled-integer fast kernel for the dual-test hot path.
+
+The per-``T`` dual tests of Theorems 5, 7 and 9 are probed ``O(log)`` times
+per solve by the binary searches and Class Jumping.  The reference
+implementations (:mod:`repro.algos.splittable` /
+:mod:`repro.algos.pmtn_general` / :mod:`repro.algos.nonpreemptive`)
+manipulate :class:`fractions.Fraction` throughout, paying an object
+allocation plus a gcd normalization per arithmetic step.  This module
+re-derives the same accept/reject decisions on machine integers.
+
+**Representation.**  A makespan guess ``T = tn/td`` is carried as the exact
+integer pair ``(tn, td)`` — its :class:`~fractions.Fraction`
+numerator/denominator — and every derived quantity is pre-multiplied by the
+scale ``td`` (or ``2·td`` where half-``T`` resolution is needed), making it
+an exact machine integer:
+
+* ``T − s_i``       →  ``tn − s_i·td``
+* ``T/2`` vs ``s_i``→  ``tn`` vs ``2·s_i·td``
+* ``α_i = ⌈P_i/(T−s_i)⌉`` → ``ceil_div(P_i·td, tn − s_i·td)``
+* ``m·T ≥ L``       →  ``m·tn ≥ L·td``      (``L`` is always an integer)
+
+Comparisons become integer cross-multiplications, so the accept/reject
+boundary is **bit-exact** against the Fraction reference — proven by the
+differential suite (``tests/test_fastnum_differential.py``) on every
+generator-suite instance.  A fixed per-solve scale (e.g. ``D = 2m``) would
+*not* be exact: Class-Jumping candidates ``2P_i/k`` have denominators ``k ≤
+2m`` that need not divide ``2m``, and ε-search midpoints pick up powers of
+two — hence the per-``T`` denominator.
+
+:class:`DualContext` is the per-instance probe context: integer aggregates
+plus per-class sorted job views (with prefix sums) that turn the per-class
+job scans of the preemptive/non-preemptive tests into ``O(log n_i)``
+bisections.  It is built once per instance (``Instance.fast_ctx()``) and
+reused across all probes of a solve.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from fractions import Fraction
+from functools import cmp_to_key
+from typing import TYPE_CHECKING, NamedTuple, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .instance import Instance
+
+__all__ = [
+    "DualContext",
+    "SplitVerdict",
+    "NonpVerdict",
+    "PmtnVerdict",
+    "as_pair",
+    "ceil_div",
+    "floor_div",
+    "scale_int",
+    "fast_split_test",
+    "fast_nonp_test",
+    "fast_pmtn_test",
+    "fast_base_core",
+    "count_scaled",
+    "knapsack_order_cmp",
+    "validate_kernel",
+]
+
+
+def validate_kernel(kernel: str) -> bool:
+    """Check a ``kernel=`` argument; returns True iff it is ``"fast"``.
+
+    Every public entry point that dispatches on the kernel name calls
+    this, so a typo'd kernel raises instead of silently running the slow
+    reference path.
+    """
+    if kernel not in ("fast", "fraction"):
+        raise ValueError(f"unknown kernel {kernel!r}; expected 'fast' or 'fraction'")
+    return kernel == "fast"
+
+
+def knapsack_order_cmp(a: tuple[int, int, int], b: tuple[int, int, int]) -> int:
+    """Greedy order for ``(key, profit, scaled_weight)`` int triples.
+
+    Mirrors ``knapsack._greedy_order`` exactly: zero-weight items first,
+    then profit density descending (integer cross-multiplication), profit
+    descending, ``repr(key)`` ascending — including the *string* ordering
+    of the repr tie-break.  Weights may be pre-multiplied by any common
+    positive scale; the order is scale-invariant.
+    """
+    ia, pa, wa = a
+    ib, pb, wb = b
+    if (wa == 0) != (wb == 0):
+        return -1 if wa == 0 else 1
+    if wa != 0:
+        lhs, rhs = pa * wb, pb * wa  # density cross-multiplication
+        if lhs != rhs:
+            return -1 if lhs > rhs else 1
+    if pa != pb:
+        return -1 if pa > pb else 1
+    ra, rb = repr(ia), repr(ib)
+    return 0 if ra == rb else (-1 if ra < rb else 1)
+
+
+def as_pair(T) -> tuple[int, int]:
+    """``T`` as an exact ``(numerator, denominator)`` integer pair."""
+    if isinstance(T, int):
+        return T, 1
+    if isinstance(T, Fraction):
+        return T.numerator, T.denominator
+    raise TypeError(f"expected int or Fraction, got {type(T).__name__}: {T!r}")
+
+
+def ceil_div(num: int, den: int) -> int:
+    """Exact ``⌈num/den⌉`` for integers, ``den > 0``."""
+    return -((-num) // den)
+
+
+def floor_div(num: int, den: int) -> int:
+    """Exact ``⌊num/den⌋`` for integers, ``den > 0`` (alias for ``//``)."""
+    return num // den
+
+
+def scale_int(x, D: int) -> int:
+    """``x·D`` as an exact int; raises if ``x`` is not a multiple of 1/D."""
+    if isinstance(x, int):
+        return x * D
+    num, den = x.numerator, x.denominator
+    scaled, rem = divmod(num * D, den)
+    if rem:
+        raise ValueError(f"{x} is not an exact multiple of 1/{D}")
+    return scaled
+
+
+# --------------------------------------------------------------------------- #
+# context
+# --------------------------------------------------------------------------- #
+
+
+class DualContext:
+    """Integer aggregates of one :class:`Instance`, shared across probes."""
+
+    __slots__ = (
+        "instance", "m", "c", "setups", "P", "nclass",
+        "total_processing", "total_load", "smax", "spt", "class_tmax",
+    )
+
+    def __init__(self, instance: "Instance") -> None:
+        self.instance = instance
+        self.m = instance.m
+        self.c = instance.c
+        self.setups = instance.setups
+        self.P = instance.class_processing
+        self.nclass = instance.class_sizes
+        self.total_processing = instance.total_processing
+        self.total_load = instance.total_load
+        self.smax = instance.smax
+        self.class_tmax = instance.class_tmax
+        #: ``max_i (s_i + t^(i)_max)`` — the Note-1/2 lower bound.
+        self.spt = max(s + tm for s, tm in zip(self.setups, self.class_tmax))
+
+    # sorted views ------------------------------------------------------- #
+
+    def sorted_jobs(self, cls: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(sorted times, prefix sums)`` of one class (instance-cached)."""
+        return self.instance.class_jobs_sorted(cls)
+
+    def count_weight_gt(self, cls: int, num: int, den: int) -> tuple[int, int]:
+        """``(#, Σt)`` of jobs of ``cls`` with ``t > num/den`` (``den > 0``).
+
+        O(log n_i) via the sorted view: ``t > num/den ⟺ t > ⌊num/den⌋`` for
+        integer ``t``.
+        """
+        ts, prefix = self.sorted_jobs(cls)
+        cut = bisect_right(ts, num // den)
+        return len(ts) - cut, prefix[-1] - prefix[cut]
+
+
+# --------------------------------------------------------------------------- #
+# splittable (Theorem 7)
+# --------------------------------------------------------------------------- #
+
+
+class SplitVerdict(NamedTuple):
+    """Integer outcome of the Theorem-7 test: mirrors ``SplitDual``."""
+
+    accepted: bool
+    load: int          # L_split(T) — always an integer
+    machines_exp: int  # m_exp(T)
+
+
+def fast_split_test(ctx: DualContext, tn: int, td: int) -> SplitVerdict:
+    """Theorem 7(i) on ``T = tn/td`` in pure integers, O(c)."""
+    load = ctx.total_processing
+    m_exp = 0
+    setups, P = ctx.setups, ctx.P
+    for i in range(ctx.c):
+        s = setups[i]
+        if 2 * s * td > tn:  # expensive: s_i > T/2
+            b = ceil_div(2 * P[i] * td, tn)  # β_i = ⌈2P_i/T⌉
+            load += b * s
+            m_exp += b
+        else:
+            load += s
+    accepted = ctx.m * tn >= load * td and ctx.m >= m_exp
+    return SplitVerdict(accepted, load, m_exp)
+
+
+# --------------------------------------------------------------------------- #
+# non-preemptive (Theorem 9)
+# --------------------------------------------------------------------------- #
+
+
+class NonpVerdict(NamedTuple):
+    """Integer outcome of the Theorem-9 test: mirrors ``NonpDual``."""
+
+    accepted: bool
+    load: int           # L_nonp(T)
+    machines_needed: int  # m'
+
+
+def fast_nonp_test(ctx: DualContext, tn: int, td: int) -> NonpVerdict:
+    """Theorem 9(i) on ``T = tn/td``: O(c log n) after the sorted views."""
+    if tn < ctx.spt * td:  # Note 2: T < max_i(s_i + t_max^i) < OPT
+        return NonpVerdict(False, ctx.total_load, ctx.m + 1)
+    load = ctx.total_processing
+    m_prime = 0
+    setups, P = ctx.setups, ctx.P
+    for i in range(ctx.c):
+        s = setups[i]
+        std = s * td
+        cap = tn - std  # (T − s_i) · td  — positive since T ≥ s_i + t_max^i
+        if 2 * std > tn:  # expensive: m_i = α_i = ⌈P_i/(T−s_i)⌉
+            m_i = ceil_div(P[i] * td, cap)
+        else:
+            # cheap: m_i = |C_i∩J⁺| + ⌈P(C_i∩K)/(T−s_i)⌉ with
+            # J⁺ = {t > T/2}, K = {t ≤ T/2, s+t > T/2}.
+            n_big, w_big = ctx.count_weight_gt(i, tn, 2 * td)
+            n_ge, w_ge = ctx.count_weight_gt(i, tn - 2 * std, 2 * td)
+            k_weight = w_ge - w_big
+            m_i = n_big + (ceil_div(k_weight * td, cap) if k_weight else 0)
+        load += m_i * s
+        if P[i] * td > m_i * cap:  # x_i > 0: residual pays one more setup
+            load += s
+        m_prime += m_i
+    accepted = ctx.m * tn >= load * td and ctx.m >= m_prime
+    return NonpVerdict(accepted, load, m_prime)
+
+
+# --------------------------------------------------------------------------- #
+# preemptive (Theorems 4/5, α and γ counting)
+# --------------------------------------------------------------------------- #
+
+
+class PmtnVerdict(NamedTuple):
+    """Integer outcome of the Theorem-5 test: mirrors ``PmtnDual``."""
+
+    accepted: bool
+    load: int             # L_pmtn(T) (resp. L_nice / total_load for nice/trivial)
+    machines_needed: int  # m'
+    case: str             # "trivial" | "nice" | "3a" | "3b"
+    y_negative: bool      # case 3a's "F < L*" rejection
+
+
+def count_scaled(mode: str, tn: int, td: int, s: int, P: int) -> int:
+    """``κ_i`` (α′ of Theorem 4 or γ of §4.4) for an ``I⁺exp`` class."""
+    if mode == "alpha":
+        return max(1, (P * td) // (tn - s * td))
+    bp = (2 * P * td) // tn  # β′ = ⌊2P/T⌋
+    # P − β′·T/2 ≤ T − s  ⟺  2·P·td − β′·tn ≤ 2·(tn − s·td)
+    if 2 * P * td - bp * tn <= 2 * (tn - s * td):
+        return max(bp, 1)
+    return ceil_div(2 * P * td, tn)
+
+
+def fast_pmtn_test(ctx: DualContext, tn: int, td: int, mode: str = "alpha") -> PmtnVerdict:
+    """Theorem 5(i) on ``T = tn/td`` in pure integers.
+
+    Replicates ``pmtn_dual_test`` decision-for-decision, including the
+    continuous-knapsack selection of case 3a (same greedy order and the same
+    tie-breaks, with weights/capacity scaled by ``2·td``).
+    """
+    if tn < ctx.spt * td:  # Note 1
+        return PmtnVerdict(False, ctx.total_load, 0, "trivial", False)
+
+    m, setups, P = ctx.m, ctx.setups, ctx.P
+    exp_plus: list[int] = []
+    exp_minus_chp_plus_sum = 0  # Σ (s_i + P_i) over I⁻exp ∪ I⁺chp
+    n_minus = 0
+    l = 0
+    chp_star: list[int] = []
+    load = ctx.total_processing
+    counts_sum = 0
+    base = 0  # Σ_{I⁺exp}(κ_i s_i + P_i) + Σ_{I⁻exp ∪ I⁺chp}(s_i + P_i)
+
+    for i in range(ctx.c):
+        s = setups[i]
+        std = s * td
+        total = s + P[i]
+        if 2 * std > tn:  # expensive
+            if total * td >= tn:  # I⁺exp
+                k = count_scaled(mode, tn, td, s, P[i])
+                exp_plus.append(i)
+                load += k * s
+                counts_sum += k
+                base += k * s + P[i]
+            elif 4 * total * td > 3 * tn:  # I⁰exp
+                l += 1
+                load += s
+            else:  # I⁻exp
+                n_minus += 1
+                load += s
+                base += total
+                exp_minus_chp_plus_sum += total
+        else:  # cheap
+            load += s
+            if 4 * std >= tn:  # I⁺chp: T/4 ≤ s_i ≤ T/2
+                base += total
+                exp_minus_chp_plus_sum += total
+            elif 2 * (s + ctx.class_tmax[i]) * td > tn:  # I⁻chp with C*_i ≠ ∅
+                chp_star.append(i)
+
+    m_prime = l + counts_sum + ceil_div(n_minus, 2)
+
+    if l == 0:  # nice: Theorem 4's test (identical load/count formulas)
+        accepted = m * tn >= load * td and m >= m_prime
+        return PmtnVerdict(accepted, load, m_prime, "nice", False)
+
+    # F·2td and L*·2td, demand_star (integer): eq. (3) and Section 4.2.
+    F2 = 2 * (m - l) * tn - 2 * base * td
+    demand2 = 0   # 2td·Σ_{I*chp}(s_i + P_i)
+    lstar2 = 0    # 2td·Σ_{I*chp}(s_i + L*_i)
+    star_data: list[tuple[int, int, int]] = []  # (cls, |C*_i|, p*_i)
+    for i in chp_star:
+        s = setups[i]
+        cnt, p_star = ctx.count_weight_gt(i, tn - 2 * s * td, 2 * td)
+        star_data.append((i, cnt, p_star))
+        demand2 += 2 * td * (s + P[i])
+        lstar2 += 2 * td * (s + p_star) - cnt * (tn - 2 * s * td)
+
+    if F2 >= demand2:  # case 3b — all of I*chp fits outside
+        accepted = m * tn >= load * td and m >= m_prime
+        return PmtnVerdict(accepted, load, m_prime, "3b", False)
+
+    # case 3a
+    Y2 = F2 - lstar2
+    if Y2 < 0:
+        return PmtnVerdict(False, load, m_prime, "3a", True)
+
+    # Continuous knapsack at scale 2td: profit s_i, weight
+    # W_i = 2td·(P_i − L*_i) = 2td·(P_i − p*_i) + |C*_i|·(tn − 2 s_i td).
+    items = [
+        (i, setups[i], 2 * td * (P[i] - p_star) + cnt * (tn - 2 * setups[i] * td))
+        for i, cnt, p_star in star_data
+    ]
+    items.sort(key=cmp_to_key(knapsack_order_cmp))
+    remaining = Y2
+    if remaining <= 0:
+        unselected_setups = sum(p for _, p, _ in items)
+    else:
+        unselected_setups = 0
+        for idx, (_, profit, weight) in enumerate(items):
+            if remaining <= 0:
+                unselected_setups += sum(p for _, p, _ in items[idx:])
+                break
+            if weight <= remaining:
+                remaining -= weight
+            else:  # split item e: 0 < x_e < 1 — neither selected nor unselected
+                unselected_setups += sum(p for _, p, _ in items[idx + 1:])
+                break
+    load += unselected_setups
+    accepted = m * tn >= load * td and m >= m_prime
+    return PmtnVerdict(accepted, load, m_prime, "3a", False)
+
+
+def fast_base_core(ctx: DualContext, tn: int, td: int) -> tuple[int, int]:
+    """``(L_base, m′)`` — the monotone core of Algorithm 4 (int-only)."""
+    load = ctx.total_processing
+    l = 0
+    gsum = 0
+    minus = 0
+    setups, P = ctx.setups, ctx.P
+    for i in range(ctx.c):
+        s = setups[i]
+        if 2 * s * td > tn:
+            total = s + P[i]
+            if total * td >= tn:
+                # γ_i = max(1, ⌈2(s_i+P_i)/T⌉ − 2)
+                g = max(1, ceil_div(2 * total * td, tn) - 2)
+                load += g * s
+                gsum += g
+                continue
+            if 4 * total * td > 3 * tn:
+                l += 1
+            else:
+                minus += 1
+        load += s
+    return load, l + gsum + ceil_div(minus, 2)

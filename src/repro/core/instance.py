@@ -65,6 +65,14 @@ class Instance:
     class_tmax: tuple[int, ...] = field(init=False, repr=False)
     class_sizes: tuple[int, ...] = field(init=False, repr=False)
 
+    # Scalar aggregates cached once at construction (eq/repr stay keyed on
+    # (m, setups, jobs) via compare=False/repr=False).
+    n: int = field(init=False, repr=False, compare=False)
+    total_processing: int = field(init=False, repr=False, compare=False)
+    total_load: int = field(init=False, repr=False, compare=False)
+    smax: int = field(init=False, repr=False, compare=False)
+    tmax: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if not isinstance(self.m, int) or self.m < 1:
             raise InvalidInstanceError(f"m must be a positive integer, got {self.m!r}")
@@ -89,6 +97,15 @@ class Instance:
         object.__setattr__(self, "class_processing", tuple(sum(ts) for ts in self.jobs))
         object.__setattr__(self, "class_tmax", tuple(max(ts) for ts in self.jobs))
         object.__setattr__(self, "class_sizes", tuple(len(ts) for ts in self.jobs))
+        object.__setattr__(self, "n", sum(self.class_sizes))
+        object.__setattr__(self, "total_processing", sum(self.class_processing))
+        object.__setattr__(self, "total_load", sum(self.setups) + self.total_processing)
+        object.__setattr__(self, "smax", max(self.setups))
+        object.__setattr__(self, "tmax", max(self.class_tmax))
+        # Lazy per-class caches (built on first use; keyed by class index).
+        object.__setattr__(self, "_jobs_frac_cache", {})
+        object.__setattr__(self, "_jobs_sorted_cache", {})
+        object.__setattr__(self, "_fast_ctx", None)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -131,31 +148,6 @@ class Instance:
         return len(self.setups)
 
     @property
-    def n(self) -> int:
-        """Number of jobs."""
-        return sum(self.class_sizes)
-
-    @property
-    def total_processing(self) -> int:
-        """``P(J) = Σ_j t_j``."""
-        return sum(self.class_processing)
-
-    @property
-    def total_load(self) -> int:
-        """``N = Σ_i s_i + Σ_j t_j`` — everything on one machine (page 2)."""
-        return sum(self.setups) + self.total_processing
-
-    @property
-    def smax(self) -> int:
-        """Largest setup time."""
-        return max(self.setups)
-
-    @property
-    def tmax(self) -> int:
-        """Largest processing time."""
-        return max(self.class_tmax)
-
-    @property
     def delta(self) -> int:
         """``Δ = max{s_max, t_max}`` — the largest input value (Theorem 8)."""
         return max(self.smax, self.tmax)
@@ -175,8 +167,58 @@ class Instance:
                 yield JobRef(cls, idx), t
 
     def class_jobs(self, cls: int) -> list[tuple[JobRef, int]]:
-        """All ``(JobRef, t_j)`` of one class."""
+        """All ``(JobRef, t_j)`` of one class (fresh list; safe to mutate)."""
         return [(JobRef(cls, idx), t) for idx, t in enumerate(self.jobs[cls])]
+
+    def class_jobs_frac(self, cls: int) -> tuple[tuple[JobRef, "Fraction"], ...]:
+        """Cached ``(JobRef, Fraction(t_j))`` view of one class.
+
+        The preemptive algorithms build :class:`~fractions.Fraction` job
+        lists per class on every construction; this cache builds each view
+        once per instance instead.  The returned tuple is shared — do not
+        mutate item pairs.
+        """
+        cached = self._jobs_frac_cache.get(cls)
+        if cached is None:
+            from fractions import Fraction
+
+            cached = tuple(
+                (JobRef(cls, idx), Fraction(t)) for idx, t in enumerate(self.jobs[cls])
+            )
+            self._jobs_frac_cache[cls] = cached
+        return cached
+
+    def class_jobs_sorted(self, cls: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Cached ``(sorted processing times, prefix sums)`` of one class.
+
+        ``prefix[k] = Σ sorted_times[:k]`` (so ``prefix`` has ``n_i + 1``
+        entries).  The scaled-integer dual tests bisect these to count and
+        weigh threshold sets (``J⁺``, ``K``, ``C*_i``) in O(log n_i) instead
+        of rescanning the class.
+        """
+        cached = self._jobs_sorted_cache.get(cls)
+        if cached is None:
+            ts = tuple(sorted(self.jobs[cls]))
+            prefix = [0]
+            for t in ts:
+                prefix.append(prefix[-1] + t)
+            cached = (ts, tuple(prefix))
+            self._jobs_sorted_cache[cls] = cached
+        return cached
+
+    def fast_ctx(self) -> "DualContext":
+        """The per-instance :class:`repro.core.fastnum.DualContext`, cached.
+
+        Built once and reused across every dual-test probe of a solve (the
+        binary searches and Class Jumping issue ``O(log)`` probes each).
+        """
+        ctx = self._fast_ctx
+        if ctx is None:
+            from .fastnum import DualContext
+
+            ctx = DualContext(self)
+            object.__setattr__(self, "_fast_ctx", ctx)
+        return ctx
 
     # ------------------------------------------------------------------ #
     # misc

@@ -1,18 +1,41 @@
-"""Exact rational time arithmetic.
+"""Exact rational time arithmetic — the boundary tier of the numeric model.
 
 The paper's inputs are natural numbers, but the algorithms manipulate
 fractional quantities throughout: makespan guesses ``T = L/m``, class-jump
 points ``2P_i/k``, half-lines ``T/2``, and the continuous-knapsack fraction
 ``(x_cks)_e``.  Floating point would blur the accept/reject boundary of the
-dual tests and the exact start/end times the validators check, so the whole
-library standardizes on :class:`fractions.Fraction`.
+dual tests and the exact start/end times the validators check, so the
+library is exact end to end — in **two tiers**:
 
-Only small helper utilities live here; they are deliberately boring.  The
-HPC guideline applied is "make it work reliably first": exactness buys
-trustworthy tests, and the near-linear algorithms remain near-linear because
-all Fractions appearing in the constructions have denominators bounded by
-``2m`` (products of ``2`` and machine counts), so arithmetic is O(1)-ish on
-word-sized inputs.
+* **Exact-rational boundary (this module).**  Everything user-visible —
+  :class:`~repro.core.instance.Instance` inputs, ``SolveResult``,
+  :class:`~repro.core.schedule.Schedule` placements, the validators, and
+  the reference implementations of every dual test and construction —
+  speaks :class:`fractions.Fraction`.  ``Time`` is an alias for it.  Use
+  this tier whenever clarity or auditability beats speed: validators,
+  tests, analysis, figures, and as the ground truth the fast tier is
+  differential-tested against.
+
+* **Scaled-integer kernel (:mod:`repro.core.fastnum`).**  The per-``T``
+  hot paths — the Theorem 5/7/9 dual tests probed ``O(log)`` times per
+  solve, the wrap engine, and the Algorithm-6 construction — carry ``T``
+  as the integer pair ``(numerator, denominator)`` and pre-multiply every
+  derived duration by the denominator, so comparisons become integer
+  cross-multiplications and no Fraction objects are allocated in inner
+  loops.  Times are divided back out (exactly) only where a placement or
+  result object is materialized.  This tier is selected with the default
+  ``kernel="fast"`` of :func:`repro.solve`; ``kernel="fraction"`` runs the
+  boundary tier throughout.  Both are bit-identical — same accepts, same
+  makespans — which ``tests/test_fastnum_differential.py`` asserts on
+  every generator-suite instance.
+
+A per-``T`` denominator (rather than a fixed per-solve scale such as
+``D = 2m``) is what keeps the kernel exact: class-jump candidates
+``2P_i/k`` have denominators ``k ≤ 2m`` that need not divide ``2m``, and
+ε-search midpoints pick up powers of two.  Denominators stay word-sized in
+practice, so kernel arithmetic is machine-int speed.
+
+Only small helper utilities live here; they are deliberately boring.
 """
 
 from __future__ import annotations

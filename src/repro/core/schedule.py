@@ -87,6 +87,21 @@ class Schedule:
         self._by_machine[placement.machine].append(placement)
         return placement
 
+    def append_trusted(self, placement: Placement) -> Placement:
+        """:meth:`add` without the sign checks — for the scaled-int kernels.
+
+        Only construction code whose arithmetic already guarantees
+        non-negative starts/lengths (the wrap engine, the materializers)
+        may use this; :mod:`repro.core.validate` remains the real
+        feasibility gate for every schedule the library hands out.
+        """
+        if not 0 <= placement.machine < self.instance.m:
+            raise ValueError(
+                f"machine {placement.machine} out of range [0, {self.instance.m})"
+            )
+        self._by_machine[placement.machine].append(placement)
+        return placement
+
     def add_setup(self, machine: int, start: TimeLike, cls: int) -> Placement:
         """Place a (full, non-preempted) setup of ``cls`` at ``start``."""
         return self.add(

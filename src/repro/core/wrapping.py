@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from math import lcm
 from typing import Iterable, Sequence
 
 from .errors import ConstructionError
@@ -152,13 +153,170 @@ class WrapResult:
         return [p for p in self.placements if p.job == job]
 
 
-def wrap(schedule: Schedule, sequence: WrapSequence, template: WrapTemplate) -> WrapResult:
+def wrap(
+    schedule: Schedule,
+    sequence: WrapSequence,
+    template: WrapTemplate,
+    *,
+    exact_ints: bool = True,
+) -> WrapResult:
     """Wrap ``sequence`` into ``template``, adding placements to ``schedule``.
 
     Raises :class:`ConstructionError` if the template overflows — by Lemma 6
     that can only happen when the caller violated ``L(Q) ≤ S(ω)``, which all
     call sites in this library prove beforehand.
+
+    With ``exact_ints`` (the default) the engine runs on machine integers:
+    all gap bounds and item lengths are pre-multiplied by the least common
+    denominator ``D`` of the template/sequence, so the load check and every
+    border comparison and split is integer arithmetic; times are divided
+    back out (exactly) only when a :class:`Placement` is materialized.
+    ``exact_ints=False`` is the historical Fraction loop, kept verbatim as
+    the reference for the differential tests and benchmarks — both paths
+    produce identical placements bit for bit (the substrate tests assert
+    this).
     """
+    if exact_ints:
+        return _wrap_ints(schedule, sequence, template)
+    return _wrap_fractions(schedule, sequence, template)
+
+
+def _new_placement(machine: int, start, length, cls: int, job=None) -> Placement:
+    """Allocate a :class:`Placement` without the frozen-dataclass ``__init__``.
+
+    Frozen dataclasses assign fields through ``object.__setattr__``, which
+    is measurable at ~one placement per job on the wrap hot path; writing
+    the instance ``__dict__`` directly produces an identical object.
+    """
+    p = object.__new__(Placement)
+    p.__dict__["machine"] = machine
+    p.__dict__["start"] = start
+    p.__dict__["length"] = length
+    p.__dict__["cls"] = cls
+    p.__dict__["job"] = job
+    return p
+
+
+def _wrap_ints(
+    schedule: Schedule, sequence: WrapSequence, template: WrapTemplate
+) -> WrapResult:
+    """The scaled-integer wrap engine (see :func:`wrap`)."""
+    setups = schedule.instance.setups
+    gaps = template.gaps
+    if not gaps:
+        if sequence.batches:
+            raise ConstructionError("non-empty sequence wrapped into empty template")
+        return WrapResult([], -1, 0)
+
+    m = schedule.instance.m
+    for g in gaps:
+        if not 0 <= g.machine < m:
+            raise ValueError(f"machine {g.machine} out of range [0, {m})")
+
+    D = 1
+    for g in gaps:
+        D = lcm(D, g.a.denominator, g.b.denominator)
+    dens = {length.denominator for batch in sequence.batches for _, length in batch.items}
+    for den in dens:
+        D = lcm(D, den)
+
+    ga = [g.a.numerator * (D // g.a.denominator) for g in gaps]
+    gb = [g.b.numerator * (D // g.b.denominator) for g in gaps]
+    load_sc = sum(
+        setups[b.cls] * D
+        + sum(length.numerator * (D // length.denominator) for _, length in b.items)
+        for b in sequence.batches
+    )
+    cap_sc = sum(b - a for a, b in zip(ga, gb))
+    if load_sc > cap_sc:
+        raise ConstructionError(
+            f"wrap overflow: L(Q)={time_str(Fraction(load_sc, D))} > "
+            f"S(ω)={time_str(Fraction(cap_sc, D))} "
+            "(caller must guarantee Lemma 6's precondition)"
+        )
+
+    by_machine = schedule._by_machine
+    setups_frac = [Fraction(s) for s in setups]
+
+    def add(p: Placement) -> Placement:
+        by_machine[p.machine].append(p)
+        return p
+    placed: list[Placement] = []
+    splits = 0
+    r = 0
+    t = ga[0]
+    last_gap = -1
+
+    def advance_gap(cls: int) -> None:
+        """Move to the next gap, placing the class setup below it (Split)."""
+        nonlocal r, t
+        r += 1
+        if r >= len(gaps):
+            raise ConstructionError(
+                "wrap ran out of gaps despite L(Q) <= S(ω); template/sequence bug"
+            )
+        start_sc = ga[r] - setups[cls] * D
+        if start_sc < 0:
+            raise ValueError(
+                f"placement starts before time 0: setup of class {cls} below gap {r}"
+            )
+        placed.append(
+            add(_new_placement(gaps[r].machine, Fraction(start_sc, D),
+                               setups_frac[cls], cls))
+        )
+        t = ga[r]
+
+    for batch in sequence.batches:
+        cls = batch.cls
+        s_sc = setups[cls] * D
+        # Place the batch's initial setup inside the current gap; if it hits
+        # the border, move it below the next gap instead (Wrap's setup rule).
+        if t + s_sc > gb[r]:
+            advance_gap(cls)  # setup goes below the next gap
+            last_gap = r
+        else:
+            placed.append(
+                add(_new_placement(gaps[r].machine, Fraction(t, D),
+                                   setups_frac[cls], cls))
+            )
+            t += s_sc
+            last_gap = max(last_gap, r)
+        for job, length in batch.items:
+            remaining = length.numerator * (D // length.denominator)
+            # Skip over exhausted gap space before starting the piece, so we
+            # never create zero-length pieces.
+            while t >= gb[r]:
+                advance_gap(cls)
+            whole = True  # item not yet split: reuse its Fraction length
+            while t + remaining > gb[r]:  # Split's while loop
+                room = gb[r] - t
+                if room > 0:
+                    placed.append(
+                        add(_new_placement(gaps[r].machine, Fraction(t, D),
+                                           Fraction(room, D), cls, job))
+                    )
+                    remaining -= room
+                    whole = False
+                    splits += 1
+                advance_gap(cls)
+            if remaining > 0:
+                placed.append(
+                    add(_new_placement(
+                        gaps[r].machine, Fraction(t, D),
+                        length if whole else Fraction(remaining, D),
+                        cls, job,
+                    ))
+                )
+                t += remaining
+            last_gap = max(last_gap, r)
+
+    return WrapResult(placements=placed, last_gap=last_gap, splits=splits)
+
+
+def _wrap_fractions(
+    schedule: Schedule, sequence: WrapSequence, template: WrapTemplate
+) -> WrapResult:
+    """The pre-kernel exact-rational wrap loop (reference path)."""
     setups = schedule.instance.setups
     load = sequence.load(setups)
     cap = template.capacity

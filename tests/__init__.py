@@ -1,0 +1,1 @@
+"""Test package marker — lets ``from .conftest import mk`` resolve."""

@@ -1,0 +1,171 @@
+"""Differential safety net: scaled-integer kernel vs Fraction reference.
+
+The fast kernel (:mod:`repro.core.fastnum` plus the ``kernel="fast"``
+construction paths) must be **bit-exact** against the historical
+Fraction-only implementations: same accept/reject decision at every probed
+``T``, same loads and machine counts, same knapsack selection, and — end
+to end — the same schedules, makespans and ratio bounds.  This module
+asserts all of that on every instance of the generator suites.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.api import solve
+from repro.algos.jumping_pmtn import _base_core
+from repro.algos.nonpreemptive import nonp_dual_schedule, nonp_dual_test
+from repro.algos.pmtn_general import pmtn_dual_test, pmtn_dual_test_fast
+from repro.algos.splittable import split_dual_schedule, split_dual_test, split_dual_test_fast
+from repro.core.bounds import Variant, t_min
+from repro.core.fastnum import (
+    fast_base_core,
+    fast_nonp_test,
+    fast_pmtn_test,
+    fast_split_test,
+)
+from repro.generators import adversarial_suite, medium_suite, small_exact_suite
+
+SUITE_INSTANCES = [
+    pytest.param(inst, id=f"{suite}:{label}")
+    for suite, items in (
+        ("small", small_exact_suite()),
+        ("medium", medium_suite()),
+        ("adversarial", adversarial_suite()),
+    )
+    for label, inst in items
+]
+
+
+def probe_points(inst, variant, count=12, seed=0):
+    """T_min, the window ends, bisection midpoints and seeded rationals."""
+    rng = random.Random(f"{seed}-{inst.m}-{inst.total_load}-{variant.value}")
+    tmin = t_min(inst, variant)
+    pts = [tmin, 2 * tmin, Fraction(3, 2) * tmin, Fraction(1), Fraction(inst.total_load)]
+    lo, hi = tmin, 2 * tmin
+    for _ in range(5):  # ε-search style midpoints (power-of-two denominators)
+        mid = (lo + hi) / 2
+        pts.append(mid)
+        lo = mid
+    for _ in range(count):  # class-jump style rationals with small denominators
+        pts.append(Fraction(rng.randint(1, 2 * inst.total_load), rng.randint(1, 2 * inst.m)))
+    return pts
+
+
+class TestDualTestEquivalence:
+    """The int kernels reproduce the reference verdicts at every probe."""
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_splittable(self, inst):
+        ctx = inst.fast_ctx()
+        for T in probe_points(inst, Variant.SPLITTABLE):
+            ref = split_dual_test(inst, T)
+            fast = fast_split_test(ctx, T.numerator, T.denominator)
+            assert fast.accepted == ref.accepted
+            assert Fraction(fast.load) == ref.load
+            assert fast.machines_exp == ref.machines_exp
+            full = split_dual_test_fast(inst, T)
+            assert (full.accepted, full.exp, full.chp, full.betas, full.load) == (
+                ref.accepted, ref.exp, ref.chp, ref.betas, ref.load,
+            )
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_nonpreemptive(self, inst):
+        ctx = inst.fast_ctx()
+        for T in probe_points(inst, Variant.NONPREEMPTIVE):
+            ref = nonp_dual_test(inst, T)
+            fast = fast_nonp_test(ctx, T.numerator, T.denominator)
+            assert fast.accepted == ref.accepted
+            assert Fraction(fast.load) == ref.load
+            assert fast.machines_needed == ref.machines_needed
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_preemptive(self, inst):
+        ctx = inst.fast_ctx()
+        for T in probe_points(inst, Variant.PREEMPTIVE):
+            for mode in ("alpha", "gamma"):
+                ref = pmtn_dual_test(inst, T, mode=mode)
+                fast = fast_pmtn_test(ctx, T.numerator, T.denominator, mode)
+                assert fast.accepted == ref.accepted
+                assert Fraction(fast.load) == ref.load
+                assert fast.machines_needed == ref.machines_needed
+                assert fast.case == ref.case
+                assert fast.y_negative == any(
+                    "F < L*" in r for r in ref.reject_reasons
+                )
+                full = pmtn_dual_test_fast(inst, T, mode=mode)
+                assert (
+                    full.accepted, full.case, full.load, full.machines_needed,
+                    full.l, full.F, full.L_star, full.demand_star,
+                    full.unselected, full.split_class, full.reject_reasons,
+                    full.counts, full.partition,
+                ) == (
+                    ref.accepted, ref.case, ref.load, ref.machines_needed,
+                    ref.l, ref.F, ref.L_star, ref.demand_star,
+                    ref.unselected, ref.split_class, ref.reject_reasons,
+                    ref.counts, ref.partition,
+                )
+                if ref.knapsack is not None:
+                    assert full.knapsack is not None
+                    assert full.knapsack.fractions == ref.knapsack.fractions
+                    assert full.knapsack.value == ref.knapsack.value
+                    assert full.knapsack.used_capacity == ref.knapsack.used_capacity
+                    assert full.knapsack.split_key == ref.knapsack.split_key
+            # the Class-Jumping monotone core
+            bl, bm = _base_core(inst, T)
+            fl, fm = fast_base_core(ctx, T.numerator, T.denominator)
+            assert (Fraction(fl), fm) == (bl, bm)
+
+
+def placements_key(schedule):
+    return sorted(
+        (p.machine, p.start, p.length, p.cls, p.job) for p in schedule.iter_all()
+    )
+
+
+class TestEndToEndEquivalence:
+    """solve() is bit-identical across kernels: T, schedule, bounds."""
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_solve_three_halves(self, inst, variant):
+        fast = solve(inst, variant, "three_halves", kernel="fast")
+        ref = solve(inst, variant, "three_halves", kernel="fraction")
+        assert fast.T == ref.T
+        assert fast.makespan == ref.makespan
+        assert fast.ratio_bound == ref.ratio_bound
+        assert fast.opt_lower_bound == ref.opt_lower_bound
+        assert placements_key(fast.schedule) == placements_key(ref.schedule)
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES[:12])
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_solve_eps(self, inst, variant):
+        fast = solve(inst, variant, "eps", kernel="fast")
+        ref = solve(inst, variant, "eps", kernel="fraction")
+        assert fast.T == ref.T
+        assert fast.makespan == ref.makespan
+        assert fast.ratio_bound == ref.ratio_bound
+        assert placements_key(fast.schedule) == placements_key(ref.schedule)
+
+
+class TestConstructionEquivalence:
+    """Accepted-T constructions agree placement for placement."""
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_split_schedule(self, inst):
+        T = 2 * t_min(inst, Variant.SPLITTABLE)
+        fast = split_dual_schedule(inst, T, kernel="fast")
+        ref = split_dual_schedule(inst, T, kernel="fraction")
+        assert placements_key(fast) == placements_key(ref)
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_nonp_schedule(self, inst):
+        from repro.core.numeric import frac_ceil
+
+        T = frac_ceil(2 * t_min(inst, Variant.NONPREEMPTIVE))
+        fast = nonp_dual_schedule(inst, T, kernel="fast")
+        ref = nonp_dual_schedule(inst, T, kernel="fraction")
+        assert placements_key(fast) == placements_key(ref)

@@ -132,3 +132,19 @@ class TestThreeHalves:
         T = int(res.T)
         if Fraction(T) > t_min(inst, Variant.NONPREEMPTIVE):
             assert not nonp_dual_test(inst, T - 1).accepted
+
+    @pytest.mark.parametrize("kernel", ["fast", "fraction"])
+    def test_depreempt_relocation_stacking_regression(self, kernel):
+        """Step 4a must consolidate at closed machines first.
+
+        At T=16 this instance de-preempts a job onto a fill machine that
+        then also receives a step-4b relocated chunk; consolidating at the
+        step-3 piece first stacked both above T and produced makespan 25 >
+        24 = 3T/2.  The fix prefers the job's step-1/2 piece (its machine
+        is full, so neither step 3 nor step 4b ever touches it again).
+        """
+        inst = mk(4, (2, [4, 14]), (2, [9, 9]), (1, [1, 7, 8]))
+        assert nonp_dual_test(inst, 16).accepted
+        sched = nonp_dual_schedule(inst, 16, kernel=kernel)
+        cmax = validate_schedule(sched, Variant.NONPREEMPTIVE)
+        assert cmax <= Fraction(3, 2) * 16

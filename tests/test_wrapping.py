@@ -230,3 +230,29 @@ class TestWrapProperties:
         sched = Schedule(inst)
         wrap(sched, WrapSequence.single_class(0, inst.class_jobs(0)), template)
         validate_schedule(sched, Variant.SPLITTABLE)
+
+
+class TestFastPlacementAllocator:
+    def test_new_placement_matches_dataclass_constructor(self):
+        """Pin the __dict__-bypass allocator to the Placement dataclass.
+
+        _new_placement writes instance __dict__ directly; that is only
+        equivalent to Placement(...) while Placement stays a slot-less
+        frozen dataclass without __post_init__.  If this test fails after
+        changing Placement, update _new_placement to match.
+        """
+        from repro.core.schedule import Placement
+        from repro.core.wrapping import _new_placement
+        from repro.core.instance import JobRef
+
+        job = JobRef(2, 1)
+        fast = _new_placement(3, Fraction(5, 2), Fraction(7, 4), 2, job)
+        slow = Placement(machine=3, start=Fraction(5, 2), length=Fraction(7, 4), cls=2, job=job)
+        assert fast == slow
+        assert hash(fast) == hash(slow) if slow.__hash__ else True
+        assert fast.__dict__ == slow.__dict__
+        assert not hasattr(Placement, "__slots__")
+        assert not hasattr(Placement, "__post_init__")
+        setup_fast = _new_placement(0, Fraction(0), Fraction(3), 1)
+        setup_slow = Placement(machine=0, start=Fraction(0), length=Fraction(3), cls=1)
+        assert setup_fast == setup_slow and setup_fast.job is None
