@@ -1,21 +1,30 @@
 """Performance trajectory benchmark: ``python benchmarks/run_bench.py``.
 
-Times ``repro.solve`` on the standard medium/large/zipf workloads for all
-three variants, on both numeric kernels:
+Times the solve engine on the standard medium/large/zipf workloads plus a
+``wide`` many-class fixture (the paper's setup-dominated regime), writing a
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR2.json`` in the
+repository root; ``BENCH_PR1.json`` is the preserved PR-1 snapshot).
 
-* ``fast``     — the scaled-integer kernel (:mod:`repro.core.fastnum` plus
-  the integer construction paths), the library default;
-* ``fraction`` — the preserved pre-kernel Fraction-only reference path.
+Three bench families:
 
-Results are written as a flat ``{bench_name: seconds}`` JSON (default
-``BENCH_PR1.json`` in the repository root) so future PRs can diff the
-trajectory.  Bench names follow ``solve/<fixture>/<variant>/<kernel>``;
-derived ``speedup/<fixture>/<variant>`` entries record the
-fraction-over-fast ratio (dimensionless, for convenience).
+* ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
+  both numeric kernels (``fast`` scaled-int default vs the ``fraction``
+  reference), exactly the PR-1 series, kept for trajectory diffs.
+* ``sweep/<fixture>/<variant>/{loop,full,bounds}`` — a machine-count sweep
+  through the batched engine.  ``loop`` is the baseline a caller without
+  the engine pays: one fresh instance + full ``solve()`` per machine
+  count (cold per-instance caches, matching this file's long-standing
+  convention).  ``full`` is ``sweep_machines`` returning bit-identical
+  ``SolveResult`` objects (shared caches/DualContext); ``bounds`` is
+  ``sweep_machines(schedules=False)`` returning the certified
+  ``T*``/bound curve (same certificates, no schedule materialization —
+  the capacity-planning/service shape).
+* ``many/<fixture>/<variant>/{loop,batch}`` — a service-shaped stream of
+  repeated/related requests through ``solve_many`` (full schedules).
 
-Each measurement is the best of ``--reps`` runs on a freshly constructed
-instance (cold per-instance caches), so the per-solve cache building is
-charged to every run of both kernels alike.
+Derived ``speedup/...`` entries record the corresponding baseline-over-
+engine ratios (dimensionless).  Each measurement is the best of
+``--reps`` runs on freshly constructed instances.
 
 ``--smoke`` restricts to the medium fixture with fewer repetitions — used
 by CI to catch gross regressions without burning minutes.
@@ -33,6 +42,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algos.api import solve  # noqa: E402
+from repro.algos.batch_api import solve_many, sweep_machines  # noqa: E402
+from repro.core import batchdual  # noqa: E402
 from repro.core.bounds import Variant  # noqa: E402
 from repro.core.instance import Instance  # noqa: E402
 from repro.generators import uniform_instance, zipf_instance  # noqa: E402
@@ -41,36 +52,95 @@ FIXTURES = {
     "medium": lambda: uniform_instance(m=8, c=12, n_per_class=6, seed=101),
     "large": lambda: uniform_instance(m=16, c=40, n_per_class=20, seed=202),
     "zipf": lambda: zipf_instance(m=8, c=16, seed=303),
+    "wide": lambda: uniform_instance(m=24, c=400, n_per_class=2, seed=404),
 }
 KERNELS = ("fast", "fraction")
 
 
-def bench_solve(inst: Instance, variant: Variant, kernel: str, reps: int) -> float:
-    """Best-of-``reps`` wall time of one solve, cold caches each run."""
+def fresh(inst: Instance, m: int | None = None) -> Instance:
+    return Instance(m=inst.m if m is None else m, setups=inst.setups, jobs=inst.jobs)
+
+
+def sweep_ms(inst: Instance) -> list[int]:
+    """Machine counts for the sweep benches: 2..2m in m/8-ish steps."""
+    step = max(1, inst.m // 8)
+    return list(range(2, 2 * inst.m + 1, step))
+
+
+def service_ms(inst: Instance) -> list[int]:
+    """A service-shaped request stream: repeated + related machine counts."""
+    half, m = max(1, inst.m // 2), inst.m
+    return [m, half, m, m + 4, m, half, m + 4, m, m, half, m, m + 4]
+
+
+def best_of(fn, reps: int) -> float:
     best = float("inf")
     for _ in range(reps):
-        fresh = Instance(m=inst.m, setups=inst.setups, jobs=inst.jobs)
         t0 = time.perf_counter()
-        solve(fresh, variant, "three_halves", kernel=kernel)
+        fn()
         best = min(best, time.perf_counter() - t0)
     return best
 
 
+def bench_solve(inst: Instance, variant: Variant, kernel: str, reps: int) -> float:
+    """Best-of-``reps`` wall time of one solve, cold caches each run."""
+    return best_of(
+        lambda: solve(fresh(inst), variant, "three_halves", kernel=kernel), reps
+    )
+
+
 def run(fixtures: dict, reps: int) -> dict[str, float]:
     results: dict[str, float] = {}
+
+    def record(name: str, value: float) -> None:
+        results[name] = value
+        unit = "x" if name.startswith("speedup/") else " s"
+        shown = f"{value:9.2f} x" if unit == "x" else f"{value * 1000:9.3f} ms"
+        print(f"{name:50s} {shown}")
+
     for fixture_name, make in fixtures.items():
         inst = make()
         for variant in Variant:
             times = {}
             for kernel in KERNELS:
                 seconds = bench_solve(inst, variant, kernel, reps)
-                name = f"solve/{fixture_name}/{variant.value}/{kernel}"
-                results[name] = seconds
                 times[kernel] = seconds
-                print(f"{name:45s} {seconds * 1000:9.3f} ms")
-            speedup = times["fraction"] / times["fast"]
-            results[f"speedup/{fixture_name}/{variant.value}"] = speedup
-            print(f"{'speedup/' + fixture_name + '/' + variant.value:45s} {speedup:9.2f} x")
+                record(f"solve/{fixture_name}/{variant.value}/{kernel}", seconds)
+            record(
+                f"speedup/{fixture_name}/{variant.value}",
+                times["fraction"] / times["fast"],
+            )
+
+        ms = sweep_ms(inst)
+        stream = service_ms(inst)
+        for variant in Variant:
+            loop = best_of(
+                lambda: [solve(fresh(inst, m), variant) for m in ms], reps
+            )
+            full = best_of(lambda: sweep_machines(fresh(inst), ms, variant), reps)
+            bounds = best_of(
+                lambda: sweep_machines(fresh(inst), ms, variant, schedules=False),
+                reps,
+            )
+            record(f"sweep/{fixture_name}/{variant.value}/loop", loop)
+            record(f"sweep/{fixture_name}/{variant.value}/full", full)
+            record(f"sweep/{fixture_name}/{variant.value}/bounds", bounds)
+            record(f"speedup/sweep/{fixture_name}/{variant.value}/full", loop / full)
+            record(
+                f"speedup/sweep/{fixture_name}/{variant.value}/bounds", loop / bounds
+            )
+
+            many_loop = best_of(
+                lambda: [solve(fresh(inst, m), variant) for m in stream], reps
+            )
+            many_batch = best_of(
+                lambda: solve_many([fresh(inst, m) for m in stream], variant), reps
+            )
+            record(f"many/{fixture_name}/{variant.value}/loop", many_loop)
+            record(f"many/{fixture_name}/{variant.value}/batch", many_batch)
+            record(
+                f"speedup/many/{fixture_name}/{variant.value}", many_loop / many_batch
+            )
     return results
 
 
@@ -78,8 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
-        help="output JSON path (default: repo-root BENCH_PR1.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+        help="output JSON path (default: repo-root BENCH_PR2.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(
@@ -91,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
     fixtures = {"medium": FIXTURES["medium"]} if args.smoke else dict(FIXTURES)
     reps = 2 if args.smoke else args.reps
     results = run(fixtures, reps)
+    results["meta/have_numpy"] = 1.0 if batchdual.HAVE_NUMPY else 0.0
     out = Path(args.output)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {len(results)} entries to {out} (python {platform.python_version()})")

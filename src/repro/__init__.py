@@ -54,6 +54,9 @@ __all__ = [
     "validate_schedule",
     "solve",
     "SolveResult",
+    "solve_many",
+    "sweep_machines",
+    "SweepPoint",
 ]
 
 
@@ -64,4 +67,12 @@ def __getattr__(name):
         from .algos.api import SolveResult, solve
 
         return {"solve": solve, "SolveResult": SolveResult}[name]
+    if name in ("solve_many", "sweep_machines", "SweepPoint"):
+        from .algos.batch_api import SweepPoint, solve_many, sweep_machines
+
+        return {
+            "solve_many": solve_many,
+            "sweep_machines": sweep_machines,
+            "SweepPoint": SweepPoint,
+        }[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,335 @@
+"""Batched solve engine: ``solve_many`` and ``sweep_machines``.
+
+The workloads the ROADMAP targets — machine-count sweeps
+(:mod:`repro.experiments.scaling`), ratio studies, and service-shaped
+request streams — call :func:`repro.solve` on many *related* instances:
+the same classes and jobs, varying only the machine count (or repeating
+the instance outright).  A naive loop rebuilds every per-instance cache
+(Fraction job views, sorted views with prefix sums, the fast-kernel
+:class:`~repro.core.fastnum.DualContext`) per call, even though all of
+it is machine-count independent.
+
+This module is the façade that exploits the sharing:
+
+* :func:`sweep_machines` solves one instance across a list of machine
+  counts.  One set of caches and one ``DualContext`` (re-``m``'d via
+  :meth:`~repro.core.fastnum.DualContext.for_m`) back every point; the
+  per-point instance copy is an O(c) cache-sharing
+  ``with_machines(..., share_caches=True)``.
+* :func:`solve_many` solves a stream of instances, transparently sharing
+  caches between instances with equal ``(setups, jobs)``.
+* Both offer ``schedules=False``: the dual searches still resolve the
+  certified makespan ``T`` with its lower-bound certificate — through
+  the batched grid kernels of :mod:`repro.core.batchdual` when numpy is
+  available — but no schedule is materialized.  Sweep consumers that
+  only need the ``T*``/bound curve (capacity planning: "how many
+  machines until the proven bound drops below X?") skip the dominant
+  construction cost entirely; :class:`SweepPoint` carries the same
+  certified fields a full :class:`~repro.algos.api.SolveResult` would.
+
+Everything returned is bit-identical to the corresponding looped
+``solve()`` fields — asserted by ``tests/test_batch_api.py`` on the
+generator suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence, Union
+
+from ..core import batchdual
+from ..core.bounds import Variant, lower_bound, setup_plus_tmax
+from ..core.fastnum import validate_kernel
+from ..core.instance import Instance
+from ..core.numeric import Time
+from .api import Algorithm, Kernel, SolveResult, solve
+from .jumping_pmtn import find_flip_pmtn
+from .jumping_split import find_flip_splittable
+from .nonpreemptive import three_halves_nonpreemptive
+from .search import binary_search_dual
+
+__all__ = ["SweepPoint", "solve_many", "sweep_machines"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Bounds-only outcome of one sweep entry (no schedule materialized).
+
+    Field for field the certificate data of the ``SolveResult`` a full
+    solve at this machine count returns: the same accepted ``T``, the
+    same proven ``ratio_bound``, the same ``opt_lower_bound``.  The
+    schedule itself (makespan ≤ ``makespan_bound``) can be built on
+    demand with ``solve(instance.with_machines(m), ...)``.
+    """
+
+    m: int
+    variant: Variant
+    algorithm: str
+    T: Time
+    ratio_bound: Fraction
+    opt_lower_bound: Time
+    accept_calls: int
+
+    @property
+    def makespan_bound(self) -> Time:
+        """Proven ceiling on the (buildable) schedule's makespan.
+
+        The dual constructions guarantee makespan ≤ (3/2)·T at the
+        accepted ``T``; the trivial closed forms are exact.
+        """
+        if self.algorithm == "trivial":
+            return self.T
+        return Fraction(3, 2) * self.T
+
+
+def _trivial_point(instance: Instance, variant: Variant) -> Optional[SweepPoint]:
+    """The m = 1 / m ≥ n closed forms of the trivial solve paths."""
+    if instance.m == 1:
+        total = Fraction(instance.total_load)  # serial schedule is optimal
+        return SweepPoint(
+            m=1, variant=variant, algorithm="trivial", T=total,
+            ratio_bound=Fraction(1), opt_lower_bound=total, accept_calls=0,
+        )
+    if variant is not Variant.SPLITTABLE and instance.m >= instance.n:
+        cmax = Fraction(setup_plus_tmax(instance))  # one job (+setup) per machine
+        return SweepPoint(
+            m=instance.m, variant=variant, algorithm="trivial", T=cmax,
+            ratio_bound=Fraction(1), opt_lower_bound=cmax, accept_calls=0,
+        )
+    return None
+
+
+def _bounds_point(
+    instance: Instance,
+    variant: Variant,
+    algorithm: Algorithm,
+    eps: Fraction,
+    kernel: Kernel,
+    use_grid: bool,
+) -> SweepPoint:
+    """One bounds-only solve: search, certify, skip the construction."""
+    trivial = _trivial_point(instance, variant)
+    if trivial is not None:
+        return trivial
+    lb = lower_bound(instance, variant)
+    fast = validate_kernel(kernel)
+    ctx = instance.fast_ctx() if fast else None
+    m = instance.m
+
+    if algorithm == "eps":
+        from .api import _dual_for
+
+        # Same accept predicate solve(..., "eps") wires up (build discarded:
+        # bounds mode never constructs).
+        accept, _ = _dual_for(instance, variant, kernel)
+        grid = None
+        if fast and use_grid:
+            kind = {
+                Variant.SPLITTABLE: "split",
+                Variant.PREEMPTIVE: "pmtn",
+                Variant.NONPREEMPTIVE: "nonp",
+            }[variant]
+            grid = batchdual.grid_accept_fn(ctx, kind, mode="alpha")
+        sr = binary_search_dual(
+            instance, variant, accept, build=None, eps=eps, grid_accept=grid
+        )
+        return SweepPoint(
+            m=m, variant=variant, algorithm="eps", T=sr.T,
+            ratio_bound=sr.ratio_bound,
+            opt_lower_bound=max(lb, sr.certificate_lo),
+            accept_calls=sr.accept_calls,
+        )
+
+    if algorithm != "three_halves":
+        raise ValueError(
+            f"schedules=False supports the dual-search algorithms "
+            f"('three_halves', 'eps'), not {algorithm!r}"
+        )
+
+    if variant is Variant.SPLITTABLE:
+        T_star, calls = find_flip_splittable(
+            instance, kernel=kernel, ctx=ctx, use_grid=use_grid and fast
+        )
+        return SweepPoint(
+            m=m, variant=variant, algorithm="three_halves", T=T_star,
+            ratio_bound=Fraction(3, 2), opt_lower_bound=max(lb, T_star),
+            accept_calls=calls,
+        )
+    if variant is Variant.PREEMPTIVE:
+        T_star, T_witness, calls = find_flip_pmtn(
+            instance, kernel=kernel, ctx=ctx, use_grid=use_grid and fast
+        )
+        ratio = (
+            Fraction(3, 2) * T_witness / T_star if T_star else Fraction(3, 2)
+        )
+        return SweepPoint(
+            m=m, variant=variant, algorithm="three_halves", T=T_witness,
+            ratio_bound=ratio, opt_lower_bound=max(lb, T_star),
+            accept_calls=calls,
+        )
+    sr = three_halves_nonpreemptive(
+        instance, kernel=kernel, ctx=ctx, use_grid=use_grid and fast,
+        build_schedule=False,
+    )
+    return SweepPoint(
+        m=m, variant=variant, algorithm="three_halves", T=sr.T,
+        ratio_bound=Fraction(3, 2),
+        opt_lower_bound=max(lb, sr.certificate_lo),
+        accept_calls=sr.accept_calls,
+    )
+
+
+def _resolve_use_grid(
+    use_grid: Optional[bool], kernel: Kernel, variant: Variant
+) -> bool:
+    """Auto-policy for the vectorized grid evaluators.
+
+    ``None`` engages the grids where they are measured neutral-to-faster
+    (splittable/preemptive: 2-D class×candidate kernels) and keeps the
+    scalar probes for the non-preemptive integer search, whose per-class
+    ``searchsorted`` loop pays numpy dispatch per class — slower than
+    ~``log(n+Δ)`` scalar probes at realistic candidate counts.
+    ``True`` forces grids and requires numpy (fails loudly rather than
+    silently degrading to candidate-by-candidate scalar loops);
+    ``False`` forces scalar probing.
+    """
+    if use_grid is None:
+        return (
+            batchdual.HAVE_NUMPY
+            and kernel == "fast"
+            and variant is not Variant.NONPREEMPTIVE
+        )
+    if use_grid and not batchdual.HAVE_NUMPY:
+        raise RuntimeError("use_grid=True but numpy is not installed")
+    return bool(use_grid)
+
+
+def _grid_safe_for(ctx, instance: Instance, variant: Variant) -> bool:
+    """Will this instance's search candidates clear the int64 precheck?
+
+    Batched grid calls stay *correct* on overflow-prone instances (each
+    call falls back to the scalar kernel), but a fallen-back grid call
+    evaluates every candidate of its block — e.g. the full dyadic ε-grid
+    — sequentially, which is slower than the plain bisection it
+    replaced.  This probes :func:`batchdual._grid_is_safe` once per
+    sweep point with a representative candidate envelope (the search
+    window ``[T_min, 2·T_min]`` at denominators up to ``1024·2m`` — a
+    superset of the dyadic refinements and class-jump denominators seen
+    in practice) and keeps grids off when it does not clear.
+    """
+    from ..core.bounds import t_min
+
+    tmin = t_min(instance, variant)
+    max_td = tmin.denominator * 1024 * max(1, 2 * instance.m)
+    lo = tmin.numerator * (max_td // tmin.denominator)
+    return batchdual._grid_is_safe(ctx, [max(1, lo), 2 * lo], [max_td, max_td])
+
+
+def sweep_machines(
+    instance: Instance,
+    ms: Iterable[int],
+    variant: Variant = Variant.NONPREEMPTIVE,
+    algorithm: Algorithm = "three_halves",
+    eps: Fraction = Fraction(1, 100),
+    *,
+    kernel: Kernel = "fast",
+    schedules: bool = True,
+    use_grid: Optional[bool] = None,
+) -> Union[list[SolveResult], list[SweepPoint]]:
+    """Solve ``instance`` across machine counts ``ms``, sharing every cache.
+
+    The instance's job/class data is machine-count independent, so one
+    set of per-class views and one fast-kernel context back the whole
+    sweep (``with_machines(..., share_caches=True)`` +
+    :meth:`DualContext.for_m`); only the per-``m`` search and (with
+    ``schedules=True``) the per-``m`` construction remain.
+
+    ``schedules=True`` returns full :class:`SolveResult` objects,
+    bit-identical to ``[solve(instance.with_machines(m), ...) for m in
+    ms]``.  ``schedules=False`` returns :class:`SweepPoint` bounds
+    (same certified ``T``/ratio/lower bound, no schedule) and lets the
+    searches run on the vectorized grid kernel — the fast path for
+    ``T*``-curve workloads.
+
+    ``use_grid`` applies to the bounds-only searches: ``None`` (default)
+    engages the numpy grid evaluators when numpy is importable, the
+    kernel is ``"fast"`` and the instance clears the int64 overflow
+    probe; ``False`` forces scalar probing; ``True`` requires numpy.
+    Full-schedule sweeps are construction-dominated and always use the
+    scalar searches — explicitly forcing ``use_grid=True`` there raises
+    rather than silently degrading.
+    """
+    validate_kernel(kernel)
+    if schedules and use_grid:
+        raise ValueError(
+            "use_grid=True applies to bounds-only sweeps (schedules=False); "
+            "full-schedule sweeps use the scalar searches"
+        )
+    grid = False if schedules else _resolve_use_grid(use_grid, kernel, variant)
+    if kernel == "fast":
+        ctx = instance.fast_ctx()  # ensure the shared context exists pre-sweep
+        if grid and use_grid is None and not _grid_safe_for(ctx, instance, variant):
+            grid = False  # auto policy: overflow-prone grids would fall back per call
+    out: list = []
+    for m in ms:
+        inst_m = instance.with_machines(m, share_caches=True)
+        if schedules:
+            out.append(solve(inst_m, variant, algorithm, eps, kernel=kernel))
+        else:
+            out.append(
+                _bounds_point(inst_m, variant, algorithm, eps, kernel, grid)
+            )
+    return out
+
+
+def solve_many(
+    instances: Sequence[Instance],
+    variant: Variant = Variant.NONPREEMPTIVE,
+    algorithm: Algorithm = "three_halves",
+    eps: Fraction = Fraction(1, 100),
+    *,
+    kernel: Kernel = "fast",
+    schedules: bool = True,
+    use_grid: Optional[bool] = None,
+) -> Union[list[SolveResult], list[SweepPoint]]:
+    """Solve a stream of instances, sharing caches between equal inputs.
+
+    Instances with identical ``(setups, jobs)`` — machine-count sweeps,
+    repeated service requests — are backed by one representative's
+    caches and fast-kernel context; distinct inputs solve exactly as a
+    plain loop would.  Output order matches the input order and every
+    entry is bit-identical to the corresponding ``solve(...)`` call
+    (or, with ``schedules=False``, to its certificate fields).
+    """
+    validate_kernel(kernel)
+    if schedules and use_grid:
+        raise ValueError(
+            "use_grid=True applies to bounds-only solves (schedules=False); "
+            "full-schedule solves use the scalar searches"
+        )
+    base_grid = False if schedules else _resolve_use_grid(use_grid, kernel, variant)
+    reps: dict[tuple, Instance] = {}
+    grid_by_key: dict[tuple, bool] = {}  # overflow probe is per input, not sticky
+    out: list = []
+    for inst in instances:
+        key = (inst.setups, inst.jobs)
+        rep = reps.get(key)
+        if rep is None:
+            reps[key] = inst
+            grid = base_grid
+            if kernel == "fast":
+                ctx = inst.fast_ctx()
+                if grid and use_grid is None and not _grid_safe_for(ctx, inst, variant):
+                    grid = False  # auto policy, see sweep_machines
+            grid_by_key[key] = grid
+            shared = inst
+        else:
+            shared = rep.with_machines(inst.m, share_caches=True)
+        if schedules:
+            out.append(solve(shared, variant, algorithm, eps, kernel=kernel))
+        else:
+            out.append(
+                _bounds_point(shared, variant, algorithm, eps, kernel, grid_by_key[key])
+            )
+    return out

@@ -40,13 +40,20 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Optional
 
+from ..core import batchdual
 from ..core.bounds import Variant, t_min
-from ..core.fastnum import PmtnVerdict, fast_base_core, fast_pmtn_test, validate_kernel
+from ..core.fastnum import (
+    DualContext,
+    PmtnVerdict,
+    fast_base_core,
+    fast_pmtn_test,
+    validate_kernel,
+)
 from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
 from .pmtn_general import pmtn_dual_schedule, pmtn_dual_test
-from .search import right_interval_bisect
+from .search import MemoAccept, right_interval_bisect
 
 #: relative witness offset for non-attained infima
 _WITNESS_EPS = Fraction(1, 2**40)
@@ -100,24 +107,43 @@ def _base_accept(instance: Instance, T: Time) -> bool:
     return instance.m * T >= load and instance.m >= m_prime
 
 
-def _base_flip(instance: Instance, tmin: Time, thi: Time, *, kernel: str = "fast") -> Time:
+def _base_flip(
+    instance: Instance,
+    tmin: Time,
+    thi: Time,
+    *,
+    kernel: str = "fast",
+    ctx: Optional[DualContext] = None,
+    use_grid: bool = False,
+) -> Time:
     """Class Jumping on the monotone core (Algorithm 4 steps 2-7).
 
     Returns ``T̃ = min{T ≥ tmin : base-accept}``; everything below is
     rejected by the full test too (``L_base ≤ L_pmtn``, ``m′`` shared).
+    Probes are memoized, so endpoints shared across the bisection phases
+    hit the kernel once; ``use_grid=True`` resolves each bisection with
+    batched grid calls (identical flip — the base core is monotone).
     """
+    grid_accept = None
     if validate_kernel(kernel):
-        ctx = instance.fast_ctx()
+        if ctx is None:
+            ctx = instance.fast_ctx()
 
         def base_core(T: Time) -> tuple:
             return fast_base_core(ctx, T.numerator, T.denominator)
 
+        if use_grid:
+            grid_accept = batchdual.grid_accept_fn(ctx, "pmtn_base")
     else:
         base_core = lambda T: _base_core(instance, T)
 
-    def accept(T: Time) -> bool:
+    def accept_once(T: Time) -> bool:
         load, m_prime = base_core(T)
         return instance.m * T.numerator >= load * T.denominator and instance.m >= m_prime
+
+    accept = MemoAccept(accept_once)
+    if grid_accept is not None:
+        grid_accept = accept.wrap_grid(grid_accept)
 
     if accept(tmin):
         return tmin
@@ -131,7 +157,7 @@ def _base_flip(instance: Instance, tmin: Time, thi: Time, *, kernel: str = "fast
             if tmin < b < thi:
                 pts.add(b)
     candidates = [tmin] + sorted(pts) + [thi]
-    A1, T1 = right_interval_bisect(candidates, accept)
+    A1, T1 = right_interval_bisect(candidates, accept, grid_accept=grid_accept)
 
     # fastest jumping class f among I+exp on the open interior
     mid = (A1 + T1) / 2
@@ -156,7 +182,7 @@ def _base_flip(instance: Instance, tmin: Time, thi: Time, *, kernel: str = "fast
     lo_b, hi_b = A1, T1
     if k_hi >= k_lo:
         jump_candidates = [A1] + [SPf / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
-        lo_b, hi_b = right_interval_bisect(jump_candidates, accept)
+        lo_b, hi_b = right_interval_bisect(jump_candidates, accept, grid_accept=grid_accept)
 
     inner: set[Time] = set()
     for i in exp_plus:
@@ -171,7 +197,9 @@ def _base_flip(instance: Instance, tmin: Time, thi: Time, *, kernel: str = "fast
             inner.add(SPi / k)
     assert len(inner) <= len(exp_plus), "Lemma 5 violated"
     if inner:
-        lo_b, hi_b = right_interval_bisect([lo_b] + sorted(inner) + [hi_b], accept)
+        lo_b, hi_b = right_interval_bisect(
+            [lo_b] + sorted(inner) + [hi_b], accept, grid_accept=grid_accept
+        )
     return _flip_constant_core(instance, lo_b, hi_b, base_core)
 
 
@@ -321,7 +349,12 @@ def _knapsack_stable_points(instance: Instance, lo: Time, hi: Time) -> list[Time
 
 
 def find_flip_pmtn(
-    instance: Instance, *, use_base_jump: bool = True, kernel: str = "fast"
+    instance: Instance,
+    *,
+    use_base_jump: bool = True,
+    kernel: str = "fast",
+    ctx: Optional[DualContext] = None,
+    use_grid: bool = False,
 ) -> tuple[Time, Time, int]:
     """Exact flip of the Theorem-5 (γ) test: ``(T_star, T_witness, calls)``.
 
@@ -330,25 +363,39 @@ def find_flip_pmtn(
     the ablation benchmark.  ``kernel`` selects the scaled-integer or the
     Fraction dual test for the accept/structure probes (identical
     decisions either way; the knapsack stable-point analysis always runs
-    on the exact reference since it needs the full partition).
+    on the exact reference since it needs the full partition).  ``ctx``
+    injects a shared probe context (machine sweeps); ``use_grid=True``
+    batches the base-flip bisections through the vectorized kernel.  All
+    probes are memoized on ``(numerator, denominator)`` — the scan
+    re-tests piece endpoints, so dedup saves real work here.
     """
-    calls = 0
     fast = validate_kernel(kernel)
-    ctx = instance.fast_ctx() if fast else None
+    if ctx is None:
+        ctx = instance.fast_ctx() if fast else None
+
+    probe_cache: dict[tuple[int, int], PmtnVerdict] = {}
+    calls = 0
 
     def probe(T: Time) -> PmtnVerdict:
-        """(accepted, load, m', case, y_neg) of the γ test at ``T``."""
+        """(accepted, load, m', case, y_neg) of the γ test at ``T`` (memoized)."""
+        nonlocal calls
+        key = (T.numerator, T.denominator)
+        v = probe_cache.get(key)
+        if v is not None:
+            return v
+        calls += 1
         if fast:
-            return fast_pmtn_test(ctx, T.numerator, T.denominator, "gamma")
-        d = pmtn_dual_test(instance, T, mode="gamma")
-        return PmtnVerdict(
-            d.accepted, d.load, d.machines_needed, d.case,
-            any("F < L*" in r for r in d.reject_reasons),
-        )
+            v = fast_pmtn_test(ctx, T.numerator, T.denominator, "gamma")
+        else:
+            d = pmtn_dual_test(instance, T, mode="gamma")
+            v = PmtnVerdict(
+                d.accepted, d.load, d.machines_needed, d.case,
+                any("F < L*" in r for r in d.reject_reasons),
+            )
+        probe_cache[key] = v
+        return v
 
     def accept(T: Time) -> bool:
-        nonlocal calls
-        calls += 1
         return probe(T).accepted
 
     tmin = t_min(instance, Variant.PREEMPTIVE)
@@ -356,7 +403,11 @@ def find_flip_pmtn(
     if accept(tmin):
         return tmin, tmin, calls
 
-    t_base = _base_flip(instance, tmin, thi, kernel=kernel) if use_base_jump else tmin
+    t_base = (
+        _base_flip(instance, tmin, thi, kernel=kernel, ctx=ctx, use_grid=use_grid)
+        if use_base_jump
+        else tmin
+    )
 
     # exhaustive left-to-right scan from the certified frontier
     points = [t_base] + _change_points(instance, t_base, thi) + [thi]
@@ -372,7 +423,6 @@ def find_flip_pmtn(
                 return a, a, calls
             mid = (a + b) / 2
             d = probe(mid)
-            calls += 1
             if instance.m < d.machines_needed:
                 continue
             if d.case == "trivial":
@@ -393,9 +443,17 @@ def find_flip_pmtn(
     return thi, thi, calls
 
 
-def three_halves_preemptive(instance: Instance, *, kernel: str = "fast") -> PmtnJumpResult:
+def three_halves_preemptive(
+    instance: Instance,
+    *,
+    kernel: str = "fast",
+    ctx: Optional[DualContext] = None,
+    use_grid: bool = False,
+) -> PmtnJumpResult:
     """Theorem 6 — 3/2-approximation for ``P|pmtn,setup=s_i|Cmax``."""
-    T_star, T_witness, calls = find_flip_pmtn(instance, kernel=kernel)
+    T_star, T_witness, calls = find_flip_pmtn(
+        instance, kernel=kernel, ctx=ctx, use_grid=use_grid
+    )
     schedule = pmtn_dual_schedule(instance, T_witness, mode="gamma", kernel=kernel)
     return PmtnJumpResult(
         T_star=T_star, T_witness=T_witness, schedule=schedule, accept_calls=calls

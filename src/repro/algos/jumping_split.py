@@ -28,12 +28,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional
 
+from ..core import batchdual
 from ..core.bounds import Variant, t_min
-from ..core.fastnum import SplitVerdict, fast_split_test, validate_kernel
+from ..core.fastnum import DualContext, SplitVerdict, fast_split_test, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
-from .search import right_interval_bisect
+from .search import MemoAccept, right_interval_bisect
 from .splittable import split_dual_schedule, split_dual_test
 
 
@@ -49,30 +50,52 @@ class JumpSearchResult:
     ratio_bound: Fraction = Fraction(3, 2)
 
 
-def three_halves_splittable(instance: Instance, *, kernel: str = "fast") -> JumpSearchResult:
+def three_halves_splittable(
+    instance: Instance,
+    *,
+    kernel: str = "fast",
+    ctx: Optional[DualContext] = None,
+    use_grid: bool = False,
+) -> JumpSearchResult:
     """Theorem 3 — 3/2-approximation in ``O(n + c log(c+m))``."""
-    T_star, calls = find_flip_splittable(instance, kernel=kernel)
+    T_star, calls = find_flip_splittable(
+        instance, kernel=kernel, ctx=ctx, use_grid=use_grid
+    )
     schedule = split_dual_schedule(instance, T_star, kernel=kernel)
     return JumpSearchResult(T_star=T_star, schedule=schedule, accept_calls=calls)
 
 
-def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[Time, int]:
+def find_flip_splittable(
+    instance: Instance,
+    *,
+    kernel: str = "fast",
+    ctx: Optional[DualContext] = None,
+    use_grid: bool = False,
+) -> tuple[Time, int]:
     """Locate ``T* = min accepted T`` via Algorithm 1. Returns (T*, #tests).
 
     The ``O(log(c+m))`` accept probes run on the scaled-integer kernel by
     default; ``kernel="fraction"`` probes the Theorem-7 reference instead
-    (bit-identical decisions, differential-tested).
+    (bit-identical decisions, differential-tested).  ``ctx`` injects a
+    pre-built (possibly :meth:`~repro.core.fastnum.DualContext.for_m`-
+    shared) probe context; ``use_grid=True`` evaluates the candidate
+    lists through the vectorized grid kernel (identical flip, since
+    ``L_split``/``m_exp`` are monotone).  All probes are memoized, so
+    interval endpoints shared across the search phases are tested once.
     """
-    calls = 0
     fast = validate_kernel(kernel)
-    ctx = instance.fast_ctx() if fast else None
+    if ctx is None:
+        ctx = instance.fast_ctx() if fast else None
 
-    def accept(T: Time) -> bool:
-        nonlocal calls
-        calls += 1
-        if fast:
-            return fast_split_test(ctx, T.numerator, T.denominator).accepted
-        return split_dual_test(instance, T).accepted
+    if fast:
+        accept = MemoAccept(
+            lambda T: fast_split_test(ctx, T.numerator, T.denominator).accepted
+        )
+    else:
+        accept = MemoAccept(lambda T: split_dual_test(instance, T).accepted)
+    grid_accept = None
+    if use_grid and fast:
+        grid_accept = accept.wrap_grid(batchdual.grid_accept_fn(ctx, "split"))
 
     def core(T: Time) -> SplitVerdict:
         """(accepted, load, m_exp) of the dual at ``T`` — kernel-dispatched."""
@@ -84,12 +107,12 @@ def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[T
     tmin = t_min(instance, Variant.SPLITTABLE)
     thi = 2 * tmin
     if accept(tmin):
-        return tmin, calls
+        return tmin, accept.calls
 
     # ---- step 4: right interval between doubled setups ---------------- #
     setup_bounds = sorted({Fraction(2 * s) for s in instance.setups if tmin < 2 * s < thi})
     candidates = [tmin] + setup_bounds + [thi]
-    A1, T1 = right_interval_bisect(candidates, accept)
+    A1, T1 = right_interval_bisect(candidates, accept, grid_accept=grid_accept)
     # Partition (I_exp, I_chp) is constant on [A1, T1); evaluate it at A1.
     exp = tuple(
         i for i, s in enumerate(instance.setups) if 2 * s * A1.denominator > A1.numerator
@@ -98,7 +121,7 @@ def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[T
     if not exp:
         # No expensive classes: L_split constant on [A1, T1); the flip is
         # either T_new = L/m inside the interval or T1 itself.
-        return _flip_on_constant_piece(instance, A1, T1, accept, core), calls
+        return _flip_on_constant_piece(instance, A1, T1, accept, core), accept.calls
 
     # ---- step 5: fastest jumping class f ------------------------------ #
     f = max(exp, key=lambda i: instance.processing(i))
@@ -116,7 +139,7 @@ def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[T
     if k_hi >= k_lo:
         # candidate jumps are decreasing in k; build ascending candidate list
         jump_candidates = [A1] + [Pf2 / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
-        lo_b, hi_b = right_interval_bisect(jump_candidates, accept)
+        lo_b, hi_b = right_interval_bisect(jump_candidates, accept, grid_accept=grid_accept)
 
     # ---- steps 7-8: collect the ≤ c jumps inside (lo_b, hi_b) --------- #
     inner: set[Time] = set()
@@ -136,12 +159,12 @@ def find_flip_splittable(instance: Instance, *, kernel: str = "fast") -> tuple[T
     assert len(inner) <= len(exp), "Lemma 3 violated: too many jumps in X"
     if inner:
         jump_list = [lo_b] + sorted(inner) + [hi_b]
-        T_fail, T_ok = right_interval_bisect(jump_list, accept)
+        T_fail, T_ok = right_interval_bisect(jump_list, accept, grid_accept=grid_accept)
     else:
         T_fail, T_ok = lo_b, hi_b
 
     # ---- step 9: constant piece [T_fail, T_ok) ------------------------ #
-    return _flip_on_constant_piece(instance, T_fail, T_ok, accept, core), calls
+    return _flip_on_constant_piece(instance, T_fail, T_ok, accept, core), accept.calls
 
 
 def _flip_on_constant_piece(

@@ -44,11 +44,11 @@ from fractions import Fraction
 from typing import Iterator, Optional
 
 from ..core.bounds import Variant, setup_plus_tmax, t_min
-from ..core.classification import NonpPartition, nonp_partition
+from ..core.classification import NonpPartition, nonp_partition, nonp_partition_fast
 from ..core.errors import ConstructionError, RejectedMakespanError
 from ..core.fastnum import fast_nonp_test, validate_kernel
 from ..core.instance import Instance, JobRef
-from ..core.numeric import Time, TimeLike, as_time, time_str
+from ..core.numeric import Time, TimeLike, as_time, fast_fraction, time_str
 from ..core.schedule import Placement, Schedule
 from .search import SearchResult, integer_search_dual
 
@@ -97,7 +97,7 @@ def nonp_dual_test(instance: Instance, T: TimeLike) -> NonpDual:
 # --------------------------------------------------------------------------- #
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _It:
     """One contiguous item in a machine's bottom-to-top item list.
 
@@ -135,14 +135,31 @@ def _materialize(
     ``scale`` is the common denominator the item lengths were multiplied
     by; times are divided back out exactly at this single boundary.
     ``trusted`` skips the per-placement sign checks (prefix sums of
-    positive scaled lengths cannot go negative).
+    positive scaled lengths cannot go negative) and materializes through
+    the slot-writing fast paths — machine indices are in range by
+    construction (one item list per machine).
     """
     schedule = Schedule(instance)
-    add = schedule.append_trusted if trusted else schedule.add
+    if trusted:
+        from ..core.wrapping import _new_placement
+
+        by_machine = schedule._by_machine
+        for u, items in enumerate(machines):
+            t = 0
+            dest = by_machine[u]
+            for it in items:
+                dest.append(
+                    _new_placement(
+                        u, fast_fraction(t, scale), fast_fraction(it.length, scale),
+                        it.cls, it.job,
+                    )
+                )
+                t += it.length
+        return schedule
     for u, items in enumerate(machines):
         t = 0
         for it in items:
-            add(
+            schedule.add(
                 Placement(
                     machine=u,
                     start=Fraction(t, scale),
@@ -182,21 +199,37 @@ def nonp_dual_schedule(
     historical rational arithmetic; both produce identical schedules.
     """
     T = as_time(T)
-    dual = nonp_dual_test(instance, T)
-    if not dual.accepted:
-        raise RejectedMakespanError(
-            f"T={time_str(T)} rejected by Theorem 9: {', '.join(dual.reject_reasons)}"
-        )
     if not validate_kernel(kernel):
+        dual = nonp_dual_test(instance, T)
+        if not dual.accepted:
+            raise RejectedMakespanError(
+                f"T={time_str(T)} rejected by Theorem 9: {', '.join(dual.reject_reasons)}"
+            )
         return _nonp_schedule_reference(instance, T, dual, stages_out)
+    # Kernel-complete acceptance + partition: verdict through the scaled-int
+    # test, the full Appendix-D partition through its integer twin (the
+    # Fraction nonp_dual_test stays untouched as the reference path).
+    ctx = instance.fast_ctx()
     D: int = T.denominator          # everything below is scaled by D
     Ts = T.numerator                # T·D — an int
+    verdict = fast_nonp_test(ctx, Ts, D)
+    if not verdict.accepted:
+        if Ts < ctx.spt * D:
+            reasons = ["T < max(s_i + t_max^i)"]
+        else:
+            reasons = []
+            if instance.m * Ts < verdict.load * D:
+                reasons.append("mT < L_nonp")
+            if instance.m < verdict.machines_needed:
+                reasons.append("m < m'")
+        raise RejectedMakespanError(
+            f"T={time_str(T)} rejected by Theorem 9: {', '.join(reasons)}"
+        )
 
     def snapshot(key: str, machines: list[list["_It"]]) -> None:
         if stages_out is not None:
             stages_out[key] = _materialize(instance, machines, D, trusted=True)
-    part = dual.partition
-    assert part is not None
+    part = nonp_partition_fast(instance, T)
     machines: list[list[_It]] = [[] for _ in range(instance.m)]
     ends = [0] * instance.m  # running scaled machine ends (valid through step 3)
     pieces_of: dict[JobRef, list[tuple[int, _It]]] = {}
@@ -256,7 +289,7 @@ def nonp_dual_schedule(
 
     for i in range(instance.c):
         if i in part.exp:
-            wrap_quota(i, list(instance.class_jobs(i)))
+            wrap_quota(i, instance.class_jobs_view(i))
         else:
             for j in part.big_jobs.get(i, ()):  # C_i ∩ J⁺, one machine each
                 u = take_machine()
@@ -278,7 +311,7 @@ def nonp_dual_schedule(
     for i in part.chp:
         l_set = set(part.l_jobs(i))
         todo: list[tuple[JobRef, object]] = [
-            (j, t * D) for j, t in instance.class_jobs(i) if j not in l_set
+            (j, t * D) for j, t in instance.class_jobs_view(i) if j not in l_set
         ]
         if not todo:
             continue
@@ -657,23 +690,45 @@ def _nonp_schedule_reference(
     return schedule
 
 
-def three_halves_nonpreemptive(instance: Instance, *, kernel: str = "fast") -> SearchResult:
+def three_halves_nonpreemptive(
+    instance: Instance,
+    *,
+    kernel: str = "fast",
+    ctx=None,
+    use_grid: bool = False,
+    build_schedule: bool = True,
+) -> SearchResult:
     """Theorem 8 — 3/2-approximation in ``O(n log(n+Δ))``.
 
     ``kernel="fast"`` (default) probes the Theorem-9 test through the
     scaled-integer kernel (:func:`repro.core.fastnum.fast_nonp_test`);
     ``kernel="fraction"`` keeps the exact-rational reference path.  Both
     make identical accept/reject decisions (differential-tested), hence
-    return identical schedules.
+    return identical schedules.  ``ctx`` injects a shared probe context
+    (machine sweeps); ``use_grid=True`` resolves the integer window with
+    batched grid calls instead of scalar bisection (identical ``T`` —
+    the Theorem-9 accept is monotone); ``build_schedule=False`` returns
+    the certified ``T`` without materializing the schedule.
     """
+    grid_accept = None
     if validate_kernel(kernel):
-        ctx = instance.fast_ctx()
+        if ctx is None:
+            ctx = instance.fast_ctx()
         accept = lambda T: fast_nonp_test(ctx, T.numerator, T.denominator).accepted
+        if use_grid:
+            from ..core.batchdual import grid_accept_fn
+
+            grid_accept = grid_accept_fn(ctx, "nonp")
     else:
         accept = lambda T: nonp_dual_test(instance, T).accepted
     return integer_search_dual(
         instance,
         Variant.NONPREEMPTIVE,
         accept=accept,
-        build=lambda T: nonp_dual_schedule(instance, T, kernel=kernel),
+        build=(
+            (lambda T: nonp_dual_schedule(instance, T, kernel=kernel))
+            if build_schedule
+            else None
+        ),
+        grid_accept=grid_accept,
     )

@@ -49,10 +49,10 @@ from functools import cmp_to_key
 from ..core.bounds import setup_plus_tmax
 from ..core.classification import PmtnPartition, pmtn_partition
 from ..core.errors import ConstructionError, RejectedMakespanError
-from ..core.fastnum import count_scaled, knapsack_order_cmp, validate_kernel
+from ..core.fastnum import count_scaled, knapsack_order_cmp, scale_int, validate_kernel
 from ..core.instance import Instance, JobRef
 from ..core.knapsack import ContinuousSolution, KnapsackItem, solve_continuous
-from ..core.numeric import Time, TimeLike, as_time, time_str
+from ..core.numeric import Time, TimeLike, as_time, fast_fraction, time_str
 from ..core.schedule import Schedule
 from ..core.wrapping import Batch, WrapSequence, WrapTemplate, wrap
 from .pmtn_nice import CountMode, NiceView, count_for, nice_dual_test, schedule_nice_view
@@ -457,6 +457,7 @@ def pmtn_dual_schedule(
 
     k_items: dict[int, list[tuple[JobRef, Time]]] = {}  # class -> bottom items
 
+    tn, td = T.numerator, T.denominator
     if dual.case == "3a":
         knap = dual.knapsack
         assert knap is not None
@@ -466,9 +467,53 @@ def pmtn_dual_schedule(
             stars = set(part.big_jobs(i))
             if x == 1:
                 view[i] = jobs_of(i)
-            elif i == e:
+            elif fast:
+                # Scaled-int view math: with x = xn/dx all piece lengths are
+                # exact ints at scale D = 2·td·dx —
+                #   x·t1·D = xn·(tn − 2·s·td)  since t1 = T/2 − s,
+                #   t2·D   = (s+t_j)·D − tn·dx,
+                #   x·t·D  = xn·2·td·t —
+                # so the per-job loop is int arithmetic with one Fraction
+                # materialized per emitted piece (bit-identical values).
+                s = instance.setups[i]
+                a1 = tn - 2 * s * td            # (T/2 − s_i)·2td
                 nice_items: list[tuple[JobRef, Time]] = []
                 bottom_items: list[tuple[JobRef, Time]] = []
+                if i == e:
+                    xn, dx = x.numerator, x.denominator
+                    D = 2 * td * dx
+                    for j, t in jobs_of(i):
+                        ti = t.numerator
+                        if j in stars:
+                            hi_sc = xn * a1 + (s + ti) * D - tn * dx  # j^[2]
+                            lo_sc = (dx - xn) * a1                    # j^[1]
+                        else:
+                            hi_sc = xn * 2 * td * ti
+                            lo_sc = (dx - xn) * 2 * td * ti
+                        if hi_sc > 0:
+                            nice_items.append((j, fast_fraction(hi_sc, D)))
+                        if lo_sc > 0:
+                            bottom_items.append((j, fast_fraction(lo_sc, D)))
+                    view[i] = nice_items
+                    if bottom_items:
+                        k_items[i] = bottom_items
+                else:  # unselected (x = 0): obligatory t2 outside, rest bottoms
+                    D = 2 * td
+                    for j, t in jobs_of(i):
+                        if j in stars:
+                            t2_sc = (s + t.numerator) * D - tn
+                            nice_items.append((j, fast_fraction(t2_sc, D)))
+                            if a1 > 0:
+                                bottom_items.append((j, fast_fraction(a1, D)))
+                        else:
+                            bottom_items.append((j, t))
+                    if nice_items:
+                        view[i] = nice_items
+                    if bottom_items:
+                        k_items[i] = bottom_items
+            elif i == e:
+                nice_items = []
+                bottom_items = []
                 for j, t in jobs_of(i):
                     if j in stars:
                         t1, t2 = _star_piece_lengths(instance, T, i, j)
@@ -509,41 +554,83 @@ def pmtn_dual_schedule(
         for i in part.chp_star:
             view[i] = jobs_of(i)
         # greedily fill Q1 (outside) with I⁻chp \ I*chp up to F − demand_star
-        target = dual.F - dual.demand_star
-        acc = Fraction(0)
         rest = [i for i in part.chp_minus if i not in set(part.chp_star)]
-        for idx, i in enumerate(rest):
-            s = Fraction(instance.setups[i])
-            block = s + Fraction(instance.processing(i))
-            if acc + block <= target:
-                view[i] = jobs_of(i)
-                acc += block
-                continue
-            room = target - acc - s  # job load affordable after the setup
-            if room > 0:
-                nice_items = []
-                bottom_items = []
-                filled = Fraction(0)
-                for j, t in jobs_of(i):
-                    hi = min(t, max(Fraction(0), room - filled))
-                    if hi > 0:
-                        nice_items.append((j, hi))
-                        filled += hi
-                    if t - hi > 0:
-                        bottom_items.append((j, t - hi))
-                view[i] = nice_items
-                if bottom_items:
-                    k_items[i] = bottom_items
-                for j2 in rest[idx + 1:]:
-                    k_items[j2] = jobs_of(j2)
-            else:
-                # cannot even afford this class's setup outside: the whole
-                # tail goes to the bottoms (Q1 stays slightly underfilled —
-                # shortfall < s_i ≤ T/4, absorbed by the ω slack; see module
-                # docstring and the fuzz tests).
-                for j2 in rest[idx:]:
-                    k_items[j2] = jobs_of(j2)
-            break
+        if fast:
+            # Same greedy split at scale 2·td: F and demand_star are exact
+            # multiples of 1/(2td), so target/acc/room/filled are ints.
+            D = 2 * td
+            target_sc = scale_int(dual.F - dual.demand_star, D)
+            acc_sc = 0
+            for idx, i in enumerate(rest):
+                s = instance.setups[i]
+                block_sc = D * (s + instance.class_processing[i])
+                if acc_sc + block_sc <= target_sc:
+                    view[i] = jobs_of(i)
+                    acc_sc += block_sc
+                    continue
+                room_sc = target_sc - acc_sc - D * s
+                if room_sc > 0:
+                    nice_items = []
+                    bottom_items = []
+                    filled_sc = 0
+                    for j, t in jobs_of(i):
+                        t_sc = D * t.numerator
+                        hi_sc = min(t_sc, max(0, room_sc - filled_sc))
+                        if hi_sc > 0:
+                            nice_items.append(
+                                (j, t if hi_sc == t_sc else fast_fraction(hi_sc, D))
+                            )
+                            filled_sc += hi_sc
+                        if t_sc - hi_sc > 0:
+                            bottom_items.append(
+                                (j, t if hi_sc == 0 else fast_fraction(t_sc - hi_sc, D))
+                            )
+                    view[i] = nice_items
+                    if bottom_items:
+                        k_items[i] = bottom_items
+                    for j2 in rest[idx + 1:]:
+                        k_items[j2] = jobs_of(j2)
+                else:
+                    # cannot even afford this class's setup outside: the whole
+                    # tail goes to the bottoms (see the Fraction loop below).
+                    for j2 in rest[idx:]:
+                        k_items[j2] = jobs_of(j2)
+                break
+        else:
+            target = dual.F - dual.demand_star
+            acc = Fraction(0)
+            for idx, i in enumerate(rest):
+                s = Fraction(instance.setups[i])
+                block = s + Fraction(instance.processing(i))
+                if acc + block <= target:
+                    view[i] = jobs_of(i)
+                    acc += block
+                    continue
+                room = target - acc - s  # job load affordable after the setup
+                if room > 0:
+                    nice_items = []
+                    bottom_items = []
+                    filled = Fraction(0)
+                    for j, t in jobs_of(i):
+                        hi = min(t, max(Fraction(0), room - filled))
+                        if hi > 0:
+                            nice_items.append((j, hi))
+                            filled += hi
+                        if t - hi > 0:
+                            bottom_items.append((j, t - hi))
+                    view[i] = nice_items
+                    if bottom_items:
+                        k_items[i] = bottom_items
+                    for j2 in rest[idx + 1:]:
+                        k_items[j2] = jobs_of(j2)
+                else:
+                    # cannot even afford this class's setup outside: the whole
+                    # tail goes to the bottoms (Q1 stays slightly underfilled —
+                    # shortfall < s_i ≤ T/4, absorbed by the ω slack; see module
+                    # docstring and the fuzz tests).
+                    for j2 in rest[idx:]:
+                        k_items[j2] = jobs_of(j2)
+                break
 
     # ---- nice instance on the residual machines ------------------------- #
     view = {i: items for i, items in view.items() if items}

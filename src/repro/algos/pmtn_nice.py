@@ -41,10 +41,21 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Literal, Optional, Sequence
 
+from math import lcm
+
 from ..core.classification import gamma as gamma_count
 from ..core.errors import ConstructionError, RejectedMakespanError
+from ..core.fastnum import count_core
 from ..core.instance import Instance, JobRef
-from ..core.numeric import Time, TimeLike, as_time, frac_ceil, frac_floor, time_str
+from ..core.numeric import (
+    Time,
+    TimeLike,
+    as_time,
+    fast_fraction,
+    frac_ceil,
+    frac_floor,
+    time_str,
+)
 from ..core.schedule import Schedule
 from ..core.wrapping import Batch, WrapSequence, WrapTemplate, wrap
 
@@ -191,42 +202,13 @@ def nice_dual_test(
     )
 
 
-def schedule_nice_view(
-    schedule: Schedule,
-    T: TimeLike,
-    view: NiceView,
-    machines: Sequence[int],
-    mode: CountMode = "alpha",
-    *,
-    exact_ints: bool = True,
-    trusted_views: bool = False,
+def _schedule_exp_plus_fractions(
+    schedule: Schedule, T: Time, view: NiceView, part: NicePartition,
+    mode: CountMode, take,
 ) -> None:
-    """Algorithm 2 on a view, placing onto ``machines`` (ascending order).
-
-    The caller must have verified the Theorem-4 conditions for
-    ``len(machines)``; a violated wrap capacity raises
-    :class:`ConstructionError` (a bug, per Theorem 4(ii)).
-    """
-    T = as_time(T)
+    """Step 1 of Algorithm 2 — the historical exact-rational loop."""
     instance = schedule.instance
-    machines = list(machines)
-    if machines != sorted(machines):
-        raise ValueError("machines must be ascending")
-    part = partition_view(instance, T, view)
-    if not part.is_nice:
-        raise ConstructionError(f"view not nice at T={time_str(T)}")
     half = T / 2
-    cursor = 0  # index into machines
-
-    def take() -> int:
-        nonlocal cursor
-        if cursor >= len(machines):
-            raise ConstructionError("Algorithm 2 ran out of machines (m_nice bound violated)")
-        u = machines[cursor]
-        cursor += 1
-        return u
-
-    # ---- step 1: I+exp classes on κ_i machines each -------------------- #
     for i in part.exp_plus:
         s = Fraction(instance.setups[i])
         P = view_processing(view, i)
@@ -268,6 +250,127 @@ def schedule_nice_view(
         if carry is not None or next(items, None) is not None:
             raise ConstructionError(f"class {i}: quotas did not cover P(C_i)")
 
+
+def _schedule_exp_plus_ints(
+    schedule: Schedule, T: Time, view: NiceView, part: NicePartition,
+    mode: CountMode, take,
+) -> None:
+    """Step 1 of Algorithm 2 on scaled integers.
+
+    Per class, every quantity is pre-multiplied by a class-local scale
+    ``D_i = lcm(2·td, item denominators)`` — the smallest scale making
+    ``T/2``, ``T − s_i`` and every view item an exact machine int — so
+    the quota/carry loop runs on ints and Fractions are materialized only
+    at the placement boundary.  Placements are bit-identical to the
+    rational loop (the differential suite compares both end to end).
+    """
+    instance = schedule.instance
+    tn, td = T.numerator, T.denominator
+    for i in part.exp_plus:
+        items = view[i]
+        D = 2 * td
+        for _, t in items:
+            den = t.denominator
+            if D % den:
+                D = lcm(D, den)
+        s = instance.setups[i]
+        s_sc = s * D
+        t_sc = tn * (D // td)              # T·D — even multiple of tn
+        lens_sc = [t.numerator * (D // t.denominator) for _, t in items]
+        P_sc = sum(lens_sc)
+        # κ_i on the pre-scaled ints: count_core is the same α′/γ formula
+        # the dual tests run, identical to count_for by scale invariance.
+        if mode == "alpha" and t_sc <= s_sc:
+            raise ValueError(f"alpha' undefined: T={T} <= s_{i}={s}")
+        k = count_core(mode, t_sc, s_sc, P_sc)
+        per_sc = (t_sc - s_sc) if mode == "alpha" else t_sc // 2
+        last_sc = P_sc - per_sc * (k - 1)  # remainder on the last machine
+        if last_sc <= 0:
+            raise ConstructionError(
+                f"class {i}: non-positive remainder quota "
+                f"{fast_fraction(last_sc, D)} (k={k})"
+            )
+        if 2 * (s_sc + last_sc) > 3 * t_sc:
+            raise ConstructionError(
+                f"class {i}: last machine would exceed 3T/2 "
+                f"(s={s}, quota={time_str(fast_fraction(last_sc, D))})"
+            )
+        stream = iter(zip(items, lens_sc))
+        carry_job: Optional[JobRef] = None
+        carry_sc = 0
+        for b in range(k):
+            u = take()
+            schedule.add_setup(u, 0, i)
+            pos_sc = s_sc
+            room_sc = per_sc if b < k - 1 else last_sc
+            while room_sc > 0:
+                if carry_job is not None:
+                    job, length, len_sc, whole = carry_job, None, carry_sc, False
+                    carry_job = None
+                else:
+                    nxt = next(stream, None)
+                    if nxt is None:
+                        break
+                    (job, length), len_sc = nxt
+                    whole = True
+                placed_sc = min(len_sc, room_sc)
+                schedule.add_piece(
+                    u,
+                    fast_fraction(pos_sc, D),
+                    job,
+                    length if whole and placed_sc == len_sc
+                    else fast_fraction(placed_sc, D),
+                )
+                pos_sc += placed_sc
+                room_sc -= placed_sc
+                if placed_sc < len_sc:
+                    carry_job = job
+                    carry_sc = len_sc - placed_sc
+        if carry_job is not None or next(stream, None) is not None:
+            raise ConstructionError(f"class {i}: quotas did not cover P(C_i)")
+
+
+def schedule_nice_view(
+    schedule: Schedule,
+    T: TimeLike,
+    view: NiceView,
+    machines: Sequence[int],
+    mode: CountMode = "alpha",
+    *,
+    exact_ints: bool = True,
+    trusted_views: bool = False,
+) -> None:
+    """Algorithm 2 on a view, placing onto ``machines`` (ascending order).
+
+    The caller must have verified the Theorem-4 conditions for
+    ``len(machines)``; a violated wrap capacity raises
+    :class:`ConstructionError` (a bug, per Theorem 4(ii)).
+    """
+    T = as_time(T)
+    instance = schedule.instance
+    machines = list(machines)
+    if machines != sorted(machines):
+        raise ValueError("machines must be ascending")
+    part = partition_view(instance, T, view)
+    if not part.is_nice:
+        raise ConstructionError(f"view not nice at T={time_str(T)}")
+    half = T / 2
+    cursor = 0  # index into machines
+
+    def take() -> int:
+        nonlocal cursor
+        if cursor >= len(machines):
+            raise ConstructionError("Algorithm 2 ran out of machines (m_nice bound violated)")
+        u = machines[cursor]
+        cursor += 1
+        return u
+
+    # ---- step 1: I+exp classes on κ_i machines each -------------------- #
+    if exact_ints:
+        _schedule_exp_plus_ints(schedule, T, view, part, mode, take)
+    else:
+        _schedule_exp_plus_fractions(schedule, T, view, part, mode, take)
+
     # ---- step 2: I-exp classes in pairs -------------------------------- #
     mu: Optional[int] = None  # machine hosting the odd leftover class
     minus = list(part.exp_minus)
@@ -294,11 +397,12 @@ def schedule_nice_view(
     # ---- step 3: wrap the cheap classes -------------------------------- #
     if trusted_views:
         # Internal fast path only: views built by Algorithm 3 / full_view
-        # are pre-validated (JobRef class, positive lengths after the
-        # filter), so skip Batch.of's per-item checks.  External callers
-        # keep the checks regardless of the wrap engine in use.
+        # are pre-validated (JobRef class, positive lengths — Algorithm 3
+        # filters non-positive pieces as it builds the views), so skip
+        # Batch.of's per-item checks and the positivity re-filter, and
+        # reuse the cached view tuples as the batch items directly.
         cheap_batches = [
-            Batch(cls=i, items=tuple((j, t) for j, t in view[i] if t > 0))
+            Batch(cls=i, items=view[i] if type(view[i]) is tuple else tuple(view[i]))
             for i in part.cheap
         ]
     else:

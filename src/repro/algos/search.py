@@ -24,6 +24,22 @@ to either the scaled-integer kernel (:mod:`repro.core.fastnum`, default)
 or the Fraction reference tests.  Every probed ``T`` is an exact rational,
 so both kernels see identical probe sequences and return identical
 results.
+
+Two batching hooks sit on top of that contract:
+
+* every search accepts an optional ``grid_accept`` evaluator (a
+  ``candidates -> [accepted]`` callable, usually
+  :func:`repro.core.batchdual.grid_accept_fn`).  Instead of ``O(log k)``
+  sequential probes, the search then evaluates whole candidate blocks —
+  the dyadic ε-grid in one call, integer/jump candidate lists in
+  ``O(log_B k)`` block calls — and locates the flip by scanning the
+  returned bits.  For the monotone accept predicates all searches here
+  are built on, the result is identical to the sequential bisection.
+* :class:`MemoAccept` deduplicates repeated probes of the same ``T``
+  (keyed on ``(numerator, denominator)``): the multi-phase flip searches
+  re-test interval endpoints across phases, and a machine sweep re-uses
+  each phase's frontier — with the memo each distinct ``T`` hits the
+  kernel once.
 """
 
 from __future__ import annotations
@@ -39,14 +55,81 @@ from ..core.schedule import Schedule
 
 AcceptFn = Callable[[Time], bool]
 BuildFn = Callable[[Time], Schedule]
+GridAcceptFn = Callable[[Sequence[Time]], Sequence[bool]]
+
+#: Candidate-block size for chunked grid bisection: one block call replaces
+#: ``log2`` scalar round-trips, and ranges up to ``B^2`` resolve in two calls.
+GRID_BLOCK = 128
+
+_MISSING = object()
+
+
+class MemoAccept:
+    """Memoized ``accept(T)`` keyed on ``(T.numerator, T.denominator)``.
+
+    ``calls`` counts *distinct* dual-test evaluations (cache hits are
+    free), which is what the ``accept_calls`` bookkeeping of the search
+    results reports.  ``seed``/``lookup`` let a grid evaluator share the
+    same cache, so scalar re-probes of grid-evaluated candidates cost
+    nothing.
+    """
+
+    __slots__ = ("fn", "cache", "calls")
+
+    def __init__(self, fn: AcceptFn) -> None:
+        self.fn = fn
+        self.cache: dict[tuple[int, int], bool] = {}
+        self.calls = 0
+
+    def __call__(self, T: Time) -> bool:
+        key = (T.numerator, T.denominator)
+        hit = self.cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit  # type: ignore[return-value]
+        self.calls += 1
+        verdict = self.fn(T)
+        self.cache[key] = verdict
+        return verdict
+
+    def seed(self, T: Time, verdict: bool) -> None:
+        """Record an externally computed verdict (e.g. from a grid call)."""
+        self.cache[(T.numerator, T.denominator)] = verdict
+
+    def wrap_grid(self, grid_accept: GridAcceptFn) -> GridAcceptFn:
+        """A grid evaluator that shares this memo's cache.
+
+        Already-known candidates are answered from the cache; the rest go
+        to ``grid_accept`` in one call, and their verdicts are seeded
+        back (counted in ``calls``).
+        """
+
+        def evaluate(cands: Sequence[Time]) -> list[bool]:
+            cache = self.cache
+            unknown = [
+                T for T in cands
+                if cache.get((T.numerator, T.denominator), _MISSING) is _MISSING
+            ]
+            if unknown:
+                fresh = grid_accept(unknown)
+                self.calls += len(unknown)
+                for T, verdict in zip(unknown, fresh):
+                    cache[(T.numerator, T.denominator)] = bool(verdict)
+            return [cache[(T.numerator, T.denominator)] for T in cands]
+
+        return evaluate
 
 
 @dataclass(frozen=True)
 class SearchResult:
-    """A makespan guess with its schedule and the search's certificate."""
+    """A makespan guess with its schedule and the search's certificate.
+
+    ``schedule`` is ``None`` when the caller ran a bounds-only search
+    (``build=None``) — machine sweeps use this to resolve the ``T*``
+    curve without materializing a schedule per point.
+    """
 
     T: Time                    # the accepted guess the schedule was built for
-    schedule: Schedule
+    schedule: Optional[Schedule]
     certificate_lo: Time       # every T' < certificate_lo is proven < OPT...
     accept_calls: int          # ...so makespan ≤ (3/2)·T ≤ (3/2)(T/certificate_lo)·OPT
 
@@ -56,17 +139,79 @@ class SearchResult:
         return Fraction(3, 2) * self.T / self.certificate_lo
 
 
+def _maybe_build(build: Optional[BuildFn], T: Time) -> Optional[Schedule]:
+    return None if build is None else build(T)
+
+
+def _grid_narrow(lo: int, hi: int, evaluate) -> tuple[int, int]:
+    """Narrow ``lo`` (rejected) .. ``hi`` (accepted) to an adjacent pair.
+
+    Evaluates blocks of up to :data:`GRID_BLOCK` evenly spaced interior
+    integers per round via ``evaluate(ints) -> [accepted]`` — ranges up
+    to ``GRID_BLOCK²`` resolve in two rounds.  Shared by the integer
+    search (candidates are the integers themselves) and the candidate-
+    list bisection (integers are list indices).
+    """
+    while hi - lo > 1:
+        if hi - lo - 1 <= GRID_BLOCK:
+            cands = list(range(lo + 1, hi))
+        else:
+            stride = Fraction(hi - lo, GRID_BLOCK + 1)
+            cands = sorted(
+                {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
+            )
+        flags = evaluate(cands)
+        first_ok = next((k for k, ok in enumerate(flags) if ok), None)
+        if first_ok is None:
+            lo = cands[-1]
+        else:
+            hi = cands[first_ok]
+            if first_ok > 0:
+                lo = cands[first_ok - 1]
+    return lo, hi
+
+
 def binary_search_dual(
     instance: Instance,
     variant: Variant,
     accept: AcceptFn,
-    build: BuildFn,
+    build: Optional[BuildFn],
     eps: Fraction = Fraction(1, 100),
+    *,
+    grid_accept: Optional[GridAcceptFn] = None,
 ) -> SearchResult:
-    """Theorem 2 — (3/2)(1+ε)-approximation with O(log 1/ε) dual tests."""
+    """Theorem 2 — (3/2)(1+ε)-approximation with O(log 1/ε) dual tests.
+
+    With ``grid_accept`` the whole dyadic ε-grid (the candidate set the
+    sequential bisection draws its midpoints from) is evaluated in a
+    single batched call and the flip read off the bits — identical
+    result for a monotone ``accept``, 1 round-trip instead of
+    ``O(log 1/ε)``.
+    """
     if eps <= 0:
         raise ValueError("eps must be positive")
     tmin = t_min(instance, variant)
+
+    if grid_accept is not None:
+        # rounds r with tmin/2^r <= eps*tmin  ⟺  2^r >= 1/eps
+        r = 0
+        while (1 << r) * eps.numerator < eps.denominator:
+            r += 1
+        step = tmin / (1 << r)
+        grid = [tmin + j * step for j in range((1 << r) + 1)]
+        flags = grid_accept(grid)
+        calls = len(grid)
+        if flags[0]:
+            return SearchResult(
+                tmin, _maybe_build(build, tmin), certificate_lo=tmin,
+                accept_calls=calls,
+            )
+        j = next(k for k, ok in enumerate(flags) if ok)  # grid[-1] = 2·tmin accepts
+        hi, lo = grid[j], grid[j - 1]
+        return SearchResult(
+            hi, _maybe_build(build, hi), certificate_lo=lo, accept_calls=calls
+        )
+
     calls = 0
 
     def test(T: Time) -> bool:
@@ -76,7 +221,9 @@ def binary_search_dual(
 
     if test(tmin):
         # T_min ≤ OPT: ratio exactly 3/2.
-        return SearchResult(tmin, build(tmin), certificate_lo=tmin, accept_calls=calls)
+        return SearchResult(
+            tmin, _maybe_build(build, tmin), certificate_lo=tmin, accept_calls=calls
+        )
     lo, hi = tmin, 2 * tmin  # lo rejected (lo < OPT), hi accepted (hi ≥ ... 2Tmin ≥ OPT)
     # Shrink the gap below eps*tmin ≤ eps*OPT.
     while hi - lo > eps * tmin:
@@ -86,20 +233,48 @@ def binary_search_dual(
         else:
             lo = mid
     # lo < OPT and hi ≤ lo + eps*tmin < (1+eps)·OPT.
-    return SearchResult(hi, build(hi), certificate_lo=lo, accept_calls=calls)
+    return SearchResult(hi, _maybe_build(build, hi), certificate_lo=lo, accept_calls=calls)
 
 
 def integer_search_dual(
     instance: Instance,
     variant: Variant,
     accept: AcceptFn,
-    build: BuildFn,
+    build: Optional[BuildFn],
+    *,
+    grid_accept: Optional[GridAcceptFn] = None,
 ) -> SearchResult:
-    """Theorem 8 — exact 3/2 ratio when OPT is integral (non-preemptive)."""
+    """Theorem 8 — exact 3/2 ratio when OPT is integral (non-preemptive).
+
+    With ``grid_accept`` the integer window ``[⌈T_min⌉, ⌈2·T_min⌉]`` is
+    narrowed with evenly spaced candidate *blocks* (:data:`GRID_BLOCK`
+    per call): windows up to ``GRID_BLOCK²`` integers — every practical
+    instance — resolve in at most two batched calls.
+    """
     tmin = t_min(instance, variant)
     lo_int = frac_ceil(tmin)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
     hi_int = frac_ceil(2 * tmin)
     calls = 0
+
+    if grid_accept is not None:
+        first = grid_accept([Fraction(lo_int)])
+        calls += 1
+        if first[0]:
+            return SearchResult(
+                Fraction(lo_int), _maybe_build(build, Fraction(lo_int)),
+                certificate_lo=Fraction(lo_int), accept_calls=calls,
+            )
+        def evaluate(cands: list[int]) -> Sequence[bool]:
+            nonlocal calls
+            calls += len(cands)
+            return grid_accept([Fraction(c) for c in cands])
+
+        # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
+        _, hi = _grid_narrow(lo_int, hi_int, evaluate)
+        return SearchResult(
+            Fraction(hi), _maybe_build(build, Fraction(hi)),
+            certificate_lo=Fraction(hi), accept_calls=calls,
+        )
 
     def test(T: int) -> bool:
         nonlocal calls
@@ -108,7 +283,7 @@ def integer_search_dual(
 
     if test(lo_int):
         return SearchResult(
-            Fraction(lo_int), build(Fraction(lo_int)),
+            Fraction(lo_int), _maybe_build(build, Fraction(lo_int)),
             certificate_lo=Fraction(lo_int), accept_calls=calls,
         )
     lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
@@ -120,7 +295,8 @@ def integer_search_dual(
             lo = mid
     # hi accepted, hi−1 rejected ⟹ OPT > hi−1 ⟹ OPT ≥ hi (integrality).
     return SearchResult(
-        Fraction(hi), build(Fraction(hi)), certificate_lo=Fraction(hi), accept_calls=calls
+        Fraction(hi), _maybe_build(build, Fraction(hi)),
+        certificate_lo=Fraction(hi), accept_calls=calls,
     )
 
 
@@ -130,11 +306,14 @@ def right_interval_bisect(
     *,
     first_rejected: bool = True,
     last_accepted: bool = True,
+    grid_accept: Optional[GridAcceptFn] = None,
 ) -> tuple[Time, Time]:
     """Find adjacent ``(c_j, c_{j+1}]`` with ``c_j`` rejected, ``c_{j+1}`` accepted.
 
     Preconditions (asserted if the flags are False): ``candidates[0]`` is
-    rejected and ``candidates[-1]`` accepted.  Needs O(log k) accept calls.
+    rejected and ``candidates[-1]`` accepted.  Needs O(log k) accept
+    calls — or, with ``grid_accept``, ``O(log_B k)`` batched block calls
+    (one call for the common ``k ≤ B = GRID_BLOCK`` case).
     """
     if len(candidates) < 2:
         raise ValueError("need at least two candidates")
@@ -143,6 +322,13 @@ def right_interval_bisect(
     if not last_accepted and not accept(candidates[-1]):
         raise ValueError("candidates[-1] must be accepted")
     lo, hi = 0, len(candidates) - 1
+
+    if grid_accept is not None:
+        lo, hi = _grid_narrow(
+            lo, hi, lambda idxs: grid_accept([candidates[k] for k in idxs])
+        )
+        return candidates[lo], candidates[hi]
+
     while hi - lo > 1:
         mid = (lo + hi) // 2
         if accept(candidates[mid]):

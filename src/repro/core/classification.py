@@ -239,6 +239,70 @@ class NonpPartition:
         return tuple(self.big_jobs.get(cls, ())) + tuple(self.k_jobs.get(cls, ()))
 
 
+def nonp_partition_fast(instance: Instance, T: TimeLike) -> NonpPartition:
+    """:func:`nonp_partition` on scaled integers (identical output).
+
+    The per-job thresholds ``t_j > T/2`` and ``s_i + t_j > T/2`` become
+    integer cross-multiplications against ``T = tn/td``, which removes
+    the O(n) Fraction comparisons from the Algorithm-6 construction hot
+    path.  The Fraction :func:`nonp_partition` remains the reference the
+    differential suite checks this against.
+    """
+    T = as_time(T)
+    if T <= 0:
+        raise ValueError("partition requires T > 0")
+    tn, td = T.numerator, T.denominator
+    exp: list[int] = []
+    chp: list[int] = []
+    big_jobs: dict[int, tuple[JobRef, ...]] = {}
+    k_jobs: dict[int, tuple[JobRef, ...]] = {}
+    counts: list[int] = []
+
+    for i in range(instance.c):
+        s = instance.setups[i]
+        s2 = 2 * s * td
+        if s2 > tn:  # expensive: s_i > T/2
+            exp.append(i)
+            cap = tn - s * td
+            if cap <= 0:
+                raise ValueError(
+                    f"alpha undefined for T={T} <= s_{i}={s}; callers must "
+                    "ensure T > s_i"
+                )
+            counts.append(-((-instance.class_processing[i] * td) // cap))
+            continue
+        chp.append(i)
+        big: list[JobRef] = []
+        kjs: list[JobRef] = []
+        k_processing = 0
+        td2 = 2 * td
+        for idx, t in enumerate(instance.jobs[i]):
+            t2 = t * td2
+            if t2 > tn:
+                big.append(JobRef(i, idx))
+            elif s2 + t2 > tn:
+                kjs.append(JobRef(i, idx))
+                k_processing += t
+        if big:
+            big_jobs[i] = tuple(big)
+        if kjs:
+            k_jobs[i] = tuple(kjs)
+        wrap_machines = (
+            -((-k_processing * td) // (tn - s * td)) if k_processing else 0
+        )
+        counts.append(len(big) + wrap_machines)
+
+    return NonpPartition(
+        instance=instance,
+        T=T,
+        exp=tuple(exp),
+        chp=tuple(chp),
+        big_jobs=big_jobs,
+        k_jobs=k_jobs,
+        machine_counts=tuple(counts),
+    )
+
+
 def nonp_partition(instance: Instance, T: TimeLike) -> NonpPartition:
     """Compute ``J⁺``, ``K`` and the machine numbers ``m_i`` of Appendix D."""
     T = as_time(T)

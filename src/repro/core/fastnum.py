@@ -57,6 +57,7 @@ __all__ = [
     "fast_nonp_test",
     "fast_pmtn_test",
     "fast_base_core",
+    "count_core",
     "count_scaled",
     "knapsack_order_cmp",
     "validate_kernel",
@@ -134,11 +135,21 @@ def scale_int(x, D: int) -> int:
 
 
 class DualContext:
-    """Integer aggregates of one :class:`Instance`, shared across probes."""
+    """Integer aggregates of one :class:`Instance`, shared across probes.
+
+    Everything here except ``m`` (and the back-reference ``instance``) is
+    machine-count independent, so a machine sweep can carry one context
+    across ``with_machines`` copies via :meth:`for_m` instead of
+    rebuilding the per-class data per machine count.  ``batch_cache`` is
+    a lazily filled scratch dict owned by :mod:`repro.core.batchdual`
+    (numpy views of the class arrays, overflow bounds); it is shared by
+    ``for_m`` clones since its contents are ``m``-independent too.
+    """
 
     __slots__ = (
         "instance", "m", "c", "setups", "P", "nclass",
         "total_processing", "total_load", "smax", "spt", "class_tmax",
+        "batch_cache",
     )
 
     def __init__(self, instance: "Instance") -> None:
@@ -154,6 +165,32 @@ class DualContext:
         self.class_tmax = instance.class_tmax
         #: ``max_i (s_i + t^(i)_max)`` — the Note-1/2 lower bound.
         self.spt = max(s + tm for s, tm in zip(self.setups, self.class_tmax))
+        self.batch_cache: dict = {}
+
+    def for_m(self, m: int, instance: Optional["Instance"] = None) -> "DualContext":
+        """A clone probing the same classes on ``m`` machines.
+
+        Shares every per-class array (and the batch scratch cache) with
+        this context; only ``m`` — and optionally the ``instance``
+        back-reference, for a cache-sharing ``with_machines`` copy — is
+        replaced.  O(1).
+        """
+        if m == self.m and (instance is None or instance is self.instance):
+            return self
+        clone = object.__new__(DualContext)
+        clone.instance = self.instance if instance is None else instance
+        clone.m = m
+        clone.c = self.c
+        clone.setups = self.setups
+        clone.P = self.P
+        clone.nclass = self.nclass
+        clone.total_processing = self.total_processing
+        clone.total_load = self.total_load
+        clone.smax = self.smax
+        clone.class_tmax = self.class_tmax
+        clone.spt = self.spt
+        clone.batch_cache = self.batch_cache
+        return clone
 
     # sorted views ------------------------------------------------------- #
 
@@ -258,15 +295,26 @@ class PmtnVerdict(NamedTuple):
     y_negative: bool      # case 3a's "F < L*" rejection
 
 
+def count_core(mode: str, t_sc: int, s_sc: int, p_sc: int) -> int:
+    """``κ_i`` on pre-scaled integers ``(T, s_i, P)·D`` for any scale ``D``.
+
+    The α′/γ formulas are ratios, hence scale-invariant; factoring them
+    out lets the view-based constructions (whose item lengths carry their
+    own common denominator) share one implementation with the per-``T``
+    dual tests.
+    """
+    if mode == "alpha":
+        return max(1, p_sc // (t_sc - s_sc))
+    bp = (2 * p_sc) // t_sc  # β′ = ⌊2P/T⌋
+    # P − β′·T/2 ≤ T − s  ⟺  2·P·D − β′·T·D ≤ 2·(T·D − s·D)
+    if 2 * p_sc - bp * t_sc <= 2 * (t_sc - s_sc):
+        return max(bp, 1)
+    return ceil_div(2 * p_sc, t_sc)
+
+
 def count_scaled(mode: str, tn: int, td: int, s: int, P: int) -> int:
     """``κ_i`` (α′ of Theorem 4 or γ of §4.4) for an ``I⁺exp`` class."""
-    if mode == "alpha":
-        return max(1, (P * td) // (tn - s * td))
-    bp = (2 * P * td) // tn  # β′ = ⌊2P/T⌋
-    # P − β′·T/2 ≤ T − s  ⟺  2·P·td − β′·tn ≤ 2·(tn − s·td)
-    if 2 * P * td - bp * tn <= 2 * (tn - s * td):
-        return max(bp, 1)
-    return ceil_div(2 * P * td, tn)
+    return count_core(mode, tn, s * td, P * td)
 
 
 def fast_pmtn_test(ctx: DualContext, tn: int, td: int, mode: str = "alpha") -> PmtnVerdict:

@@ -105,6 +105,7 @@ class Instance:
         # Lazy per-class caches (built on first use; keyed by class index).
         object.__setattr__(self, "_jobs_frac_cache", {})
         object.__setattr__(self, "_jobs_sorted_cache", {})
+        object.__setattr__(self, "_misc_cache", {})
         object.__setattr__(self, "_fast_ctx", None)
 
     # ------------------------------------------------------------------ #
@@ -206,6 +207,37 @@ class Instance:
             self._jobs_sorted_cache[cls] = cached
         return cached
 
+    def setups_frac(self) -> tuple["Fraction", ...]:
+        """Cached ``Fraction`` view of the setup times.
+
+        The wrap engine and the construction repairs emit one setup
+        placement per batch/gap switch; sharing the Fraction objects
+        avoids re-normalizing the same integers on every call.
+        """
+        cached = self._misc_cache.get("setups_frac")
+        if cached is None:
+            from fractions import Fraction
+
+            cached = tuple(Fraction(s) for s in self.setups)
+            self._misc_cache["setups_frac"] = cached
+        return cached
+
+    def class_jobs_view(self, cls: int) -> tuple[tuple[JobRef, int], ...]:
+        """Cached ``(JobRef, t_j)`` tuple of one class (integer times).
+
+        The integer construction paths (Algorithm 6, the scaled-int view
+        math) only iterate these pairs; caching them skips the per-call
+        list/`JobRef` rebuilding of :meth:`class_jobs`.  The returned
+        tuple is shared — do not mutate.
+        """
+        cached = self._misc_cache.get(("jobs_view", cls))
+        if cached is None:
+            cached = tuple(
+                (JobRef(cls, idx), t) for idx, t in enumerate(self.jobs[cls])
+            )
+            self._misc_cache[("jobs_view", cls)] = cached
+        return cached
+
     def fast_ctx(self) -> "DualContext":
         """The per-instance :class:`repro.core.fastnum.DualContext`, cached.
 
@@ -231,9 +263,35 @@ class Instance:
             f"smax={self.smax}, tmax={self.tmax})"
         )
 
-    def with_machines(self, m: int) -> "Instance":
-        """Copy with a different machine count (used by sweeps)."""
-        return Instance(m=m, setups=self.setups, jobs=self.jobs)
+    def with_machines(self, m: int, *, share_caches: bool = False) -> "Instance":
+        """Copy with a different machine count (used by sweeps).
+
+        With ``share_caches=True`` the copy reuses this instance's lazy
+        per-class caches (Fraction job views, sorted views with prefix
+        sums) and carries a :meth:`DualContext.for_m
+        <repro.core.fastnum.DualContext.for_m>` clone of the fast-kernel
+        context — all of that data is machine-count independent.
+        Validation and aggregate computation are skipped too (the fields
+        are copied from this already-validated instance), so the copy is
+        O(c) instead of O(n).  This is the primitive behind
+        :func:`repro.algos.batch_api.sweep_machines`.
+        """
+        if not share_caches:
+            return Instance(m=m, setups=self.setups, jobs=self.jobs)
+        if not isinstance(m, int) or m < 1:
+            raise InvalidInstanceError(f"m must be a positive integer, got {m!r}")
+        inst = object.__new__(Instance)
+        put = object.__setattr__
+        put(inst, "m", m)
+        for name in (
+            "setups", "jobs", "class_processing", "class_tmax", "class_sizes",
+            "n", "total_processing", "total_load", "smax", "tmax",
+            "_jobs_frac_cache", "_jobs_sorted_cache", "_misc_cache",
+        ):
+            put(inst, name, getattr(self, name))
+        ctx = self._fast_ctx
+        put(inst, "_fast_ctx", None if ctx is None else ctx.for_m(m, inst))
+        return inst
 
 
 def concat_instances(m: int, parts: Iterable[Instance]) -> Instance:

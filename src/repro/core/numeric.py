@@ -41,6 +41,7 @@ Only small helper utilities live here; they are deliberately boring.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Iterable, Union
 
 #: Public alias used in signatures throughout the package.
@@ -69,6 +70,31 @@ def ceil_div(num: int, den: int) -> int:
     if den <= 0:
         raise ValueError(f"ceil_div requires den > 0, got {den}")
     return -((-num) // den)
+
+
+_new_fraction = object.__new__
+
+
+def fast_fraction(num: int, den: int = 1) -> Fraction:
+    """Normalized ``Fraction(num, den)`` without the constructor's dispatch.
+
+    ``Fraction.__new__`` spends most of its time on type dispatch for a
+    handful of input shapes; the materialization hot paths (the wrap
+    engine, the Algorithm-6 item lists, the scaled-int view math) only
+    ever divide a machine int by a positive machine-int scale.  This
+    builds the identical canonical object directly.  Requires ``den > 0``
+    — every kernel scale is a positive lcm, so callers satisfy this by
+    construction.
+    """
+    if den != 1:
+        g = gcd(num, den)
+        if g != 1:
+            num //= g
+            den //= g
+    f = _new_fraction(Fraction)
+    f._numerator = num
+    f._denominator = den
+    return f
 
 
 def frac_ceil(x: TimeLike) -> int:

@@ -35,7 +35,7 @@ from typing import Iterable, Sequence
 
 from .errors import ConstructionError
 from .instance import JobRef
-from .numeric import Time, TimeLike, as_time, time_str
+from .numeric import Time, TimeLike, as_time, fast_fraction, time_str
 from .schedule import Placement, Schedule
 
 
@@ -216,17 +216,24 @@ def _wrap_ints(
     D = 1
     for g in gaps:
         D = lcm(D, g.a.denominator, g.b.denominator)
-    dens = {length.denominator for batch in sequence.batches for _, length in batch.items}
-    for den in dens:
-        D = lcm(D, den)
+    for batch in sequence.batches:
+        for _, length in batch.items:
+            den = length.denominator
+            if D % den:
+                D = lcm(D, den)
 
     ga = [g.a.numerator * (D // g.a.denominator) for g in gaps]
     gb = [g.b.numerator * (D // g.b.denominator) for g in gaps]
-    load_sc = sum(
-        setups[b.cls] * D
-        + sum(length.numerator * (D // length.denominator) for _, length in b.items)
-        for b in sequence.batches
-    )
+    # Scale every item once; the scaled lists double as the load check and
+    # the wrap loop's operands (one Fraction round-trip per item total).
+    scaled_items: list[list[int]] = []
+    load_sc = 0
+    for batch in sequence.batches:
+        items_sc = [
+            length.numerator * (D // length.denominator) for _, length in batch.items
+        ]
+        scaled_items.append(items_sc)
+        load_sc += setups[batch.cls] * D + sum(items_sc)
     cap_sc = sum(b - a for a, b in zip(ga, gb))
     if load_sc > cap_sc:
         raise ConstructionError(
@@ -236,7 +243,7 @@ def _wrap_ints(
         )
 
     by_machine = schedule._by_machine
-    setups_frac = [Fraction(s) for s in setups]
+    setups_frac = schedule.instance.setups_frac()
 
     def add(p: Placement) -> Placement:
         by_machine[p.machine].append(p)
@@ -261,12 +268,12 @@ def _wrap_ints(
                 f"placement starts before time 0: setup of class {cls} below gap {r}"
             )
         placed.append(
-            add(_new_placement(gaps[r].machine, Fraction(start_sc, D),
+            add(_new_placement(gaps[r].machine, fast_fraction(start_sc, D),
                                setups_frac[cls], cls))
         )
         t = ga[r]
 
-    for batch in sequence.batches:
+    for batch, items_sc in zip(sequence.batches, scaled_items):
         cls = batch.cls
         s_sc = setups[cls] * D
         # Place the batch's initial setup inside the current gap; if it hits
@@ -276,13 +283,12 @@ def _wrap_ints(
             last_gap = r
         else:
             placed.append(
-                add(_new_placement(gaps[r].machine, Fraction(t, D),
+                add(_new_placement(gaps[r].machine, fast_fraction(t, D),
                                    setups_frac[cls], cls))
             )
             t += s_sc
             last_gap = max(last_gap, r)
-        for job, length in batch.items:
-            remaining = length.numerator * (D // length.denominator)
+        for (job, length), remaining in zip(batch.items, items_sc):
             # Skip over exhausted gap space before starting the piece, so we
             # never create zero-length pieces.
             while t >= gb[r]:
@@ -292,8 +298,8 @@ def _wrap_ints(
                 room = gb[r] - t
                 if room > 0:
                     placed.append(
-                        add(_new_placement(gaps[r].machine, Fraction(t, D),
-                                           Fraction(room, D), cls, job))
+                        add(_new_placement(gaps[r].machine, fast_fraction(t, D),
+                                           fast_fraction(room, D), cls, job))
                     )
                     remaining -= room
                     whole = False
@@ -302,8 +308,8 @@ def _wrap_ints(
             if remaining > 0:
                 placed.append(
                     add(_new_placement(
-                        gaps[r].machine, Fraction(t, D),
-                        length if whole else Fraction(remaining, D),
+                        gaps[r].machine, fast_fraction(t, D),
+                        length if whole else fast_fraction(remaining, D),
                         cls, job,
                     ))
                 )

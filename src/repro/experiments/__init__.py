@@ -17,7 +17,14 @@ from .ratio_study import (
     run_jump_ablation,
     run_ratio_study,
 )
-from .scaling import render_scaling, run_scaling
+from .scaling import (
+    render_kernel_scaling,
+    render_machine_sweep,
+    render_scaling,
+    run_machine_sweep,
+    run_scaling,
+    run_scaling_kernels,
+)
 from .table1 import QUOTED_ROWS, Table1Row, render_table1, run_table1
 
 __all__ = [
@@ -29,8 +36,12 @@ __all__ = [
     "render_ratio_study",
     "run_jump_ablation",
     "run_ratio_study",
+    "render_kernel_scaling",
+    "render_machine_sweep",
     "render_scaling",
+    "run_machine_sweep",
     "run_scaling",
+    "run_scaling_kernels",
     "QUOTED_ROWS",
     "Table1Row",
     "render_table1",

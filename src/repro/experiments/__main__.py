@@ -10,6 +10,8 @@ from . import (
     render_counting_ablation,
     render_figure,
     render_jump_ablation,
+    render_kernel_scaling,
+    render_machine_sweep,
     render_ratio_study,
     render_scaling,
     render_table1,
@@ -27,6 +29,14 @@ def main(argv: list[str] | None = None) -> int:
     fig.add_argument("--fig", default="all", help="figure id (1, 1a, 1b, 2..13) or 'all'")
     scal = sub.add_parser("scaling", help="Experiment S1: runtime scaling")
     scal.add_argument("--sizes", type=int, nargs="*", default=None)
+    scal.add_argument(
+        "--kernel", choices=["fast", "fraction", "both"], default="fast",
+        help="numeric tier to time ('both' renders the side-by-side fits)",
+    )
+    swp = sub.add_parser(
+        "sweep", help="Experiment S2: machine sweeps via the batched engine"
+    )
+    swp.add_argument("--kernel", choices=["fast", "fraction"], default="fast")
     sub.add_parser("ratio", help="Experiment R1: ratio study")
     sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
     args = parser.parse_args(argv)
@@ -36,7 +46,12 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figures":
         print(render_all() if args.fig == "all" else render_figure(args.fig))
     elif args.command == "scaling":
-        print(render_scaling(sizes=args.sizes))
+        if args.kernel == "both":
+            print(render_kernel_scaling(sizes=args.sizes))
+        else:
+            print(render_scaling(sizes=args.sizes, kernel=args.kernel))
+    elif args.command == "sweep":
+        print(render_machine_sweep(kernel=args.kernel))
     elif args.command == "ratio":
         print(render_ratio_study())
     elif args.command == "ablation":

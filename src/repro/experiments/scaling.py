@@ -1,18 +1,34 @@
-"""Experiment S1 — near-linear runtime scaling of all six algorithms."""
+"""Experiment S1 — near-linear runtime scaling of all six algorithms.
+
+Two extensions beyond the original experiment:
+
+* every timed solve can run on either numeric tier (``kernel="fast"`` /
+  ``"fraction"``), and :func:`render_kernel_scaling` reports the fitted
+  exponents of both tiers side by side — the near-linear claim should
+  (and does) hold for the scaled-integer kernel and the exact-rational
+  reference alike;
+* Experiment S2 (:func:`run_machine_sweep` / :func:`render_machine_sweep`)
+  exercises the batched solve engine: one instance swept across machine
+  counts through :func:`repro.algos.batch_api.sweep_machines`, timed
+  against the equivalent loop of ``solve()`` calls.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..algos.api import solve
+from ..algos.batch_api import SweepPoint, sweep_machines
 from ..analysis.complexity import ScalingFit, fit_loglog, time_algorithm
 from ..analysis.reporting import fmt_time, format_table
 from ..core.bounds import Variant
 from ..core.instance import Instance
-from ..generators import scaling_suite
+from ..generators import scaling_suite, uniform_instance
 
 DEFAULT_SIZES = [100, 200, 400, 800, 1600]
+KERNELS = ("fast", "fraction")
 
 
 @dataclass(frozen=True)
@@ -21,30 +37,44 @@ class ScalingRow:
     fit: ScalingFit
 
 
-def algorithms() -> list[tuple[str, Callable[[Instance], object]]]:
+def algorithms(kernel: str = "fast") -> list[tuple[str, Callable[[Instance], object]]]:
+    """The six timed algorithms, each solving on the requested kernel."""
     out: list[tuple[str, Callable[[Instance], object]]] = []
     for variant in Variant:
-        out.append((f"{variant}/two", lambda i, v=variant: solve(i, v, "two")))
-        out.append((f"{variant}/eps", lambda i, v=variant: solve(i, v, "eps")))
         out.append(
-            (f"{variant}/three_halves", lambda i, v=variant: solve(i, v, "three_halves"))
+            (f"{variant}/two", lambda i, v=variant: solve(i, v, "two"))
+        )
+        out.append(
+            (
+                f"{variant}/eps",
+                lambda i, v=variant, k=kernel: solve(i, v, "eps", kernel=k),
+            )
+        )
+        out.append(
+            (
+                f"{variant}/three_halves",
+                lambda i, v=variant, k=kernel: solve(i, v, "three_halves", kernel=k),
+            )
         )
     return out
 
 
-def run_scaling(sizes: list[int] | None = None, repeats: int = 2) -> list[ScalingRow]:
+def run_scaling(
+    sizes: list[int] | None = None, repeats: int = 2, kernel: str = "fast"
+) -> list[ScalingRow]:
     sizes = sizes or DEFAULT_SIZES
     suite = scaling_suite(sizes)
     rows = []
-    for label, fn in algorithms():
+    for label, fn in algorithms(kernel):
         points = time_algorithm(fn, suite, repeats=repeats)
         rows.append(ScalingRow(label=label, fit=fit_loglog(points)))
     return rows
 
 
 def render_scaling(rows: list[ScalingRow] | None = None,
-                   sizes: list[int] | None = None) -> str:
-    rows = rows if rows is not None else run_scaling(sizes)
+                   sizes: list[int] | None = None,
+                   kernel: str = "fast") -> str:
+    rows = rows if rows is not None else run_scaling(sizes, kernel=kernel)
     table_rows = []
     for r in rows:
         times = "  ".join(f"n={p.n}:{fmt_time(p.seconds)}" for p in r.fit.points)
@@ -56,5 +86,133 @@ def render_scaling(rows: list[ScalingRow] | None = None,
         ["algorithm", "fit exp b", "R^2", "near-linear?", "timings"],
         table_rows,
         title="Experiment S1: runtime scaling (time ~ a*n^b; paper claims b ≈ 1 "
-              "up to log factors for all six algorithms)",
+              f"up to log factors for all six algorithms; kernel={kernel})",
+    )
+
+
+def run_scaling_kernels(
+    sizes: list[int] | None = None, repeats: int = 2
+) -> dict[str, list[ScalingRow]]:
+    """S1 on both numeric tiers (same instances, same algorithms)."""
+    return {kernel: run_scaling(sizes, repeats, kernel) for kernel in KERNELS}
+
+
+def render_kernel_scaling(sizes: list[int] | None = None, repeats: int = 2) -> str:
+    """Fast-vs-fraction fit exponents side by side (Experiment S1, both tiers)."""
+    by_kernel = run_scaling_kernels(sizes, repeats)
+    table_rows = []
+    for fast_row, frac_row in zip(by_kernel["fast"], by_kernel["fraction"]):
+        assert fast_row.label == frac_row.label
+        fast_total = sum(p.seconds for p in fast_row.fit.points)
+        frac_total = sum(p.seconds for p in frac_row.fit.points)
+        speedup = frac_total / fast_total if fast_total else float("inf")
+        table_rows.append(
+            [
+                fast_row.label,
+                f"{fast_row.fit.exponent:.2f}",
+                f"{frac_row.fit.exponent:.2f}",
+                "yes" if fast_row.fit.is_near_linear() else "NO",
+                "yes" if frac_row.fit.is_near_linear() else "NO",
+                f"{speedup:.2f}x",
+            ]
+        )
+    return format_table(
+        ["algorithm", "b (fast)", "b (fraction)", "lin? (fast)",
+         "lin? (fraction)", "fast speedup"],
+        table_rows,
+        title="Experiment S1b: fit exponents per numeric tier "
+              "(both kernels must stay near-linear; speedup = Σt_fraction/Σt_fast)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment S2 — machine-count sweeps through the batched engine
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    variant: Variant
+    points: tuple[SweepPoint, ...]
+    sweep_seconds: float    # sweep_machines(..., schedules=False)
+    loop_seconds: float     # equivalent loop of full solve() calls
+
+    @property
+    def speedup(self) -> float:
+        return self.loop_seconds / self.sweep_seconds if self.sweep_seconds else float("inf")
+
+
+def run_machine_sweep(
+    instance: Instance | None = None,
+    ms: Sequence[int] | None = None,
+    repeats: int = 2,
+    kernel: str = "fast",
+) -> list[SweepTiming]:
+    """Time ``sweep_machines`` (bounds mode) against looped ``solve()``.
+
+    The loop constructs a fresh instance per machine count — exactly what
+    a caller without the sweep engine does via ``with_machines`` — while
+    the sweep shares one cache/context set and skips schedule
+    construction (the certified ``T*``/bound curve is the output).
+    """
+    instance = instance or uniform_instance(m=16, c=40, n_per_class=20, seed=202)
+    ms = list(ms) if ms is not None else list(range(2, 2 * instance.m + 1, 2))
+    out = []
+    for variant in Variant:
+        sweep_best = float("inf")
+        loop_best = float("inf")
+        points: tuple[SweepPoint, ...] = ()
+        for _ in range(repeats):
+            fresh = Instance(m=instance.m, setups=instance.setups, jobs=instance.jobs)
+            t0 = time.perf_counter()
+            points = tuple(
+                sweep_machines(fresh, ms, variant, schedules=False, kernel=kernel)
+            )
+            sweep_best = min(sweep_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            for m in ms:
+                solve(
+                    Instance(m=m, setups=instance.setups, jobs=instance.jobs),
+                    variant, "three_halves", kernel=kernel,
+                )
+            loop_best = min(loop_best, time.perf_counter() - t0)
+        out.append(
+            SweepTiming(
+                variant=variant, points=points,
+                sweep_seconds=sweep_best, loop_seconds=loop_best,
+            )
+        )
+    return out
+
+
+def render_machine_sweep(
+    timings: list[SweepTiming] | None = None,
+    instance: Instance | None = None,
+    ms: Sequence[int] | None = None,
+    kernel: str = "fast",
+) -> str:
+    timings = timings if timings is not None else run_machine_sweep(instance, ms, kernel=kernel)
+    table_rows = []
+    for t in timings:
+        lo = min(p.m for p in t.points)
+        hi = max(p.m for p in t.points)
+        curve = "  ".join(
+            f"m={p.m}:{p.T}" for p in t.points[:: max(1, len(t.points) // 4)]
+        )
+        table_rows.append(
+            [
+                str(t.variant),
+                f"{lo}..{hi}",
+                fmt_time(t.sweep_seconds),
+                fmt_time(t.loop_seconds),
+                f"{t.speedup:.2f}x",
+                curve,
+            ]
+        )
+    return format_table(
+        ["variant", "machines", "sweep (bounds)", "looped solve()", "speedup",
+         "T* curve (sampled)"],
+        table_rows,
+        title="Experiment S2: machine-count sweeps — batched engine vs looped solve "
+              f"(kernel={kernel}; sweep returns certified T*/bound curves)",
     )

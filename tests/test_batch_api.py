@@ -1,0 +1,178 @@
+"""Batched solve engine vs looped ``solve()`` — bit-identical outputs.
+
+``sweep_machines``/``solve_many`` exist purely for speed: shared caches,
+shared ``DualContext``, batched grid searches, optional bounds-only
+resolution.  None of that may change a single answer, so every mode is
+differential-tested here against fresh-instance ``solve()`` calls.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algos.api import solve
+from repro.algos.batch_api import SweepPoint, solve_many, sweep_machines
+from repro.core.bounds import Variant
+from repro.core.instance import Instance
+from repro.generators import medium_suite, small_exact_suite
+
+SWEEP_INSTANCES = [
+    pytest.param(inst, id=f"{suite}:{label}")
+    for suite, items in (
+        ("small", small_exact_suite()),
+        ("medium", medium_suite()),
+    )
+    for label, inst in items
+]
+
+
+def placements_key(schedule):
+    return sorted(
+        (p.machine, p.start, p.length, p.cls, p.job) for p in schedule.iter_all()
+    )
+
+
+def machine_counts(inst: Instance) -> list[int]:
+    """A spread including the trivial endpoints (m=1, m ≥ n)."""
+    ms = sorted({1, 2, max(1, inst.m // 2), inst.m, inst.m + 3, inst.n + 1})
+    return [m for m in ms if m >= 1]
+
+
+def fresh(inst: Instance, m: int) -> Instance:
+    return Instance(m=m, setups=inst.setups, jobs=inst.jobs)
+
+
+class TestSweepMachines:
+    @pytest.mark.parametrize("inst", SWEEP_INSTANCES)
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_full_mode_matches_looped_solve(self, inst, variant):
+        ms = machine_counts(inst)
+        swept = sweep_machines(inst, ms, variant)
+        for m, res in zip(ms, swept):
+            ref = solve(fresh(inst, m), variant)
+            assert res.T == ref.T
+            assert res.makespan == ref.makespan
+            assert res.ratio_bound == ref.ratio_bound
+            assert res.opt_lower_bound == ref.opt_lower_bound
+            assert placements_key(res.schedule) == placements_key(ref.schedule)
+
+    @pytest.mark.parametrize("inst", SWEEP_INSTANCES)
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_bounds_mode_matches_solve_certificates(self, inst, variant):
+        ms = machine_counts(inst)
+        for use_grid in (None, False):
+            points = sweep_machines(
+                inst, ms, variant, schedules=False, use_grid=use_grid
+            )
+            for m, point in zip(ms, points):
+                ref = solve(fresh(inst, m), variant)
+                assert isinstance(point, SweepPoint)
+                assert point.m == m
+                assert point.T == ref.T
+                assert point.ratio_bound == ref.ratio_bound
+                assert point.opt_lower_bound == ref.opt_lower_bound
+                assert ref.makespan <= point.makespan_bound
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_bounds_mode_eps_algorithm(self, variant):
+        inst = medium_suite()[0][1]
+        ms = machine_counts(inst)
+        points = sweep_machines(inst, ms, variant, algorithm="eps", schedules=False)
+        for m, point in zip(ms, points):
+            ref = solve(fresh(inst, m), variant, "eps")
+            assert point.T == ref.T
+            assert point.ratio_bound == ref.ratio_bound
+            assert point.opt_lower_bound == ref.opt_lower_bound
+
+    def test_fraction_kernel_sweep(self):
+        inst = medium_suite()[0][1]
+        ms = [1, inst.m, inst.m + 2]
+        swept = sweep_machines(inst, ms, Variant.PREEMPTIVE, kernel="fraction")
+        for m, res in zip(ms, swept):
+            ref = solve(fresh(inst, m), Variant.PREEMPTIVE, kernel="fraction")
+            assert res.T == ref.T
+            assert placements_key(res.schedule) == placements_key(ref.schedule)
+
+    def test_bounds_mode_rejects_non_dual_algorithms(self):
+        inst = medium_suite()[0][1]
+        with pytest.raises(ValueError):
+            sweep_machines(inst, [inst.m], algorithm="two", schedules=False)
+
+    def test_use_grid_with_full_schedules_raises(self):
+        """Full-schedule sweeps use scalar searches; forcing grids must not
+        silently degrade."""
+        inst = medium_suite()[0][1]
+        with pytest.raises(ValueError):
+            sweep_machines(inst, [inst.m], use_grid=True)
+        with pytest.raises(ValueError):
+            solve_many([inst], use_grid=True)
+
+    def test_use_grid_true_without_numpy_raises(self, monkeypatch):
+        from repro.core import batchdual
+
+        monkeypatch.setattr(batchdual, "HAVE_NUMPY", False)
+        inst = medium_suite()[0][1]
+        with pytest.raises(RuntimeError):
+            sweep_machines(inst, [inst.m], schedules=False, use_grid=True)
+
+    def test_sweep_does_not_mutate_base_machine_count(self):
+        inst = medium_suite()[0][1]
+        m_before = inst.m
+        sweep_machines(inst, [1, m_before + 5], Variant.SPLITTABLE)
+        assert inst.m == m_before
+
+
+class TestSolveMany:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_mixed_stream_matches_loop(self, variant):
+        base = medium_suite()[0][1]
+        other = medium_suite()[1][1]
+        stream = [
+            base,
+            base.with_machines(max(1, base.m // 2)),
+            other,
+            base.with_machines(base.m + 4),
+            base,  # exact duplicate
+        ]
+        results = solve_many(stream, variant)
+        for inst, res in zip(stream, results):
+            ref = solve(fresh(inst, inst.m), variant)
+            assert res.T == ref.T
+            assert res.makespan == ref.makespan
+            assert placements_key(res.schedule) == placements_key(ref.schedule)
+
+    def test_bounds_mode(self):
+        base = medium_suite()[0][1]
+        stream = [base, base.with_machines(base.m + 2)]
+        points = solve_many(stream, Variant.NONPREEMPTIVE, schedules=False)
+        for inst, point in zip(stream, points):
+            ref = solve(fresh(inst, inst.m), Variant.NONPREEMPTIVE)
+            assert point.T == ref.T
+            assert point.opt_lower_bound == ref.opt_lower_bound
+
+
+class TestSharedCaches:
+    def test_with_machines_share_caches_is_equivalent(self):
+        inst = medium_suite()[0][1]
+        inst.fast_ctx()
+        for i in range(inst.c):
+            inst.class_jobs_frac(i)
+            inst.class_jobs_sorted(i)
+        shared = inst.with_machines(inst.m + 3, share_caches=True)
+        plain = inst.with_machines(inst.m + 3)
+        assert shared == plain
+        assert shared.m == plain.m == inst.m + 3
+        # caches are the same objects; the context clone carries the new m
+        assert shared._jobs_frac_cache is inst._jobs_frac_cache
+        assert shared.fast_ctx().m == inst.m + 3
+        assert shared.fast_ctx().setups is inst.fast_ctx().setups
+        assert shared.fast_ctx().batch_cache is inst.fast_ctx().batch_cache
+
+    def test_share_caches_validates_m(self):
+        inst = small_exact_suite()[0][1]
+        from repro.core.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            inst.with_machines(0, share_caches=True)

@@ -20,13 +20,23 @@ from repro.algos.jumping_pmtn import _base_core
 from repro.algos.nonpreemptive import nonp_dual_schedule, nonp_dual_test
 from repro.algos.pmtn_general import pmtn_dual_test, pmtn_dual_test_fast
 from repro.algos.splittable import split_dual_schedule, split_dual_test, split_dual_test_fast
+from repro.core import batchdual
+from repro.core.batchdual import (
+    fast_base_core_grid,
+    fast_nonp_test_grid,
+    fast_pmtn_test_grid,
+    fast_split_test_grid,
+    grid_pairs,
+)
 from repro.core.bounds import Variant, t_min
+from repro.core.classification import nonp_partition, nonp_partition_fast
 from repro.core.fastnum import (
     fast_base_core,
     fast_nonp_test,
     fast_pmtn_test,
     fast_split_test,
 )
+from repro.core.instance import Instance
 from repro.generators import adversarial_suite, medium_suite, small_exact_suite
 
 SUITE_INSTANCES = [
@@ -118,6 +128,113 @@ class TestDualTestEquivalence:
             bl, bm = _base_core(inst, T)
             fl, fm = fast_base_core(ctx, T.numerator, T.denominator)
             assert (Fraction(fl), fm) == (bl, bm)
+
+
+class TestGridEquivalence:
+    """Every grid verdict is bit-identical to the scalar kernel's.
+
+    Covered per suite instance and per variant: the vectorized numpy tier
+    (when importable), the pure-python fallback (``use_numpy=False`` —
+    also the exact code path taken when numpy is absent), and mixed
+    per-candidate denominators.  The overflow fallback branch is pinned
+    separately with a huge-value instance.
+    """
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_split_grid(self, inst):
+        ctx = inst.fast_ctx()
+        tns, tds = grid_pairs(probe_points(inst, Variant.SPLITTABLE))
+        want = [fast_split_test(ctx, tn, td) for tn, td in zip(tns, tds)]
+        assert fast_split_test_grid(ctx, tns, tds, use_numpy=False) == want
+        if batchdual.HAVE_NUMPY:
+            assert fast_split_test_grid(ctx, tns, tds, use_numpy=True) == want
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_nonp_grid(self, inst):
+        ctx = inst.fast_ctx()
+        tns, tds = grid_pairs(probe_points(inst, Variant.NONPREEMPTIVE))
+        want = [fast_nonp_test(ctx, tn, td) for tn, td in zip(tns, tds)]
+        assert fast_nonp_test_grid(ctx, tns, tds, use_numpy=False) == want
+        if batchdual.HAVE_NUMPY:
+            assert fast_nonp_test_grid(ctx, tns, tds, use_numpy=True) == want
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    @pytest.mark.parametrize("mode", ["alpha", "gamma"])
+    def test_pmtn_grid(self, inst, mode):
+        ctx = inst.fast_ctx()
+        tns, tds = grid_pairs(probe_points(inst, Variant.PREEMPTIVE))
+        want = [fast_pmtn_test(ctx, tn, td, mode) for tn, td in zip(tns, tds)]
+        assert fast_pmtn_test_grid(ctx, tns, tds, mode, use_numpy=False) == want
+        if batchdual.HAVE_NUMPY:
+            assert fast_pmtn_test_grid(ctx, tns, tds, mode, use_numpy=True) == want
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_base_core_grid(self, inst):
+        ctx = inst.fast_ctx()
+        tns, tds = grid_pairs(probe_points(inst, Variant.PREEMPTIVE))
+        want = [fast_base_core(ctx, tn, td) for tn, td in zip(tns, tds)]
+        assert fast_base_core_grid(ctx, tns, tds, use_numpy=False) == want
+        if batchdual.HAVE_NUMPY:
+            assert fast_base_core_grid(ctx, tns, tds, use_numpy=True) == want
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_nonp_partition_fast(self, inst):
+        for T in probe_points(inst, Variant.NONPREEMPTIVE):
+            if T <= inst.smax:  # alpha undefined below the largest setup
+                continue
+            assert nonp_partition_fast(inst, T) == nonp_partition(inst, T)
+
+    def test_overflow_falls_back_to_scalar(self):
+        """Products past int64 must route to the scalar kernel, bit-exact."""
+        big = Instance(
+            m=3,
+            setups=(10**13, 7),
+            jobs=((10**14, 10**13), (5, 10**12)),
+        )
+        ctx = big.fast_ctx()
+        tns, tds = grid_pairs(probe_points(big, Variant.PREEMPTIVE, count=6))
+        assert not batchdual._grid_is_safe(ctx, tns, tds)
+        assert fast_split_test_grid(ctx, tns, tds) == [
+            fast_split_test(ctx, tn, td) for tn, td in zip(tns, tds)
+        ]
+        assert fast_nonp_test_grid(ctx, tns, tds) == [
+            fast_nonp_test(ctx, tn, td) for tn, td in zip(tns, tds)
+        ]
+        for mode in ("alpha", "gamma"):
+            assert fast_pmtn_test_grid(ctx, tns, tds, mode) == [
+                fast_pmtn_test(ctx, tn, td, mode) for tn, td in zip(tns, tds)
+            ]
+
+    def test_overflow_alpha_counts_force_fallback(self):
+        """Regression: α-style counts ⌈P·td/(tn−s·td)⌉ can dwarf the
+        jump-style bound ⌈2P/T⌉ when T barely clears a huge setup; the
+        precheck must reject such grids (the old bound approved them and
+        the int64 products wrapped silently)."""
+        inst = Instance(m=3, setups=(2**47,), jobs=((1,) * (2**17),))
+        ctx = inst.fast_ctx()
+        tns, tds = [2**47 + 1, 2**48], [1, 1]
+        assert not batchdual._grid_is_safe(ctx, tns, tds)
+        for use_numpy in (None, False):
+            assert fast_nonp_test_grid(ctx, tns, tds, use_numpy=use_numpy) == [
+                fast_nonp_test(ctx, tn, td) for tn, td in zip(tns, tds)
+            ]
+            for mode in ("alpha", "gamma"):
+                assert fast_pmtn_test_grid(ctx, tns, tds, mode, use_numpy=use_numpy) == [
+                    fast_pmtn_test(ctx, tn, td, mode) for tn, td in zip(tns, tds)
+                ]
+
+    def test_numpy_absent_is_supported(self, monkeypatch):
+        """With numpy gone the grids still answer (scalar loop), and
+        ``use_numpy=True`` fails loudly instead of silently degrading."""
+        inst = small_exact_suite()[0][1]
+        ctx = inst.fast_ctx()
+        tns, tds = grid_pairs(probe_points(inst, Variant.SPLITTABLE, count=4))
+        want = [fast_split_test(ctx, tn, td) for tn, td in zip(tns, tds)]
+        monkeypatch.setattr(batchdual, "_np", None)
+        monkeypatch.setattr(batchdual, "HAVE_NUMPY", False)
+        assert fast_split_test_grid(ctx, tns, tds) == want
+        with pytest.raises(RuntimeError):
+            fast_split_test_grid(ctx, tns, tds, use_numpy=True)
 
 
 def placements_key(schedule):
