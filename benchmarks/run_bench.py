@@ -2,10 +2,11 @@
 
 Times the solve engine on the standard medium/large/zipf workloads plus a
 ``wide`` many-class fixture (the paper's setup-dominated regime), writing a
-flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR2.json`` in the
-repository root; ``BENCH_PR1.json`` is the preserved PR-1 snapshot).
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR3.json`` in the
+repository root; ``BENCH_PR1.json``/``BENCH_PR2.json`` are the preserved
+earlier snapshots).
 
-Three bench families:
+Four bench families:
 
 * ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
   both numeric kernels (``fast`` scaled-int default vs the ``fraction``
@@ -21,13 +22,21 @@ Three bench families:
   the capacity-planning/service shape).
 * ``many/<fixture>/<variant>/{loop,batch}`` — a service-shaped stream of
   repeated/related requests through ``solve_many`` (full schedules).
+* ``gridnonp/wide/{scalar,grid}`` — bounds-only non-preemptive machine
+  sweeps on the many-class ``wide`` fixture with the grid evaluator off
+  vs forced on: the flattened-searchsorted grid tier (PR 3) must be no
+  slower than the scalar probes at large ``c`` (measured ~1.3×; CI
+  asserts the derived ``speedup/gridnonp/wide`` ≥ 0.9, a noise floor
+  that still catches a regression to the ~0.5× per-class-loop grid).
 
 Derived ``speedup/...`` entries record the corresponding baseline-over-
 engine ratios (dimensionless).  Each measurement is the best of
 ``--reps`` runs on freshly constructed instances.
 
 ``--smoke`` restricts to the medium fixture with fewer repetitions — used
-by CI to catch gross regressions without burning minutes.
+by CI to catch gross regressions without burning minutes.  The
+``gridnonp`` family runs in smoke mode too (it is the acceptance check
+for the flattened non-preemptive grid).
 """
 
 from __future__ import annotations
@@ -89,6 +98,26 @@ def bench_solve(inst: Instance, variant: Variant, kernel: str, reps: int) -> flo
     )
 
 
+def bench_grid_nonp(reps: int) -> dict[str, float]:
+    """Flattened nonp grid vs scalar probes at large ``c`` (wide fixture)."""
+    if not batchdual.HAVE_NUMPY:
+        return {}
+    inst = FIXTURES["wide"]()
+    ms = sweep_ms(inst)
+    out: dict[str, float] = {}
+    for label, grid in (("scalar", False), ("grid", True)):
+        out[f"gridnonp/wide/{label}"] = best_of(
+            lambda g=grid: sweep_machines(
+                fresh(inst), ms, Variant.NONPREEMPTIVE, schedules=False, use_grid=g
+            ),
+            reps,
+        )
+    out["speedup/gridnonp/wide"] = (
+        out["gridnonp/wide/scalar"] / out["gridnonp/wide/grid"]
+    )
+    return out
+
+
 def run(fixtures: dict, reps: int) -> dict[str, float]:
     results: dict[str, float] = {}
 
@@ -141,6 +170,8 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
             record(
                 f"speedup/many/{fixture_name}/{variant.value}", many_loop / many_batch
             )
+    for name, value in bench_grid_nonp(max(reps, 3)).items():
+        record(name, value)
     return results
 
 
@@ -148,8 +179,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
-        help="output JSON path (default: repo-root BENCH_PR2.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
+        help="output JSON path (default: repo-root BENCH_PR3.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(

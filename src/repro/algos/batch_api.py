@@ -180,26 +180,35 @@ def _bounds_point(
     )
 
 
+#: Auto-policy floor for the non-preemptive grid tier: below this many
+#: classes the scalar integer-search probes are measured faster; at and
+#: above it the flattened-searchsorted grid (``batchdual._np_flat``) wins
+#: (crossover measured ≈ 200 classes on the wide fixtures).
+NONP_GRID_MIN_C = 256
+
+
 def _resolve_use_grid(
-    use_grid: Optional[bool], kernel: Kernel, variant: Variant
+    use_grid: Optional[bool], kernel: Kernel, variant: Variant, c: int
 ) -> bool:
     """Auto-policy for the vectorized grid evaluators.
 
-    ``None`` engages the grids where they are measured neutral-to-faster
-    (splittable/preemptive: 2-D class×candidate kernels) and keeps the
-    scalar probes for the non-preemptive integer search, whose per-class
-    ``searchsorted`` loop pays numpy dispatch per class — slower than
-    ~``log(n+Δ)`` scalar probes at realistic candidate counts.
+    ``None`` engages the grids where they are measured neutral-to-faster:
+    always for splittable/preemptive (2-D class×candidate kernels), and
+    for the non-preemptive integer search once the instance has at least
+    :data:`NONP_GRID_MIN_C` classes — the flattened one-``searchsorted``
+    job-threshold kernel amortizes its numpy dispatch over ``c × g``
+    queries, so it beats the ~``log(n+Δ)`` scalar probes exactly in the
+    many-classes regime (small ``c`` stays on scalar probes).
     ``True`` forces grids and requires numpy (fails loudly rather than
     silently degrading to candidate-by-candidate scalar loops);
     ``False`` forces scalar probing.
     """
     if use_grid is None:
-        return (
-            batchdual.HAVE_NUMPY
-            and kernel == "fast"
-            and variant is not Variant.NONPREEMPTIVE
-        )
+        if not (batchdual.HAVE_NUMPY and kernel == "fast"):
+            return False
+        if variant is Variant.NONPREEMPTIVE:
+            return c >= NONP_GRID_MIN_C
+        return True
     if use_grid and not batchdual.HAVE_NUMPY:
         raise RuntimeError("use_grid=True but numpy is not installed")
     return bool(use_grid)
@@ -266,7 +275,10 @@ def sweep_machines(
             "use_grid=True applies to bounds-only sweeps (schedules=False); "
             "full-schedule sweeps use the scalar searches"
         )
-    grid = False if schedules else _resolve_use_grid(use_grid, kernel, variant)
+    grid = (
+        False if schedules
+        else _resolve_use_grid(use_grid, kernel, variant, instance.c)
+    )
     if kernel == "fast":
         ctx = instance.fast_ctx()  # ensure the shared context exists pre-sweep
         if grid and use_grid is None and not _grid_safe_for(ctx, instance, variant):
@@ -308,7 +320,6 @@ def solve_many(
             "use_grid=True applies to bounds-only solves (schedules=False); "
             "full-schedule solves use the scalar searches"
         )
-    base_grid = False if schedules else _resolve_use_grid(use_grid, kernel, variant)
     reps: dict[tuple, Instance] = {}
     grid_by_key: dict[tuple, bool] = {}  # overflow probe is per input, not sticky
     out: list = []
@@ -317,7 +328,10 @@ def solve_many(
         rep = reps.get(key)
         if rep is None:
             reps[key] = inst
-            grid = base_grid
+            grid = (
+                False if schedules
+                else _resolve_use_grid(use_grid, kernel, variant, inst.c)
+            )
             if kernel == "fast":
                 ctx = inst.fast_ctx()
                 if grid and use_grid is None and not _grid_safe_for(ctx, inst, variant):

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from itertools import accumulate
 from typing import Iterator, Optional
 
 from ..core.bounds import Variant, setup_plus_tmax, t_min
@@ -48,7 +49,7 @@ from ..core.classification import NonpPartition, nonp_partition, nonp_partition_
 from ..core.errors import ConstructionError, RejectedMakespanError
 from ..core.fastnum import fast_nonp_test, validate_kernel
 from ..core.instance import Instance, JobRef
-from ..core.numeric import Time, TimeLike, as_time, fast_fraction, time_str
+from ..core.numeric import Time, TimeLike, as_time, time_str
 from ..core.schedule import Placement, Schedule
 from .search import SearchResult, integer_search_dual
 
@@ -133,28 +134,38 @@ def _materialize(
     """Build a Schedule from item lists (prefix-sum start times).
 
     ``scale`` is the common denominator the item lengths were multiplied
-    by; times are divided back out exactly at this single boundary.
-    ``trusted`` skips the per-placement sign checks (prefix sums of
-    positive scaled lengths cannot go negative) and materializes through
-    the slot-writing fast paths — machine indices are in range by
-    construction (one item list per machine).
+    by.  With ``trusted`` (the fast-kernel path: all lengths machine ints)
+    the items are emitted straight into the schedule's column store — no
+    :class:`Placement`/:class:`~fractions.Fraction` objects are created;
+    they materialize lazily only if a caller iterates.  Sign checks are
+    skipped (prefix sums of non-negative scaled lengths cannot go
+    negative) and machine indices are in range by construction (one item
+    list per machine); :mod:`repro.core.validate` remains the real
+    feasibility gate.
     """
     schedule = Schedule(instance)
     if trusted:
-        from ..core.wrapping import _new_placement
-
-        by_machine = schedule._by_machine
+        cols = schedule._columns_for_append()
+        assert cols is not None  # fresh schedules are always columnar
+        mq: list[int] = []
+        sq: list[int] = []
+        lq: list[int] = []
+        cq: list[int] = []
+        jq: list[int] = []
         for u, items in enumerate(machines):
-            t = 0
-            dest = by_machine[u]
-            for it in items:
-                dest.append(
-                    _new_placement(
-                        u, fast_fraction(t, scale), fast_fraction(it.length, scale),
-                        it.cls, it.job,
-                    )
-                )
-                t += it.length
+            if not items:
+                continue
+            lens = [it.length for it in items]
+            starts = list(accumulate(lens, initial=0))
+            starts.pop()
+            mq.extend([u] * len(lens))
+            sq.extend(starts)
+            lq.extend(lens)
+            cq.extend([it.cls for it in items])
+            jq.extend(
+                [-1 if it.job is None else it.job.idx for it in items]
+            )
+        cols.extend_scaled(mq, sq, lq, scale, cq, jq)
         return schedule
     for u, items in enumerate(machines):
         t = 0
@@ -245,7 +256,9 @@ def nonp_dual_schedule(
     def place(u: int, it: _It) -> _It:
         machines[u].append(it)
         ends[u] += it.length
-        if it.job is not None:
+        if it.is_piece:
+            # Only split pieces matter to step 4a's consolidation (a whole
+            # job has no siblings to remove), so whole items skip the map.
             pieces_of.setdefault(it.job, []).append((u, it))
         return it
 
@@ -262,28 +275,30 @@ def nonp_dual_schedule(
         k = -(-total // quota_full) if quota_full > 0 else None
         if k is None or k <= 0:
             raise ConstructionError(f"class {i}: bad quota at T={time_str(T)}")
-        stream: Iterator[tuple[JobRef, object]] = iter((j, t * D) for j, t in jobs)
-        carry: Optional[tuple[JobRef, object]] = None
+        stream: Iterator[tuple[JobRef, int]] = iter(jobs)
+        # carry = (job, remaining_sc, full_sc): tracking the full scaled
+        # length alongside the remainder keeps the is_piece test int-only.
+        carry: Optional[tuple[JobRef, int, int]] = None
         for b in range(int(k)):
             u = take_machine()
             class_machines[i].append(u)
-            place(u, _It(cls=i, job=None, length=s))
+            place(u, _It(i, None, s))
             room = quota_full if b < k - 1 else total - quota_full * (k - 1)
             while room > 0:
                 if carry is not None:
-                    j, length = carry
+                    j, length, full = carry
                     carry = None
                 else:
                     nxt = next(stream, None)
                     if nxt is None:
                         break
-                    j, length = nxt
+                    j, t_j = nxt
+                    length = full = t_j * D
                 put = min(length, room)
-                place(u, _It(cls=i, job=j, length=put,
-                             is_piece=put < instance.job_time(j) * D))
+                place(u, _It(i, j, put, put < full))
                 room -= put
                 if put < length:
-                    carry = (j, length - put)
+                    carry = (j, length - put, full)
         if carry is not None or next(stream, None) is not None:
             raise ConstructionError(f"class {i}: quota wrap left residual load")
 
@@ -294,8 +309,8 @@ def nonp_dual_schedule(
             for j in part.big_jobs.get(i, ()):  # C_i ∩ J⁺, one machine each
                 u = take_machine()
                 class_machines[i].append(u)
-                place(u, _It(cls=i, job=None, length=instance.setups[i] * D))
-                place(u, _It(cls=i, job=j, length=instance.job_time(j) * D))
+                place(u, _It(i, None, instance.setups[i] * D))
+                place(u, _It(i, j, instance.job_time(j) * D))
             k_jobs = [(j, instance.job_time(j)) for j in part.k_jobs.get(i, ())]
             if k_jobs:
                 wrap_quota(i, k_jobs)
@@ -307,11 +322,12 @@ def nonp_dual_schedule(
     snapshot("step1", machines)
 
     # ---- step 2: fill C_i \ L onto class-i machines ---------------------- #
-    residual: dict[int, list[tuple[JobRef, object]]] = {}
+    # todo entries are (job, remaining_sc, full_sc) — see wrap_quota's carry.
+    residual: dict[int, list[tuple[JobRef, int, int]]] = {}
     for i in part.chp:
         l_set = set(part.l_jobs(i))
-        todo: list[tuple[JobRef, object]] = [
-            (j, t * D) for j, t in instance.class_jobs_view(i) if j not in l_set
+        todo: list[tuple[JobRef, int, int]] = [
+            (j, t * D, t * D) for j, t in instance.class_jobs_view(i) if j not in l_set
         ]
         if not todo:
             continue
@@ -319,13 +335,12 @@ def nonp_dual_schedule(
         for u in class_machines[i]:
             room = Ts - ends[u]
             while room > 0 and pos < len(todo):
-                j, length = todo[pos]
+                j, length, full = todo[pos]
                 put = min(length, room)
-                place(u, _It(cls=i, job=j, length=put,
-                             is_piece=put < instance.job_time(j) * D))
+                place(u, _It(i, j, put, put < full))
                 room -= put
                 if put < length:
-                    todo[pos] = (j, length - put)
+                    todo[pos] = (j, length - put, full)
                 else:
                     pos += 1
             if pos >= len(todo):
@@ -338,12 +353,9 @@ def nonp_dual_schedule(
     step3_order: list[tuple[int, _It]] = []
     q_stream: list[_It] = []
     for i in sorted(residual):
-        q_stream.append(_It(cls=i, job=None, length=instance.setups[i] * D,
-                            from_step3=True))
-        for j, length in residual[i]:
-            q_stream.append(_It(cls=i, job=j, length=length,
-                                is_piece=length < instance.job_time(j) * D,
-                                from_step3=True))
+        q_stream.append(_It(i, None, instance.setups[i] * D, False, True))
+        for j, length, full in residual[i]:
+            q_stream.append(_It(i, j, length, length < full, True))
     q_iter = iter(q_stream)
     item = next(q_iter, None)
     fill_machines = [u for u in range(next_machine) if ends[u] < Ts]

@@ -408,9 +408,11 @@ def pmtn_dual_schedule(
     """Theorem 5(ii)/4(ii): build a ≤ 3T/2 schedule for an accepted ``T``.
 
     ``kernel="fast"`` reuses the instance's cached Fraction job views and
-    routes the wrap engine through its scaled-integer path;
-    ``kernel="fraction"`` rebuilds every view per call (the historical
-    reference).  Both produce identical placements.
+    routes the wrap engine and the step-1 large-machine layout through
+    the scaled-integer columnar emission path (lazy placements; see
+    :mod:`repro.core.schedule`); ``kernel="fraction"`` rebuilds every
+    view per call (the historical reference).  Both produce identical
+    placements.
     """
     T = as_time(T)
     fast = validate_kernel(kernel)
@@ -440,13 +442,28 @@ def pmtn_dual_schedule(
     # ---- step 1: large machines ---------------------------------------- #
     l = dual.l
     large_machines = list(range(l))
-    for u, i in zip(large_machines, part.exp_zero):
-        t = half
-        schedule.add_setup(u, t, i)
-        t += instance.setups[i]
-        for job, length in jobs_of(i):
-            schedule.add_piece(u, t, job, length)
-            t += length
+    if fast:
+        # Columnar emission at scale D = 2·td: T/2 scales to tn and the
+        # class items are integer job times, so the whole layout is
+        # machine ints (bit-identical placements to the rational loop).
+        D2 = 2 * T.denominator
+        for u, i in zip(large_machines, part.exp_zero):
+            t_sc = T.numerator  # T/2 · D2
+            s = instance.setups[i]
+            schedule.add_scaled(u, t_sc, s * D2, D2, i)
+            t_sc += s * D2
+            for job, length in jobs_of(i):
+                ln_sc = length.numerator * D2  # integer times: denominator 1
+                schedule.add_scaled(u, t_sc, ln_sc, D2, i, job)
+                t_sc += ln_sc
+    else:
+        for u, i in zip(large_machines, part.exp_zero):
+            t = half
+            schedule.add_setup(u, t, i)
+            t += instance.setups[i]
+            for job, length in jobs_of(i):
+                schedule.add_piece(u, t, job, length)
+                t += length
 
     residual = list(range(l, instance.m))
 

@@ -260,23 +260,30 @@ def _schedule_exp_plus_ints(
     Per class, every quantity is pre-multiplied by a class-local scale
     ``D_i = lcm(2·td, item denominators)`` — the smallest scale making
     ``T/2``, ``T − s_i`` and every view item an exact machine int — so
-    the quota/carry loop runs on ints and Fractions are materialized only
-    at the placement boundary.  Placements are bit-identical to the
-    rational loop (the differential suite compares both end to end).
+    the quota/carry loop runs on ints; rows are emitted into the
+    schedule's column store (:meth:`Schedule.add_scaled`) with no
+    Fraction or Placement objects at all.  Placements materialize
+    bit-identical to the rational loop (the differential suite compares
+    both end to end).
     """
     instance = schedule.instance
     tn, td = T.numerator, T.denominator
     for i in part.exp_plus:
         items = view[i]
-        D = 2 * td
-        for _, t in items:
-            den = t.denominator
-            if D % den:
-                D = lcm(D, den)
+        if items is instance.class_jobs_frac_cached(i):
+            # full class: integer lengths, no per-item denominator scan
+            D = 2 * td
+            lens_sc = [t * D for t in instance.jobs[i]]
+        else:
+            D = 2 * td
+            for _, t in items:
+                den = t.denominator
+                if D % den:
+                    D = lcm(D, den)
+            lens_sc = [t.numerator * (D // t.denominator) for _, t in items]
         s = instance.setups[i]
         s_sc = s * D
         t_sc = tn * (D // td)              # T·D — even multiple of tn
-        lens_sc = [t.numerator * (D // t.denominator) for _, t in items]
         P_sc = sum(lens_sc)
         # κ_i on the pre-scaled ints: count_core is the same α′/γ formula
         # the dual tests run, identical to count_for by scale invariance.
@@ -300,27 +307,20 @@ def _schedule_exp_plus_ints(
         carry_sc = 0
         for b in range(k):
             u = take()
-            schedule.add_setup(u, 0, i)
+            schedule.add_scaled(u, 0, s_sc, D, i)
             pos_sc = s_sc
             room_sc = per_sc if b < k - 1 else last_sc
             while room_sc > 0:
                 if carry_job is not None:
-                    job, length, len_sc, whole = carry_job, None, carry_sc, False
+                    job, len_sc = carry_job, carry_sc
                     carry_job = None
                 else:
                     nxt = next(stream, None)
                     if nxt is None:
                         break
-                    (job, length), len_sc = nxt
-                    whole = True
+                    (job, _), len_sc = nxt
                 placed_sc = min(len_sc, room_sc)
-                schedule.add_piece(
-                    u,
-                    fast_fraction(pos_sc, D),
-                    job,
-                    length if whole and placed_sc == len_sc
-                    else fast_fraction(placed_sc, D),
-                )
+                schedule.add_scaled(u, pos_sc, placed_sc, D, i, job)
                 pos_sc += placed_sc
                 room_sc -= placed_sc
                 if placed_sc < len_sc:
@@ -400,9 +400,20 @@ def schedule_nice_view(
         # are pre-validated (JobRef class, positive lengths — Algorithm 3
         # filters non-positive pieces as it builds the views), so skip
         # Batch.of's per-item checks and the positivity re-filter, and
-        # reuse the cached view tuples as the batch items directly.
+        # reuse the cached view tuples as the batch items directly.  A
+        # view entry that *is* the instance's cached full-class tuple
+        # carries the integer lengths to the wrap engine (identity check:
+        # derived piece views are freshly built lists, never the cache).
         cheap_batches = [
-            Batch(cls=i, items=view[i] if type(view[i]) is tuple else tuple(view[i]))
+            Batch(
+                cls=i,
+                items=view[i] if type(view[i]) is tuple else tuple(view[i]),
+                int_lengths=(
+                    instance.jobs[i]
+                    if view[i] is instance.class_jobs_frac_cached(i)
+                    else None
+                ),
+            )
             for i in part.cheap
         ]
     else:

@@ -123,8 +123,11 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
 
     Raises :class:`RejectedMakespanError` when ``T`` fails the dual test.
     ``kernel="fast"`` routes the wrap engine through its scaled-integer
-    path and reuses the instance's cached job views; ``"fraction"`` is the
-    rational reference.  Both produce identical placements.
+    path — which emits rows straight into the schedule's column store
+    (lazy placements; see :mod:`repro.core.schedule`) — and reuses the
+    instance's cached job views with their integer lengths;
+    ``"fraction"`` is the rational reference.  Both produce identical
+    placements.
     """
     T = as_time(T)
     fast = validate_kernel(kernel)
@@ -149,7 +152,10 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
         template = WrapTemplate.of(gaps)
         if fast:
             # cached views are pre-validated: skip Batch.of's per-item checks
-            sequence = WrapSequence((Batch(cls=i, items=jobs_of(i)),))
+            # (full classes: integer lengths feed the wrap engine directly)
+            sequence = WrapSequence(
+                (Batch(cls=i, items=jobs_of(i), int_lengths=instance.jobs[i]),)
+            )
         else:
             sequence = WrapSequence.single_class(i, jobs_of(i))
         wrap(schedule, sequence, template, exact_ints=fast)
@@ -178,7 +184,12 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
             gaps.append((u, half, 3 * half))
         template = WrapTemplate.of(gaps)
         if fast:
-            sequence = WrapSequence(tuple(Batch(cls=i, items=jobs_of(i)) for i in dual.chp))
+            sequence = WrapSequence(
+                tuple(
+                    Batch(cls=i, items=jobs_of(i), int_lengths=instance.jobs[i])
+                    for i in dual.chp
+                )
+            )
         else:
             sequence = WrapSequence.of([Batch.of(i, jobs_of(i)) for i in dual.chp])
         wrap(schedule, sequence, template, exact_ints=fast)

@@ -34,8 +34,13 @@ from .errors import (
 from .instance import Instance, JobRef, concat_instances
 from .knapsack import ContinuousSolution, KnapsackItem, solve_continuous, solve_integral
 from .numeric import Time, as_time, frac_ceil, frac_floor, time_str
-from .schedule import Placement, Schedule
-from .validate import is_feasible, validate_schedule
+from .schedule import Placement, Schedule, ScheduleColumns
+from .validate import (
+    is_feasible,
+    validate_columns,
+    validate_schedule,
+    validate_schedule_scalar,
+)
 from .wrapping import Batch, Gap, WrapResult, WrapSequence, WrapTemplate, template_for_machines, wrap
 
 __all__ = [
@@ -75,8 +80,11 @@ __all__ = [
     "time_str",
     "Placement",
     "Schedule",
+    "ScheduleColumns",
     "is_feasible",
+    "validate_columns",
     "validate_schedule",
+    "validate_schedule_scalar",
     "Batch",
     "Gap",
     "WrapResult",

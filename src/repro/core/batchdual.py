@@ -132,6 +132,52 @@ def _np_sorted(ctx: DualContext, cls: int):
     return arrs
 
 
+def _np_flat(ctx: DualContext) -> dict:
+    """Flattened per-class sorted views: one concatenated array + offsets.
+
+    The non-preemptive grid's job thresholds used to resolve with two
+    ``searchsorted`` calls *per class* inside a Python loop — numpy
+    dispatch per class made the grid lose to ~11 scalar probes (the
+    ROADMAP's measured caveat).  This cache concatenates every class's
+    sorted times into one key array, offset per class by
+    ``base_i = i · spacing`` (``spacing > tmax`` keeps the class ranges
+    disjoint), so *all* ``c × g`` threshold queries resolve in a single
+    ``searchsorted`` over clamped keys ``base_i + clip(thr, 0, tmax)``,
+    and the per-class prefix-sum weights come back via one fancy-indexed
+    gather.  Built once per context, shared by :meth:`DualContext.for_m`
+    clones across a machine sweep.
+    """
+    flat = ctx.batch_cache.get("np_flat")
+    if flat is None:
+        spacing = max(ctx.class_tmax) + 2
+        counts = _np.asarray(ctx.nclass, dtype=_np.int64)
+        noff = _np.zeros(ctx.c + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=noff[1:])
+        keys = _np.empty(int(noff[-1]), dtype=_np.int64)
+        prefix_parts = []
+        poff = _np.zeros(ctx.c + 1, dtype=_np.int64)
+        for i in range(ctx.c):
+            ts, prefix = ctx.sorted_jobs(i)
+            keys[int(noff[i]):int(noff[i + 1])] = _np.asarray(ts, dtype=_np.int64)
+            keys[int(noff[i]):int(noff[i + 1])] += i * spacing
+            prefix_parts.append(_np.asarray(prefix, dtype=_np.int64))
+            poff[i + 1] = poff[i] + len(prefix)
+        prefix_flat = (
+            _np.concatenate(prefix_parts) if prefix_parts
+            else _np.empty(0, dtype=_np.int64)
+        )
+        flat = {
+            "spacing": spacing,
+            "keys": keys,
+            "noff": noff,
+            "prefix": prefix_flat,
+            "poff": poff[:-1],          # start of class i's prefix block
+            "counts": counts,
+        }
+        ctx.batch_cache["np_flat"] = flat
+    return flat
+
+
 def _maxima(ctx: DualContext) -> tuple[int, int, int]:
     """Cached ``(max_i P_i, s_max, alpha_cap)`` for the overflow bound.
 
@@ -163,7 +209,9 @@ def _grid_is_safe(ctx: DualContext, tns: list[int], tds: list[int]) -> bool:
     dominates every per-class scaled quantity, and each accumulated sum
     touches at most ``c`` classes with a constant factor ≤ 8.  A miss
     only costs speed — the caller drops to the scalar kernel, never
-    precision.
+    precision.  (The non-preemptive grid additionally checks its own
+    flattened-key bound, :func:`_flat_keys_safe`; it does not belong
+    here because the split/pmtn/base-core grids never build those keys.)
     """
     max_tn, min_tn = max(tns), min(tns)
     max_td = max(tds)
@@ -176,6 +224,16 @@ def _grid_is_safe(ctx: DualContext, tns: list[int], tds: list[int]) -> bool:
         and ctx.m * max_tn < _GUARD
         and (ctx.total_processing + ctx.c * smax * K) * max_td < _GUARD
     )
+
+
+def _flat_keys_safe(ctx: DualContext) -> bool:
+    """Does the flattened-searchsorted key space ``c · spacing`` fit int64?
+
+    Only the non-preemptive grid builds :func:`_np_flat` keys; the other
+    grids are not throttled by this bound.  A miss drops that grid to
+    the scalar kernel — identical verdicts, just slower.
+    """
+    return ctx.c * (max(ctx.class_tmax) + 2) < _GUARD
 
 
 def _use_numpy(ctx, tns, tds, use_numpy: Optional[bool]) -> bool:
@@ -254,13 +312,21 @@ def fast_nonp_test_grid(
     *,
     use_numpy: Optional[bool] = None,
 ) -> list[NonpVerdict]:
-    """Theorem 9(i) on a candidate grid (see :func:`fast_split_test_grid`)."""
+    """Theorem 9(i) on a candidate grid (see :func:`fast_split_test_grid`).
+
+    The per-class job thresholds (``J⁺`` and ``K`` counts/weights) are
+    resolved over the *flattened* sorted views of :func:`_np_flat`: one
+    ``searchsorted`` over all ``c × g`` offset-keyed queries per
+    threshold kind, plus one gathered prefix-sum lookup — no Python loop
+    over classes.  This is what makes the grid tier win at large ``c``
+    (it used to pay numpy dispatch per class and lose to scalar probes).
+    """
     tns, tds = _as_vectors(tns, tds)
     if not tns:
         return []
-    if not _use_numpy(ctx, tns, tds, use_numpy):
+    if not _use_numpy(ctx, tns, tds, use_numpy) or not _flat_keys_safe(ctx):
         return [fast_nonp_test(ctx, tn, td) for tn, td in zip(tns, tds)]
-    m, spt = ctx.m, ctx.spt
+    m, spt, c = ctx.m, ctx.spt, ctx.c
     out: list[Optional[NonpVerdict]] = [None] * len(tns)
     tn_all = _np.asarray(tns, dtype=_np.int64)
     td_all = _np.asarray(tds, dtype=_np.int64)
@@ -268,33 +334,56 @@ def fast_nonp_test_grid(
     for j in _np.nonzero(~nontrivial)[0]:
         out[j] = NonpVerdict(False, ctx.total_load, m + 1)  # Note 2
     live = _np.nonzero(nontrivial)[0]
-    for lo, hi in _chunks(len(live), ctx.c):
+    if not live.size:
+        return out  # type: ignore[return-value]
+    views = _np_views(ctx)
+    flat = _np_flat(ctx)
+    S = views["setups"][:, None]                 # (c, 1)
+    P = views["P"][:, None]
+    spacing = flat["spacing"]
+    keys, prefix = flat["keys"], flat["prefix"]
+    noff = flat["noff"][:-1, None]               # key-block starts   (c, 1)
+    poff = flat["poff"][:, None]                 # prefix-block starts (c, 1)
+    counts = flat["counts"][:, None]
+    base = (_np.arange(c, dtype=_np.int64) * spacing)[:, None]
+    hi_clip = spacing - 2                        # ≥ global tmax ≥ every key
+    # This kernel holds ~13 simultaneous (c, g) temporaries (the other
+    # grids hold ~4), so chunk 4× finer to keep the transient peak in the
+    # same memory envelope as the rest of the module.
+    for lo, hi in _chunks(len(live), 4 * c):
         idx = live[lo:hi]
-        tn = tn_all[idx]
+        tn = tn_all[idx]                         # (g,)
         td = td_all[idx]
         td2 = 2 * td
-        load = _np.full(idx.size, ctx.total_processing, dtype=_np.int64)
-        m_prime = _np.zeros(idx.size, dtype=_np.int64)
-        for i in range(ctx.c):
-            s, P = ctx.setups[i], ctx.P[i]
-            std = s * td
-            cap = tn - std                     # (T − s_i)·td > 0 on live lanes
-            exp = 2 * std > tn
-            m_exp = _ceil_div_np(P * td, cap)  # α_i
-            ts, prefix = _np_sorted(ctx, i)
-            w_total = int(prefix[-1])
-            cut_big = _np.searchsorted(ts, tn // td2, side="right")
-            n_big = len(ts) - cut_big
-            w_big = w_total - prefix[cut_big]
-            cut_ge = _np.searchsorted(ts, (tn - 2 * std) // td2, side="right")
-            k_weight = (w_total - prefix[cut_ge]) - w_big
-            m_chp = n_big + _np.where(
-                k_weight > 0, _ceil_div_np(k_weight * td, cap), 0
-            )
-            m_i = _np.where(exp, m_exp, m_chp)
-            load += m_i * s
-            load += _np.where(P * td > m_i * cap, s, 0)  # x_i > 0 residual setup
-            m_prime += m_i
+        std = S * td                             # (c, g)
+        cap = tn - std                           # (T − s_i)·td > 0 on live lanes
+        exp = 2 * std > tn
+        m_exp = _ceil_div_np(P * td, cap)        # α_i
+        # J⁺ threshold t_j > T/2 — one flattened searchsorted for all classes
+        q_big = base + _np.clip(tn // td2, 0, hi_clip)
+        cut_big = (
+            _np.searchsorted(keys, q_big.ravel(), side="right").reshape(q_big.shape)
+            - noff
+        )
+        n_big = counts - cut_big
+        w_big = P - prefix[poff + cut_big]
+        # K threshold s_i + t_j > T/2 (minus the J⁺ part), same trick
+        q_ge = base + _np.clip((tn - 2 * std) // td2, 0, hi_clip)
+        cut_ge = (
+            _np.searchsorted(keys, q_ge.ravel(), side="right").reshape(q_ge.shape)
+            - noff
+        )
+        k_weight = (P - prefix[poff + cut_ge]) - w_big
+        m_chp = n_big + _np.where(
+            k_weight > 0, _ceil_div_np(k_weight * td, cap), 0
+        )
+        m_i = _np.where(exp, m_exp, m_chp)
+        load = (
+            ctx.total_processing
+            + (m_i * S).sum(axis=0)
+            + _np.where(P * td > m_i * cap, S, 0).sum(axis=0)  # x_i > 0 setups
+        )
+        m_prime = m_i.sum(axis=0)
         acc = (m * tn >= load * td) & (m >= m_prime)
         for k, j in enumerate(idx):
             out[j] = NonpVerdict(bool(acc[k]), int(load[k]), int(m_prime[k]))

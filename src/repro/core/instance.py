@@ -189,6 +189,18 @@ class Instance:
             self._jobs_frac_cache[cls] = cached
         return cached
 
+    def class_jobs_frac_cached(self, cls: int):
+        """The cached Fraction view of ``cls`` if already built, else ``None``.
+
+        Unlike :meth:`class_jobs_frac` this never *builds* the view.  The
+        scaled-integer construction paths identity-test view entries
+        against it to detect full-class views (whose lengths are the
+        instance's integer processing times) without spending O(n_i)
+        Fraction allocations on classes that only ever carry derived
+        piece views.
+        """
+        return self._jobs_frac_cache.get(cls)
+
     def class_jobs_sorted(self, cls: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """Cached ``(sorted processing times, prefix sums)`` of one class.
 

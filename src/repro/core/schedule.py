@@ -1,4 +1,4 @@
-"""Explicit schedule representation.
+"""Explicit schedule representation — columnar store with lazy placements.
 
 A :class:`Schedule` is a set of :class:`Placement` items — setups and job
 pieces — each pinned to a machine and a closed-open time interval
@@ -8,17 +8,46 @@ with multiplicities internally (see :mod:`repro.core.wrapping`), but
 everything is materialized into explicit placements before validation, so
 the validators never have to trust an algorithm's own bookkeeping.
 
+Since PR 3 the backing store is **columnar**: a :class:`ScheduleColumns`
+holds one row per placement as parallel scaled-integer columns
+
+    ``machine | start_num | length_num | den | cls | job_idx``
+
+with ``start = start_num/den`` and ``length = length_num/den`` exact
+rationals and ``job_idx = -1`` marking a setup.  The construction hot
+paths (the wrap engine, Algorithm 6's materializer, Algorithm 2's step 1)
+append machine integers straight into the columns; :class:`Placement`
+objects — and their :class:`~fractions.Fraction` times — are materialized
+*lazily*, only when a caller actually iterates placements.  Aggregate
+queries (``makespan``, ``machine_load``, ``machine_end``) are answered
+from the columns directly, and :mod:`repro.core.validate` runs a
+vectorized validator over the raw columns.
+
+The columns live on :mod:`array`-module ``'q'`` (int64) buffers so numpy
+can view them zero-copy when installed (numpy remains the optional
+``[batch]`` extra, exactly the :mod:`repro.core.batchdual` policy); a row
+that does not fit in 62 bits flips the store into exact Python-int lists
+— the overflow fallback trades speed, never precision.
+
+Mutating operations that need placement identity (:meth:`Schedule.remove`,
+:meth:`Schedule.replace_machine` — the repair passes) *thaw* the schedule:
+the columns are materialized into per-machine placement lists once and the
+schedule behaves exactly like the historical list-backed implementation
+from then on.
+
 All times are exact rationals (:mod:`repro.core.numeric`).
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, replace
 from fractions import Fraction
+from math import gcd
 from typing import Iterable, Iterator, Optional
 
 from .instance import Instance, JobRef
-from .numeric import Time, TimeLike, as_time, time_str
+from .numeric import Time, TimeLike, as_time, fast_fraction, time_str
 
 
 @dataclass(frozen=True)
@@ -57,19 +86,366 @@ class Placement:
         return f"[{time_str(self.start)},{time_str(self.end)}) {kind} @M{self.machine}"
 
 
+def _new_placement(machine: int, start, length, cls: int, job=None) -> Placement:
+    """Allocate a :class:`Placement` without the frozen-dataclass ``__init__``.
+
+    Frozen dataclasses assign fields through ``object.__setattr__``, which
+    is measurable at ~one placement per job on the materialization hot
+    path; writing the instance ``__dict__`` directly produces an identical
+    object.
+    """
+    p = object.__new__(Placement)
+    p.__dict__["machine"] = machine
+    p.__dict__["start"] = start
+    p.__dict__["length"] = length
+    p.__dict__["cls"] = cls
+    p.__dict__["job"] = job
+    return p
+
+
+def _lcm2(a: int, b: int) -> int:
+    return a if a == b else a * b // gcd(a, b)
+
+
+#: Values at or above 62 bits flip a column store into exact-int object
+#: mode — the same headroom :data:`repro.core.batchdual._GUARD` keeps for
+#: int64 intermediates.
+_INT62 = 1 << 62
+
+
+class ScheduleColumns:
+    """Parallel scaled-int columns, one row per placement.
+
+    Row ``k`` encodes the placement ``[start_num[k]/den[k],
+    (start_num[k]+length_num[k])/den[k])`` of class ``cls[k]`` on machine
+    ``machine[k]``; ``job_idx[k] = -1`` marks a setup, otherwise the row
+    is a piece of ``JobRef(cls[k], job_idx[k])``.  Numerators need not be
+    normalized against ``den`` — materialization reduces exactly.
+
+    Columns start on ``array('q')`` (int64) buffers; the first value that
+    does not fit in 62 bits switches every column to a plain Python list
+    (``int_mode`` False), keeping arithmetic exact at any magnitude.
+    """
+
+    __slots__ = (
+        "machine", "start_num", "length_num", "den", "cls", "job_idx",
+        "_dens", "int_mode",
+    )
+
+    def __init__(self) -> None:
+        self.machine = array("q")
+        self.start_num = array("q")
+        self.length_num = array("q")
+        self.den = array("q")
+        self.cls = array("q")
+        self.job_idx = array("q")
+        self._dens: set[int] = set()
+        self.int_mode = True
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+
+    def _to_object_mode(self) -> None:
+        if self.int_mode:
+            self.machine = list(self.machine)
+            self.start_num = list(self.start_num)
+            self.length_num = list(self.length_num)
+            self.den = list(self.den)
+            self.cls = list(self.cls)
+            self.job_idx = list(self.job_idx)
+            self.int_mode = False
+
+    def append_scaled(
+        self,
+        machine: int,
+        start_num: int,
+        length_num: int,
+        den: int,
+        cls: int,
+        job_idx: int,
+    ) -> None:
+        """Append one row; ``start = start_num/den``, ``length = length_num/den``.
+
+        ``den`` must be positive (every producer's scale is a positive
+        lcm).  The caller is responsible for range/sign checks — this is
+        the raw emission primitive behind :meth:`Schedule.add_scaled` and
+        the construction kernels.
+        """
+        if self.int_mode and not (
+            -_INT62 < start_num < _INT62
+            and -_INT62 < length_num < _INT62
+            and den < _INT62
+        ):
+            self._to_object_mode()
+        self.machine.append(machine)
+        self.start_num.append(start_num)
+        self.length_num.append(length_num)
+        self.den.append(den)
+        self.cls.append(cls)
+        self.job_idx.append(job_idx)
+        self._dens.add(den)
+
+    def extend_scaled(
+        self,
+        machines,
+        start_nums,
+        length_nums,
+        den: int,
+        clss,
+        job_idxs,
+    ) -> None:
+        """Bulk :meth:`append_scaled`: parallel rows sharing one ``den``.
+
+        The emission hot paths (the wrap engine, Algorithm 6's
+        materializer) collect plain Python lists and flush them here —
+        ``array.extend`` runs at C speed, replacing six method calls per
+        row with one per column per burst.
+        """
+        n = len(machines)
+        if n == 0:
+            return
+        if self.int_mode and not (
+            -_INT62 < min(start_nums)
+            and max(start_nums) < _INT62
+            and -_INT62 < min(length_nums)
+            and max(length_nums) < _INT62
+            and den < _INT62
+        ):
+            self._to_object_mode()
+        self.machine.extend(machines)
+        self.start_num.extend(start_nums)
+        self.length_num.extend(length_nums)
+        if self.int_mode:
+            self.den.extend(array("q", [den]) * n)
+        else:
+            self.den.extend([den] * n)
+        self.cls.extend(clss)
+        self.job_idx.extend(job_idxs)
+        self._dens.add(den)
+
+    def append_placement(self, p: Placement) -> None:
+        """Append a :class:`Placement` (rationals re-scaled to one row den)."""
+        start, length = p.start, p.length
+        sd = start.denominator
+        ld = length.denominator
+        den = _lcm2(sd, ld)
+        job = p.job
+        self.append_scaled(
+            p.machine,
+            start.numerator * (den // sd),
+            length.numerator * (den // ld),
+            den,
+            p.cls,
+            -1 if job is None else job.idx,
+        )
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.machine)
+
+    @property
+    def dens(self) -> frozenset:
+        """The distinct row denominators (usually one or two per schedule)."""
+        return frozenset(self._dens)
+
+    def common_scale(self) -> int:
+        """``L = lcm`` of all row denominators (1 for an empty store)."""
+        L = 1
+        for d in self._dens:
+            L = _lcm2(L, d)
+        return L
+
+    def scaled(self) -> tuple[int, "object", "object"]:
+        """``(L, starts, lengths)`` with all rows at the common scale ``L``.
+
+        When every row shares one denominator the stored columns are
+        returned as-is (zero copy — numpy can view the ``array('q')``
+        buffers directly); otherwise exact Python-int lists are built.
+        """
+        L = self.common_scale()
+        if len(self._dens) <= 1:
+            return L, self.start_num, self.length_num
+        mult = [L // d for d in self.den]
+        starts = [s * f for s, f in zip(self.start_num, mult)]
+        lengths = [ln * f for ln, f in zip(self.length_num, mult)]
+        return L, starts, lengths
+
+    def row_placement(self, k: int) -> Placement:
+        """Materialize row ``k`` as a :class:`Placement`."""
+        den = self.den[k]
+        cls = self.cls[k]
+        idx = self.job_idx[k]
+        return _new_placement(
+            self.machine[k],
+            fast_fraction(self.start_num[k], den),
+            fast_fraction(self.length_num[k], den),
+            cls,
+            None if idx < 0 else JobRef(cls, idx),
+        )
+
+    def slice_placements(self, lo: int, hi: int) -> list[Placement]:
+        """Materialize rows ``[lo, hi)`` in row (append) order."""
+        out: list[Placement] = []
+        mach, sn, ln = self.machine, self.start_num, self.length_num
+        den, cl, ji = self.den, self.cls, self.job_idx
+        for k in range(lo, hi):
+            d = den[k]
+            c = cl[k]
+            idx = ji[k]
+            out.append(
+                _new_placement(
+                    mach[k],
+                    fast_fraction(sn[k], d),
+                    fast_fraction(ln[k], d),
+                    c,
+                    None if idx < 0 else JobRef(c, idx),
+                )
+            )
+        return out
+
+    def to_placements(self, m: int) -> list[list[Placement]]:
+        """Materialize all rows into per-machine lists (insertion order)."""
+        by_machine: list[list[Placement]] = [[] for _ in range(m)]
+        mach, sn, ln = self.machine, self.start_num, self.length_num
+        den, cl, ji = self.den, self.cls, self.job_idx
+        for k in range(len(mach)):
+            d = den[k]
+            c = cl[k]
+            idx = ji[k]
+            by_machine[mach[k]].append(
+                _new_placement(
+                    mach[k],
+                    fast_fraction(sn[k], d),
+                    fast_fraction(ln[k], d),
+                    c,
+                    None if idx < 0 else JobRef(c, idx),
+                )
+            )
+        return by_machine
+
+    @staticmethod
+    def from_placements(placements: Iterable[Placement]) -> "ScheduleColumns":
+        """Columns encoding ``placements`` (row order = iteration order).
+
+        Raises :class:`ValueError` for a piece whose ``cls`` disagrees with
+        its job's class, or whose job index is negative — the columnar
+        encoding shares one class column between the row and its
+        :class:`~repro.core.instance.JobRef` and reserves ``job_idx = -1``
+        for setups, so such (infeasible) placements have no columnar
+        form; keep schedules holding them on the placement-list path and
+        the scalar validator.
+        """
+        cols = ScheduleColumns()
+        for p in placements:
+            if p.job is not None and (p.job.cls != p.cls or p.job.idx < 0):
+                raise ValueError(
+                    f"placement has no columnar encoding "
+                    f"(class mismatch or negative job index): {p}"
+                )
+            cols.append_placement(p)
+        return cols
+
+    def copy(self) -> "ScheduleColumns":
+        out = ScheduleColumns.__new__(ScheduleColumns)
+        out.machine = self.machine[:]
+        out.start_num = self.start_num[:]
+        out.length_num = self.length_num[:]
+        out.den = self.den[:]
+        out.cls = self.cls[:]
+        out.job_idx = self.job_idx[:]
+        out._dens = set(self._dens)
+        out.int_mode = self.int_mode
+        return out
+
+
 class Schedule:
     """A mutable bag of placements with per-machine indexing.
 
     The class is deliberately permissive — algorithms build and repair
     schedules through it — and :mod:`repro.core.validate` is the single
     source of truth for feasibility.
+
+    Fresh schedules are *columnar*: appends land in a
+    :class:`ScheduleColumns` store and no :class:`Placement` exists until
+    a caller iterates (``items_on``/``iter_all``/...), at which point a
+    materialized per-machine view is built and cached.  Identity-level
+    mutation (:meth:`remove`, :meth:`replace_machine`) thaws the schedule
+    into the historical placement-list representation permanently.
     """
 
     def __init__(self, instance: Instance, placements: Iterable[Placement] = ()):
         self.instance = instance
-        self._by_machine: list[list[Placement]] = [[] for _ in range(instance.m)]
+        self._cols: Optional[ScheduleColumns] = ScheduleColumns()
+        self._by_machine: Optional[list[list[Placement]]] = None
+        self._scan: Optional[dict] = None
         for p in placements:
             self.add(p)
+
+    # ------------------------------------------------------------------ #
+    # columnar plumbing
+    # ------------------------------------------------------------------ #
+
+    def columns(self) -> Optional[ScheduleColumns]:
+        """The live column store, or ``None`` once the schedule is thawed."""
+        return self._cols
+
+    def _columns_for_append(self) -> Optional[ScheduleColumns]:
+        """Columns ready for direct appends (caches invalidated), or None.
+
+        Construction kernels that emit many rows grab this once and call
+        :meth:`ScheduleColumns.append_scaled` directly; the cached
+        materialization/aggregate views are dropped up front so reads
+        after the burst rebuild from the full column set.
+        """
+        if self._cols is None:
+            return None
+        self._by_machine = None
+        self._scan = None
+        return self._cols
+
+    def _materialized(self) -> list[list[Placement]]:
+        bm = self._by_machine
+        if bm is None:
+            assert self._cols is not None
+            bm = self._cols.to_placements(self.instance.m)
+            self._by_machine = bm
+        return bm
+
+    def _thaw(self) -> None:
+        """Switch to the placement-list representation permanently."""
+        if self._cols is not None:
+            self._materialized()
+            self._cols = None
+            self._scan = None
+
+    def _scan_cache(self) -> dict:
+        """Per-machine scaled loads/ends, one O(rows) pass over the columns."""
+        sc = self._scan
+        if sc is None:
+            cols = self._cols
+            assert cols is not None
+            m = self.instance.m
+            loads: dict[int, list[int]] = {d: [0] * m for d in cols._dens}
+            ends: dict[int, list[Optional[int]]] = {
+                d: [None] * m for d in cols._dens
+            }
+            counts = [0] * m
+            for u, sn, ln, d in zip(
+                cols.machine, cols.start_num, cols.length_num, cols.den
+            ):
+                loads[d][u] += ln
+                e = sn + ln
+                cur = ends[d][u]
+                if cur is None or e > cur:
+                    ends[d][u] = e
+                counts[u] += 1
+            sc = {"loads": loads, "ends": ends, "counts": counts}
+            self._scan = sc
+        return sc
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -84,7 +460,7 @@ class Schedule:
             raise ValueError(f"negative length placement: {placement}")
         if placement.start < 0:
             raise ValueError(f"placement starts before time 0: {placement}")
-        self._by_machine[placement.machine].append(placement)
+        self._append(placement)
         return placement
 
     def append_trusted(self, placement: Placement) -> Placement:
@@ -99,8 +475,94 @@ class Schedule:
             raise ValueError(
                 f"machine {placement.machine} out of range [0, {self.instance.m})"
             )
-        self._by_machine[placement.machine].append(placement)
+        self._append(placement)
         return placement
+
+    def _append(self, placement: Placement) -> None:
+        cols = self._cols
+        if cols is None:
+            self._by_machine[placement.machine].append(placement)  # type: ignore[index]
+            return
+        job = placement.job
+        if job is not None and (job.cls != placement.cls or job.idx < 0):
+            # A class-mismatched piece has no columnar encoding (the row
+            # and its JobRef share one class column), and a negative job
+            # index would collide with the job_idx = -1 setup marker:
+            # thaw and keep the placement verbatim for the scalar
+            # validator to reject ("class-mismatch" / "unknown-job").
+            self._thaw()
+            self._by_machine[placement.machine].append(placement)  # type: ignore[index]
+            return
+        cols.append_placement(placement)
+        self._by_machine = None
+        self._scan = None
+
+    def add_scaled(
+        self,
+        machine: int,
+        start_num: int,
+        length_num: int,
+        den: int,
+        cls: int,
+        job: Optional[JobRef] = None,
+    ) -> None:
+        """Append ``[start_num/den, (start_num+length_num)/den)`` directly.
+
+        The scaled-integer construction paths use this to emit rows
+        without materializing a :class:`~fractions.Fraction` or
+        :class:`Placement`; values are validated like :meth:`add`.  On a
+        thawed schedule the row is materialized and appended normally.
+        """
+        if den <= 0:
+            raise ValueError(f"denominator must be positive, got {den}")
+        if self._cols is None or (
+            job is not None and (job.cls != cls or job.idx < 0)
+        ):
+            # thawed schedule, or a row the columns cannot encode (class
+            # mismatch / negative job index): route through add(), which
+            # preserves the placement for the scalar validator.
+            self.add(
+                _new_placement(
+                    machine,
+                    fast_fraction(start_num, den),
+                    fast_fraction(length_num, den),
+                    cls,
+                    job,
+                )
+            )
+            return
+        if not 0 <= machine < self.instance.m:
+            raise ValueError(
+                f"machine {machine} out of range [0, {self.instance.m})"
+            )
+        if length_num < 0:
+            raise ValueError(
+                f"negative length placement: "
+                f"{self._cols_row_str(machine, start_num, length_num, den, cls, job)}"
+            )
+        if start_num < 0:
+            raise ValueError(
+                f"placement starts before time 0: "
+                f"{self._cols_row_str(machine, start_num, length_num, den, cls, job)}"
+            )
+        self._cols.append_scaled(
+            machine, start_num, length_num, den, cls,
+            -1 if job is None else job.idx,
+        )
+        self._by_machine = None
+        self._scan = None
+
+    @staticmethod
+    def _cols_row_str(machine, start_num, length_num, den, cls, job) -> str:
+        return str(
+            _new_placement(
+                machine,
+                fast_fraction(start_num, den),
+                fast_fraction(length_num, den),
+                cls,
+                job,
+            )
+        )
 
     def add_setup(self, machine: int, start: TimeLike, cls: int) -> Placement:
         """Place a (full, non-preempted) setup of ``cls`` at ``start``."""
@@ -133,7 +595,8 @@ class Schedule:
 
     def remove(self, placement: Placement) -> None:
         """Remove one placement (identity by value)."""
-        self._by_machine[placement.machine].remove(placement)
+        self._thaw()
+        self._by_machine[placement.machine].remove(placement)  # type: ignore[index]
 
     def replace_machine(self, machine: int, items: Iterable[Placement]) -> None:
         """Swap out the full contents of one machine (used by repair passes).
@@ -142,15 +605,18 @@ class Schedule:
         moved (removed there, retagged here), so the schedule never holds a
         placement twice.
         """
+        self._thaw()
+        by_machine = self._by_machine
+        assert by_machine is not None
         new_items = []
         for p in items:
             if p.machine != machine:
-                old = self._by_machine[p.machine]
+                old = by_machine[p.machine]
                 if p in old:
                     old.remove(p)
                 p = p.on_machine(machine)
             new_items.append(p)
-        self._by_machine[machine] = new_items
+        by_machine[machine] = new_items
 
     # ------------------------------------------------------------------ #
     # queries
@@ -158,35 +624,77 @@ class Schedule:
 
     def items_on(self, machine: int) -> list[Placement]:
         """Placements on ``machine`` sorted by start time."""
-        return sorted(self._by_machine[machine], key=lambda p: (p.start, p.end))
+        return sorted(self._materialized()[machine], key=lambda p: (p.start, p.end))
 
     def raw_items_on(self, machine: int) -> list[Placement]:
         """Placements on ``machine`` in insertion order (no sort)."""
-        return list(self._by_machine[machine])
+        return list(self._materialized()[machine])
 
     def iter_all(self) -> Iterator[Placement]:
-        for items in self._by_machine:
+        for items in self._materialized():
             yield from items
 
     def machine_load(self, machine: int) -> Time:
         """``L(u)`` — total setup + processing time on the machine (page 2)."""
-        return sum((p.length for p in self._by_machine[machine]), Fraction(0))
+        if self._cols is not None:
+            sc = self._scan_cache()
+            total = Fraction(0)
+            for d, loads in sc["loads"].items():
+                v = loads[machine]
+                if v:
+                    total += fast_fraction(v, d)
+            return total
+        return sum((p.length for p in self._by_machine[machine]), Fraction(0))  # type: ignore[index]
 
     def machine_end(self, machine: int) -> Time:
         """Completion time of the machine (max placement end; 0 if empty)."""
-        items = self._by_machine[machine]
+        if self._cols is not None:
+            sc = self._scan_cache()
+            best: Optional[Time] = None
+            for d, ends in sc["ends"].items():
+                v = ends[machine]
+                if v is not None:
+                    f = fast_fraction(v, d)
+                    if best is None or f > best:
+                        best = f
+            return Fraction(0) if best is None else best
+        items = self._by_machine[machine]  # type: ignore[index]
         return max((p.end for p in items), default=Fraction(0))
 
     def makespan(self) -> Time:
         """``C_max`` — the latest completion time over all machines."""
+        if self._cols is not None:
+            sc = self._scan_cache()
+            best: Optional[Time] = None
+            for d, ends in sc["ends"].items():
+                top: Optional[int] = None
+                for v in ends:
+                    if v is not None and (top is None or v > top):
+                        top = v
+                if top is not None:
+                    f = fast_fraction(top, d)
+                    if best is None or f > best:
+                        best = f
+            return Fraction(0) if best is None else best
         return max((self.machine_end(u) for u in range(self.instance.m)), default=Fraction(0))
 
     def total_load(self) -> Time:
         """``L(σ) = Σ_u L(u)``."""
+        if self._cols is not None:
+            sc = self._scan_cache()
+            total = Fraction(0)
+            for d, loads in sc["loads"].items():
+                s = sum(loads)
+                if s:
+                    total += fast_fraction(s, d)
+            return total
         return sum((self.machine_load(u) for u in range(self.instance.m)), Fraction(0))
 
     def used_machines(self) -> list[int]:
-        return [u for u in range(self.instance.m) if self._by_machine[u]]
+        if self._cols is not None:
+            counts = self._scan_cache()["counts"]
+            return [u for u in range(self.instance.m) if counts[u]]
+        return [u for u in range(self.instance.m) if self._by_machine[u]]  # type: ignore[index]
 
     def job_pieces(self, job: JobRef) -> list[Placement]:
         """All pieces of one job across all machines."""
@@ -194,20 +702,45 @@ class Schedule:
 
     def job_total(self, job: JobRef) -> Time:
         """Scheduled processing amount of one job."""
+        cols = self._cols
+        if cols is not None:
+            per_den: dict[int, int] = {}
+            cls, idx = job.cls, job.idx
+            for c, ji, ln, d in zip(
+                cols.cls, cols.job_idx, cols.length_num, cols.den
+            ):
+                if c == cls and ji == idx:
+                    per_den[d] = per_den.get(d, 0) + ln
+            total = Fraction(0)
+            for d, v in per_den.items():
+                if v:
+                    total += fast_fraction(v, d)
+            return total
         return sum((p.length for p in self.iter_all() if p.job == job), Fraction(0))
 
     def setup_count(self, cls: int) -> int:
         """Setup multiplicity ``λ_i`` of class ``cls`` in this schedule."""
+        cols = self._cols
+        if cols is not None:
+            return sum(
+                1 for c, ji in zip(cols.cls, cols.job_idx) if ji < 0 and c == cls
+            )
         return sum(1 for p in self.iter_all() if p.is_setup and p.cls == cls)
 
     def count_placements(self) -> int:
-        return sum(len(items) for items in self._by_machine)
+        if self._cols is not None:
+            return len(self._cols)
+        return sum(len(items) for items in self._by_machine)  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------ #
     # misc
     # ------------------------------------------------------------------ #
 
     def copy(self) -> "Schedule":
+        if self._cols is not None:
+            out = Schedule(self.instance)
+            out._cols = self._cols.copy()
+            return out
         return Schedule(self.instance, self.iter_all())
 
     def describe(self) -> str:

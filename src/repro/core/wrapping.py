@@ -31,12 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from math import lcm
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .errors import ConstructionError
 from .instance import JobRef
-from .numeric import Time, TimeLike, as_time, fast_fraction, time_str
-from .schedule import Placement, Schedule
+from .numeric import Time, TimeLike, as_time, time_str
+from .schedule import Placement, Schedule, ScheduleColumns, _new_placement  # noqa: F401  (re-export: the fast allocator predates the columnar store)
 
 
 @dataclass(frozen=True)
@@ -90,10 +90,18 @@ class Batch:
     ``items`` are ``(job, length)`` pairs; ``length`` may be smaller than the
     job's full processing time when the caller wraps job *pieces* (the
     preemptive algorithm does this for the knapsack split class).
+
+    ``int_lengths`` is an optional fast-path hint: when the batch wraps a
+    *full class* its lengths are the instance's integer processing times,
+    and producers pass that tuple so the scaled-integer engine can scale
+    without touching a single Fraction (it must match ``items`` length
+    for length — the caller's contract, satisfied by construction at the
+    two producer sites).
     """
 
     cls: int
     items: tuple[tuple[JobRef, Time], ...]
+    int_lengths: Optional[tuple[int, ...]] = None
 
     @staticmethod
     def of(cls: int, items: Iterable[tuple[JobRef, TimeLike]]) -> "Batch":
@@ -139,15 +147,38 @@ class WrapSequence:
         return max((setups[b.cls] for b in self.batches), default=0)
 
 
-@dataclass
 class WrapResult:
-    """What :func:`wrap` placed."""
+    """What :func:`wrap` placed.
 
-    placements: list[Placement]
-    #: index of the last gap that received an item (−1 if nothing placed).
-    last_gap: int
-    #: number of job splits performed.
-    splits: int
+    On the columnar fast path the engine emits scaled-int rows straight
+    into the schedule's column store; ``placements`` then materializes
+    the placed rows lazily (in placement order), so callers that ignore
+    the result — every construction in the library — never pay for
+    :class:`Placement`/:class:`~fractions.Fraction` objects.
+    """
+
+    __slots__ = ("_placements", "last_gap", "splits", "_rows")
+
+    def __init__(
+        self,
+        placements: Optional[list[Placement]],
+        last_gap: int,
+        splits: int,
+        rows: Optional[tuple[ScheduleColumns, int, int]] = None,
+    ) -> None:
+        self._placements = placements
+        #: index of the last gap that received an item (−1 if nothing placed).
+        self.last_gap = last_gap
+        #: number of job splits performed.
+        self.splits = splits
+        self._rows = rows
+
+    @property
+    def placements(self) -> list[Placement]:
+        if self._placements is None:
+            cols, lo, hi = self._rows  # type: ignore[misc]
+            self._placements = cols.slice_placements(lo, hi)
+        return self._placements
 
     def pieces_of(self, job: JobRef) -> list[Placement]:
         return [p for p in self.placements if p.job == job]
@@ -181,26 +212,17 @@ def wrap(
     return _wrap_fractions(schedule, sequence, template)
 
 
-def _new_placement(machine: int, start, length, cls: int, job=None) -> Placement:
-    """Allocate a :class:`Placement` without the frozen-dataclass ``__init__``.
-
-    Frozen dataclasses assign fields through ``object.__setattr__``, which
-    is measurable at ~one placement per job on the wrap hot path; writing
-    the instance ``__dict__`` directly produces an identical object.
-    """
-    p = object.__new__(Placement)
-    p.__dict__["machine"] = machine
-    p.__dict__["start"] = start
-    p.__dict__["length"] = length
-    p.__dict__["cls"] = cls
-    p.__dict__["job"] = job
-    return p
-
-
 def _wrap_ints(
     schedule: Schedule, sequence: WrapSequence, template: WrapTemplate
 ) -> WrapResult:
-    """The scaled-integer wrap engine (see :func:`wrap`)."""
+    """The scaled-integer wrap engine (see :func:`wrap`).
+
+    Emits scaled-int rows straight into the schedule's column store — no
+    :class:`Placement`/:class:`~fractions.Fraction` objects on the hot
+    path.  On a thawed schedule (placement-list mode) the rows go through
+    a scratch column store and are materialized into the schedule at the
+    end, so both representations see identical placements.
+    """
     setups = schedule.instance.setups
     gaps = template.gaps
     if not gaps:
@@ -217,6 +239,8 @@ def _wrap_ints(
     for g in gaps:
         D = lcm(D, g.a.denominator, g.b.denominator)
     for batch in sequence.batches:
+        if batch.int_lengths is not None:
+            continue  # integer lengths: nothing to fold into D
         for _, length in batch.items:
             den = length.denominator
             if D % den:
@@ -225,13 +249,18 @@ def _wrap_ints(
     ga = [g.a.numerator * (D // g.a.denominator) for g in gaps]
     gb = [g.b.numerator * (D // g.b.denominator) for g in gaps]
     # Scale every item once; the scaled lists double as the load check and
-    # the wrap loop's operands (one Fraction round-trip per item total).
+    # the wrap loop's operands (no Fraction arithmetic in the loop).
     scaled_items: list[list[int]] = []
     load_sc = 0
     for batch in sequence.batches:
-        items_sc = [
-            length.numerator * (D // length.denominator) for _, length in batch.items
-        ]
+        raw = batch.int_lengths
+        if raw is not None:
+            items_sc = [t * D for t in raw]
+        else:
+            items_sc = [
+                length.numerator * (D // length.denominator)
+                for _, length in batch.items
+            ]
         scaled_items.append(items_sc)
         load_sc += setups[batch.cls] * D + sum(items_sc)
     cap_sc = sum(b - a for a, b in zip(ga, gb))
@@ -242,13 +271,19 @@ def _wrap_ints(
             "(caller must guarantee Lemma 6's precondition)"
         )
 
-    by_machine = schedule._by_machine
-    setups_frac = schedule.instance.setups_frac()
-
-    def add(p: Placement) -> Placement:
-        by_machine[p.machine].append(p)
-        return p
-    placed: list[Placement] = []
+    cols = schedule._columns_for_append()
+    scratch = cols is None
+    if scratch:
+        cols = ScheduleColumns()
+    # Rows are collected in plain Python lists (one shared denominator D)
+    # and flushed with one bulk extend — six C-level column extends replace
+    # six method calls per placement.
+    mq: list[int] = []
+    sq: list[int] = []
+    lq: list[int] = []
+    cq: list[int] = []
+    jq: list[int] = []
+    ma, sa, la, ca, ja = mq.append, sq.append, lq.append, cq.append, jq.append
     splits = 0
     r = 0
     t = ga[0]
@@ -267,10 +302,7 @@ def _wrap_ints(
             raise ValueError(
                 f"placement starts before time 0: setup of class {cls} below gap {r}"
             )
-        placed.append(
-            add(_new_placement(gaps[r].machine, fast_fraction(start_sc, D),
-                               setups_frac[cls], cls))
-        )
+        ma(gaps[r].machine); sa(start_sc); la(setups[cls] * D); ca(cls); ja(-1)
         t = ga[r]
 
     for batch, items_sc in zip(sequence.batches, scaled_items):
@@ -282,41 +314,37 @@ def _wrap_ints(
             advance_gap(cls)  # setup goes below the next gap
             last_gap = r
         else:
-            placed.append(
-                add(_new_placement(gaps[r].machine, fast_fraction(t, D),
-                                   setups_frac[cls], cls))
-            )
+            ma(gaps[r].machine); sa(t); la(s_sc); ca(cls); ja(-1)
             t += s_sc
-            last_gap = max(last_gap, r)
+            if r > last_gap:
+                last_gap = r
         for (job, length), remaining in zip(batch.items, items_sc):
+            jidx = job.idx
             # Skip over exhausted gap space before starting the piece, so we
             # never create zero-length pieces.
             while t >= gb[r]:
                 advance_gap(cls)
-            whole = True  # item not yet split: reuse its Fraction length
             while t + remaining > gb[r]:  # Split's while loop
                 room = gb[r] - t
                 if room > 0:
-                    placed.append(
-                        add(_new_placement(gaps[r].machine, fast_fraction(t, D),
-                                           fast_fraction(room, D), cls, job))
-                    )
+                    ma(gaps[r].machine); sa(t); la(room); ca(cls); ja(jidx)
                     remaining -= room
-                    whole = False
                     splits += 1
                 advance_gap(cls)
             if remaining > 0:
-                placed.append(
-                    add(_new_placement(
-                        gaps[r].machine, fast_fraction(t, D),
-                        length if whole else fast_fraction(remaining, D),
-                        cls, job,
-                    ))
-                )
+                ma(gaps[r].machine); sa(t); la(remaining); ca(cls); ja(jidx)
                 t += remaining
-            last_gap = max(last_gap, r)
+            if r > last_gap:
+                last_gap = r
 
-    return WrapResult(placements=placed, last_gap=last_gap, splits=splits)
+    row_lo = len(cols)
+    cols.extend_scaled(mq, sq, lq, D, cq, jq)
+    if scratch:
+        placed = cols.slice_placements(row_lo, len(cols))
+        for p in placed:
+            schedule.append_trusted(p)
+        return WrapResult(placed, last_gap, splits)
+    return WrapResult(None, last_gap, splits, rows=(cols, row_lo, len(cols)))
 
 
 def _wrap_fractions(

@@ -18,9 +18,11 @@ from .ratio_study import (
     run_ratio_study,
 )
 from .scaling import (
+    render_grid_crossover,
     render_kernel_scaling,
     render_machine_sweep,
     render_scaling,
+    run_grid_crossover,
     run_machine_sweep,
     run_scaling,
     run_scaling_kernels,
@@ -36,9 +38,11 @@ __all__ = [
     "render_ratio_study",
     "run_jump_ablation",
     "run_ratio_study",
+    "render_grid_crossover",
     "render_kernel_scaling",
     "render_machine_sweep",
     "render_scaling",
+    "run_grid_crossover",
     "run_machine_sweep",
     "run_scaling",
     "run_scaling_kernels",

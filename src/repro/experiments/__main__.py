@@ -9,6 +9,7 @@ from . import (
     render_all,
     render_counting_ablation,
     render_figure,
+    render_grid_crossover,
     render_jump_ablation,
     render_kernel_scaling,
     render_machine_sweep,
@@ -37,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
         "sweep", help="Experiment S2: machine sweeps via the batched engine"
     )
     swp.add_argument("--kernel", choices=["fast", "fraction"], default="fast")
+    sub.add_parser(
+        "gridcross",
+        help="Experiment S3: non-preemptive grid tier vs scalar probes over c",
+    )
     sub.add_parser("ratio", help="Experiment R1: ratio study")
     sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
     args = parser.parse_args(argv)
@@ -52,6 +57,8 @@ def main(argv: list[str] | None = None) -> int:
             print(render_scaling(sizes=args.sizes, kernel=args.kernel))
     elif args.command == "sweep":
         print(render_machine_sweep(kernel=args.kernel))
+    elif args.command == "gridcross":
+        print(render_grid_crossover())
     elif args.command == "ratio":
         print(render_ratio_study())
     elif args.command == "ablation":

@@ -216,3 +216,74 @@ def render_machine_sweep(
         title="Experiment S2: machine-count sweeps — batched engine vs looped solve "
               f"(kernel={kernel}; sweep returns certified T*/bound curves)",
     )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment S3 — the flattened non-preemptive grid vs scalar probes
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class GridTiming:
+    c: int
+    scalar_seconds: float
+    grid_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / self.grid_seconds if self.grid_seconds else float("inf")
+
+
+def run_grid_crossover(
+    cs: Sequence[int] = (12, 40, 100, 200, 400),
+    m: int = 24,
+    repeats: int = 3,
+) -> list[GridTiming]:
+    """Bounds-only non-preemptive sweeps: grid evaluator off vs forced on.
+
+    PR 3 flattened the grid's per-class ``searchsorted`` loop into one
+    concatenated-keys query (:func:`repro.core.batchdual._np_flat`); this
+    experiment measures where the grid tier overtakes the scalar integer
+    search probes as the class count grows (the auto-policy threshold
+    :data:`repro.algos.batch_api.NONP_GRID_MIN_C` is calibrated from it).
+    Requires numpy (the ``[batch]`` extra).
+    """
+    from ..core import batchdual
+
+    if not batchdual.HAVE_NUMPY:
+        raise RuntimeError("Experiment S3 requires numpy (pip install '.[batch]')")
+    out = []
+    for c in cs:
+        inst = uniform_instance(m=m, c=c, n_per_class=2, seed=404)
+        ms = list(range(2, 2 * m + 1, 3))
+        best = {False: float("inf"), True: float("inf")}
+        for grid in (False, True):
+            for _ in range(repeats):
+                fresh = Instance(m=inst.m, setups=inst.setups, jobs=inst.jobs)
+                t0 = time.perf_counter()
+                sweep_machines(
+                    fresh, ms, Variant.NONPREEMPTIVE, schedules=False, use_grid=grid
+                )
+                best[grid] = min(best[grid], time.perf_counter() - t0)
+        out.append(GridTiming(c=c, scalar_seconds=best[False], grid_seconds=best[True]))
+    return out
+
+
+def render_grid_crossover(timings: list[GridTiming] | None = None) -> str:
+    timings = timings if timings is not None else run_grid_crossover()
+    table_rows = [
+        [
+            str(t.c),
+            fmt_time(t.scalar_seconds),
+            fmt_time(t.grid_seconds),
+            f"{t.speedup:.2f}x",
+            "grid" if t.speedup >= 1 else "scalar",
+        ]
+        for t in timings
+    ]
+    return format_table(
+        ["classes c", "scalar probes", "flattened grid", "grid speedup", "winner"],
+        table_rows,
+        title="Experiment S3: non-preemptive grid tier vs scalar probes "
+              "(bounds-only machine sweeps; flattened searchsorted, PR 3)",
+    )

@@ -1,0 +1,218 @@
+"""Differential suite for the columnar schedule backend (PR 3).
+
+Three guarantees are asserted on every generator-suite instance:
+
+* **lossless round-trips** — ``ScheduleColumns`` → ``Placement`` lists →
+  ``ScheduleColumns`` → ``Placement`` lists is the identity on placement
+  values, and every ``Schedule`` aggregate (makespan, loads, ends, ...)
+  answered from the live columns equals the thawed placement-list answer;
+* **bit-identical validator verdicts** — :func:`validate_columns` agrees
+  with the scalar validator on accept/reject, makespan, and the error
+  ``reason`` tag, in all three execution modes: numpy int64, numpy absent
+  (scalar/python tier), and the big-integer overflow fallback;
+* **lazy materialization contract** — ``solve()`` returns schedules whose
+  column store is still live (no ``Placement`` was built), and mutation
+  thaws without changing observable content.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+import repro.core.validate as validate_mod
+from repro.algos.api import solve
+from repro.core import (
+    Instance,
+    JobRef,
+    Placement,
+    Schedule,
+    ScheduleColumns,
+    Variant,
+    validate_columns,
+    validate_schedule,
+    validate_schedule_scalar,
+)
+from repro.generators import adversarial_suite, medium_suite, small_exact_suite
+
+from .conftest import mk
+
+HAVE_NUMPY = validate_mod._np is not None
+
+SUITE_INSTANCES = [
+    pytest.param(inst, id=f"{suite}:{label}")
+    for suite, items in (
+        ("small", small_exact_suite()),
+        ("medium", medium_suite()),
+        ("adversarial", adversarial_suite()),
+    )
+    for label, inst in items
+]
+
+#: validator execution modes exercised by the differential assertions:
+#: numpy tier (when installed), forced python tier, and auto dispatch.
+MODES = ([True] if HAVE_NUMPY else []) + [False, None]
+
+
+def placements_key(schedule: Schedule):
+    return [
+        (p.machine, p.start, p.length, p.cls, p.job) for p in schedule.iter_all()
+    ]
+
+
+def suite_schedules(inst: Instance):
+    """(variant, columnar schedule) pairs from the real solve paths."""
+    for variant in Variant:
+        yield variant, solve(inst, variant).schedule
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_columns_placements_round_trip(self, inst):
+        for variant, sched in suite_schedules(inst):
+            cols = sched.columns()
+            assert cols is not None, "solve() must return live-columns schedules"
+            assert len(cols) == sched.count_placements()
+            flat = cols.slice_placements(0, len(cols))
+            cols2 = ScheduleColumns.from_placements(flat)
+            flat2 = cols2.slice_placements(0, len(cols2))
+            assert flat == flat2
+            # per-machine materialization round-trips through a fresh Schedule
+            rebuilt = Schedule(inst, flat)
+            assert placements_key(rebuilt) == placements_key(sched)
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_aggregates_match_thawed(self, inst):
+        for variant, sched in suite_schedules(inst):
+            twin = sched.copy()
+            assert twin.columns() is not None
+            # thaw the twin by materializing + mutating a no-op
+            twin._thaw()
+            assert twin.columns() is None
+            assert sched.makespan() == twin.makespan()
+            assert sched.total_load() == twin.total_load()
+            assert sched.used_machines() == twin.used_machines()
+            assert sched.count_placements() == twin.count_placements()
+            for u in range(inst.m):
+                assert sched.machine_load(u) == twin.machine_load(u)
+                assert sched.machine_end(u) == twin.machine_end(u)
+                assert sched.items_on(u) == twin.items_on(u)
+            for i in range(inst.c):
+                assert sched.setup_count(i) == twin.setup_count(i)
+            job = JobRef(0, 0)
+            assert sched.job_total(job) == twin.job_total(job)
+
+    def test_mutation_thaws_without_content_change(self):
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        sched = solve(inst, Variant.NONPREEMPTIVE).schedule
+        key_before = placements_key(sched)
+        assert sched.columns() is not None
+        p = sched.items_on(0)[0]
+        sched.remove(p)
+        assert sched.columns() is None  # thawed
+        sched.add(p)
+        assert sorted(placements_key(sched)) == sorted(key_before)
+
+    def test_class_mismatched_placement_thaws(self):
+        """A piece whose cls disagrees with its job has no columnar form."""
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        assert sched.columns() is not None
+        bad = Placement(0, Fraction(2), Fraction(2), cls=0, job=JobRef(1, 0))
+        sched.add(bad)
+        assert sched.columns() is None  # thawed, placement kept verbatim
+        with pytest.raises(validate_mod.InfeasibleScheduleError) as e:
+            validate_schedule(sched, Variant.SPLITTABLE)
+        assert e.value.reason == "class-mismatch"
+        with pytest.raises(ValueError):
+            ScheduleColumns.from_placements([bad])
+
+    def test_negative_job_idx_thaws(self):
+        """job_idx = -1 marks setups, so a negative-idx piece must thaw
+        (not silently decode as a setup) and still reject as unknown-job."""
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        bad = Placement(0, Fraction(2), Fraction(1), cls=0, job=JobRef(0, -1))
+        sched.add(bad)
+        assert sched.columns() is None  # thawed, placement kept verbatim
+        with pytest.raises(validate_mod.InfeasibleScheduleError) as e:
+            validate_schedule(sched, Variant.SPLITTABLE)
+        assert e.value.reason == "unknown-job"
+        with pytest.raises(ValueError):
+            ScheduleColumns.from_placements([bad])
+
+
+class TestValidatorDifferential:
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES)
+    def test_verdicts_bit_identical_on_solver_output(self, inst):
+        for variant, sched in suite_schedules(inst):
+            cols = sched.columns()
+            assert cols is not None
+            want = validate_schedule_scalar(sched, variant)
+            for mode in MODES:
+                got = validate_columns(inst, cols, variant, use_numpy=mode)
+                assert got == want, (variant, mode)
+            # and the columns survived scalar validation un-thawed
+            assert sched.columns() is cols
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES[:10])
+    def test_dispatch_without_numpy(self, inst, monkeypatch):
+        """validate_schedule auto-dispatch with numpy absent (python tier)."""
+        monkeypatch.setattr(validate_mod, "_np", None)
+        for variant, sched in suite_schedules(inst):
+            want = validate_schedule_scalar(sched, variant)
+            assert validate_schedule(sched, variant) == want
+        with pytest.raises(RuntimeError):
+            validate_columns(
+                inst, ScheduleColumns(), Variant.SPLITTABLE, use_numpy=True
+            )
+
+    def test_overflow_fallback_mode(self):
+        """Column stores beyond int64 stay exact (object mode, python tier)."""
+        big = 1 << 70
+        inst = Instance.build(2, [(big, [big, big]), (1, [2])])
+        sched = solve(inst, Variant.NONPREEMPTIVE).schedule
+        cols = sched.columns()
+        assert cols is not None
+        assert not cols.int_mode  # values beyond 62 bits flipped the store
+        want = validate_schedule_scalar(sched, Variant.NONPREEMPTIVE)
+        for mode in (False, None):  # numpy precheck must refuse, never wrap
+            assert validate_columns(
+                inst, cols, Variant.NONPREEMPTIVE, use_numpy=mode
+            ) == want
+        assert sched.makespan() == want
+
+    def test_makespan_bound_tag(self):
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        sched = solve(inst, Variant.NONPREEMPTIVE).schedule
+        cmax = sched.makespan()
+        validate_schedule(sched, Variant.NONPREEMPTIVE, makespan_bound=cmax)
+        with pytest.raises(validate_mod.InfeasibleScheduleError) as e:
+            validate_schedule(
+                sched, Variant.NONPREEMPTIVE, makespan_bound=cmax - 1
+            )
+        assert e.value.reason == "makespan"
+
+
+class TestMixedDenominators:
+    def test_scaled_common_denominator(self):
+        inst = mk(2, (2, [3, 4]), (1, [2, 2, 2]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        sched.add_piece(0, Fraction(2), JobRef(0, 0), Fraction(3, 2))
+        sched.add_piece(0, Fraction(7, 2), JobRef(0, 0), Fraction(3, 2))
+        sched.add_piece(0, Fraction(5), JobRef(0, 1), Fraction(4, 3))
+        cols = sched.columns()
+        assert cols is not None
+        assert cols.dens == frozenset({1, 2, 3})
+        L, starts, lengths = cols.scaled()
+        assert L == 6
+        assert [Fraction(s, L) for s in starts] == [
+            p.start for p in sched.iter_all()
+        ]
+        assert sched.machine_end(0) == Fraction(19, 3)
+        assert sched.machine_load(0) == 2 + 3 + Fraction(4, 3)
+        assert sched.makespan() == Fraction(19, 3)
