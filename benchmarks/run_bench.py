@@ -2,11 +2,11 @@
 
 Times the solve engine on the standard medium/large/zipf workloads plus a
 ``wide`` many-class fixture (the paper's setup-dominated regime), writing a
-flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR3.json`` in the
-repository root; ``BENCH_PR1.json``/``BENCH_PR2.json`` are the preserved
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR4.json`` in the
+repository root; ``BENCH_PR1.json``..``BENCH_PR3.json`` are the preserved
 earlier snapshots).
 
-Four bench families:
+Five bench families:
 
 * ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
   both numeric kernels (``fast`` scaled-int default vs the ``fraction``
@@ -28,6 +28,13 @@ Four bench families:
   slower than the scalar probes at large ``c`` (measured ~1.3×; CI
   asserts the derived ``speedup/gridnonp/wide`` ≥ 0.9, a noise floor
   that still catches a regression to the ~0.5× per-class-loop grid).
+* ``nonpconstruct/<fixture>/{fast,fraction}`` — Algorithm 6's
+  construction alone (``nonp_dual_schedule`` at the accepted integer
+  ``T*``, schedule fully materialized): the PR-4 index-based
+  ``ItemStore`` tier against the per-item ``_It``/Fraction reference.
+  The derived ``speedup/nonp-construct/<fixture>`` family is the
+  acceptance series for the object-free construction; CI asserts a
+  no-regression floor on the medium fixture in smoke mode.
 
 Derived ``speedup/...`` entries record the corresponding baseline-over-
 engine ratios (dimensionless).  Each measurement is the best of
@@ -96,6 +103,30 @@ def bench_solve(inst: Instance, variant: Variant, kernel: str, reps: int) -> flo
     return best_of(
         lambda: solve(fresh(inst), variant, "three_halves", kernel=kernel), reps
     )
+
+
+def bench_nonp_construct(inst: Instance, fixture_name: str, reps: int) -> dict[str, float]:
+    """Construction-only timings at the accepted ``T*`` (both tiers).
+
+    The instance is warmed first (shared caches, like a sweep point), so
+    the cell isolates exactly the work the PR-4 ``ItemStore`` flattened:
+    steps 1-4 plus materialization into columns.  ``rows()`` forces the
+    lazily adopted columns so the fast cell pays materialization too.
+    """
+    from repro.algos.nonpreemptive import nonp_dual_schedule, three_halves_nonpreemptive
+
+    warm = fresh(inst)
+    T = three_halves_nonpreemptive(warm, build_schedule=False).T
+    out: dict[str, float] = {}
+    for kernel in KERNELS:
+        out[f"nonpconstruct/{fixture_name}/{kernel}"] = best_of(
+            lambda k=kernel: nonp_dual_schedule(warm, T, kernel=k).rows(), reps
+        )
+    out[f"speedup/nonp-construct/{fixture_name}"] = (
+        out[f"nonpconstruct/{fixture_name}/fraction"]
+        / out[f"nonpconstruct/{fixture_name}/fast"]
+    )
+    return out
 
 
 def bench_grid_nonp(reps: int) -> dict[str, float]:
@@ -170,6 +201,8 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
             record(
                 f"speedup/many/{fixture_name}/{variant.value}", many_loop / many_batch
             )
+        for name, value in bench_nonp_construct(inst, fixture_name, max(reps, 3)).items():
+            record(name, value)
     for name, value in bench_grid_nonp(max(reps, 3)).items():
         record(name, value)
     return results
@@ -179,8 +212,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
-        help="output JSON path (default: repo-root BENCH_PR3.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR4.json"),
+        help="output JSON path (default: repo-root BENCH_PR4.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(

@@ -7,6 +7,13 @@ labelled ``s<i>``, job pieces as letter-blocks (one letter per class), and
 a marker ruler on top.  Exact rational times are mapped to columns by
 rounding; adjacent items never visually overlap because column boundaries
 are computed from cumulative positions.
+
+Since PR 4 the renderer reads the schedule through the bulk
+:meth:`~repro.core.schedule.Schedule.rows` projection — scaled-integer
+columns (numpy views when installed) instead of materialized
+:class:`~repro.core.schedule.Placement` objects — and maps times to
+columns with exact integer half-even rounding, so the drawing is
+bit-identical to the historical Fraction arithmetic.
 """
 
 from __future__ import annotations
@@ -22,6 +29,15 @@ _CLASS_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 
 def class_glyph(cls: int) -> str:
     return _CLASS_GLYPHS[cls % len(_CLASS_GLYPHS)]
+
+
+def _round_div(p: int, q: int) -> int:
+    """``round(p / q)`` with half-to-even ties, exactly like ``round(Fraction)``."""
+    fl, r = divmod(p, q)
+    r2 = 2 * r
+    if r2 > q or (r2 == q and fl % 2):
+        return fl + 1
+    return fl
 
 
 def render_gantt(
@@ -65,24 +81,41 @@ def render_gantt(
         lines.append("      " + "".join(labels).rstrip())
         lines.append("      " + "".join(ruler).rstrip())
 
+    # bulk row projection: one integer column set, no Placement/Fraction
+    # per item; col(num/scale) = round(width·num·end.den / (scale·end.num))
+    sr = schedule.rows()
+    kn = width * end.denominator
+    kd = sr.scale * end.numerator
+    by_machine: dict[int, list[int]] = {}
+    for k in range(len(sr)):
+        by_machine.setdefault(int(sr.machine[k]), []).append(k)
+
     for u in rows:
         row = ["."] * (width + 1)
-        for p in schedule.items_on(u):
-            a, b = col(p.start), col(p.end)
+        ks = by_machine.get(u, ())
+        for k in sorted(
+            ks, key=lambda k: (sr.start_num[k], sr.start_num[k] + sr.length_num[k])
+        ):
+            sn = int(sr.start_num[k])
+            en = sn + int(sr.length_num[k])
+            a = min(width, _round_div(sn * kn, kd))
+            b = min(width, _round_div(en * kn, kd))
             if b <= a:
                 b = min(width, a + 1)
-            glyph = "#" if p.is_setup else class_glyph(p.cls)
+            setup = sr.job_idx[k] < 0
+            cls = int(sr.cls[k])
+            glyph = "#" if setup else class_glyph(cls)
             for c in range(a, b):
                 row[c] = glyph
             # label setups with the class index where room permits
-            if p.is_setup:
-                label = f"s{p.cls}"
+            if setup:
+                label = f"s{cls}"
                 if b - a >= len(label) + 1:
-                    for k, ch in enumerate(label):
-                        row[a + 1 + k] = ch
+                    for j, ch in enumerate(label):
+                        row[a + 1 + j] = ch
         lines.append(f"M{u:>3}  " + "".join(row).rstrip(".") )
     # legend
-    classes = sorted({p.cls for p in schedule.iter_all()})
+    classes = sorted({int(c) for c in sr.cls})
     legend = ", ".join(f"{class_glyph(i)}=class {i}" for i in classes[:12])
     lines.append(f"      [{legend}{', …' if len(classes) > 12 else ''}]  "
                  f"(#=setup, horizon={time_str(end)})")

@@ -39,8 +39,16 @@ def average_load(instance: Instance) -> Time:
 
 
 def setup_plus_tmax(instance: Instance) -> int:
-    """``max_i (s_i + t^(i)_max)`` — Notes 1 and 2."""
-    return max(s + tm for s, tm in zip(instance.setups, instance.class_tmax))
+    """``max_i (s_i + t^(i)_max)`` — Notes 1 and 2 (instance-cached).
+
+    Machine-count independent, so the cache is shared across a whole
+    ``sweep_machines`` run (``with_machines(..., share_caches=True)``).
+    """
+    cached = instance._misc_cache.get("spt")
+    if cached is None:
+        cached = max(s + tm for s, tm in zip(instance.setups, instance.class_tmax))
+        instance._misc_cache["spt"] = cached
+    return cached
 
 
 def lower_bound(instance: Instance, variant: Variant) -> Time:

@@ -272,6 +272,12 @@ def nonp_partition_fast(instance: Instance, T: TimeLike) -> NonpPartition:
             counts.append(-((-instance.class_processing[i] * td) // cap))
             continue
         chp.append(i)
+        if s2 + 2 * instance.class_tmax[i] * td <= tn:
+            # s_i + t_max^i ≤ T/2: no job clears the J⁺ (t_j > T/2) or K
+            # (s_i + t_j > T/2) thresholds — the whole class is step-2/3
+            # residual load and the O(n_i) scan is skipped.
+            counts.append(0)
+            continue
         big: list[JobRef] = []
         kjs: list[JobRef] = []
         k_processing = 0

@@ -234,6 +234,24 @@ class Instance:
             self._misc_cache["setups_frac"] = cached
         return cached
 
+    def class_prefix(self, cls: int) -> tuple[int, ...]:
+        """Cached prefix sums of one class's processing times in job order.
+
+        ``prefix[k] = Σ jobs[cls][:k]`` (``n_i + 1`` entries, strictly
+        increasing since ``t_j ≥ 1``).  The Algorithm-6 store tier bisects
+        these to turn quota wraps and machine fills into window emissions
+        (:meth:`repro.core.itemstore.ItemStore.emit_window`) — one bulk
+        extend per machine instead of per-job placement work.
+        """
+        cached = self._misc_cache.get(("prefix", cls))
+        if cached is None:
+            prefix = [0]
+            for t in self.jobs[cls]:
+                prefix.append(prefix[-1] + t)
+            cached = tuple(prefix)
+            self._misc_cache[("prefix", cls)] = cached
+        return cached
+
     def class_jobs_view(self, cls: int) -> tuple[tuple[JobRef, int], ...]:
         """Cached ``(JobRef, t_j)`` tuple of one class (integer times).
 

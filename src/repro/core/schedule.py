@@ -43,11 +43,17 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass, replace
 from fractions import Fraction
+from itertools import accumulate
 from math import gcd
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
 
 from .instance import Instance, JobRef
 from .numeric import Time, TimeLike, as_time, fast_fraction, time_str
+
+try:  # numpy is the optional [batch] extra (same policy as batchdual)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the minimal-deps CI job
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -125,11 +131,20 @@ class ScheduleColumns:
     Columns start on ``array('q')`` (int64) buffers; the first value that
     does not fit in 62 bits switches every column to a plain Python list
     (``int_mode`` False), keeping arithmetic exact at any magnitude.
+
+    The trusted bulk-adoption path (:meth:`extend_runs` — the Algorithm-6
+    :class:`~repro.core.itemstore.ItemStore` hand-off) also flips the
+    *buffers* to plain lists while keeping ``int_mode`` True: list
+    extends splice the store's column slices at C pointer speed, and the
+    ``array('q')`` buffers are rebuilt in one pass by :meth:`compact`
+    when a zero-copy reader (:meth:`Schedule.rows`) asks for them.
+    ``int_mode`` is therefore a statement about *values* (everything fits
+    int64), not about the current buffer type.
     """
 
     __slots__ = (
         "machine", "start_num", "length_num", "den", "cls", "job_idx",
-        "_dens", "int_mode",
+        "_dens", "int_mode", "_exported",
     )
 
     def __init__(self) -> None:
@@ -141,6 +156,11 @@ class ScheduleColumns:
         self.job_idx = array("q")
         self._dens: set[int] = set()
         self.int_mode = True
+        #: True while zero-copy numpy views of the array buffers are out
+        #: (:meth:`Schedule.rows`).  In-place extends would then raise
+        #: BufferError, so the next append flips to bulk-list buffers —
+        #: the held views keep the old arrays as a stable snapshot.
+        self._exported = False
 
     # ------------------------------------------------------------------ #
     # appends
@@ -172,6 +192,8 @@ class ScheduleColumns:
         the raw emission primitive behind :meth:`Schedule.add_scaled` and
         the construction kernels.
         """
+        if self._exported:
+            self._to_bulk_lists()  # never resize a buffer a view exports
         if self.int_mode and not (
             -_INT62 < start_num < _INT62
             and -_INT62 < length_num < _INT62
@@ -205,6 +227,8 @@ class ScheduleColumns:
         n = len(machines)
         if n == 0:
             return
+        if self._exported:
+            self._to_bulk_lists()  # never resize a buffer a view exports
         if self.int_mode and not (
             -_INT62 < min(start_nums)
             and max(start_nums) < _INT62
@@ -216,12 +240,74 @@ class ScheduleColumns:
         self.machine.extend(machines)
         self.start_num.extend(start_nums)
         self.length_num.extend(length_nums)
-        if self.int_mode:
-            self.den.extend(array("q", [den]) * n)
-        else:
+        if isinstance(self.den, list):
             self.den.extend([den] * n)
+        else:
+            self.den.extend(array("q", [den]) * n)
         self.cls.extend(clss)
         self.job_idx.extend(job_idxs)
+        self._dens.add(den)
+
+    def _to_bulk_lists(self) -> None:
+        """Flip the buffers to plain lists (values unchanged, see class doc)."""
+        if not isinstance(self.machine, list):
+            self.machine = list(self.machine)
+            self.start_num = list(self.start_num)
+            self.length_num = list(self.length_num)
+            self.den = list(self.den)
+            self.cls = list(self.cls)
+            self.job_idx = list(self.job_idx)
+        self._exported = False
+
+    def compact(self) -> None:
+        """Rebuild the ``array('q')`` buffers after a bulk-list adoption.
+
+        One C pass per column; a no-op when the buffers are already
+        arrays or the values left the int64 range (``int_mode`` False —
+        object mode stays on lists by design).
+        """
+        if self.int_mode and isinstance(self.machine, list):
+            self.machine = array("q", self.machine)
+            self.start_num = array("q", self.start_num)
+            self.length_num = array("q", self.length_num)
+            self.den = array("q", self.den)
+            self.cls = array("q", self.cls)
+            self.job_idx = array("q", self.job_idx)
+
+    def extend_runs(self, runs, den: int) -> None:
+        """Bulk-append stacked machine runs sharing one ``den``.
+
+        ``runs`` yields ``(machine, lengths, clss, job_idxs)`` with items
+        bottom to top; starts are the running prefix sums of ``lengths``
+        (the no-idle-below-the-top-item invariant of the emitting
+        constructions), and lengths must be non-negative — this is the
+        trusted adoption path the Algorithm-6
+        :class:`~repro.core.itemstore.ItemStore` hands off to.  Buffers
+        flip to bulk-list mode, so splicing the store's column slices is
+        pointer-copy cheap; the int64 range check reduces to one
+        comparison per machine (the prefix-sum total dominates every
+        start and length of its run).
+        """
+        self._to_bulk_lists()
+        mach, sn, ln = self.machine, self.start_num, self.length_num
+        dn, cl, ji = self.den, self.cls, self.job_idx
+        ok = self.int_mode and den < _INT62
+        for u, lens, clss, jidxs in runs:
+            n = len(lens)
+            if not n:
+                continue
+            starts = list(accumulate(lens, initial=0))
+            top = starts.pop()
+            mach.extend([u] * n)
+            sn.extend(starts)
+            ln.extend(lens)
+            dn.extend([den] * n)
+            cl.extend(clss)
+            ji.extend(jidxs)
+            if ok and top >= _INT62:
+                ok = False
+        if not ok:
+            self.int_mode = False
         self._dens.add(den)
 
     def append_placement(self, p: Placement) -> None:
@@ -359,7 +445,46 @@ class ScheduleColumns:
         out.job_idx = self.job_idx[:]
         out._dens = set(self._dens)
         out.int_mode = self.int_mode
+        out._exported = False
         return out
+
+
+def _rows_view(col):
+    """Zero-copy int64 numpy view of an ``array('q')`` column.
+
+    Plain lists (big-int object mode, or mixed-scale rebuilds) pass
+    through unchanged — exactness beats vectorization there — and without
+    numpy the raw column is returned as-is.
+    """
+    if _np is None or isinstance(col, list):
+        return col
+    return _np.frombuffer(col, dtype=_np.int64) if len(col) else _np.empty(0, _np.int64)
+
+
+class ScheduleRows(NamedTuple):
+    """A bulk, read-only row projection of a schedule at one common scale.
+
+    Parallel sequences, one entry per placement in storage order:
+    ``start = start_num[k]/scale`` and ``length = length_num[k]/scale``
+    exact rationals, ``job_idx[k] = -1`` marks a setup (otherwise the row
+    is a piece of job ``(cls[k], job_idx[k])``).  On a columnar schedule
+    with numpy installed the sequences are zero-copy ``int64`` views of
+    the live column buffers; otherwise they are plain int sequences.
+    This is the reader for bulk consumers (Gantt extraction, figure
+    filters, analysis sweeps) that only need starts/lengths/classes and
+    should not materialize :class:`Placement`/:class:`~fractions.Fraction`
+    objects.
+    """
+
+    machine: Sequence[int]
+    start_num: Sequence[int]
+    length_num: Sequence[int]
+    cls: Sequence[int]
+    job_idx: Sequence[int]
+    scale: int
+
+    def __len__(self) -> int:
+        return len(self.machine)
 
 
 class Schedule:
@@ -379,7 +504,8 @@ class Schedule:
 
     def __init__(self, instance: Instance, placements: Iterable[Placement] = ()):
         self.instance = instance
-        self._cols: Optional[ScheduleColumns] = ScheduleColumns()
+        self._cols_live: Optional[ScheduleColumns] = ScheduleColumns()
+        self._pending: Optional[tuple[object, int]] = None
         self._by_machine: Optional[list[list[Placement]]] = None
         self._scan: Optional[dict] = None
         for p in placements:
@@ -388,6 +514,43 @@ class Schedule:
     # ------------------------------------------------------------------ #
     # columnar plumbing
     # ------------------------------------------------------------------ #
+
+    @property
+    def _cols(self) -> Optional[ScheduleColumns]:
+        """The column store (flushing a pending bulk adoption first)."""
+        if self._pending is not None:
+            provider, den = self._pending
+            self._pending = None
+            self.extend_runs(provider.runs(), den)  # type: ignore[attr-defined]
+        return self._cols_live
+
+    @_cols.setter
+    def _cols(self, value: Optional[ScheduleColumns]) -> None:
+        self._cols_live = value
+
+    def adopt_runs(self, provider, den: int) -> None:
+        """Adopt a runs provider as the schedule's backing, lazily.
+
+        ``provider`` is anything with a ``runs()`` method in the
+        :meth:`extend_runs` shape — in practice the Algorithm-6
+        :class:`~repro.core.itemstore.ItemStore`.  Nothing materializes
+        now; the first access (columns, aggregates, placements,
+        validation) flushes the provider's runs into the column store.
+        Sweep pipelines that only carry schedules around never pay the
+        materialization at all — one more rung of the PR-3
+        lazy-materialization contract.  The schedule must be fresh and
+        empty, and the caller must hand over ownership: mutating the
+        provider afterwards corrupts the flush.
+        """
+        if den <= 0:
+            raise ValueError(f"denominator must be positive, got {den}")
+        if (
+            self._pending is not None
+            or self._cols_live is None
+            or len(self._cols_live)
+        ):
+            raise ValueError("adopt_runs requires a fresh, empty schedule")
+        self._pending = (provider, den)
 
     def columns(self) -> Optional[ScheduleColumns]:
         """The live column store, or ``None`` once the schedule is thawed."""
@@ -552,6 +715,49 @@ class Schedule:
         self._by_machine = None
         self._scan = None
 
+    def extend_runs(self, runs, den: int) -> None:
+        """Bulk-adopt stacked machine runs — the trusted fast-kernel hand-off.
+
+        ``runs`` yields ``(machine, lengths, clss, job_idxs)`` per machine,
+        items bottom to top with no idle time below the top item (starts
+        are the prefix sums of the scaled lengths); rows go straight into
+        the column store via :meth:`ScheduleColumns.extend_runs`.  Only
+        construction code whose arithmetic guarantees non-negative lengths
+        may use this (sign checks are skipped, like
+        :meth:`append_trusted`); :mod:`repro.core.validate` remains the
+        real feasibility gate.  On a thawed schedule the rows are
+        materialized and appended as placements — identical content.
+        """
+        if den <= 0:
+            raise ValueError(f"denominator must be positive, got {den}")
+        m = self.instance.m
+
+        def checked(run_iter):
+            for run in run_iter:
+                if not 0 <= run[0] < m:
+                    raise ValueError(f"machine {run[0]} out of range [0, {m})")
+                yield run
+
+        cols = self._columns_for_append()
+        if cols is not None:
+            cols.extend_runs(checked(runs), den)
+            return
+        for u, lens, clss, jidxs in runs:
+            if not 0 <= u < m:
+                raise ValueError(f"machine {u} out of range [0, {m})")
+            t = 0
+            for ln, c, j in zip(lens, clss, jidxs):
+                self._append(
+                    _new_placement(
+                        u,
+                        fast_fraction(t, den),
+                        fast_fraction(ln, den),
+                        c,
+                        None if j < 0 else JobRef(c, j),
+                    )
+                )
+                t += ln
+
     @staticmethod
     def _cols_row_str(machine, start_num, length_num, den, cls, job) -> str:
         return str(
@@ -695,6 +901,55 @@ class Schedule:
             counts = self._scan_cache()["counts"]
             return [u for u in range(self.instance.m) if counts[u]]
         return [u for u in range(self.instance.m) if self._by_machine[u]]  # type: ignore[index]
+
+    def rows(self) -> ScheduleRows:
+        """Bulk read-only row view at one common scale (see :class:`ScheduleRows`).
+
+        On a live columnar schedule this is (numpy installed, single
+        denominator) a zero-copy view of the column buffers — no
+        :class:`Placement` or :class:`~fractions.Fraction` is created.
+        The projection is a *point-in-time snapshot*: mutating the
+        schedule afterwards flips the columns to fresh list buffers (the
+        held views keep the old arrays alive), so rows read earlier stay
+        valid but do not show later appends.  A thawed schedule is
+        re-encoded row by row; pieces whose ``JobRef`` class disagrees
+        with the placement class (only constructible on the thawed path,
+        and rejected by the validators) project their ``job_idx`` with
+        the row's ``cls``, so the pair identifies the job only on
+        well-formed schedules.
+        """
+        cols = self._cols
+        if cols is not None:
+            cols.compact()  # rebuild int64 buffers after a bulk-list adoption
+            L, starts, lengths = cols.scaled()
+            view = ScheduleRows(
+                _rows_view(cols.machine),
+                _rows_view(starts),
+                _rows_view(lengths),
+                _rows_view(cols.cls),
+                _rows_view(cols.job_idx),
+                L,
+            )
+            # mark the buffers exported so later appends convert instead
+            # of resizing (numpy views would otherwise raise BufferError)
+            cols._exported = _np is not None and not isinstance(cols.machine, list)
+            return view
+        placements = list(self.iter_all())
+        L = 1
+        for p in placements:
+            L = _lcm2(L, _lcm2(p.start.denominator, p.length.denominator))
+        mq: list[int] = []
+        sq: list[int] = []
+        lq: list[int] = []
+        cq: list[int] = []
+        jq: list[int] = []
+        for p in placements:
+            mq.append(p.machine)
+            sq.append(p.start.numerator * (L // p.start.denominator))
+            lq.append(p.length.numerator * (L // p.length.denominator))
+            cq.append(p.cls)
+            jq.append(-1 if p.job is None else p.job.idx)
+        return ScheduleRows(mq, sq, lq, cq, jq, L)
 
     def job_pieces(self, job: JobRef) -> list[Placement]:
         """All pieces of one job across all machines."""

@@ -35,6 +35,7 @@ from typing import Iterable, Optional, Sequence
 
 from .errors import ConstructionError
 from .instance import JobRef
+from .itemstore import ItemStore
 from .numeric import Time, TimeLike, as_time, time_str
 from .schedule import Placement, Schedule, ScheduleColumns, _new_placement  # noqa: F401  (re-export: the fast allocator predates the columnar store)
 
@@ -422,6 +423,54 @@ def _wrap_fractions(
             last_gap = max(last_gap, r)
 
     return WrapResult(placements=placed, last_gap=last_gap, splits=splits)
+
+
+def wrap_quota_store(
+    store: ItemStore,
+    cls: int,
+    setup_sc: int,
+    quota_sc: int,
+    idxs,
+    lens,
+    prefix,
+    scale: int,
+) -> tuple[list[int], list[tuple[int, int, int]]]:
+    """Wrap ``[s_i, jobs]`` onto fresh machines of ``store`` with job quota
+    ``quota_sc`` above one setup per machine.
+
+    Algorithm 5's ``Split`` for the step-1 template of Algorithm 6 — the
+    identical-fresh-machines special case of :func:`wrap`, emitting slots
+    straight into the index-based :class:`~repro.core.itemstore.ItemStore`
+    instead of round-tripping through per-item objects.  The job stream is
+    given *unscaled* (``idxs``/``lens``/``prefix`` as in
+    :meth:`~repro.core.itemstore.ItemStore.emit_window`); ``setup_sc`` and
+    ``quota_sc`` carry the caller's scale.  Machine ``b`` receives the
+    window ``[b·quota, b·quota + room_b)`` of the stream (``room_b`` is the
+    full quota except on the last machine), which reproduces the
+    carry-splitting of the historical per-item loop exactly: boundary jobs
+    become :data:`~repro.core.itemstore.PIECE` slots, interior jobs are
+    bulk slice extends.
+
+    Returns ``(machines, pieces)``: the fresh machines used, and every
+    split piece as ``(machine, slot, stream_pos)`` for the caller's
+    parent map.  The caller must ensure ``quota_sc > 0`` (Lemma 6's
+    ``T > s_i`` precondition) and a non-empty stream.
+    """
+    total_sc = prefix[-1] * scale
+    if total_sc <= 0:
+        return [], []
+    k = -(-total_sc // quota_sc)
+    machines: list[int] = []
+    pieces: list[tuple[int, int, int]] = []
+    for b in range(k):
+        u = store.take_machine()
+        machines.append(u)
+        store.place(u, cls, -1, setup_sc)
+        w0 = b * quota_sc
+        w1 = w0 + quota_sc if b < k - 1 else total_sc
+        for slot, pos in store.emit_window(u, cls, idxs, lens, prefix, scale, w0, w1):
+            pieces.append((u, slot, pos))
+    return machines, pieces
 
 
 def template_for_machines(

@@ -18,10 +18,12 @@ from .ratio_study import (
     run_ratio_study,
 )
 from .scaling import (
+    render_construction_scaling,
     render_grid_crossover,
     render_kernel_scaling,
     render_machine_sweep,
     render_scaling,
+    run_construction_scaling,
     run_grid_crossover,
     run_machine_sweep,
     run_scaling,

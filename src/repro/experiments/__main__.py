@@ -7,6 +7,7 @@ import sys
 
 from . import (
     render_all,
+    render_construction_scaling,
     render_counting_ablation,
     render_figure,
     render_grid_crossover,
@@ -42,6 +43,11 @@ def main(argv: list[str] | None = None) -> int:
         "gridcross",
         help="Experiment S3: non-preemptive grid tier vs scalar probes over c",
     )
+    con = sub.add_parser(
+        "construct",
+        help="Experiment S4: Algorithm 6 construction — ItemStore vs reference",
+    )
+    con.add_argument("--sizes", type=int, nargs="*", default=None)
     sub.add_parser("ratio", help="Experiment R1: ratio study")
     sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
     args = parser.parse_args(argv)
@@ -59,6 +65,8 @@ def main(argv: list[str] | None = None) -> int:
         print(render_machine_sweep(kernel=args.kernel))
     elif args.command == "gridcross":
         print(render_grid_crossover())
+    elif args.command == "construct":
+        print(render_construction_scaling(sizes=args.sizes))
     elif args.command == "ratio":
         print(render_ratio_study())
     elif args.command == "ablation":

@@ -17,10 +17,34 @@ from ..algos.pmtn_nice import full_view, nice_dual_schedule
 from ..algos.splittable import split_dual_schedule, split_dual_test
 from ..algos.twoapprox import two_approx_grouped
 from ..analysis.gantt import render_gantt, render_template
-from ..core.instance import Instance
+from ..core.instance import Instance, JobRef
 from ..core.schedule import Schedule
 
 WIDTH = 96
+
+
+def _row_filtered(sched: Schedule, keep, rows=None) -> Schedule:
+    """A view schedule of the rows selected by ``keep(machine, start_num,
+    length_num, cls, job_idx)`` — built through the bulk
+    :meth:`~repro.core.schedule.Schedule.rows` reader and ``add_scaled``,
+    so no :class:`Placement`/:class:`~fractions.Fraction` objects are
+    materialized just to filter starts/lengths.  ``rows`` passes an
+    already-built projection (callers that derived filter constants from
+    it) so the schedule is projected once."""
+    if rows is None:
+        rows = sched.rows()
+    view = Schedule(sched.instance)
+    for k in range(len(rows)):
+        u = int(rows.machine[k])
+        sn = int(rows.start_num[k])
+        ln = int(rows.length_num[k])
+        cls = int(rows.cls[k])
+        ji = int(rows.job_idx[k])
+        if keep(u, sn, ln, cls, ji):
+            view.add_scaled(
+                u, sn, ln, rows.scale, cls, None if ji < 0 else JobRef(cls, ji)
+            )
+    return view
 
 
 def _markers(T: Fraction) -> dict:
@@ -117,10 +141,8 @@ def fig3() -> str:
     inst, T = fig34_instance()
     d = pmtn_dual_test(inst, T)
     sched = pmtn_dual_schedule(inst, T)
-    view = Schedule(inst)
-    for p in sched.iter_all():
-        if p.cls in d.partition.exp_zero:
-            view.add(p)
+    zero = set(d.partition.exp_zero)
+    view = _row_filtered(sched, lambda u, sn, ln, cls, ji: cls in zero)
     return render_gantt(
         view, WIDTH, _markers(T),
         title="Figure 3: Algorithm 3 after step 1 — each I0exp class on its own "
@@ -134,10 +156,14 @@ def fig4() -> str:
     inst, T = fig34_instance()
     d = pmtn_dual_test(inst, T)
     sched = pmtn_dual_schedule(inst, T)
-    view = Schedule(inst)
-    for p in sched.iter_all():
-        if p.machine < d.l and p.end <= T / 2:
-            view.add(p)
+    rows = sched.rows()
+    # end ≤ T/2  ⟺  (sn+ln)·2·T.den ≤ T.num·scale — exact, no Fractions
+    lim_n, lim_d = T.numerator * rows.scale, 2 * T.denominator
+    view = _row_filtered(
+        sched,
+        lambda u, sn, ln, cls, ji: u < d.l and (sn + ln) * lim_d <= lim_n,
+        rows=rows,
+    )
     return render_gantt(
         view, WIDTH, {"T/4": T / 4, "T/2": T / 2},
         title="Figure 4: bottoms of the large machines after the knapsack "

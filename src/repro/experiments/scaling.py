@@ -287,3 +287,80 @@ def render_grid_crossover(timings: list[GridTiming] | None = None) -> str:
         title="Experiment S3: non-preemptive grid tier vs scalar probes "
               "(bounds-only machine sweeps; flattened searchsorted, PR 3)",
     )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment S4 — Algorithm 6's construction tiers (ItemStore vs reference)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ConstructTiming:
+    n: int
+    fast_seconds: float       # index-based ItemStore tier (PR 4)
+    fraction_seconds: float   # per-item _It/Fraction reference
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.fraction_seconds / self.fast_seconds
+            if self.fast_seconds
+            else float("inf")
+        )
+
+
+def run_construction_scaling(
+    sizes: Sequence[int] | None = None, repeats: int = 3
+) -> list[ConstructTiming]:
+    """Time ``nonp_dual_schedule`` at the accepted ``T*`` on both tiers.
+
+    Isolates exactly the work PR 4 flattened — Algorithm 6's steps 1-4
+    plus materialization (``rows()`` forces the lazily adopted columns)
+    — with warmed caches, like one point of a full-schedule sweep.  The
+    object-free :class:`~repro.core.itemstore.ItemStore` tier must stay
+    near-linear *and* a large constant factor ahead of the per-item
+    reference; ``benchmarks/run_bench.py`` pins the same quantity as the
+    ``speedup/nonp-construct`` family.
+    """
+    from ..algos.nonpreemptive import nonp_dual_schedule, three_halves_nonpreemptive
+
+    sizes = list(sizes) if sizes is not None else [100, 200, 400, 800, 1600]
+    out = []
+    for n in sizes:
+        c = max(2, n // 20)
+        inst = uniform_instance(m=max(2, n // 50), c=c, n_per_class=n // c, seed=500 + n)
+        T = three_halves_nonpreemptive(inst, build_schedule=False).T
+        best = {"fast": float("inf"), "fraction": float("inf")}
+        for kernel in KERNELS:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                nonp_dual_schedule(inst, T, kernel=kernel).rows()
+                best[kernel] = min(best[kernel], time.perf_counter() - t0)
+        out.append(
+            ConstructTiming(
+                n=inst.n, fast_seconds=best["fast"], fraction_seconds=best["fraction"]
+            )
+        )
+    return out
+
+
+def render_construction_scaling(
+    timings: list[ConstructTiming] | None = None,
+    sizes: Sequence[int] | None = None,
+) -> str:
+    timings = timings if timings is not None else run_construction_scaling(sizes)
+    table_rows = [
+        [
+            str(t.n),
+            fmt_time(t.fast_seconds),
+            fmt_time(t.fraction_seconds),
+            f"{t.speedup:.2f}x",
+        ]
+        for t in timings
+    ]
+    return format_table(
+        ["jobs n", "ItemStore (fast)", "reference (fraction)", "speedup"],
+        table_rows,
+        title="Experiment S4: Algorithm 6 construction tiers at T* — "
+              "index-based ItemStore vs per-item Fraction objects (PR 4)",
+    )

@@ -73,6 +73,16 @@ class TestScaling:
         out = render_scaling(rows)
         assert "fit exp" in out
 
+    def test_construction_scaling_run(self):
+        from repro.experiments import render_construction_scaling, run_construction_scaling
+
+        timings = run_construction_scaling(sizes=[40, 80], repeats=1)
+        assert len(timings) == 2
+        # both tiers produced times; the ItemStore tier must not lose
+        assert all(t.fast_seconds > 0 and t.speedup >= 1.0 for t in timings)
+        out = render_construction_scaling(timings)
+        assert "Experiment S4" in out and "ItemStore" in out
+
 
 class TestCLI:
     def test_figures_command(self, capsys):
@@ -82,3 +92,7 @@ class TestCLI:
     def test_scaling_command(self, capsys):
         assert cli_main(["scaling", "--sizes", "30", "60"]) == 0
         assert "Experiment S1" in capsys.readouterr().out
+
+    def test_construct_command(self, capsys):
+        assert cli_main(["construct", "--sizes", "30", "60"]) == 0
+        assert "Experiment S4" in capsys.readouterr().out

@@ -268,6 +268,90 @@ class TestEndToEndEquivalence:
         assert placements_key(fast.schedule) == placements_key(ref.schedule)
 
 
+def ordered_rows(schedule):
+    """(machine, start, length, cls, job) in storage order (machine-major,
+    bottom to top on both tiers — order is part of the bit-identity)."""
+    return [(p.machine, p.start, p.length, p.cls, p.job) for p in schedule.iter_all()]
+
+
+class TestRepairFlagsFuzz:
+    """Seeded preemption-heavy fuzz through Algorithm 6's repair passes.
+
+    The instances are drawn tight (the construction runs at the *minimal*
+    accepted integer ``T``), which forces splits in steps 1–2, residual
+    streaming through step 3 and the step-4a/4b repairs — exactly the
+    ``crossed``/``removed``/``from_step3`` machinery of the flattened
+    :class:`~repro.core.itemstore.ItemStore`.  Every case asserts
+    bit-identity against the ``kernel="fraction"`` reference (ordered
+    placements, not just sets) and identical verdicts from the columnar
+    and scalar validators; the suite as a whole must have exercised every
+    repair flag.  Runs on the seeded path only — no numpy, no hypothesis
+    required (the minimal-deps CI job executes this class).
+    """
+
+    SEEDS = range(60)
+
+    @staticmethod
+    def gen(seed):
+        rng = random.Random(seed)
+        m = rng.randint(2, 8)
+        c = rng.randint(2, 7)
+        classes = []
+        for _ in range(c):
+            s = rng.randint(1, 14)
+            nj = rng.randint(1, 7)
+            classes.append((s, [rng.randint(1, 18) for _ in range(nj)]))
+        return Instance.build(m, classes)
+
+    def test_repair_flags_bit_identity(self):
+        from repro.algos.nonpreemptive import three_halves_nonpreemptive
+        from repro.core.validate import validate_schedule_scalar, validate_columns
+
+        totals = {"pieces": 0, "from_step3": 0, "crossed": 0, "removed": 0}
+        for seed in self.SEEDS:
+            inst = self.gen(seed)
+            T = three_halves_nonpreemptive(inst, build_schedule=False).T
+            for T_probe in (T, T + 1):
+                stages: dict = {}
+                fast = nonp_dual_schedule(inst, T_probe, stages_out=stages)
+                ref = nonp_dual_schedule(inst, T_probe, kernel="fraction")
+                assert ordered_rows(fast) == ordered_rows(ref), f"seed {seed} T={T_probe}"
+                cols = fast.columns()
+                assert cols is not None, "fast construction must emit columns"
+                cmax_cols = validate_columns(
+                    inst, cols, Variant.NONPREEMPTIVE
+                )
+                assert cmax_cols == validate_schedule_scalar(
+                    ref, Variant.NONPREEMPTIVE
+                )
+                assert cmax_cols <= Fraction(3, 2) * T_probe
+                if T_probe == T:
+                    fc = stages["item_store"].flag_counts()
+                    for key in totals:
+                        totals[key] += fc[key]
+        # the suite must actually have driven the repair machinery
+        assert totals["pieces"] > 0, "no split pieces — generator too loose"
+        assert totals["from_step3"] > 0, "no residual streaming exercised"
+        assert totals["crossed"] > 0, "no step-3 crossing items exercised"
+        assert totals["removed"] > 0, "no step-4a consolidations exercised"
+
+    def test_stage_snapshots_match_reference(self):
+        """Steps 1–3 snapshots are bit-identical across tiers too."""
+        from repro.algos.nonpreemptive import three_halves_nonpreemptive
+
+        for seed in (3, 7, 21, 33):
+            inst = self.gen(seed)
+            T = three_halves_nonpreemptive(inst, build_schedule=False).T
+            fast_stages: dict = {}
+            ref_stages: dict = {}
+            nonp_dual_schedule(inst, T, stages_out=fast_stages)
+            nonp_dual_schedule(inst, T, stages_out=ref_stages, kernel="fraction")
+            for key in ("step1", "step2", "step3", "step4"):
+                assert ordered_rows(fast_stages[key]) == ordered_rows(ref_stages[key]), (
+                    f"seed {seed} stage {key}"
+                )
+
+
 class TestConstructionEquivalence:
     """Accepted-T constructions agree placement for placement."""
 

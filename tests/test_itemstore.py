@@ -1,0 +1,169 @@
+"""Unit tests for the index-based item store (Algorithm 6's fast tier).
+
+The end-to-end bit-identity of the construction lives in
+``tests/test_fastnum_differential.py`` (``TestRepairFlagsFuzz``); this
+module pins the span-layout primitives in isolation: window emission
+boundaries, lazy removal, physical splice positions and the run gathers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConstructionError
+from repro.core.itemstore import CROSSED, FROM_STEP3, PIECE, REMOVED, ItemStore
+
+
+def flat(store: ItemStore, u: int) -> list[int]:
+    """The machine's slot sequence with removed slots filtered out."""
+    return [
+        s
+        for lo, hi in store.items[u]
+        for s in range(lo, hi)
+        if not store.flags[s] & REMOVED
+    ]
+
+
+class TestEmitWindow:
+    def setup_method(self):
+        self.store = ItemStore(4)
+        self.lens = (5, 3, 7, 2)
+        self.prefix = (0, 5, 8, 15, 17)
+        self.idxs = range(4)
+
+    def emit(self, w0, w1, scale=1):
+        u = self.store.take_machine()
+        pieces = self.store.emit_window(
+            u, 0, self.idxs, self.lens, self.prefix, scale, w0, w1
+        )
+        return u, pieces
+
+    def test_interior_jobs_bulk(self):
+        u, pieces = self.emit(0, 17)
+        assert pieces == []
+        assert [self.store.length[s] for s in flat(self.store, u)] == [5, 3, 7, 2]
+        assert self.store.ends[u] == 17
+        assert len(self.store.items[u]) == 1  # one contiguous span
+
+    def test_boundary_splits(self):
+        u, pieces = self.emit(3, 10)
+        # job 0 loses [0,3), job 2 loses [10,15): both become pieces
+        lengths = [self.store.length[s] for s in flat(self.store, u)]
+        assert lengths == [2, 3, 2]
+        assert [self.store.flags[s] & PIECE for s in flat(self.store, u)] == [
+            PIECE, 0, PIECE,
+        ]
+        assert [p[1] for p in pieces] == [0, 2]  # stream positions
+
+    def test_single_job_spanning_window(self):
+        u, pieces = self.emit(9, 14)  # inside job 2 = [8, 15)
+        assert [self.store.length[s] for s in flat(self.store, u)] == [5]
+        assert len(pieces) == 1 and pieces[0][1] == 2
+
+    def test_scaled_boundaries_exact(self):
+        # scale 3: job boundaries at prefix*3; window cuts off-grid
+        u, pieces = self.emit(7, 20, scale=3)
+        # job 0 covers [0,15), job 1 [15,24): lengths 15-7=8 and 20-15=5
+        assert [self.store.length[s] for s in flat(self.store, u)] == [8, 5]
+        assert self.store.ends[u] == 13
+
+    def test_exact_fit_is_not_a_piece(self):
+        u, pieces = self.emit(5, 8)  # exactly job 1
+        assert pieces == []
+        slot = flat(self.store, u)[0]
+        assert not self.store.flags[slot] & PIECE
+
+
+class TestSpanRepairOps:
+    def build(self):
+        store = ItemStore(2)
+        u = store.take_machine()
+        for k in range(5):  # slots 0..4 on machine 0, one span
+            store.place(u, 0, k, 10 + k)
+        return store, u
+
+    def test_lazy_removal_keeps_spans(self):
+        store, u = self.build()
+        store.mark_removed(2)
+        assert len(store.items[u]) == 1  # no churn
+        assert flat(store, u) == [0, 1, 3, 4]
+        assert store.alive_end(u) == 10 + 11 + 13 + 14
+        assert store.alive_last(u) == 4
+        store.mark_removed(4)
+        assert store.alive_last(u) == 3
+
+    def test_detach_splits_span(self):
+        store, u = self.build()
+        store.detach(u, 2)
+        assert flat(store, u) == [0, 1, 3, 4]
+        assert len(store.items[u]) == 2
+        store.detach(u, 0)  # span head
+        store.detach(u, 4)  # span tail
+        assert flat(store, u) == [1, 3]
+
+    def test_insert_positions_are_physical(self):
+        store, u = self.build()
+        extra = store.new_item(1, -1, 99)
+        store.insert(u, 2, extra)
+        assert flat(store, u) == [0, 1, extra, 2, 3, 4]
+        assert store.index(u, extra) == 2
+        assert store.index(u, 4) == 5
+        tail = store.new_item(1, -1, 98)
+        store.insert(u, 6, tail)  # append position
+        assert flat(store, u)[-1] == tail
+
+    def test_configured_class_skips_removed(self):
+        store = ItemStore(1)
+        u = store.take_machine()
+        store.place(u, 3, -1, 5)
+        piece = store.place(u, 3, 0, 7)
+        store.place(u, 4, -1, 2)
+        store.mark_removed(piece)
+        # before position 2 the last alive item is the class-3 setup
+        assert store.configured_class(u, 2) == 3
+        assert store.configured_class(u, 0) is None
+
+    def test_drop_trailing_setups_pops_dead_slots(self):
+        store = ItemStore(1)
+        u = store.take_machine()
+        store.place(u, 0, -1, 5)
+        job = store.place(u, 0, 0, 7)
+        top = store.place(u, 0, 1, 3)
+        store.place(u, 1, -1, 2)  # trailing setup
+        store.mark_removed(top)
+        store.drop_trailing_setups(u)
+        assert flat(store, u) == [0, job]
+
+    def test_take_machine_exhaustion(self):
+        store = ItemStore(1)
+        store.take_machine()
+        with pytest.raises(ConstructionError):
+            store.take_machine()
+
+
+class TestRuns:
+    def test_runs_skip_removed_and_empty(self):
+        store = ItemStore(3)
+        u = store.take_machine()
+        store.place(u, 0, -1, 5)
+        a = store.place(u, 0, 0, 7)
+        v = store.take_machine()
+        b = store.place(v, 1, -1, 4)
+        store.mark_removed(b)
+        out = list(store.runs())
+        assert [r[0] for r in out] == [0]  # machine v is all-removed, 2 unused
+        _, lens, clss, jobs = out[0]
+        assert list(lens) == [5, 7]
+        assert list(clss) == [0, 0]
+        assert list(jobs) == [-1, 0]
+
+    def test_flag_counts(self):
+        store = ItemStore(1)
+        u = store.take_machine()
+        store.place(u, 0, 0, 1, PIECE | FROM_STEP3)
+        store.place(u, 0, 1, 1, FROM_STEP3 | CROSSED)
+        r = store.place(u, 0, 2, 1, PIECE)
+        store.mark_removed(r)
+        assert store.flag_counts() == {
+            "pieces": 2, "from_step3": 2, "crossed": 1, "removed": 1,
+        }

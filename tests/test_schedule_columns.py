@@ -216,3 +216,169 @@ class TestMixedDenominators:
         assert sched.machine_end(0) == Fraction(19, 3)
         assert sched.machine_load(0) == 2 + 3 + Fraction(4, 3)
         assert sched.makespan() == Fraction(19, 3)
+
+
+class TestRunsAdoption:
+    """The PR-4 bulk surface: ``extend_runs``/``adopt_runs``/``rows``.
+
+    The Algorithm-6 store tier materializes exclusively through these, so
+    they are pinned both directly (hand-built runs) and end to end
+    (solve() schedules round-tripping through ``rows()``).
+    """
+
+    def _runs(self):
+        # two machines, stacked items: (machine, lengths, clss, job_idxs)
+        return [
+            (0, [2, 3, 4], [0, 0, 0], [-1, 0, 1]),
+            (2, (1, 5), (1, 1), (-1, 0)),  # tuples allowed (store slices)
+        ]
+
+    def test_extend_runs_prefix_sum_starts(self):
+        inst = mk(3, (2, [3, 4]), (1, [5]))
+        sched = Schedule(inst)
+        sched.extend_runs(self._runs(), 1)
+        rows = [
+            (p.machine, p.start, p.length, p.cls, p.job)
+            for p in sched.iter_all()
+        ]
+        assert rows == [
+            (0, Fraction(0), Fraction(2), 0, None),
+            (0, Fraction(2), Fraction(3), 0, JobRef(0, 0)),
+            (0, Fraction(5), Fraction(4), 0, JobRef(0, 1)),
+            (2, Fraction(0), Fraction(1), 1, None),
+            (2, Fraction(1), Fraction(5), 1, JobRef(1, 0)),
+        ]
+        assert sched.makespan() == 9
+
+    def test_extend_runs_machine_range_checked(self):
+        inst = mk(2, (2, [3]))
+        sched = Schedule(inst)
+        with pytest.raises(ValueError):
+            sched.extend_runs([(5, [1], [0], [-1])], 1)
+        with pytest.raises(ValueError):
+            sched.extend_runs([(0, [1], [0], [-1])], 0)
+
+    def test_extend_runs_thawed_equivalent(self):
+        inst = mk(3, (2, [3, 4]), (1, [5]))
+        cold = Schedule(inst)
+        cold.extend_runs(self._runs(), 2)
+        thawed = Schedule(inst)
+        thawed._thaw()
+        thawed.extend_runs(self._runs(), 2)
+        assert placements_key(cold) == placements_key(thawed)
+
+    def test_extend_runs_overflow_drops_int_mode(self):
+        inst = mk(2, (2, [3]))
+        sched = Schedule(inst)
+        big = 1 << 63
+        sched.extend_runs([(0, [big, big], [0, 0], [-1, 0])], 1)
+        cols = sched.columns()
+        assert not cols.int_mode
+        assert sched.machine_end(0) == 2 * big
+        cols.compact()  # must stay in exact list mode beyond int64
+        assert isinstance(cols.machine, list)
+
+    def test_adopt_runs_is_lazy_then_flushes(self):
+        class Provider:
+            def __init__(self, runs):
+                self._runs = runs
+                self.calls = 0
+
+            def runs(self):
+                self.calls += 1
+                return iter(self._runs)
+
+        inst = mk(3, (2, [3, 4]), (1, [5]))
+        provider = Provider(self._runs())
+        sched = Schedule(inst)
+        sched.adopt_runs(provider, 1)
+        assert provider.calls == 0  # nothing materialized yet
+        assert sched.makespan() == 9  # first read flushes exactly once
+        assert provider.calls == 1
+        assert len(sched.columns()) == 5
+        assert provider.calls == 1
+
+    def test_adopt_runs_requires_fresh_schedule(self):
+        inst = mk(2, (2, [3]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        with pytest.raises(ValueError):
+            sched.adopt_runs(type("P", (), {"runs": lambda self: iter(())})(), 1)
+
+    @pytest.mark.parametrize("inst", SUITE_INSTANCES[:10])
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_rows_matches_placements(self, inst, variant):
+        sched = solve(inst, variant).schedule
+        rows = sched.rows()
+        want = [
+            (p.machine, p.start, p.length, p.cls, p.job)
+            for p in sched.iter_all()
+        ]
+        got = [
+            (
+                int(rows.machine[k]),
+                Fraction(int(rows.start_num[k]), rows.scale),
+                Fraction(int(rows.length_num[k]), rows.scale),
+                int(rows.cls[k]),
+                None
+                if rows.job_idx[k] < 0
+                else JobRef(int(rows.cls[k]), int(rows.job_idx[k])),
+            )
+            for k in range(len(rows))
+        ]
+        assert got == want
+
+    def test_rows_thawed_fallback(self):
+        inst = mk(2, (2, [3]), (1, [2]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        sched.add_job(0, 2, JobRef(0, 0))
+        sched.add_setup(1, Fraction(1, 2), 1)
+        sched._thaw()
+        rows = sched.rows()
+        assert rows.scale == 2
+        assert list(rows.machine) == [0, 0, 1]
+        assert list(rows.start_num) == [0, 4, 1]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy tier only")
+    def test_rows_zero_copy_numpy(self):
+        import numpy as np
+
+        inst = mk(2, (2, [3]))
+        sched = solve(inst, Variant.NONPREEMPTIVE).schedule
+        rows = sched.rows()
+        assert isinstance(rows.machine, np.ndarray)
+        assert rows.machine.dtype == np.int64
+        # zero copy: the view reflects the live buffer
+        cols = sched.columns()
+        assert rows.length_num[0] == cols.length_num[0]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy tier only")
+    def test_rows_snapshot_survives_mutation(self):
+        """Mutating after rows() must not raise BufferError: the columns
+        flip to fresh list buffers and the held view stays a snapshot."""
+        inst = mk(2, (2, [3, 4]))
+        sched = Schedule(inst)
+        sched.add_setup(0, 0, 0)
+        sched.add_job(0, 2, JobRef(0, 0))
+        rows = sched.rows()
+        n_before = len(rows)
+        sched.add_job(1, 0, JobRef(0, 1))  # would BufferError on the old path
+        assert sched.count_placements() == n_before + 1
+        assert len(rows) == n_before  # the projection is a stable snapshot
+        assert list(rows.machine) == [0, 0]
+        fresh = sched.rows()  # a new projection sees the appended row
+        assert len(fresh) == n_before + 1
+
+    def test_compact_rebuilds_int64_buffers(self):
+        from array import array
+
+        inst = mk(3, (2, [3, 4]), (1, [5]))
+        sched = Schedule(inst)
+        sched.extend_runs(self._runs(), 1)
+        cols = sched.columns()
+        assert isinstance(cols.machine, list)  # bulk-list adoption mode
+        cols.compact()
+        assert isinstance(cols.machine, array)
+        assert cols.int_mode
+        assert placements_key(sched)  # still readable after compaction
