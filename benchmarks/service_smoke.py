@@ -1,0 +1,162 @@
+"""Service smoke harness: ``python benchmarks/service_smoke.py``.
+
+Boots ``python -m repro.service`` as a real subprocess (stdio JSON-lines
+front end, 4 shards, deliberately tight ``--max-instances 1``), fires a
+mixed 50-request burst (all three variants, full-schedule and
+bounds-only singles, machine-range sweeps, across four instance
+fingerprints), and asserts:
+
+* **bit-identity** — every response equals the naive in-process
+  ``solve()`` loop's answer, field for field (schedules compared as
+  sorted row multisets);
+* **bounded memory** — the reported LRU peak stays at or under the
+  configured bound and eviction actually ran (two of the burst's four
+  fingerprints share a shard, which has a single warm slot), and the
+  subprocess's peak RSS stays under a generous ceiling;
+* **liveness/ordering** — one response line per request, ids echoed in
+  request order.
+
+Used by CI on both dependency footprints (numpy and minimal — the
+service must behave identically on the scalar tier).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algos.api import solve  # noqa: E402
+from repro.core.bounds import Variant  # noqa: E402
+from repro.core.instance import Instance  # noqa: E402
+from repro.experiments.scaling import service_burst, service_pool  # noqa: E402
+from repro.generators import uniform_instance  # noqa: E402
+from repro.service.protocol import instance_to_obj, parse_time  # noqa: E402
+
+BURST_SIZE = 50
+MAX_RSS_KIB = 600_000  # ~586 MiB — an order of magnitude above observed (~40 MiB)
+
+
+def build_requests() -> list[dict]:
+    inst = uniform_instance(m=8, c=12, n_per_class=6, seed=101)
+    burst = service_burst(service_pool(inst), rounds=1)[:BURST_SIZE]
+    out = []
+    for k, req in enumerate(burst):
+        obj = {
+            "id": k,
+            "instance": instance_to_obj(req.instance),
+            "variant": req.variant.value,
+            "schedules": req.schedules,
+        }
+        if req.ms is not None:
+            obj["ms"] = list(req.ms)
+        out.append(obj)
+    return out
+
+
+def reference_results(obj: dict) -> list:
+    inst = Instance(
+        m=obj["instance"]["m"],
+        setups=tuple(obj["instance"]["setups"]),
+        jobs=tuple(map(tuple, obj["instance"]["jobs"])),
+    )
+    ms = obj.get("ms", [inst.m])
+    variant = Variant(obj["variant"])  # solve() dispatches on identity
+    return [
+        solve(Instance(m=m, setups=inst.setups, jobs=inst.jobs), variant)
+        for m in ms
+    ]
+
+
+def schedule_key(sched_obj: dict) -> list[tuple]:
+    scale = sched_obj["scale"]
+    return sorted(
+        (m, Fraction(s, scale), Fraction(l, scale), c, j)
+        for m, s, l, c, j in zip(
+            sched_obj["machine"], sched_obj["start_num"], sched_obj["length_num"],
+            sched_obj["cls"], sched_obj["job_idx"],
+        )
+    )
+
+
+def reference_schedule_key(schedule) -> list[tuple]:
+    return sorted(
+        (p.machine, p.start, p.length, p.cls, -1 if p.job is None else p.job.idx)
+        for p in schedule.iter_all()
+    )
+
+
+def main() -> int:
+    requests = build_requests()
+    lines = [json.dumps(o) for o in requests]
+    lines.append(json.dumps({"id": "stats", "op": "stats"}))
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src")
+        + os.pathsep
+        + os.environ.get("PYTHONPATH", ""),
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.service",
+            "--shards", "4", "--max-instances", "1",
+        ],
+        input="\n".join(lines) + "\n",
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    assert proc.returncode == 0, f"service exited {proc.returncode}: {proc.stderr}"
+    replies = [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
+    assert len(replies) == len(requests) + 1, (
+        f"expected {len(requests) + 1} response lines, got {len(replies)}"
+    )
+    assert [r["id"] for r in replies[:-1]] == [o["id"] for o in requests], (
+        "responses out of request order"
+    )
+
+    solves = bounds = 0
+    for obj, reply in zip(requests, replies):
+        assert reply["ok"], f"request {obj['id']} failed: {reply.get('error')}"
+        refs = reference_results(obj)
+        got = reply["results"]
+        assert len(got) == len(refs), f"request {obj['id']}: result count mismatch"
+        for res, ref in zip(got, refs):
+            assert parse_time(res["T"]) == ref.T, f"request {obj['id']}: T mismatch"
+            assert parse_time(res["ratio_bound"]) == ref.ratio_bound
+            assert parse_time(res["opt_lower_bound"]) == ref.opt_lower_bound
+            if res["kind"] == "solve":
+                solves += 1
+                assert parse_time(res["makespan"]) == ref.makespan
+                assert schedule_key(res["schedule"]) == reference_schedule_key(
+                    ref.schedule
+                ), f"request {obj['id']}: schedule rows differ"
+            else:
+                bounds += 1
+
+    stats_reply = replies[-1]
+    assert stats_reply["ok"] and stats_reply["id"] == "stats"
+    stats = stats_reply["stats"]
+    assert stats["requests"] == len(requests)
+    assert stats["peak_instances"] <= stats["max_instances"], (
+        f"LRU peak {stats['peak_instances']} exceeded bound {stats['max_instances']}"
+    )
+    assert stats["evictions"] > 0, "burst was sized to force at least one eviction"
+    maxrss = stats.get("maxrss_kib")
+    if maxrss is not None:
+        assert maxrss < MAX_RSS_KIB, f"service RSS {maxrss} KiB over {MAX_RSS_KIB} KiB"
+    print(
+        f"service smoke ok: {len(requests)} requests ({solves} schedules, "
+        f"{bounds} bounds) bit-identical; peak warm "
+        f"{stats['peak_instances']}/{stats['max_instances']}, "
+        f"{stats['evictions']} evictions, batches {stats['batches']}, "
+        f"maxrss {maxrss} KiB"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,8 +54,10 @@ __all__ = [
     "validate_schedule",
     "solve",
     "SolveResult",
+    "solve_batch",
     "solve_many",
     "sweep_machines",
+    "BatchItem",
     "SweepPoint",
 ]
 
@@ -67,12 +69,20 @@ def __getattr__(name):
         from .algos.api import SolveResult, solve
 
         return {"solve": solve, "SolveResult": SolveResult}[name]
-    if name in ("solve_many", "sweep_machines", "SweepPoint"):
-        from .algos.batch_api import SweepPoint, solve_many, sweep_machines
+    if name in ("solve_batch", "solve_many", "sweep_machines", "BatchItem", "SweepPoint"):
+        from .algos.batch_api import (
+            BatchItem,
+            SweepPoint,
+            solve_batch,
+            solve_many,
+            sweep_machines,
+        )
 
         return {
+            "solve_batch": solve_batch,
             "solve_many": solve_many,
             "sweep_machines": sweep_machines,
+            "BatchItem": BatchItem,
             "SweepPoint": SweepPoint,
         }[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -34,9 +34,9 @@ generator suites.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, MutableMapping, Optional, Sequence, Union
 
 from ..core import batchdual
 from ..core.bounds import Variant, lower_bound, setup_plus_tmax
@@ -49,7 +49,50 @@ from .jumping_split import find_flip_splittable
 from .nonpreemptive import three_halves_nonpreemptive
 from .search import binary_search_dual
 
-__all__ = ["SweepPoint", "solve_many", "sweep_machines"]
+__all__ = ["BatchItem", "SweepPoint", "solve_batch", "solve_many", "sweep_machines"]
+
+#: The three public algorithm names of :func:`repro.algos.api.solve`.
+VALID_ALGORITHMS = ("two", "eps", "three_halves")
+
+
+def _coerce_variant(variant) -> Variant:
+    """``variant`` as a :class:`Variant` member, with a one-line error.
+
+    ``Variant`` is a ``str`` enum, so a plain string like ``"splittable"``
+    *compares* equal to a member but fails every ``is`` dispatch the
+    solve paths use — silently taking wrong branches.  Coercing up front
+    makes strings first-class and turns typos into one clear error.
+    """
+    if isinstance(variant, Variant):
+        return variant
+    try:
+        return Variant(variant)
+    except ValueError:
+        valid = ", ".join(repr(v.value) for v in Variant)
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {valid} "
+            f"(or a repro.core.bounds.Variant member)"
+        ) from None
+
+
+def _validate_request(variant, algorithm, schedules: bool) -> Variant:
+    """Validate one request's names *before* any solving starts.
+
+    The batched entry points process streams; without this, a bad
+    variant or algorithm name surfaced mid-stream (or worse, after
+    partial results were already computed).  Everything raised here is
+    raised before the first solve.
+    """
+    variant = _coerce_variant(variant)
+    if algorithm not in VALID_ALGORITHMS:
+        valid = ", ".join(repr(a) for a in VALID_ALGORITHMS)
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {valid}")
+    if not schedules and algorithm == "two":
+        raise ValueError(
+            "schedules=False supports the dual-search algorithms "
+            "('three_halves', 'eps'), not 'two'"
+        )
+    return variant
 
 
 @dataclass(frozen=True)
@@ -180,11 +223,16 @@ def _bounds_point(
     )
 
 
-#: Auto-policy floor for the non-preemptive grid tier: below this many
-#: classes the scalar integer-search probes are measured faster; at and
-#: above it the flattened-searchsorted grid (``batchdual._np_flat``) wins
-#: (crossover measured ≈ 200 classes on the wide fixtures).
-NONP_GRID_MIN_C = 256
+#: Auto-policy floor for the non-preemptive grid tier.  PR 3 calibrated
+#: the crossover at ≈ 200 classes; PR 5's ``class_tmax`` short-circuit in
+#: the scalar ``fast_nonp_test`` (cheap classes with ``s_i + t_max^i ≤
+#: T/2`` skip both sorted-view bisections) collapsed the scalar probes'
+#: cost on exactly the many-cheap-classes fixtures where the grid used to
+#: win — re-measured up to c = 3200, scalar probes now win everywhere
+#: (Experiment S3, ``python -m repro.experiments gridcross``).  The auto
+#: policy therefore never engages the non-preemptive grid; the tier stays
+#: available via ``use_grid=True`` and its bit-identity stays tested.
+NONP_GRID_MIN_C = float("inf")
 
 
 def _resolve_use_grid(
@@ -193,12 +241,9 @@ def _resolve_use_grid(
     """Auto-policy for the vectorized grid evaluators.
 
     ``None`` engages the grids where they are measured neutral-to-faster:
-    always for splittable/preemptive (2-D class×candidate kernels), and
-    for the non-preemptive integer search once the instance has at least
-    :data:`NONP_GRID_MIN_C` classes — the flattened one-``searchsorted``
-    job-threshold kernel amortizes its numpy dispatch over ``c × g``
-    queries, so it beats the ~``log(n+Δ)`` scalar probes exactly in the
-    many-classes regime (small ``c`` stays on scalar probes).
+    for splittable/preemptive (2-D class×candidate kernels) always, and
+    for non-preemptive never since the scalar test's ``class_tmax``
+    short-circuit — see :data:`NONP_GRID_MIN_C`.
     ``True`` forces grids and requires numpy (fails loudly rather than
     silently degrading to candidate-by-candidate scalar loops);
     ``False`` forces scalar probing.
@@ -276,6 +321,7 @@ def sweep_machines(
     other variants.)
     """
     validate_kernel(kernel)
+    variant = _validate_request(variant, algorithm, schedules)
     if schedules and use_grid:
         raise ValueError(
             "use_grid=True applies to bounds-only sweeps (schedules=False); "
@@ -321,6 +367,7 @@ def solve_many(
     (or, with ``schedules=False``, to its certificate fields).
     """
     validate_kernel(kernel)
+    variant = _validate_request(variant, algorithm, schedules)
     if schedules and use_grid:
         raise ValueError(
             "use_grid=True applies to bounds-only solves (schedules=False); "
@@ -351,5 +398,122 @@ def solve_many(
         else:
             out.append(
                 _bounds_point(shared, variant, algorithm, eps, kernel, grid_by_key[key])
+            )
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# heterogeneous micro-batches (the service coalescing entry point)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One coalesced request of :func:`solve_batch`.
+
+    Unlike the homogeneous :func:`solve_many` stream, every item carries
+    its own variant/algorithm/mode — the shape of a service micro-batch,
+    where concurrent requests against the same instance data may ask for
+    different things.  ``ms`` turns the item into a machine sweep
+    (:func:`sweep_machines` over those counts, the instance's own ``m``
+    ignored); otherwise the item is a single solve at ``instance.m``.
+    ``schedules=False`` resolves certified bounds only
+    (:class:`SweepPoint`), skipping construction.
+    """
+
+    instance: Instance
+    variant: Variant = Variant.NONPREEMPTIVE
+    algorithm: Algorithm = "three_halves"
+    eps: Fraction = field(default_factory=lambda: Fraction(1, 100))
+    schedules: bool = True
+    ms: Optional[tuple[int, ...]] = None
+
+
+def _grid_safe_cached(instance: Instance, variant: Variant) -> bool:
+    """The :func:`_grid_safe_for` probe, memoized on the shared cache set.
+
+    The probe is per ``(variant, m)`` (the candidate envelope depends on
+    ``T_min``); service streams re-solve the same fingerprints for the
+    same machine counts over and over, so the verdict is parked in the
+    instance's shared misc cache — evicted (and re-probed) together with
+    everything else on :meth:`Instance.release_caches`.
+    """
+    key = ("grid_safe", variant.value, instance.m)
+    cached = instance._misc_cache.get(key)
+    if cached is None:
+        cached = _grid_safe_for(instance.fast_ctx(), instance, variant)
+        instance._misc_cache[key] = cached
+    return cached
+
+
+def solve_batch(
+    items: Sequence[BatchItem],
+    *,
+    kernel: Kernel = "fast",
+    reps: Optional[MutableMapping[str, Instance]] = None,
+    use_grid: Optional[bool] = None,
+) -> list:
+    """Solve one heterogeneous micro-batch, coalescing equal instances.
+
+    The entry point the service shards dispatch through.  Items whose
+    instances share a :meth:`~repro.core.instance.Instance.fingerprint`
+    are backed by one representative's cache set (Fraction/sorted views,
+    ``DualContext``) exactly like :func:`solve_many`; unlike it, the
+    representative table ``reps`` (fingerprint → instance) is **caller
+    owned**, so warm caches persist *across* batches — pass the same
+    mapping (e.g. an LRU that evicts via ``release_caches()``) on every
+    call and repeated service traffic never rebuilds a hot instance's
+    caches.  Passing nothing coalesces within the batch only.
+
+    The function keeps no module state and mutates nothing but ``reps``,
+    so it is reentrant: concurrent callers with *disjoint* ``reps``
+    mappings (the service guarantees this by sharding on fingerprint)
+    never share a lazily-filled cache across threads.
+
+    Every name is validated before the first solve (one clear error, no
+    partial results), and the output list matches ``items`` order:
+    ``SolveResult`` | :class:`SweepPoint` for single solves, a list
+    thereof for ``ms`` sweeps — each bit-identical to the corresponding
+    fresh-instance ``solve()`` / ``sweep_machines`` call.
+    """
+    validate_kernel(kernel)
+    prepared = [
+        (item, _validate_request(item.variant, item.algorithm, item.schedules))
+        for item in items
+    ]
+    if use_grid and any(item.schedules for item in items):
+        raise ValueError(
+            "use_grid=True applies to bounds-only items (schedules=False); "
+            "full-schedule items use the scalar searches"
+        )
+    if reps is None:
+        reps = {}
+    out: list = []
+    for item, variant in prepared:
+        inst = item.instance
+        fp = inst.fingerprint()
+        rep = reps.get(fp)
+        if rep is None:
+            reps[fp] = inst
+            shared = inst
+        elif rep is inst:
+            shared = inst
+        else:
+            shared = rep.with_machines(inst.m, share_caches=True)
+        if item.ms is not None:
+            out.append(
+                sweep_machines(
+                    shared, item.ms, variant, item.algorithm, item.eps,
+                    kernel=kernel, schedules=item.schedules, use_grid=use_grid,
+                )
+            )
+        elif item.schedules:
+            out.append(solve(shared, variant, item.algorithm, item.eps, kernel=kernel))
+        else:
+            grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+            if grid and use_grid is None and not _grid_safe_cached(shared, variant):
+                grid = False  # auto policy, see sweep_machines
+            out.append(
+                _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
             )
     return out

@@ -69,6 +69,7 @@ _CHUNK_ELEMS = 1 << 22
 
 __all__ = [
     "HAVE_NUMPY",
+    "cache_entries",
     "grid_pairs",
     "fast_split_test_grid",
     "fast_nonp_test_grid",
@@ -105,6 +106,20 @@ def _as_vectors(tns, tds) -> tuple[list[int], list[int]]:
 # --------------------------------------------------------------------------- #
 # cached numpy views of the context (m-independent, shared by for_m clones)
 # --------------------------------------------------------------------------- #
+
+
+def cache_entries(ctx: DualContext) -> int:
+    """Entry count of the scratch this module parks in ``ctx.batch_cache``.
+
+    One per cached top-level view set, plus one per class with a
+    flattened sorted array — the quantity the service's eviction
+    accounting (``Instance.cache_stats()['batch']``) reports, and what
+    :meth:`DualContext.release` hands back.
+    """
+    n = 0
+    for key, value in ctx.batch_cache.items():
+        n += len(value) if key == "np_sorted" else 1
+    return n
 
 
 def _np_views(ctx: DualContext) -> dict:

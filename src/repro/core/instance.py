@@ -268,6 +268,72 @@ class Instance:
             self._misc_cache[("jobs_view", cls)] = cached
         return cached
 
+    def fingerprint(self) -> str:
+        """Stable content digest of ``(setups, jobs)`` — machine-count free.
+
+        Two instances share a fingerprint iff they may share caches (the
+        :func:`~repro.algos.batch_api.solve_many` rep key, the service
+        shard key): the digest covers the class data only, so ``m``
+        sweeps of one instance all land on the same fingerprint.  The
+        hex string is stable across processes (blake2b of the canonical
+        encoding), which lets the service protocol report it and a
+        client pin requests to shards deterministically.  Cached in the
+        shared misc cache, so ``with_machines(..., share_caches=True)``
+        copies inherit it without re-hashing.
+        """
+        cached = self._misc_cache.get("fingerprint")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(repr(self.setups).encode())
+            h.update(b"|")
+            h.update(repr(self.jobs).encode())
+            cached = h.hexdigest()
+            self._misc_cache["fingerprint"] = cached
+        return cached
+
+    def cache_stats(self) -> dict[str, int]:
+        """Entry counts of the lazy caches (service eviction accounting).
+
+        ``fast_ctx`` is 0/1; ``batch`` counts the numpy scratch entries
+        owned by :mod:`repro.core.batchdual` inside the context.  All
+        counts are for the *shared* cache set — cache-sharing
+        ``with_machines`` copies report the same numbers.
+        """
+        ctx = self._fast_ctx
+        if ctx is None:
+            batch = 0
+        else:
+            from .batchdual import cache_entries
+
+            batch = cache_entries(ctx)
+        return {
+            "frac_views": len(self._jobs_frac_cache),
+            "sorted_views": len(self._jobs_sorted_cache),
+            "misc": len(self._misc_cache),
+            "fast_ctx": 0 if ctx is None else 1,
+            "batch": batch,
+        }
+
+    def release_caches(self) -> None:
+        """Drop every lazily built cache (the service LRU eviction hook).
+
+        Clears the per-class view caches *in place* (cache-sharing
+        copies hand their memory back too — that is the point of
+        evicting a fingerprint) and releases the fast-kernel context,
+        including the numpy scratch :mod:`repro.core.batchdual` keeps in
+        it.  The instance stays fully usable: every cache rebuilds on
+        demand, bit-identically, at the usual construction cost.
+        """
+        self._jobs_frac_cache.clear()
+        self._jobs_sorted_cache.clear()
+        self._misc_cache.clear()
+        ctx = self._fast_ctx
+        if ctx is not None:
+            ctx.release()
+            object.__setattr__(self, "_fast_ctx", None)
+
     def fast_ctx(self) -> "DualContext":
         """The per-instance :class:`repro.core.fastnum.DualContext`, cached.
 

@@ -23,11 +23,13 @@ from .scaling import (
     render_kernel_scaling,
     render_machine_sweep,
     render_scaling,
+    render_service_throughput,
     run_construction_scaling,
     run_grid_crossover,
     run_machine_sweep,
     run_scaling,
     run_scaling_kernels,
+    run_service_throughput,
 )
 from .table1 import QUOTED_ROWS, Table1Row, render_table1, run_table1
 
@@ -44,10 +46,12 @@ __all__ = [
     "render_kernel_scaling",
     "render_machine_sweep",
     "render_scaling",
+    "render_service_throughput",
     "run_grid_crossover",
     "run_machine_sweep",
     "run_scaling",
     "run_scaling_kernels",
+    "run_service_throughput",
     "QUOTED_ROWS",
     "Table1Row",
     "render_table1",

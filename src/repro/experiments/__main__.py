@@ -16,6 +16,7 @@ from . import (
     render_machine_sweep,
     render_ratio_study,
     render_scaling,
+    render_service_throughput,
     render_table1,
 )
 
@@ -48,6 +49,11 @@ def main(argv: list[str] | None = None) -> int:
         help="Experiment S4: Algorithm 6 construction — ItemStore vs reference",
     )
     con.add_argument("--sizes", type=int, nargs="*", default=None)
+    svc = sub.add_parser(
+        "service",
+        help="Experiment S5: service throughput vs shard count (repro.service)",
+    )
+    svc.add_argument("--shards", type=int, nargs="*", default=None)
     sub.add_parser("ratio", help="Experiment R1: ratio study")
     sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
     args = parser.parse_args(argv)
@@ -67,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
         print(render_grid_crossover())
     elif args.command == "construct":
         print(render_construction_scaling(sizes=args.sizes))
+    elif args.command == "service":
+        print(
+            render_service_throughput(
+                shard_counts=tuple(args.shards) if args.shards else (1, 2, 4, 8)
+            )
+        )
     elif args.command == "ratio":
         print(render_ratio_study())
     elif args.command == "ablation":

@@ -244,9 +244,12 @@ def run_grid_crossover(
     PR 3 flattened the grid's per-class ``searchsorted`` loop into one
     concatenated-keys query (:func:`repro.core.batchdual._np_flat`); this
     experiment measures where the grid tier overtakes the scalar integer
-    search probes as the class count grows (the auto-policy threshold
-    :data:`repro.algos.batch_api.NONP_GRID_MIN_C` is calibrated from it).
-    Requires numpy (the ``[batch]`` extra).
+    search probes as the class count grows (the auto policy
+    :data:`repro.algos.batch_api.NONP_GRID_MIN_C` is calibrated from it:
+    PR 3 measured a crossover ≈ 200 classes, and PR 5's ``class_tmax``
+    short-circuit in the scalar test moved it past every measured ``c``
+    — re-run this after touching either tier).  Requires numpy (the
+    ``[batch]`` extra).
     """
     from ..core import batchdual
 
@@ -363,4 +366,235 @@ def render_construction_scaling(
         table_rows,
         title="Experiment S4: Algorithm 6 construction tiers at T* — "
               "index-based ItemStore vs per-item Fraction objects (PR 4)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment S5 — service throughput vs shard count (repro.service)
+# --------------------------------------------------------------------------- #
+
+
+def service_pool(instance: Instance, distinct: int = 4) -> list[Instance]:
+    """``distinct`` same-scale instances with distinct fingerprints.
+
+    A service burst against a single instance exercises exactly one
+    shard (fingerprint affinity); deriving a few perturbed siblings —
+    every setup bumped, resp. every class's first job lengthened — keeps
+    the workload at the fixture's size while spreading it across the
+    shard ring the way distinct tenants would.
+    """
+    out = [instance]
+    for bump in range(1, distinct):
+        if bump % 2:
+            nxt = Instance(
+                m=instance.m,
+                setups=tuple(s + bump for s in instance.setups),
+                jobs=instance.jobs,
+            )
+        else:
+            nxt = Instance(
+                m=instance.m,
+                setups=instance.setups,
+                jobs=tuple((ts[0] + bump,) + ts[1:] for ts in instance.jobs),
+            )
+        out.append(nxt)
+    return out
+
+
+def service_stream_ms(m: int) -> list[int]:
+    """The service-shaped machine-count stream used by every bench.
+
+    Repeated and related counts around ``m`` — the request pattern of a
+    tenant re-asking about the same fleet.  Single source for the
+    ``many/`` bench family (``benchmarks/run_bench.py``) and the S5
+    burst, so the families compare like-for-like streams.
+    """
+    half = max(1, m // 2)
+    return [m, half, m, m + 4, m, half, m + 4, m, m, half, m, m + 4]
+
+
+def service_burst(pool: Sequence[Instance], rounds: int = 2):
+    """The deterministic *mixed* request burst of the service benches.
+
+    Per round and pool instance: twelve single-solve requests over a
+    service-shaped machine stream (repeats + related counts, all three
+    variants, alternating full-schedule / bounds-only), plus one
+    bounds-only machine-range request per variant (the capacity-planning
+    sweep shape the ``ms`` field exists for — a naive server answers it
+    with one full solve per machine count).  Requests carry fresh
+    instance copies — warming them is the service's job, not the
+    caller's.
+    """
+    from ..service.protocol import SolveRequest
+
+    reqs = []
+    k = 0
+    for _ in range(max(1, rounds)):
+        for instance in pool:
+            m = instance.m
+            for mm in service_stream_ms(m):
+                reqs.append(
+                    SolveRequest(
+                        instance=instance.with_machines(mm),
+                        variant=list(Variant)[k % 3],
+                        schedules=(k % 2 == 0),
+                        id=k,
+                    )
+                )
+                k += 1
+            ms = tuple(range(2, 2 * m + 1, max(1, m // 4)))
+            for variant in Variant:
+                reqs.append(
+                    SolveRequest(
+                        instance=instance.with_machines(m),
+                        variant=variant,
+                        schedules=False,
+                        ms=ms,
+                        id=k,
+                    )
+                )
+                k += 1
+    return reqs
+
+
+def naive_request_loop(requests) -> None:
+    """The no-service baseline: one fresh full ``solve()`` per answer unit.
+
+    A machine-range request is answered count by count; bounds-only
+    requests still pay a full solve — without the engine there is no
+    cheaper certified path (the long-standing ``loop`` convention of
+    ``benchmarks/run_bench.py``).
+    """
+    for req in requests:
+        ms = req.ms if req.ms is not None else (req.instance.m,)
+        for m in ms:
+            solve(
+                Instance(m=m, setups=req.instance.setups, jobs=req.instance.jobs),
+                req.variant,
+                req.algorithm,
+                req.eps,
+            )
+
+
+@dataclass(frozen=True)
+class ServiceTiming:
+    shards: int
+    requests: int
+    loop_seconds: float
+    service_seconds: float
+    peak_instances: int
+    max_instances: int
+    cache_hits: int
+    evictions: int
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.loop_seconds / self.service_seconds
+            if self.service_seconds
+            else float("inf")
+        )
+
+    @property
+    def requests_per_second(self) -> float:
+        return (
+            self.requests / self.service_seconds
+            if self.service_seconds
+            else float("inf")
+        )
+
+
+def run_service_throughput(
+    instance: Instance | None = None,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    rounds: int = 2,
+    repeats: int = 3,
+    max_instances: int = 2,
+) -> list[ServiceTiming]:
+    """Experiment S5: the mixed burst through the service at each shard count.
+
+    The loop baseline answers the identical burst with naive
+    one-request-at-a-time ``solve()`` calls.  Each service measurement
+    restarts the service (cold LRUs) and times the burst only — shard
+    threads are started outside the clock.  Expect the shard dimension
+    to be roughly flat on CPython: the solves hold the GIL, so shards
+    buy cache *affinity* and eviction isolation, not core parallelism;
+    the speedup comes from warm-instance coalescing and bounds-only
+    resolution.
+    """
+    import asyncio
+
+    from ..service.engine import ServiceConfig, SolveService
+
+    instance = instance or uniform_instance(m=8, c=12, n_per_class=6, seed=101)
+    pool = service_pool(instance)
+    requests = service_burst(pool, rounds)
+
+    loop_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        naive_request_loop(service_burst(pool, rounds))
+        loop_best = min(loop_best, time.perf_counter() - t0)
+
+    out = []
+    for shards in shard_counts:
+        config = ServiceConfig(shards=shards, max_instances=max_instances)
+
+        async def once(config=config):
+            async with SolveService(config) as svc:
+                burst = service_burst(pool, rounds)
+                t0 = time.perf_counter()
+                await svc.submit_many(burst)
+                return time.perf_counter() - t0, svc.stats()
+
+        best = float("inf")
+        stats = None
+        for _ in range(repeats):
+            seconds, stats = asyncio.run(once())
+            best = min(best, seconds)
+        out.append(
+            ServiceTiming(
+                shards=shards,
+                requests=len(requests),
+                loop_seconds=loop_best,
+                service_seconds=best,
+                peak_instances=stats.peak_instances,
+                max_instances=stats.max_instances,
+                cache_hits=stats.cache_hits,
+                evictions=stats.evictions,
+            )
+        )
+    return out
+
+
+def render_service_throughput(
+    timings: list[ServiceTiming] | None = None,
+    instance: Instance | None = None,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+) -> str:
+    timings = (
+        timings
+        if timings is not None
+        else run_service_throughput(instance, shard_counts)
+    )
+    table_rows = [
+        [
+            str(t.shards),
+            str(t.requests),
+            fmt_time(t.loop_seconds),
+            fmt_time(t.service_seconds),
+            f"{t.speedup:.2f}x",
+            f"{t.requests_per_second:,.0f}",
+            f"{t.peak_instances}/{t.max_instances}",
+            str(t.evictions),
+        ]
+        for t in timings
+    ]
+    return format_table(
+        ["shards", "requests", "naive loop", "service", "speedup", "req/s",
+         "peak/max warm", "evictions"],
+        table_rows,
+        title="Experiment S5: async sharded service vs naive per-request solve() "
+              "(mixed burst: 3 variants, full + bounds-only + machine ranges; "
+              "LRU-bounded warm instances)",
     )

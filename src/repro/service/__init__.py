@@ -1,0 +1,54 @@
+"""``repro.service`` — an async, sharded solve service over the batched engine.
+
+The near-linear algorithms are fast enough that the bottleneck of a
+service-shaped deployment (the ROADMAP north star: heavy request traffic
+against one library process) is request *orchestration*, not the dual
+tests: a naive server calls :func:`repro.solve` once per request, cold
+caches every time, and grows per-instance state without bound.  This
+subsystem turns the :mod:`repro.algos.batch_api` engine into a service:
+
+* **Requests** (:class:`~repro.service.protocol.SolveRequest`) carry an
+  instance plus variant / algorithm / ``eps``, an optional machine range
+  ``ms`` (a sweep), and a ``schedules``/``bounds_only`` flag.
+* **Sharding** — each request is routed by its instance's
+  :meth:`~repro.core.instance.Instance.fingerprint`, so one instance's
+  cache set (Fraction/sorted views, :class:`~repro.core.fastnum.DualContext`,
+  numpy scratch) lives on exactly one shard worker thread; the lazily
+  filled caches are never shared across threads.
+* **Micro-batching** — each shard drains its queue in batches of up to
+  ``max_batch`` requests and dispatches them through
+  :func:`~repro.algos.batch_api.solve_batch` /
+  :func:`~repro.algos.batch_api.sweep_machines`, coalescing equal
+  fingerprints onto one warm representative.
+* **Eviction** — per-shard :class:`~repro.service.cache.InstanceLRU`
+  tables bound the warm set (``max_instances`` per shard); evicted
+  representatives hand their memory back through
+  :meth:`~repro.core.instance.Instance.release_caches`.
+* **Backpressure** — a global ``max_inflight`` admission semaphore
+  bounds the dispatch pipeline, and the JSON-lines front ends apply the
+  same window per connection.
+* **Determinism** — responses are bit-identical to looped ``solve()``
+  under any interleaving (asserted by ``tests/test_service.py``'s seeded
+  async fuzz), and each connection's responses come back in request
+  order.
+
+Front ends: ``python -m repro.service`` speaks JSON lines over stdio, or
+over a local TCP socket with ``--tcp HOST:PORT``
+(:mod:`repro.service.server` / :mod:`repro.service.__main__`).  The
+in-process entry point is :class:`~repro.service.engine.SolveService`.
+"""
+
+from .cache import InstanceLRU
+from .engine import ServiceConfig, SolveService
+from .protocol import ProtocolError, SolveRequest
+from .server import serve_stdio, serve_tcp
+
+__all__ = [
+    "InstanceLRU",
+    "ProtocolError",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveService",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,91 @@
+"""CLI: ``python -m repro.service`` — JSON-lines solve service.
+
+Stdio by default (one request per stdin line, one response per stdout
+line, exits on EOF); ``--tcp HOST:PORT`` serves a local TCP socket
+instead (``PORT`` 0 picks a free port, printed on stderr).  See
+:mod:`repro.service.protocol` for the line format.
+
+Example session::
+
+    $ python -m repro.service --shards 2 <<'EOF'
+    {"id": 1, "instance": {"m": 2, "setups": [2, 1], "jobs": [[3, 4], [5]]}}
+    {"id": 2, "instance": {"m": 2, "setups": [2, 1], "jobs": [[3, 4], [5]]},
+     "bounds_only": true, "ms": [2, 3, 4]}
+    {"id": 3, "op": "stats"}
+    EOF
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from .engine import ServiceConfig, SolveService
+from .server import serve_stdio, serve_tcp
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Async sharded solve service (JSON lines over stdio or TCP).",
+    )
+    parser.add_argument(
+        "--tcp", type=_parse_endpoint, metavar="HOST:PORT", default=None,
+        help="serve a local TCP socket instead of stdio (port 0 = auto)",
+    )
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker threads / cache-affinity shards (default 4)")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="micro-batch size per shard dispatch (default 16)")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="global admitted-request window (default 64)")
+    parser.add_argument("--max-instances", type=int, default=8,
+                        help="per-shard LRU bound on warm instances (default 8)")
+    parser.add_argument("--kernel", choices=["fast", "fraction"], default="fast",
+                        help="numeric kernel for every solve (default fast)")
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        shards=args.shards,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        max_instances=args.max_instances,
+        kernel=args.kernel,
+    )
+    async with SolveService(config) as service:
+        if args.tcp is None:
+            await serve_stdio(service)
+        else:
+            host, port = args.tcp
+            server = await serve_tcp(service, host, port)
+            bound = server.sockets[0].getsockname()
+            print(f"repro.service listening on {bound[0]}:{bound[1]}",
+                  file=sys.stderr, flush=True)
+            try:
+                await server.repro_shutdown.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

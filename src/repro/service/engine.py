@@ -1,0 +1,223 @@
+"""The asyncio solve service: admission, routing, and lifecycle.
+
+:class:`SolveService` is the in-process face of the subsystem (the
+JSON-lines front ends in :mod:`repro.service.server` are thin wrappers
+over it).  One event loop submits requests; a pool of shard worker
+threads (:mod:`repro.service.shards`) solves them in micro-batches.
+
+Guarantees:
+
+* **Bit-identity** — every response equals the corresponding fresh
+  ``solve()`` / ``sweep_machines`` call, whatever the interleaving:
+  requests only ever share *caches* (proven bit-identical by the batch
+  engine's differential suites), never verdicts.
+* **Affinity** — requests for one fingerprint always land on the same
+  shard (``shard_index``), so no per-instance cache dict is touched by
+  two threads.
+* **Backpressure** — at most ``max_inflight`` requests are dispatched
+  at once; further ``submit`` calls wait on the admission semaphore, so
+  shard queues hold at most ``max_inflight`` entries total.
+* **Bounded memory** — each shard's warm-instance table is an LRU of
+  ``max_instances`` entries with release-on-evict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..algos.batch_api import _validate_request
+from ..core.fastnum import validate_kernel
+from .protocol import SolveRequest
+from .shards import Shard, ShardStats, _Work, shard_index
+
+__all__ = ["ServiceConfig", "ServiceStats", "SolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`SolveService`.
+
+    ``shards`` bounds cache-affinity parallelism (worker threads);
+    ``max_batch`` the micro-batch size a shard coalesces per dispatch;
+    ``max_inflight`` the global number of admitted-but-unanswered
+    requests (the backpressure window, also applied per connection by
+    the servers); ``max_instances`` the per-shard LRU bound on warm
+    representatives (the peak-cache-entries guarantee is
+    ``shards × max_instances``).
+    """
+
+    shards: int = 4
+    max_batch: int = 16
+    max_inflight: int = 64
+    max_instances: int = 8
+    kernel: str = "fast"
+
+    def __post_init__(self) -> None:
+        validate_kernel(self.kernel)
+        for name in ("shards", "max_batch", "max_inflight", "max_instances"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate + per-shard service counters (one ``stats()`` snapshot)."""
+
+    requests: int
+    batches: int
+    peak_inflight: int
+    max_inflight: int
+    warm_instances: int
+    peak_instances: int        # Σ per-shard LRU peaks
+    max_instances: int         # configured bound: shards × per-shard bound
+    cache_hits: int
+    cache_misses: int
+    evictions: int
+    shards: tuple[ShardStats, ...]
+
+    def to_obj(self) -> dict:
+        """JSON-shaped snapshot (the ``{"op": "stats"}`` payload)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "peak_inflight": self.peak_inflight,
+            "max_inflight": self.max_inflight,
+            "warm_instances": self.warm_instances,
+            "peak_instances": self.peak_instances,
+            "max_instances": self.max_instances,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "shards": [
+                {
+                    "index": s.index,
+                    "requests": s.requests,
+                    "batches": s.batches,
+                    "max_batch_seen": s.max_batch_seen,
+                    "entries": s.lru.entries,
+                    "peak_entries": s.lru.peak_entries,
+                    "hits": s.lru.hits,
+                    "misses": s.lru.misses,
+                    "evictions": s.lru.evictions,
+                }
+                for s in self.shards
+            ],
+        }
+
+
+class SolveService:
+    """Async sharded solve service over the batched engine.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`aclose` explicitly)::
+
+        async with SolveService(ServiceConfig(shards=4)) as svc:
+            result = await svc.submit(SolveRequest(instance=inst))
+
+    :meth:`submit` returns exactly what the corresponding synchronous
+    call would: a ``SolveResult`` (or :class:`~repro.algos.batch_api.
+    SweepPoint` for bounds-only), or a list of them for an ``ms`` sweep.
+    :meth:`submit_many` preserves input order.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self._shards = [
+            Shard(
+                i,
+                max_batch=self.config.max_batch,
+                max_instances=self.config.max_instances,
+                kernel=self.config.kernel,
+            )
+            for i in range(self.config.shards)
+        ]
+        self._sem = asyncio.Semaphore(self.config.max_inflight)
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "SolveService":
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if not self._started:
+            self._started = True
+            for shard in self._shards:
+                shard.start()
+        return self
+
+    async def __aenter__(self) -> "SolveService":
+        return self.start()
+
+    async def aclose(self) -> None:
+        """Finish queued work, stop the workers, release every cache."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        for shard in self._shards:
+            shard.signal_close()  # all sentinels first: joins overlap
+        for shard in self._shards:
+            await loop.run_in_executor(None, shard.close)
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, request: SolveRequest):
+        """Solve one request (validated now, dispatched under backpressure)."""
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running (use 'async with' or start())")
+        # Fail fast in the caller's task: names checked before dispatch,
+        # so a bad request never occupies a backpressure slot.
+        _validate_request(request.variant, request.algorithm, request.schedules)
+        item = request.to_item()
+        fingerprint = request.instance.fingerprint()
+        shard = self._shards[shard_index(fingerprint, len(self._shards))]
+        loop = asyncio.get_running_loop()
+        await self._sem.acquire()
+        self._inflight += 1
+        self._peak_inflight = max(self._peak_inflight, self._inflight)
+        try:
+            future = loop.create_future()
+            shard.submit(_Work(item=item, future=future, loop=loop))
+            return await future
+        finally:
+            self._inflight -= 1
+            self._sem.release()
+
+    async def submit_many(self, requests: Iterable[SolveRequest]) -> list:
+        """Submit concurrently, return results in request order."""
+        return list(
+            await asyncio.gather(*(self.submit(req) for req in requests))
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> ServiceStats:
+        shard_stats = tuple(shard.stats() for shard in self._shards)
+        return ServiceStats(
+            requests=sum(s.requests for s in shard_stats),
+            batches=sum(s.batches for s in shard_stats),
+            peak_inflight=self._peak_inflight,
+            max_inflight=self.config.max_inflight,
+            warm_instances=sum(s.lru.entries for s in shard_stats),
+            peak_instances=sum(s.lru.peak_entries for s in shard_stats),
+            max_instances=self.config.shards * self.config.max_instances,
+            cache_hits=sum(s.lru.hits for s in shard_stats),
+            cache_misses=sum(s.lru.misses for s in shard_stats),
+            evictions=sum(s.lru.evictions for s in shard_stats),
+            shards=shard_stats,
+        )

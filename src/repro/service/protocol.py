@@ -1,0 +1,285 @@
+"""JSON-lines wire protocol of the solve service.
+
+One request per line, one response line per request, exact integers
+end to end.  Times (``T``, bounds, makespans, starts/lengths) are exact
+rationals encoded as an ``int`` (denominator 1) or a two-element
+``[numerator, denominator]`` list — floats are **rejected**, the service
+inherits the library's bit-exactness guarantee and refuses lossy input.
+
+Request shape (``op`` defaults to ``"solve"``)::
+
+    {"id": 7, "op": "solve",
+     "instance": {"m": 8, "setups": [3, 5], "jobs": [[4, 2], [6]]},
+     "variant": "nonpreemptive",        # default
+     "algorithm": "three_halves",       # default; or "eps" / "two"
+     "eps": [1, 100],                   # only used by "eps"
+     "bounds_only": true,               # or "schedules": false
+     "ms": [2, 4, 8]}                   # optional machine range → sweep
+
+``ms`` turns the request into a machine sweep (one result per count, the
+instance's own ``m`` ignored); otherwise one result at ``instance.m``.
+``bounds_only`` (equivalently ``"schedules": false``) resolves the
+certified ``T*``/ratio/lower-bound certificate without constructing a
+schedule.  Housekeeping ops: ``{"op": "ping"}``, ``{"op": "stats"}`` and
+``{"op": "shutdown"}`` (acknowledges, then closes the connection).
+
+Response shape::
+
+    {"id": 7, "ok": true, "results": [<result>, ...]}
+    {"id": 7, "ok": false, "error": "<one-line message>"}
+
+A full solve result carries the certificate plus the schedule as the
+columnar row projection (:meth:`repro.core.schedule.Schedule.rows` —
+parallel arrays at one common ``scale``); a bounds-only result carries
+the same certificate fields with ``makespan_bound`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from ..algos.api import SolveResult
+from ..algos.batch_api import BatchItem, SweepPoint, _validate_request
+from ..core.bounds import Variant
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+
+__all__ = [
+    "ProtocolError",
+    "SolveRequest",
+    "encode_time",
+    "parse_time",
+    "instance_to_obj",
+    "instance_from_obj",
+    "request_from_obj",
+    "result_to_obj",
+    "response_line",
+    "error_line",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed request line / field (reported, never fatal)."""
+
+
+# --------------------------------------------------------------------------- #
+# scalars
+# --------------------------------------------------------------------------- #
+
+
+def encode_time(value):
+    """An exact rational as JSON: plain int, or ``[num, den]``."""
+    f = Fraction(value)
+    if f.denominator == 1:
+        return int(f)
+    return [f.numerator, f.denominator]
+
+
+def parse_time(value, what: str = "time") -> Fraction:
+    """Inverse of :func:`encode_time`; floats are rejected loudly."""
+    if isinstance(value, bool):
+        raise ProtocolError(f"{what} must be an int or [num, den], got {value!r}")
+    if isinstance(value, int):
+        return Fraction(value)
+    if (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and all(isinstance(v, int) and not isinstance(v, bool) for v in value)
+    ):
+        num, den = value
+        if den <= 0:
+            raise ProtocolError(f"{what} denominator must be positive, got {den}")
+        return Fraction(num, den)
+    raise ProtocolError(
+        f"{what} must be an exact int or [numerator, denominator] pair "
+        f"(floats are not accepted), got {value!r}"
+    )
+
+
+def _int_list(value, what: str) -> list[int]:
+    if not isinstance(value, list) or any(
+        not isinstance(v, int) or isinstance(v, bool) for v in value
+    ):
+        raise ProtocolError(f"{what} must be a list of ints, got {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# instances
+# --------------------------------------------------------------------------- #
+
+
+def instance_to_obj(instance: Instance) -> dict:
+    return {
+        "m": instance.m,
+        "setups": list(instance.setups),
+        "jobs": [list(ts) for ts in instance.jobs],
+    }
+
+
+def instance_from_obj(obj) -> Instance:
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"instance must be an object, got {obj!r}")
+    m = obj.get("m")
+    if not isinstance(m, int) or isinstance(m, bool):
+        raise ProtocolError(f"instance.m must be an int, got {m!r}")
+    setups = _int_list(obj.get("setups"), "instance.setups")
+    jobs_obj = obj.get("jobs")
+    if not isinstance(jobs_obj, list):
+        raise ProtocolError(f"instance.jobs must be a list of lists, got {jobs_obj!r}")
+    jobs = [_int_list(ts, f"instance.jobs[{i}]") for i, ts in enumerate(jobs_obj)]
+    try:
+        return Instance(m=m, setups=tuple(setups), jobs=tuple(map(tuple, jobs)))
+    except InvalidInstanceError as exc:
+        raise ProtocolError(f"invalid instance: {exc}") from None
+
+
+# --------------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One validated service request (the in-process submit unit).
+
+    ``schedules=False`` is the bounds-only mode; ``ms`` makes the request
+    a machine sweep.  ``id`` is the caller's correlation value, echoed on
+    the response line (``None`` for in-process use).
+    """
+
+    instance: Instance
+    variant: Variant = Variant.NONPREEMPTIVE
+    algorithm: str = "three_halves"
+    eps: Fraction = field(default_factory=lambda: Fraction(1, 100))
+    schedules: bool = True
+    ms: Optional[tuple[int, ...]] = None
+    id: object = None
+
+    def to_item(self) -> BatchItem:
+        """The :func:`~repro.algos.batch_api.solve_batch` work unit."""
+        return BatchItem(
+            instance=self.instance,
+            variant=self.variant,
+            algorithm=self.algorithm,
+            eps=self.eps,
+            schedules=self.schedules,
+            ms=self.ms,
+        )
+
+
+def request_from_obj(obj) -> SolveRequest:
+    """Parse and validate one ``op: solve`` request object.
+
+    Everything checked here raises :class:`ProtocolError` (malformed
+    JSON shapes) or ``ValueError`` (bad variant/algorithm names, via the
+    batch engine's up-front validation) before any solving starts.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"request must be a JSON object, got {obj!r}")
+    unknown = set(obj) - {
+        "id", "op", "instance", "variant", "algorithm", "eps",
+        "schedules", "bounds_only", "ms",
+    }
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    if "instance" not in obj:
+        raise ProtocolError("solve request needs an 'instance' field")
+    instance = instance_from_obj(obj["instance"])
+
+    schedules = obj.get("schedules")
+    bounds_only = obj.get("bounds_only")
+    for name, flag in (("schedules", schedules), ("bounds_only", bounds_only)):
+        if flag is not None and not isinstance(flag, bool):
+            raise ProtocolError(f"{name} must be a boolean, got {flag!r}")
+    if schedules is None:
+        schedules = not bool(bounds_only)
+    elif bounds_only is not None and bounds_only == schedules:
+        raise ProtocolError(
+            f"contradictory flags: schedules={schedules} with bounds_only={bounds_only}"
+        )
+
+    ms = obj.get("ms")
+    if ms is not None:
+        ms = tuple(_int_list(ms, "ms"))
+        if not ms or any(m < 1 for m in ms):
+            raise ProtocolError(f"ms must be a non-empty list of positive ints, got {list(ms)}")
+
+    eps = obj.get("eps")
+    eps = Fraction(1, 100) if eps is None else parse_time(eps, "eps")
+    if eps <= 0:
+        raise ProtocolError(f"eps must be positive, got {eps}")
+
+    algorithm = obj.get("algorithm", "three_halves")
+    variant = _validate_request(
+        obj.get("variant", Variant.NONPREEMPTIVE), algorithm, schedules
+    )
+    return SolveRequest(
+        instance=instance, variant=variant, algorithm=algorithm, eps=eps,
+        schedules=schedules, ms=ms, id=obj.get("id"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+
+
+def _schedule_obj(schedule) -> dict:
+    rows = schedule.rows()
+    return {
+        "scale": int(rows.scale),
+        "machine": [int(v) for v in rows.machine],
+        "start_num": [int(v) for v in rows.start_num],
+        "length_num": [int(v) for v in rows.length_num],
+        "cls": [int(v) for v in rows.cls],
+        "job_idx": [int(v) for v in rows.job_idx],
+    }
+
+
+def result_to_obj(result):
+    """One solve outcome as JSON: ``SolveResult``/``SweepPoint``/sweep list."""
+    if isinstance(result, list):
+        return [result_to_obj(r) for r in result]
+    if isinstance(result, SweepPoint):
+        return {
+            "kind": "bounds",
+            "m": result.m,
+            "variant": result.variant.value,
+            "algorithm": result.algorithm,
+            "T": encode_time(result.T),
+            "ratio_bound": encode_time(result.ratio_bound),
+            "opt_lower_bound": encode_time(result.opt_lower_bound),
+            "makespan_bound": encode_time(result.makespan_bound),
+            "accept_calls": result.accept_calls,
+        }
+    if isinstance(result, SolveResult):
+        return {
+            "kind": "solve",
+            "m": result.schedule.instance.m,
+            "variant": result.variant.value,
+            "algorithm": result.algorithm,
+            "T": encode_time(result.T),
+            "ratio_bound": encode_time(result.ratio_bound),
+            "opt_lower_bound": encode_time(result.opt_lower_bound),
+            "makespan": encode_time(result.makespan),
+            "schedule": _schedule_obj(result.schedule),
+        }
+    raise TypeError(f"unexpected result type {type(result).__name__}")  # pragma: no cover
+
+
+def response_line(request_id, results) -> str:
+    """The success line for one request (``results`` is always a list)."""
+    if not isinstance(results, list):
+        results = [results]
+    payload = {"id": request_id, "ok": True, "results": [result_to_obj(r) for r in results]}
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def error_line(request_id, message: str) -> str:
+    return json.dumps(
+        {"id": request_id, "ok": False, "error": str(message)}, separators=(",", ":")
+    )

@@ -1,0 +1,217 @@
+"""JSON-lines front ends: stdio and local TCP, over one shared handler.
+
+Both transports speak the :mod:`repro.service.protocol` line protocol
+and share the connection handler: requests are parsed in arrival order,
+dispatched concurrently through :meth:`SolveService.submit`, and the
+responses are written back **in request order** (a writer coroutine
+drains a FIFO of response futures) — deterministic output for any
+interleaving of completions.  A per-connection admission window of
+``max_inflight`` bounds parsed-but-unanswered requests, so a
+fast-pipelining client cannot queue unbounded work.
+
+Housekeeping ops: ``ping`` answers inline; ``stats`` (the engine's
+counters plus the process's ``ru_maxrss``) snapshots at its position in
+the response order, so it deterministically counts every request that
+precedes it on the connection; ``shutdown`` acknowledges, then closes
+the connection — and stops a TCP server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Awaitable, Callable, Optional
+
+from .engine import SolveService
+from .protocol import ProtocolError, error_line, request_from_obj, response_line
+
+__all__ = ["handle_lines", "serve_stdio", "serve_tcp"]
+
+
+def _maxrss_kib() -> Optional[int]:
+    """Peak RSS of this process in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalize to KiB.
+    return usage // 1024 if sys.platform == "darwin" else usage
+
+
+async def handle_lines(
+    service: SolveService,
+    readline: Callable[[], Awaitable[bytes]],
+    write_line: Callable[[str], Awaitable[None]],
+) -> bool:
+    """Serve one connection; returns True when a shutdown was requested."""
+    responses: asyncio.Queue = asyncio.Queue()
+    window = asyncio.Semaphore(service.config.max_inflight)
+    shutdown = False
+
+    async def writer() -> None:
+        while True:
+            fut = await responses.get()
+            if fut is None:
+                return
+            try:
+                try:
+                    line = await fut
+                except asyncio.CancelledError:  # pragma: no cover - shutdown race
+                    raise
+                except Exception as exc:  # noqa: BLE001 - reported on the wire
+                    line = error_line(None, f"internal error: {exc}")
+                await write_line(line)
+            finally:
+                # Must release even when write_line raises (client gone):
+                # a leaked slot would wedge the reader's window.acquire()
+                # forever once max_inflight requests are outstanding.
+                window.release()
+
+    async def solve_one(obj: dict) -> str:
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        try:
+            request = request_from_obj(obj)
+            result = await service.submit(request)
+            return response_line(request.id, result)
+        except (ProtocolError, ValueError) as exc:
+            return error_line(request_id, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - id must survive any failure
+            return error_line(request_id, f"internal error: {exc}")
+
+    async def immediate(line: str) -> str:
+        return line
+
+    async def stats_line(request_id) -> str:
+        payload = service.stats().to_obj()
+        payload["maxrss_kib"] = _maxrss_kib()
+        return json.dumps(
+            {"id": request_id, "ok": True, "stats": payload}, separators=(",", ":")
+        )
+
+    writer_task = asyncio.create_task(writer())
+    try:
+        while True:
+            if writer_task.done():  # write side failed: connection is dead
+                break
+            raw = await readline()
+            if not raw:  # EOF
+                break
+            raw = raw.strip()
+            if not raw:
+                continue
+            # Backpressure: stop reading when max_inflight responses are
+            # pending.  Wait on the writer too — if it dies (broken pipe)
+            # its slots are never released, and blocking here forever
+            # would leak the connection handler.
+            acquired = asyncio.ensure_future(window.acquire())
+            await asyncio.wait(
+                {acquired, writer_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not acquired.done():
+                acquired.cancel()
+                break
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                responses.put_nowait(
+                    asyncio.ensure_future(immediate(error_line(None, f"bad JSON: {exc}")))
+                )
+                continue
+            op = obj.get("op", "solve") if isinstance(obj, dict) else "solve"
+            request_id = obj.get("id") if isinstance(obj, dict) else None
+            if op == "ping":
+                responses.put_nowait(asyncio.ensure_future(immediate(
+                    json.dumps({"id": request_id, "ok": True, "pong": True},
+                               separators=(",", ":"))
+                )))
+            elif op == "stats":
+                # Enqueued as a *bare coroutine*: the writer evaluates it
+                # only once every earlier response has been written, so
+                # the snapshot deterministically counts all requests that
+                # precede it on this connection (a task would snapshot at
+                # parse time, while earlier solves are still in flight).
+                responses.put_nowait(stats_line(request_id))
+            elif op == "shutdown":
+                responses.put_nowait(asyncio.ensure_future(immediate(
+                    json.dumps({"id": request_id, "ok": True, "bye": True},
+                               separators=(",", ":"))
+                )))
+                shutdown = True
+                break
+            elif op == "solve":
+                responses.put_nowait(asyncio.create_task(solve_one(obj)))
+            else:
+                responses.put_nowait(asyncio.ensure_future(immediate(
+                    error_line(request_id, f"unknown op {op!r}")
+                )))
+    finally:
+        responses.put_nowait(None)
+        try:
+            await writer_task
+        except Exception:  # noqa: BLE001 - writer died with the connection
+            pass
+        # If the writer died early, undelivered response tasks are still
+        # queued — cancel them so no solve keeps running for a dead peer.
+        while not responses.empty():
+            fut = responses.get_nowait()
+            if fut is None:
+                continue
+            if asyncio.isfuture(fut):
+                fut.cancel()
+            else:  # a never-awaited bare coroutine (stats)
+                fut.close()
+    return shutdown
+
+
+async def serve_stdio(service: SolveService) -> None:
+    """Serve JSON lines on stdin/stdout until EOF (or a shutdown op)."""
+    loop = asyncio.get_running_loop()
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout
+
+    async def readline() -> bytes:
+        return await loop.run_in_executor(None, stdin.readline)
+
+    async def write_line(line: str) -> None:
+        stdout.write(line + "\n")
+        stdout.flush()
+
+    await handle_lines(service, readline, write_line)
+
+
+async def serve_tcp(service: SolveService, host: str = "127.0.0.1", port: int = 0):
+    """Start a TCP server; returns the listening ``asyncio.Server``.
+
+    A ``shutdown`` op on any connection sets the event stashed on the
+    returned server as ``repro_shutdown`` — the intended local
+    single-operator lifecycle is ``await server.repro_shutdown.wait()``
+    then ``server.close()`` (what ``python -m repro.service --tcp``
+    does); callers that manage lifetime themselves can ignore it.
+    """
+    done = asyncio.Event()
+
+    async def on_connection(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        async def readline() -> bytes:
+            try:
+                return await reader.readline()
+            except ConnectionError:  # pragma: no cover - client vanished
+                return b""
+
+        async def write_line(line: str) -> None:
+            writer.write(line.encode() + b"\n")
+            await writer.drain()
+
+        try:
+            if await handle_lines(service, readline, write_line):
+                done.set()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(on_connection, host, port)
+    server.repro_shutdown = done  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,230 @@
+"""Shard worker threads: fingerprint-affine micro-batched dispatch.
+
+A shard is one worker thread plus one FIFO queue plus one
+:class:`~repro.service.cache.InstanceLRU` of warm representatives.  The
+service routes every request whose instance hashes to this shard here —
+and only here — so the lazily filled per-instance caches (plain dicts,
+no locks) are touched by exactly one thread.  The worker drains its
+queue in micro-batches of up to ``max_batch`` requests and dispatches
+each batch through :func:`repro.algos.batch_api.solve_batch` with the
+shard's LRU as the cross-batch representative table.
+
+Results travel back to the asyncio event loop with
+``loop.call_soon_threadsafe`` onto per-request futures; a failed batch
+is retried item by item so one bad request cannot poison the others in
+its micro-batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..algos.batch_api import solve_batch
+from .cache import InstanceLRU, LRUStats
+
+__all__ = ["Shard", "ShardStats", "shard_index"]
+
+
+def shard_index(fingerprint: str, shards: int) -> int:
+    """Deterministic shard of a fingerprint (stable across processes)."""
+    return int(fingerprint[:16], 16) % shards
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's dispatch counters plus its LRU table's counters."""
+
+    index: int
+    requests: int
+    batches: int
+    max_batch_seen: int
+    lru: LRUStats
+
+
+class _Work(NamedTuple):
+    item: object        # BatchItem
+    future: object      # asyncio.Future
+    loop: object        # the event loop that owns the future
+
+
+class Shard:
+    """One fingerprint-affine worker (see module docstring)."""
+
+    def __init__(self, index: int, *, max_batch: int, max_instances: int,
+                 kernel: str = "fast") -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.index = index
+        self.max_batch = max_batch
+        self.kernel = kernel
+        self.lru = InstanceLRU(max_instances)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{index}", daemon=True
+        )
+        self._requests = 0
+        self._batches = 0
+        self._max_batch_seen = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (event-loop side)
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def submit(self, work: _Work) -> None:
+        if self._closed or not self._started:
+            raise RuntimeError("shard is not running")
+        self._queue.put(work)
+        # TOCTOU guard: close() may have completed (worker exited and
+        # drained) between the check above and our put, in which case
+        # nothing will ever drain this work — fail it ourselves rather
+        # than leave the submitter awaiting a future forever.  Safe to
+        # race the other abandon sweeps: queue pops are atomic and each
+        # work item is resolved by whoever pops it.
+        if self._closed and not self._thread.is_alive():
+            self._abandon_pending()
+
+    def signal_close(self) -> None:
+        """Phase 1 of shutdown: refuse new work, enqueue the sentinel.
+
+        Non-blocking, so the service can signal every shard before the
+        (potentially slow) joins — shutdown latency is the longest
+        shard's drain, not the sum.
+        """
+        if self._started and not self._closed:
+            self._closed = True
+            self._queue.put(None)
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Stop after finishing already-queued work; release the LRU.
+
+        The LRU (and its instances' cache dicts) is only torn down once
+        the worker thread is confirmed dead — clearing it while a long
+        micro-batch is still solving would have two threads mutating
+        unlocked dicts.  A worker that outlives the join timeout keeps
+        its state and dies with the process (daemon thread).
+        """
+        self.signal_close()
+        if self._started:
+            self._thread.join(timeout=join_timeout)
+            if self._thread.is_alive():  # pragma: no cover - pathological solve
+                return
+            self._abandon_pending()  # anything that raced in behind the sentinel
+        self.lru.clear()
+
+    def stats(self) -> ShardStats:
+        return ShardStats(
+            index=self.index,
+            requests=self._requests,
+            batches=self._batches,
+            max_batch_seen=self._max_batch_seen,
+            lru=self.lru.stats(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # worker (shard-thread side)
+    # ------------------------------------------------------------------ #
+
+    def _drain(self) -> list[_Work] | None:
+        """Block for one work unit, then soak up a micro-batch."""
+        head = self._queue.get()
+        if head is None:
+            return None
+        batch = [head]
+        while len(batch) < self.max_batch:
+            try:
+                nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt is None:  # sentinel: finish this batch, then exit
+                self._queue.put(None)
+                break
+            batch.append(nxt)
+        return batch
+
+    def _resolve(self, work: _Work, result, error) -> None:
+        self._resolve_batch([(work, result, error)])
+
+    def _resolve_batch(self, outcomes) -> None:
+        """Settle many futures with one loop wakeup per event loop.
+
+        ``call_soon_threadsafe`` costs a cross-thread wakeup each call;
+        resolving a whole micro-batch through a single callback keeps the
+        per-request orchestration overhead flat as batches grow.
+        """
+        by_loop: dict = {}
+        for work, result, error in outcomes:
+            by_loop.setdefault(work.loop, []).append((work.future, result, error))
+        for loop, entries in by_loop.items():
+            def settle(entries=entries) -> None:
+                for fut, result, error in entries:
+                    if fut.cancelled():
+                        continue
+                    if error is None:
+                        fut.set_result(result)
+                    else:
+                        fut.set_exception(error)
+
+            try:
+                loop.call_soon_threadsafe(settle)
+            except RuntimeError:  # pragma: no cover - loop closed mid-shutdown
+                pass
+
+    def _abandon_pending(self) -> None:
+        """Fail queued work that will never run (shutdown), don't hang it.
+
+        A submit that raced ``close()`` can land its work *behind* the
+        sentinel; silently dropping it would block its ``await future``
+        forever.  Called by the worker on exit and again by ``close()``
+        after the join, when the queue is single-threaded again.
+        """
+        while True:
+            try:
+                work = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if work is not None:
+                self._resolve(
+                    work, None,
+                    RuntimeError("service closed before the request was processed"),
+                )
+
+    def _run(self) -> None:
+        while True:
+            batch = self._drain()
+            if batch is None:
+                self._abandon_pending()
+                return
+            self._batches += 1
+            self._requests += len(batch)
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            try:
+                results = solve_batch(
+                    [w.item for w in batch], kernel=self.kernel, reps=self.lru
+                )
+            except Exception:
+                # Isolate the offender: re-run item by item so the rest
+                # of the micro-batch still gets its (bit-identical)
+                # answers and only the bad request carries the error.
+                for work in batch:
+                    try:
+                        result = solve_batch(
+                            [work.item], kernel=self.kernel, reps=self.lru
+                        )[0]
+                    except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                        self._resolve(work, None, exc)
+                    else:
+                        self._resolve(work, result, None)
+                continue
+            self._resolve_batch(
+                [(work, result, None) for work, result in zip(batch, results)]
+            )

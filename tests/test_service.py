@@ -1,0 +1,681 @@
+"""The async sharded solve service — bit-identical to looped ``solve()``.
+
+The service exists purely for throughput and bounded memory: sharding,
+micro-batching, warm-instance LRUs and backpressure may not change a
+single answer.  Every layer is differential-tested here against
+fresh-instance ``solve()`` calls — including a seeded async fuzz that
+drives random request mixes through random service configurations under
+random interleavings (runs with and without numpy; CI exercises both).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import subprocess
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.algos.api import solve
+from repro.algos.batch_api import (
+    BatchItem,
+    SweepPoint,
+    solve_batch,
+    solve_many,
+    sweep_machines,
+)
+from repro.core.bounds import Variant
+from repro.core.instance import Instance
+from repro.generators import medium_suite, small_exact_suite, uniform_instance
+from repro.service import (
+    InstanceLRU,
+    ProtocolError,
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    serve_tcp,
+)
+from repro.service.protocol import (
+    encode_time,
+    error_line,
+    instance_from_obj,
+    instance_to_obj,
+    parse_time,
+    request_from_obj,
+    response_line,
+    result_to_obj,
+)
+from repro.service.shards import shard_index
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def fresh(inst: Instance, m: int | None = None) -> Instance:
+    return Instance(m=inst.m if m is None else m, setups=inst.setups, jobs=inst.jobs)
+
+
+def placements_key(schedule):
+    return sorted(
+        (p.machine, p.start, p.length, p.cls, p.job) for p in schedule.iter_all()
+    )
+
+
+def assert_same_solve(res, ref) -> None:
+    assert res.T == ref.T
+    assert res.ratio_bound == ref.ratio_bound
+    assert res.opt_lower_bound == ref.opt_lower_bound
+    assert res.makespan == ref.makespan
+    assert placements_key(res.schedule) == placements_key(ref.schedule)
+
+
+def assert_same_bounds(point: SweepPoint, ref) -> None:
+    assert point.T == ref.T
+    assert point.ratio_bound == ref.ratio_bound
+    assert point.opt_lower_bound == ref.opt_lower_bound
+
+
+def reference_for(req: SolveRequest):
+    """Sequential looped-``solve()`` ground truth for one request."""
+    ms = req.ms if req.ms is not None else [req.instance.m]
+    out = []
+    for m in ms:
+        out.append(
+            solve(fresh(req.instance, m), req.variant, req.algorithm, req.eps)
+        )
+    return out if req.ms is not None else out[0]
+
+
+def assert_matches_reference(req: SolveRequest, result) -> None:
+    ref = reference_for(req)
+    results = result if isinstance(result, list) else [result]
+    refs = ref if isinstance(ref, list) else [ref]
+    assert len(results) == len(refs)
+    for got, want in zip(results, refs):
+        if req.schedules:
+            assert_same_solve(got, want)
+        else:
+            assert_same_bounds(got, want)
+
+
+# --------------------------------------------------------------------------- #
+# core plumbing: fingerprints and cache handles
+# --------------------------------------------------------------------------- #
+
+
+class TestFingerprint:
+    def test_equal_instances_share_fingerprint(self, tiny):
+        assert tiny.fingerprint() == fresh(tiny).fingerprint()
+
+    def test_machine_count_independent(self, tiny):
+        assert tiny.fingerprint() == fresh(tiny, tiny.m + 5).fingerprint()
+        assert tiny.fingerprint() == tiny.with_machines(9).fingerprint()
+
+    def test_distinct_data_distinct_fingerprint(self, tiny):
+        other = Instance(m=tiny.m, setups=tiny.setups, jobs=((3, 4), (2, 2, 3)))
+        assert other.fingerprint() != tiny.fingerprint()
+        resetup = Instance(
+            m=tiny.m, setups=(tiny.setups[0] + 1,) + tiny.setups[1:], jobs=tiny.jobs
+        )
+        assert resetup.fingerprint() != tiny.fingerprint()
+
+    def test_swapping_setups_and_jobs_fields_changes_it(self):
+        a = Instance.build(2, [(2, [3]), (3, [2])])
+        b = Instance.build(2, [(3, [2]), (2, [3])])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_shared_cache_copy_inherits_without_rehash(self, tiny):
+        fp = tiny.fingerprint()
+        copy = tiny.with_machines(7, share_caches=True)
+        assert copy._misc_cache.get("fingerprint") == fp
+
+
+class TestCacheRelease:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_release_then_resolve_bit_identical(self, variant):
+        inst = medium_suite()[0][1]
+        warm = fresh(inst)
+        before = solve(warm, variant)
+        stats = warm.cache_stats()
+        assert stats["fast_ctx"] == 1
+        assert stats["sorted_views"] + stats["frac_views"] + stats["misc"] > 0
+        warm.release_caches()
+        cleared = warm.cache_stats()
+        assert cleared == {
+            "frac_views": 0, "sorted_views": 0, "misc": 0, "fast_ctx": 0, "batch": 0,
+        }
+        after = solve(warm, variant)
+        assert_same_solve(after, before)
+
+    def test_release_clears_shared_copies_too(self, tiny):
+        solve(tiny, Variant.NONPREEMPTIVE)
+        copy = tiny.with_machines(5, share_caches=True)
+        assert copy.cache_stats()["sorted_views"] > 0
+        tiny.release_caches()
+        assert copy.cache_stats()["sorted_views"] == 0
+
+    def test_context_release_drops_batch_scratch(self, tiny):
+        from repro.core import batchdual
+
+        ctx = tiny.fast_ctx()
+        ctx.batch_cache["np_views"] = {"x": 1}
+        ctx.batch_cache["np_sorted"] = {0: (), 1: ()}
+        assert batchdual.cache_entries(ctx) == 3
+        clone = ctx.for_m(tiny.m + 1)
+        ctx.release()
+        assert batchdual.cache_entries(ctx) == 0
+        assert clone.batch_cache is ctx.batch_cache  # shared, cleared together
+
+
+# --------------------------------------------------------------------------- #
+# the LRU table
+# --------------------------------------------------------------------------- #
+
+
+class TestInstanceLRU:
+    def make(self, n: int) -> list[Instance]:
+        # n > m so solve() takes the dual path and builds the fast context.
+        return [
+            Instance.build(2, [(i + 1, [i + 2, 1, 3]), (2, [2, 2])])
+            for i in range(n)
+        ]
+
+    def test_peak_never_exceeds_bound(self):
+        lru = InstanceLRU(max_entries=2)
+        for inst in self.make(6):
+            lru[inst.fingerprint()] = inst
+        stats = lru.stats()
+        assert stats.peak_entries <= 2
+        assert stats.entries == 2
+        assert stats.evictions == 4
+
+    def test_lru_order_and_hit_refresh(self):
+        a, b, c = self.make(3)
+        lru = InstanceLRU(max_entries=2)
+        lru[a.fingerprint()] = a
+        lru[b.fingerprint()] = b
+        assert lru.get(a.fingerprint()) is a  # refresh a: b is now LRU
+        lru[c.fingerprint()] = c
+        assert a.fingerprint() in lru
+        assert b.fingerprint() not in lru
+        stats = lru.stats()
+        assert stats.hits == 1 and stats.evictions == 1
+
+    def test_eviction_releases_caches(self):
+        a, b = self.make(2)
+        solve(a, Variant.NONPREEMPTIVE)
+        assert a.cache_stats()["fast_ctx"] == 1
+        lru = InstanceLRU(max_entries=1)
+        lru[a.fingerprint()] = a
+        lru[b.fingerprint()] = b
+        assert a.cache_stats() == {
+            "frac_views": 0, "sorted_views": 0, "misc": 0, "fast_ctx": 0, "batch": 0,
+        }
+
+    def test_clear_releases_everything(self):
+        insts = self.make(3)
+        lru = InstanceLRU(max_entries=4)
+        for inst in insts:
+            inst.fast_ctx()
+            lru[inst.fingerprint()] = inst
+        lru.clear()
+        assert len(lru) == 0
+        assert all(i.cache_stats()["fast_ctx"] == 0 for i in insts)
+        assert lru.stats().evictions == 3
+
+    def test_rejects_silly_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            InstanceLRU(max_entries=0)
+
+    def test_misses_counted(self):
+        lru = InstanceLRU(max_entries=2)
+        assert lru.get("nope") is None
+        assert lru.stats().misses == 1
+
+
+# --------------------------------------------------------------------------- #
+# batch_api: up-front validation (satellite) + solve_batch coalescing
+# --------------------------------------------------------------------------- #
+
+
+class TestUpFrontValidation:
+    def insts(self) -> list[Instance]:
+        return [inst for _, inst in small_exact_suite()[:3]]
+
+    def test_solve_many_rejects_bad_variant_before_solving(self):
+        with pytest.raises(ValueError, match="unknown variant 'nonpremptive'"):
+            solve_many(self.insts(), "nonpremptive")
+
+    def test_solve_many_rejects_bad_algorithm_before_solving(self):
+        with pytest.raises(ValueError, match="unknown algorithm 'threehalves'"):
+            solve_many(self.insts(), algorithm="threehalves")
+
+    def test_sweep_machines_rejects_bad_names(self):
+        inst = self.insts()[0]
+        with pytest.raises(ValueError, match="unknown variant"):
+            sweep_machines(inst, [2, 3], "splitable")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            sweep_machines(inst, [2, 3], Variant.SPLITTABLE, "best")
+
+    def test_bounds_mode_rejects_two_up_front(self):
+        with pytest.raises(ValueError, match="dual-search"):
+            solve_many(self.insts(), algorithm="two", schedules=False)
+
+    def test_string_variant_now_first_class(self):
+        insts = self.insts()
+        by_name = solve_many(insts, "splittable")
+        by_enum = solve_many(insts, Variant.SPLITTABLE)
+        for a, b in zip(by_name, by_enum):
+            assert_same_solve(a, b)
+
+    def test_solve_batch_validates_every_item_first(self, tiny):
+        items = [BatchItem(tiny), BatchItem(tiny, variant="wat")]
+        with pytest.raises(ValueError, match="unknown variant 'wat'"):
+            solve_batch(items)
+
+    def test_solve_batch_forced_grid_rejects_schedule_items(self, tiny):
+        # same loud-failure contract as sweep_machines/solve_many
+        with pytest.raises(ValueError, match="bounds-only"):
+            solve_batch([BatchItem(tiny)], use_grid=True)
+        with pytest.raises(ValueError, match="bounds-only"):
+            solve_batch([BatchItem(tiny, ms=(2, 3))], use_grid=True)
+
+
+class TestSolveBatch:
+    def test_heterogeneous_batch_matches_looped_solve(self):
+        insts = [inst for _, inst in medium_suite()[:2]]
+        items = [
+            BatchItem(insts[0]),
+            BatchItem(insts[0].with_machines(insts[0].m + 1), variant=Variant.PREEMPTIVE),
+            BatchItem(insts[1], variant=Variant.SPLITTABLE, schedules=False),
+            BatchItem(insts[0], variant="preemptive", algorithm="eps", schedules=False),
+            BatchItem(insts[1], ms=(2, 3, insts[1].n + 1), schedules=False),
+            BatchItem(insts[1], ms=(2, 4)),
+        ]
+        out = solve_batch(items)
+        assert_same_solve(out[0], solve(fresh(insts[0]), Variant.NONPREEMPTIVE))
+        assert_same_solve(
+            out[1], solve(fresh(insts[0], insts[0].m + 1), Variant.PREEMPTIVE)
+        )
+        assert_same_bounds(out[2], solve(fresh(insts[1]), Variant.SPLITTABLE))
+        assert_same_bounds(
+            out[3], solve(fresh(insts[0]), Variant.PREEMPTIVE, "eps")
+        )
+        for m, point in zip((2, 3, insts[1].n + 1), out[4]):
+            assert_same_bounds(point, solve(fresh(insts[1], m), Variant.NONPREEMPTIVE))
+        for m, res in zip((2, 4), out[5]):
+            assert_same_solve(res, solve(fresh(insts[1], m), Variant.NONPREEMPTIVE))
+
+    def test_caller_owned_reps_persist_across_batches(self):
+        inst = medium_suite()[0][1]
+        reps: dict[str, Instance] = {}
+        first = solve_batch([BatchItem(inst)], reps=reps)[0]
+        assert list(reps) == [inst.fingerprint()]
+        warm = reps[inst.fingerprint()]
+        again = solve_batch([BatchItem(fresh(inst))], reps=reps)[0]
+        assert reps[inst.fingerprint()] is warm  # second batch reused the rep
+        assert_same_solve(first, again)
+
+    def test_lru_as_reps_mapping(self):
+        insts = [inst for _, inst in small_exact_suite()[:4]]
+        lru = InstanceLRU(max_entries=2)
+        out = solve_batch([BatchItem(i) for i in insts], reps=lru)
+        assert len(out) == len(insts)
+        assert lru.stats().peak_entries <= 2
+        for inst, res in zip(insts, out):
+            assert_same_solve(res, solve(fresh(inst), Variant.NONPREEMPTIVE))
+
+
+# --------------------------------------------------------------------------- #
+# protocol
+# --------------------------------------------------------------------------- #
+
+
+class TestProtocol:
+    def test_time_round_trip(self):
+        for value in (Fraction(7), Fraction(27, 2), Fraction(-3, 7), 12):
+            assert parse_time(encode_time(value)) == Fraction(value)
+
+    def test_floats_rejected(self):
+        with pytest.raises(ProtocolError, match="floats are not accepted"):
+            parse_time(1.5)
+        with pytest.raises(ProtocolError):
+            parse_time([1.0, 2])
+        with pytest.raises(ProtocolError):
+            parse_time(True)
+
+    def test_instance_round_trip(self, tiny):
+        assert instance_from_obj(instance_to_obj(tiny)) == tiny
+
+    def test_bad_instances_are_protocol_errors(self):
+        with pytest.raises(ProtocolError, match="instance.m"):
+            instance_from_obj({"m": "2", "setups": [1], "jobs": [[1]]})
+        with pytest.raises(ProtocolError, match="setups"):
+            instance_from_obj({"m": 2, "setups": 3, "jobs": [[1]]})
+        with pytest.raises(ProtocolError, match="invalid instance"):
+            instance_from_obj({"m": 2, "setups": [1], "jobs": [[]]})
+
+    def test_request_defaults(self, tiny):
+        req = request_from_obj({"instance": instance_to_obj(tiny)})
+        assert req.variant is Variant.NONPREEMPTIVE
+        assert req.algorithm == "three_halves"
+        assert req.schedules and req.ms is None and req.id is None
+
+    def test_bounds_only_flag_forms(self, tiny):
+        obj = {"instance": instance_to_obj(tiny)}
+        assert request_from_obj({**obj, "bounds_only": True}).schedules is False
+        assert request_from_obj({**obj, "schedules": False}).schedules is False
+        with pytest.raises(ProtocolError, match="contradictory"):
+            request_from_obj({**obj, "schedules": True, "bounds_only": True})
+
+    def test_unknown_fields_rejected(self, tiny):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            request_from_obj({"instance": instance_to_obj(tiny), "machines": [2]})
+
+    def test_bad_names_surface_as_value_errors(self, tiny):
+        obj = {"instance": instance_to_obj(tiny)}
+        with pytest.raises(ValueError, match="unknown variant"):
+            request_from_obj({**obj, "variant": "npn"})
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            request_from_obj({**obj, "algorithm": "halves"})
+
+    def test_bad_ms_and_eps(self, tiny):
+        obj = {"instance": instance_to_obj(tiny)}
+        with pytest.raises(ProtocolError, match="ms"):
+            request_from_obj({**obj, "ms": [0, 2]})
+        with pytest.raises(ProtocolError, match="eps"):
+            request_from_obj({**obj, "eps": [1, 0]})
+        with pytest.raises(ProtocolError, match="eps must be positive"):
+            request_from_obj({**obj, "eps": [-1, 100]})
+
+    def test_result_encoding_solve(self, tiny):
+        ref = solve(tiny, Variant.NONPREEMPTIVE)
+        obj = result_to_obj(ref)
+        assert obj["kind"] == "solve"
+        assert parse_time(obj["T"]) == ref.T
+        assert parse_time(obj["makespan"]) == ref.makespan
+        sched = obj["schedule"]
+        n_rows = len(sched["machine"])
+        assert all(
+            len(sched[key]) == n_rows
+            for key in ("start_num", "length_num", "cls", "job_idx")
+        )
+        json.dumps(obj)  # strictly JSON-serializable (no numpy scalars)
+
+    def test_response_and_error_lines(self, tiny):
+        ref = solve(tiny, Variant.NONPREEMPTIVE)
+        line = response_line(7, ref)
+        parsed = json.loads(line)
+        assert parsed["id"] == 7 and parsed["ok"] and len(parsed["results"]) == 1
+        err = json.loads(error_line("x", "boom"))
+        assert err == {"id": "x", "ok": False, "error": "boom"}
+
+
+# --------------------------------------------------------------------------- #
+# the service engine
+# --------------------------------------------------------------------------- #
+
+
+def run_service(requests, config: ServiceConfig):
+    """Submit concurrently through a fresh service; results in order."""
+
+    async def main():
+        async with SolveService(config) as svc:
+            out = await svc.submit_many(requests)
+            return out, svc.stats()
+
+    return asyncio.run(main())
+
+
+class TestServiceEngine:
+    def mixed_requests(self) -> list[SolveRequest]:
+        insts = [inst for _, inst in small_exact_suite()[:3]]
+        insts.append(medium_suite()[0][1])
+        reqs = []
+        for k in range(24):
+            inst = insts[k % len(insts)]
+            reqs.append(
+                SolveRequest(
+                    instance=fresh(inst, 1 + k % (inst.m + 2)),
+                    variant=list(Variant)[k % 3],
+                    schedules=(k % 2 == 0),
+                    ms=(2, 1 + inst.n) if k % 5 == 0 else None,
+                    id=k,
+                )
+            )
+        return reqs
+
+    def test_mixed_burst_bit_identical_and_ordered(self):
+        reqs = self.mixed_requests()
+        results, stats = run_service(
+            reqs, ServiceConfig(shards=3, max_batch=5, max_instances=2)
+        )
+        assert len(results) == len(reqs)
+        for req, result in zip(reqs, results):
+            assert_matches_reference(req, result)
+        assert stats.requests == len(reqs)
+        assert stats.peak_instances <= stats.max_instances
+        assert stats.cache_hits > 0  # coalescing actually happened
+
+    def test_single_shard_tiny_windows_still_correct(self):
+        reqs = self.mixed_requests()[:10]
+        results, stats = run_service(
+            reqs,
+            ServiceConfig(shards=1, max_batch=1, max_inflight=2, max_instances=1),
+        )
+        for req, result in zip(reqs, results):
+            assert_matches_reference(req, result)
+        assert stats.peak_inflight <= 2
+        assert stats.peak_instances <= 1
+
+    def test_submit_validates_before_dispatch(self, tiny):
+        async def main():
+            async with SolveService(ServiceConfig(shards=1)) as svc:
+                with pytest.raises(ValueError, match="unknown variant"):
+                    await svc.submit(SolveRequest(instance=tiny, variant="zzz"))
+                return svc.stats()
+
+        stats = asyncio.run(main())
+        assert stats.requests == 0  # never reached a shard
+
+    def test_submit_outside_lifecycle_raises(self, tiny):
+        svc = SolveService()
+
+        async def main():
+            with pytest.raises(RuntimeError, match="not running"):
+                await svc.submit(SolveRequest(instance=tiny))
+
+        asyncio.run(main())
+
+    def test_sharding_is_fingerprint_deterministic(self):
+        insts = [inst for _, inst in small_exact_suite()[:5]]
+        for inst in insts:
+            fp = inst.fingerprint()
+            assert shard_index(fp, 4) == shard_index(fresh(inst, 9).fingerprint(), 4)
+            assert 0 <= shard_index(fp, 3) < 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ServiceConfig(shards=0)
+        with pytest.raises(ValueError, match="unknown kernel"):
+            ServiceConfig(kernel="quick")
+
+
+class TestServiceFuzz:
+    """Seeded async fuzz: random interleavings, bit-identical responses.
+
+    Instances come from a fixed small pool; requests randomize machine
+    count, variant, mode and sweeps; the event loop yields at random
+    points so completions interleave arbitrarily with submissions.  The
+    reference is always the sequential loop of fresh ``solve()`` calls.
+    Runs on whatever numeric stack is ambient — CI exercises the suite
+    both with and without numpy.
+    """
+
+    POOL_SEEDS = (11, 12, 13)
+
+    def pool(self) -> list[Instance]:
+        pool = [
+            uniform_instance(m=3 + s % 3, c=2 + s % 4, n_per_class=3, seed=s)
+            for s in self.POOL_SEEDS
+        ]
+        pool.extend(inst for _, inst in small_exact_suite()[:2])
+        return pool
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_interleavings(self, seed):
+        rng = random.Random(1000 + seed)
+        pool = self.pool()
+        config = ServiceConfig(
+            shards=rng.randint(1, 4),
+            max_batch=rng.randint(1, 8),
+            max_inflight=rng.randint(2, 32),
+            max_instances=rng.randint(1, 3),
+        )
+        reqs = []
+        for k in range(rng.randint(12, 28)):
+            inst = rng.choice(pool)
+            ms = None
+            if rng.random() < 0.25:
+                ms = tuple(
+                    sorted(
+                        rng.sample(
+                            range(1, inst.n + 2),
+                            rng.randint(1, min(3, inst.n + 1)),
+                        )
+                    )
+                )
+            reqs.append(
+                SolveRequest(
+                    instance=fresh(inst, rng.randint(1, inst.n + 1)),
+                    variant=rng.choice(list(Variant)),
+                    algorithm=rng.choice(("three_halves", "eps")),
+                    schedules=rng.random() < 0.5,
+                    ms=ms,
+                    id=k,
+                )
+            )
+
+        async def main():
+            async with SolveService(config) as svc:
+                async def one(req):
+                    for _ in range(rng.randint(0, 2)):
+                        await asyncio.sleep(0)  # shuffle task wakeups
+                    return await svc.submit(req)
+
+                results = await asyncio.gather(*(one(r) for r in reqs))
+                return list(results), svc.stats()
+
+        results, stats = asyncio.run(main())
+        for req, result in zip(reqs, results):
+            assert_matches_reference(req, result)
+        assert stats.peak_instances <= stats.max_instances
+        assert stats.peak_inflight <= config.max_inflight
+
+
+# --------------------------------------------------------------------------- #
+# front ends
+# --------------------------------------------------------------------------- #
+
+
+class TestTcpServer:
+    def test_round_trip_and_shutdown(self, tiny):
+        async def main():
+            async with SolveService(ServiceConfig(shards=2)) as svc:
+                server = await serve_tcp(svc, "127.0.0.1", 0)
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(host, port)
+                lines = [
+                    {"id": 1, "instance": instance_to_obj(tiny)},
+                    {"id": 2, "instance": instance_to_obj(tiny),
+                     "bounds_only": True, "ms": [2, 3]},
+                    {"id": 3, "op": "stats"},
+                    {"id": 4, "op": "shutdown"},
+                ]
+                for obj in lines:
+                    writer.write((json.dumps(obj) + "\n").encode())
+                await writer.drain()
+                replies = [json.loads(await reader.readline()) for _ in lines]
+                writer.close()
+                await server.repro_shutdown.wait()
+                server.close()
+                await server.wait_closed()
+                return replies
+
+        replies = asyncio.run(main())
+        assert [r["id"] for r in replies] == [1, 2, 3, 4]  # request order
+        assert all(r["ok"] for r in replies)
+        ref = solve(fresh(tiny), Variant.NONPREEMPTIVE)
+        got = replies[0]["results"][0]
+        assert parse_time(got["T"]) == ref.T
+        assert parse_time(got["makespan"]) == ref.makespan
+        assert len(replies[1]["results"]) == 2
+        # stats snapshots at its response-order position: both earlier
+        # requests on this connection are deterministically counted
+        assert replies[2]["stats"]["requests"] == 2
+        assert replies[2]["stats"]["max_instances"] == 2 * 8
+        assert replies[3]["bye"] is True
+
+
+class TestTcpDisconnect:
+    def test_abrupt_client_disconnect_does_not_wedge(self, tiny):
+        """Client vanishes mid-pipeline: handler must unwind, not leak.
+
+        Regression for the write-side window leak: a dead peer makes
+        ``write_line`` raise, and the per-connection backpressure slots
+        must still be released so the handler (and service shutdown)
+        do not block forever.
+        """
+
+        async def main():
+            config = ServiceConfig(shards=1, max_inflight=4)
+            async with SolveService(config) as svc:
+                server = await serve_tcp(svc, "127.0.0.1", 0)
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(host, port)
+                payload = b"".join(
+                    json.dumps({"id": k, "instance": instance_to_obj(tiny)}).encode()
+                    + b"\n"
+                    for k in range(16)  # 4x the window
+                )
+                writer.write(payload)
+                await writer.drain()
+                writer.close()  # vanish without reading a single response
+                await asyncio.sleep(0.05)
+                server.close()
+                await server.wait_closed()
+            return True
+
+        assert asyncio.run(asyncio.wait_for(main(), timeout=30))
+
+
+class TestStdioCli:
+    def test_subprocess_session(self, tiny):
+        payload = "".join(
+            json.dumps(obj) + "\n"
+            for obj in (
+                {"id": 1, "instance": instance_to_obj(tiny)},
+                {"id": 2, "instance": instance_to_obj(tiny), "variant": "splittable",
+                 "bounds_only": True},
+                {"id": 3, "instance": instance_to_obj(tiny), "variant": "oops"},
+                {"id": 4, "op": "ping"},
+            )
+        )
+        env = dict(os.environ, PYTHONPATH=SRC + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.service", "--shards", "2"],
+            input=payload, capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        replies = [json.loads(line) for line in proc.stdout.splitlines() if line]
+        assert [r["id"] for r in replies] == [1, 2, 3, 4]
+        ref = solve(fresh(tiny), Variant.NONPREEMPTIVE)
+        assert parse_time(replies[0]["results"][0]["makespan"]) == ref.makespan
+        split = solve(fresh(tiny), Variant.SPLITTABLE)
+        assert parse_time(replies[1]["results"][0]["T"]) == split.T
+        assert replies[2]["ok"] is False and "unknown variant" in replies[2]["error"]
+        assert replies[3]["pong"] is True
