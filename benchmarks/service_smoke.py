@@ -16,16 +16,28 @@ fingerprints), and asserts:
 * **liveness/ordering** — one response line per request, ids echoed in
   request order.
 
+``--faults`` switches to the **chaos smoke**: the same subprocess
+harness armed with each fixed :meth:`FaultPlan.preset` in turn (worker
+kills, injected delays against short deadlines, in-batch raises, a
+client that drops its connection mid-burst) and asserts the robustness
+contract — the run finishes within a bounded wall time, every request
+resolves as either a bit-identical answer or a structured error from
+the closed taxonomy, restart/timeout/shed counters reconcile with the
+observed errors, and the server always exits cleanly.
+
 Used by CI on both dependency footprints (numpy and minimal — the
-service must behave identically on the scalar tier).
+service must behave identically on the scalar tier), in both modes.
 """
 
 from __future__ import annotations
 
+import argparse
+import asyncio
 import json
 import os
 import subprocess
 import sys
+import time
 from fractions import Fraction
 from pathlib import Path
 
@@ -36,10 +48,19 @@ from repro.core.bounds import Variant  # noqa: E402
 from repro.core.instance import Instance  # noqa: E402
 from repro.experiments.scaling import service_burst, service_pool  # noqa: E402
 from repro.generators import uniform_instance  # noqa: E402
-from repro.service.protocol import instance_to_obj, parse_time  # noqa: E402
+from repro.service.faults import FaultPlan  # noqa: E402
+from repro.service.protocol import ERROR_CODES, instance_to_obj, parse_time  # noqa: E402
 
 BURST_SIZE = 50
 MAX_RSS_KIB = 600_000  # ~586 MiB — an order of magnitude above observed (~40 MiB)
+CHAOS_BURST = 16
+CHAOS_WALL_S = 120.0  # hard per-scenario ceiling: chaos must stay bounded
+ENV = dict(
+    os.environ,
+    PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src")
+    + os.pathsep
+    + os.environ.get("PYTHONPATH", ""),
+)
 
 
 def build_requests() -> list[dict]:
@@ -91,23 +112,17 @@ def reference_schedule_key(schedule) -> list[tuple]:
     )
 
 
-def main() -> int:
+def smoke() -> int:
     requests = build_requests()
     lines = [json.dumps(o) for o in requests]
     lines.append(json.dumps({"id": "stats", "op": "stats"}))
-    env = dict(
-        os.environ,
-        PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src")
-        + os.pathsep
-        + os.environ.get("PYTHONPATH", ""),
-    )
     proc = subprocess.run(
         [
             sys.executable, "-m", "repro.service",
             "--shards", "4", "--max-instances", "1",
         ],
         input="\n".join(lines) + "\n",
-        capture_output=True, text=True, env=env, timeout=600,
+        capture_output=True, text=True, env=ENV, timeout=600,
     )
     assert proc.returncode == 0, f"service exited {proc.returncode}: {proc.stderr}"
     replies = [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
@@ -156,6 +171,207 @@ def main() -> int:
         f"maxrss {maxrss} KiB"
     )
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# chaos mode: the fixed FaultPlan preset set
+# --------------------------------------------------------------------------- #
+
+
+def chaos_requests(timeout_ms: int | None = None) -> list[dict]:
+    """A small deterministic burst over two fingerprints (chaos payload)."""
+    pool = [
+        uniform_instance(m=3, c=3, n_per_class=3, seed=7),
+        uniform_instance(m=4, c=2, n_per_class=4, seed=9),
+    ]
+    out = []
+    for k in range(CHAOS_BURST):
+        inst = pool[k % len(pool)]
+        obj = {
+            "id": k,
+            "instance": instance_to_obj(inst),
+            "variant": Variant.NONPREEMPTIVE.value,
+            "schedules": k % 3 != 0,
+        }
+        if timeout_ms is not None:
+            obj["timeout_ms"] = timeout_ms
+        out.append(obj)
+    return out
+
+
+def check_reply(obj: dict, reply: dict, expect_codes: set[str]) -> str:
+    """One chaos reply: bit-identical answer, or a well-formed error.
+
+    Returns the outcome — ``"ok"`` or the error code — for accounting.
+    """
+    assert reply["id"] == obj["id"], f"id mismatch: {reply} vs {obj}"
+    if reply["ok"]:
+        refs = reference_results(obj)
+        got = reply["results"]
+        assert len(got) == len(refs)
+        for res, ref in zip(got, refs):
+            assert parse_time(res["T"]) == ref.T, f"request {obj['id']}: T mismatch"
+            assert parse_time(res["ratio_bound"]) == ref.ratio_bound
+            assert parse_time(res["opt_lower_bound"]) == ref.opt_lower_bound
+            if res["kind"] == "solve":
+                assert parse_time(res["makespan"]) == ref.makespan
+                assert schedule_key(res["schedule"]) == reference_schedule_key(
+                    ref.schedule
+                ), f"request {obj['id']}: schedule rows differ"
+        return "ok"
+    error = reply["error"]
+    assert isinstance(error, dict), f"unstructured error: {error!r}"
+    assert error["code"] in ERROR_CODES, f"unknown code {error['code']!r}"
+    assert error["code"] in expect_codes, (
+        f"request {obj['id']}: unexpected {error['code']!r} "
+        f"(allowed: {sorted(expect_codes)}): {error['message']}"
+    )
+    assert isinstance(error["retryable"], bool)
+    return error["code"]
+
+
+def reconcile(stats: dict, outcomes: list[str]) -> None:
+    """Counters must account for every shed / timed-out / restarted unit."""
+    assert stats["timeouts"] == outcomes.count("timeout"), (
+        f"stats.timeouts={stats['timeouts']} vs "
+        f"{outcomes.count('timeout')} timeout replies"
+    )
+    assert stats["shed"] == outcomes.count("overloaded")
+    assert stats["restarts"] <= 3  # the default max_restarts bound
+    assert stats["worker_deaths"] >= stats["restarts"]
+    assert stats["failed_shards"] == 0, "chaos presets stay within the budget"
+
+
+def run_stdio_scenario(name: str, expect_codes: set[str],
+                       timeout_ms: int | None = None) -> str:
+    plan = FaultPlan.preset(name)
+    objs = chaos_requests(timeout_ms)
+    lines = [json.dumps(o) for o in objs]
+    lines.append(json.dumps({"id": "stats", "op": "stats"}))
+    start = time.monotonic()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.service",
+            "--shards", "1", "--max-batch", "2",
+            "--faults", json.dumps(plan.to_obj()),
+        ],
+        input="\n".join(lines) + "\n",
+        capture_output=True, text=True, env=ENV, timeout=CHAOS_WALL_S,
+    )
+    wall = time.monotonic() - start
+    assert wall < CHAOS_WALL_S, f"{name}: wall {wall:.1f}s over bound"
+    assert proc.returncode == 0, f"{name}: exited {proc.returncode}: {proc.stderr}"
+    replies = [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
+    assert len(replies) == len(objs) + 1, (
+        f"{name}: expected {len(objs) + 1} replies, got {len(replies)}"
+    )
+    outcomes = [
+        check_reply(obj, reply, expect_codes)
+        for obj, reply in zip(objs, replies)
+    ]
+    stats_reply = replies[-1]
+    assert stats_reply["ok"] and stats_reply["id"] == "stats"
+    reconcile(stats_reply["stats"], outcomes)
+    errors = len(outcomes) - outcomes.count("ok")
+    assert errors > 0, f"{name}: the injected fault never surfaced"
+    return (
+        f"{name}: {outcomes.count('ok')} ok / {errors} structured errors, "
+        f"deaths {stats_reply['stats']['worker_deaths']}, "
+        f"restarts {stats_reply['stats']['restarts']}, "
+        f"timeouts {stats_reply['stats']['timeouts']}, wall {wall:.1f}s"
+    )
+
+
+def run_drop_scenario() -> str:
+    """Client vanishes mid-burst; the server must shrug and keep serving."""
+    plan = FaultPlan.preset("drop")
+    drop_after = plan.drop_connection_after()
+    objs = chaos_requests()
+    start = time.monotonic()
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--tcp", "127.0.0.1:0", "--shards", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=ENV,
+    )
+    try:
+        banner = proc.stderr.readline()
+        assert "listening on" in banner, f"no banner: {banner!r}"
+        host, port = banner.rsplit(" ", 1)[-1].strip().rsplit(":", 1)
+
+        async def drive():
+            # Connection 1: pipeline `drop_after` requests, vanish unread.
+            _, writer = await asyncio.open_connection(host, int(port))
+            for obj in objs[:drop_after]:
+                writer.write((json.dumps(obj) + "\n").encode())
+            await writer.drain()
+            writer.close()
+            # Connection 2: the rest of the burst, read everything.
+            reader, writer = await asyncio.open_connection(host, int(port))
+            tail = objs[drop_after:]
+            for obj in tail:
+                writer.write((json.dumps(obj) + "\n").encode())
+            writer.write(
+                (json.dumps({"id": "stats", "op": "stats"}) + "\n").encode()
+            )
+            writer.write(
+                (json.dumps({"id": "bye", "op": "shutdown"}) + "\n").encode()
+            )
+            await writer.drain()
+            replies = [
+                json.loads(await reader.readline()) for _ in range(len(tail) + 2)
+            ]
+            writer.close()
+            return replies
+
+        replies = asyncio.run(asyncio.wait_for(drive(), timeout=CHAOS_WALL_S))
+        tail = objs[drop_after:]
+        outcomes = [
+            check_reply(obj, reply, set()) for obj, reply in zip(tail, replies)
+        ]
+        assert outcomes == ["ok"] * len(tail)  # a dropped peer harms nobody
+        stats_reply = replies[len(tail)]
+        assert stats_reply["ok"]
+        reconcile(stats_reply["stats"], outcomes)
+        assert replies[-1]["bye"] is True
+        assert proc.wait(timeout=CHAOS_WALL_S) == 0
+        wall = time.monotonic() - start
+        assert wall < CHAOS_WALL_S, f"drop: wall {wall:.1f}s over bound"
+        return (
+            f"drop: dropped after {drop_after}, {len(tail)} follow-up ok, "
+            f"clean exit, wall {wall:.1f}s"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def chaos() -> int:
+    summaries = [
+        run_stdio_scenario("kill", {"internal"}),
+        # 100 ms budget vs two injected 250 ms stalls on one worker:
+        # the stalled solves and everything queued behind them time out.
+        run_stdio_scenario("delay", {"timeout"}, timeout_ms=100),
+        run_stdio_scenario("raise", {"internal"}),
+        run_drop_scenario(),
+    ]
+    for line in summaries:
+        print(f"chaos {line}")
+    print(f"service chaos ok: {len(summaries)} scenarios, "
+          f"every response bit-identical or structured")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="run the chaos smoke (fixed FaultPlan presets) instead",
+    )
+    args = parser.parse_args(argv)
+    return chaos() if args.faults else smoke()
 
 
 if __name__ == "__main__":

@@ -36,10 +36,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, MutableMapping, Optional, Sequence, Union
+from typing import Callable, Iterable, MutableMapping, Optional, Sequence, Union
 
 from ..core import batchdual
 from ..core.bounds import Variant, lower_bound, setup_plus_tmax
+from ..core.cancel import CancelToken, cancel_scope
 from ..core.fastnum import validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time
@@ -452,6 +453,8 @@ def solve_batch(
     kernel: Kernel = "fast",
     reps: Optional[MutableMapping[str, Instance]] = None,
     use_grid: Optional[bool] = None,
+    cancels: Optional[Sequence[Optional[CancelToken]]] = None,
+    before_solve: Optional[Callable[[BatchItem], None]] = None,
 ) -> list:
     """Solve one heterogeneous micro-batch, coalescing equal instances.
 
@@ -475,6 +478,16 @@ def solve_batch(
     ``SolveResult`` | :class:`SweepPoint` for single solves, a list
     thereof for ``ms`` sweeps — each bit-identical to the corresponding
     fresh-instance ``solve()`` / ``sweep_machines`` call.
+
+    ``cancels`` (aligned with ``items``) attaches a per-item
+    :class:`~repro.core.cancel.CancelToken`: each item solves inside a
+    ``cancel_scope`` of its token, so an expired deadline aborts that
+    item's search at the next probe boundary with
+    :class:`~repro.core.cancel.SolveCancelled` — and output stays
+    bit-identical whenever no token fires.  ``before_solve`` is an
+    instrumentation hook invoked with each item just before its solve —
+    the service's fault-injection harness hangs delays/raises off it;
+    production callers leave it ``None``.
     """
     validate_kernel(kernel)
     prepared = [
@@ -486,34 +499,47 @@ def solve_batch(
             "use_grid=True applies to bounds-only items (schedules=False); "
             "full-schedule items use the scalar searches"
         )
+    if cancels is not None and len(cancels) != len(items):
+        raise ValueError(
+            f"cancels must align with items: {len(cancels)} tokens "
+            f"for {len(items)} items"
+        )
     if reps is None:
         reps = {}
     out: list = []
-    for item, variant in prepared:
-        inst = item.instance
-        fp = inst.fingerprint()
-        rep = reps.get(fp)
-        if rep is None:
-            reps[fp] = inst
-            shared = inst
-        elif rep is inst:
-            shared = inst
-        else:
-            shared = rep.with_machines(inst.m, share_caches=True)
-        if item.ms is not None:
-            out.append(
-                sweep_machines(
-                    shared, item.ms, variant, item.algorithm, item.eps,
-                    kernel=kernel, schedules=item.schedules, use_grid=use_grid,
+    for idx, (item, variant) in enumerate(prepared):
+        token = cancels[idx] if cancels is not None else None
+        with cancel_scope(token):
+            if before_solve is not None:
+                before_solve(item)
+            if token is not None:
+                token.check()  # skip work that is already past its deadline
+            inst = item.instance
+            fp = inst.fingerprint()
+            rep = reps.get(fp)
+            if rep is None:
+                reps[fp] = inst
+                shared = inst
+            elif rep is inst:
+                shared = inst
+            else:
+                shared = rep.with_machines(inst.m, share_caches=True)
+            if item.ms is not None:
+                out.append(
+                    sweep_machines(
+                        shared, item.ms, variant, item.algorithm, item.eps,
+                        kernel=kernel, schedules=item.schedules, use_grid=use_grid,
+                    )
                 )
-            )
-        elif item.schedules:
-            out.append(solve(shared, variant, item.algorithm, item.eps, kernel=kernel))
-        else:
-            grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
-            if grid and use_grid is None and not _grid_safe_cached(shared, variant):
-                grid = False  # auto policy, see sweep_machines
-            out.append(
-                _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
-            )
+            elif item.schedules:
+                out.append(
+                    solve(shared, variant, item.algorithm, item.eps, kernel=kernel)
+                )
+            else:
+                grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+                if grid and use_grid is None and not _grid_safe_cached(shared, variant):
+                    grid = False  # auto policy, see sweep_machines
+                out.append(
+                    _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
+                )
     return out

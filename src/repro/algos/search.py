@@ -40,6 +40,13 @@ Two batching hooks sit on top of that contract:
   re-test interval endpoints across phases, and a machine sweep re-uses
   each phase's frontier — with the memo each distinct ``T`` hits the
   kernel once.
+
+Every probe loop additionally polls :func:`repro.core.cancel.
+check_cancelled` between dual tests: a solve running under a
+``cancel_scope`` (the service installs one per request to enforce
+``timeout_ms``) aborts with :class:`~repro.core.cancel.SolveCancelled`
+at the next probe boundary.  The poll never changes a probe, so results
+are bit-identical whenever the token does not fire.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from fractions import Fraction
 from typing import Callable, Optional, Sequence
 
 from ..core.bounds import Variant, t_min
+from ..core.cancel import check_cancelled
 from ..core.instance import Instance
 from ..core.numeric import Time, TimeLike, as_time, frac_ceil
 from ..core.schedule import Schedule
@@ -86,6 +94,7 @@ class MemoAccept:
         hit = self.cache.get(key, _MISSING)
         if hit is not _MISSING:
             return hit  # type: ignore[return-value]
+        check_cancelled()  # probe boundary: no partial state to unwind
         self.calls += 1
         verdict = self.fn(T)
         self.cache[key] = verdict
@@ -110,6 +119,7 @@ class MemoAccept:
                 if cache.get((T.numerator, T.denominator), _MISSING) is _MISSING
             ]
             if unknown:
+                check_cancelled()
                 fresh = grid_accept(unknown)
                 self.calls += len(unknown)
                 for T, verdict in zip(unknown, fresh):
@@ -153,6 +163,7 @@ def _grid_narrow(lo: int, hi: int, evaluate) -> tuple[int, int]:
     list bisection (integers are list indices).
     """
     while hi - lo > 1:
+        check_cancelled()
         if hi - lo - 1 <= GRID_BLOCK:
             cands = list(range(lo + 1, hi))
         else:
@@ -199,6 +210,7 @@ def binary_search_dual(
             r += 1
         step = tmin / (1 << r)
         grid = [tmin + j * step for j in range((1 << r) + 1)]
+        check_cancelled()
         flags = grid_accept(grid)
         calls = len(grid)
         if flags[0]:
@@ -216,6 +228,7 @@ def binary_search_dual(
 
     def test(T: Time) -> bool:
         nonlocal calls
+        check_cancelled()  # probe boundary
         calls += 1
         return accept(T)
 
@@ -257,6 +270,7 @@ def integer_search_dual(
     calls = 0
 
     if grid_accept is not None:
+        check_cancelled()
         first = grid_accept([Fraction(lo_int)])
         calls += 1
         if first[0]:
@@ -278,6 +292,7 @@ def integer_search_dual(
 
     def test(T: int) -> bool:
         nonlocal calls
+        check_cancelled()  # probe boundary
         calls += 1
         return accept(Fraction(T))
 
@@ -330,6 +345,7 @@ def right_interval_bisect(
         return candidates[lo], candidates[hi]
 
     while hi - lo > 1:
+        check_cancelled()  # probe boundary
         mid = (lo + hi) // 2
         if accept(candidates[mid]):
             hi = mid

@@ -24,6 +24,7 @@ from .classification import (
     pmtn_partition,
     split_expensive_cheap,
 )
+from .cancel import CancelToken, SolveCancelled, cancel_scope, check_cancelled
 from .errors import (
     ConstructionError,
     InfeasibleScheduleError,
@@ -61,6 +62,10 @@ __all__ = [
     "nonp_partition",
     "pmtn_partition",
     "split_expensive_cheap",
+    "CancelToken",
+    "SolveCancelled",
+    "cancel_scope",
+    "check_cancelled",
     "ConstructionError",
     "InfeasibleScheduleError",
     "InvalidInstanceError",

@@ -1,0 +1,152 @@
+"""Cooperative cancellation for long solves.
+
+The dual-approximation searches are loops of *probes* (one dual test
+per candidate ``T``), and every probe is a natural stopping point: no
+schedule state exists yet, nothing needs unwinding.  A
+:class:`CancelToken` makes that boundary available to callers — the
+service threads one through every request so an oversized solve can be
+abandoned when its deadline passes, instead of occupying a shard worker
+until it finishes.
+
+Two design constraints drive the shape:
+
+* **Bit-identity when the token never fires.**  The searches must not
+  change a single probe because a token is present, so the token is
+  consulted *between* probes only (:func:`check_cancelled`), never woven
+  into the numeric paths.  A token that does not fire is invisible.
+* **No signature churn through the algorithm stack.**  The probe loops
+  live under several layers (``solve`` → variant drivers → the searches
+  of :mod:`repro.algos.search`); threading a parameter through all of
+  them would touch every construction for a purely orthogonal concern.
+  Instead the *owner* of a solve installs the token in a thread-local
+  scope (:func:`cancel_scope`) and the probe loops poll the current
+  scope.  Solves run entirely on one thread (the service's shard
+  workers, or the caller's own), so a thread-local is exact — no token
+  ever leaks across concurrent solves.
+
+Tokens can fire two ways: explicitly (:meth:`CancelToken.cancel`, e.g.
+tests or a supervisor) or by **deadline** — a ``time.monotonic`` instant
+after which the token counts as cancelled without anyone calling in.
+Deadlines are how the service implements ``timeout_ms``: the clock keeps
+ticking while the request waits in a queue, so queue time counts against
+the budget.  ``clock`` is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from .errors import ReproError
+
+__all__ = [
+    "CancelToken",
+    "SolveCancelled",
+    "cancel_scope",
+    "check_cancelled",
+    "current_token",
+]
+
+
+class SolveCancelled(ReproError):
+    """A solve was abandoned at a probe boundary (deadline or cancel())."""
+
+
+class CancelToken:
+    """One cancellable unit of work (a single solve / batch item).
+
+    ``cancelled`` is true once :meth:`cancel` ran or ``clock() >=
+    deadline``.  A token never un-cancels.
+    """
+
+    __slots__ = ("deadline", "_cancelled", "_clock")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.deadline = deadline
+        self._cancelled = False
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "CancelToken":
+        """A token whose deadline is ``seconds`` from now."""
+        return cls(deadline=clock() + seconds, clock=clock)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled:
+            return True
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self._cancelled = True  # latch: deadline expiry is permanent
+            return True
+        return False
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None if there is none; floor 0)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def check(self) -> None:
+        """Raise :class:`SolveCancelled` if the token has fired."""
+        if self.cancelled:
+            if self.deadline is not None and self._clock() >= self.deadline:
+                raise SolveCancelled("solve deadline exceeded")
+            raise SolveCancelled("solve cancelled")
+
+
+class _Scope(threading.local):
+    token: Optional[CancelToken] = None
+
+
+_scope = _Scope()
+
+
+class cancel_scope:
+    """Install ``token`` as this thread's active token for a ``with`` body.
+
+    ``cancel_scope(None)`` is a no-op scope, so callers can thread an
+    optional token without branching.  Scopes nest; the previous token is
+    restored on exit.
+    """
+
+    __slots__ = ("token", "_prev")
+
+    def __init__(self, token: Optional[CancelToken]) -> None:
+        self.token = token
+        self._prev: Optional[CancelToken] = None
+
+    def __enter__(self) -> Optional[CancelToken]:
+        self._prev = _scope.token
+        if self.token is not None:
+            _scope.token = self.token
+        return self.token
+
+    def __exit__(self, *exc) -> None:
+        _scope.token = self._prev
+
+
+def current_token() -> Optional[CancelToken]:
+    """The token installed on this thread (None outside any scope)."""
+    return _scope.token
+
+
+def check_cancelled() -> None:
+    """Probe-boundary poll: raise if this thread's active token fired.
+
+    One thread-local read when no scope is active — cheap enough for
+    every dual-test boundary.
+    """
+    token = _scope.token
+    if token is not None:
+        token.check()

@@ -25,12 +25,22 @@ subsystem turns the :mod:`repro.algos.batch_api` engine into a service:
   representatives hand their memory back through
   :meth:`~repro.core.instance.Instance.release_caches`.
 * **Backpressure** — a global ``max_inflight`` admission semaphore
-  bounds the dispatch pipeline, and the JSON-lines front ends apply the
-  same window per connection.
+  bounds the dispatch pipeline, the JSON-lines front ends apply the
+  same window per connection, and each shard sheds work beyond its
+  bounded queue (``queue_bound``) with a retryable ``overloaded`` error.
 * **Determinism** — responses are bit-identical to looped ``solve()``
   under any interleaving (asserted by ``tests/test_service.py``'s seeded
   async fuzz), and each connection's responses come back in request
   order.
+* **Fault tolerance** — requests carry optional ``timeout_ms``
+  deadlines (cooperatively cancelled at probe boundaries); dead shard
+  workers are supervised and restarted under a bounded backoff; every
+  failure is a structured :class:`~repro.service.protocol.ServiceError`
+  from a closed taxonomy (``bad_request`` / ``timeout`` / ``overloaded``
+  / ``shutdown`` / ``internal``) with retryability semantics.  All of it
+  is driven deterministically by :class:`~repro.service.faults.FaultPlan`
+  injection (``tests/test_service_faults.py``, the chaos mode of
+  ``benchmarks/service_smoke.py``).
 
 Front ends: ``python -m repro.service`` speaks JSON lines over stdio, or
 over a local TCP socket with ``--tcp HOST:PORT``
@@ -39,14 +49,19 @@ in-process entry point is :class:`~repro.service.engine.SolveService`.
 """
 
 from .cache import InstanceLRU
-from .engine import ServiceConfig, SolveService
-from .protocol import ProtocolError, SolveRequest
+from .engine import ServiceConfig, ServiceStats, SolveService
+from .faults import FaultPlan
+from .protocol import ERROR_CODES, ProtocolError, ServiceError, SolveRequest
 from .server import serve_stdio, serve_tcp
 
 __all__ = [
+    "ERROR_CODES",
+    "FaultPlan",
     "InstanceLRU",
     "ProtocolError",
     "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
     "SolveRequest",
     "SolveService",
     "serve_stdio",

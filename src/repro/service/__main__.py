@@ -19,10 +19,25 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import signal
 import sys
 
 from .engine import ServiceConfig, SolveService
+from .faults import FaultPlan
 from .server import serve_stdio, serve_tcp
+
+
+def _parse_faults(text: str) -> FaultPlan:
+    """``--faults`` value: a preset name or a FaultPlan JSON object."""
+    if text in FaultPlan.PRESETS:
+        return FaultPlan.preset(text)
+    try:
+        return FaultPlan.from_obj(json.loads(text))
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected one of {FaultPlan.PRESETS} or FaultPlan JSON: {exc}"
+        ) from None
 
 
 def _parse_endpoint(text: str) -> tuple[str, int]:
@@ -51,6 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard LRU bound on warm instances (default 8)")
     parser.add_argument("--kernel", choices=["fast", "fraction"], default="fast",
                         help="numeric kernel for every solve (default fast)")
+    parser.add_argument("--queue-bound", type=int, default=64,
+                        help="per-shard pending-queue bound; submits beyond it "
+                             "are shed with a retryable 'overloaded' error "
+                             "(default 64)")
+    parser.add_argument("--max-restarts", type=int, default=3,
+                        help="worker restarts per shard before the shard is "
+                             "declared failed (default 3)")
+    parser.add_argument("--restart-backoff", type=float, default=0.05,
+                        help="first restart delay in seconds, doubling per "
+                             "restart (default 0.05)")
+    parser.add_argument("--faults", type=_parse_faults, metavar="PLAN",
+                        default=None,
+                        help="arm a deterministic fault plan (testing only): "
+                             "a preset name (kill/delay/raise/drop) or "
+                             "FaultPlan JSON")
     return parser
 
 
@@ -61,8 +91,11 @@ async def _amain(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_instances=args.max_instances,
         kernel=args.kernel,
+        queue_bound=args.queue_bound,
+        max_restarts=args.max_restarts,
+        restart_backoff=args.restart_backoff,
     )
-    async with SolveService(config) as service:
+    async with SolveService(config, faults=args.faults) as service:
         if args.tcp is None:
             await serve_stdio(service)
         else:
@@ -71,9 +104,21 @@ async def _amain(args: argparse.Namespace) -> int:
             bound = server.sockets[0].getsockname()
             print(f"repro.service listening on {bound[0]}:{bound[1]}",
                   file=sys.stderr, flush=True)
+            # SIGTERM drains gracefully: stop accepting, finish what's
+            # queued (the `async with` exit), resolve stragglers with
+            # structured shutdown errors — same path as the shutdown op.
+            loop = asyncio.get_running_loop()
+            try:
+                loop.add_signal_handler(signal.SIGTERM, server.repro_shutdown.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                pass
             try:
                 await server.repro_shutdown.wait()
             finally:
+                try:
+                    loop.remove_signal_handler(signal.SIGTERM)
+                except (NotImplementedError, ValueError):  # pragma: no cover
+                    pass
                 server.close()
                 await server.wait_closed()
     return 0

@@ -15,21 +15,34 @@ Guarantees:
   shard (``shard_index``), so no per-instance cache dict is touched by
   two threads.
 * **Backpressure** — at most ``max_inflight`` requests are dispatched
-  at once; further ``submit`` calls wait on the admission semaphore, so
-  shard queues hold at most ``max_inflight`` entries total.
+  at once; further ``submit`` calls wait on the admission semaphore,
+  and each shard additionally bounds its queue (``queue_bound``),
+  shedding overflow with a retryable ``overloaded`` error.
 * **Bounded memory** — each shard's warm-instance table is an LRU of
   ``max_instances`` entries with release-on-evict.
+* **Bounded time** — a request with ``timeout_ms`` set resolves within
+  its deadline (plus one probe) or fails with a ``timeout`` error; the
+  deadline clock starts at admission, so it covers queueing as well as
+  the solve itself.
+* **Supervision** — a dead shard worker is restarted under a bounded
+  backoff and its in-flight requests fail with structured (retryable)
+  errors instead of hanging; a shard past its restart budget fails
+  fast.  ``stats()`` accounts for every shed, timed-out, and restarted
+  unit.
 """
 
 from __future__ import annotations
 
 import asyncio
+import numbers
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from ..algos.batch_api import _validate_request
+from ..core.cancel import CancelToken
 from ..core.fastnum import validate_kernel
-from .protocol import SolveRequest
+from .faults import FaultPlan
+from .protocol import ServiceError, SolveRequest
 from .shards import Shard, ShardStats, _Work, shard_index
 
 __all__ = ["ServiceConfig", "ServiceStats", "SolveService"]
@@ -46,6 +59,13 @@ class ServiceConfig:
     the servers); ``max_instances`` the per-shard LRU bound on warm
     representatives (the peak-cache-entries guarantee is
     ``shards × max_instances``).
+
+    Robustness knobs: ``queue_bound`` caps each shard's pending queue —
+    submits beyond it are shed with a retryable ``overloaded`` error;
+    ``max_restarts`` bounds how many times a shard's dead worker thread
+    is restarted before the shard is declared failed; ``restart_backoff``
+    is the first restart's delay in seconds (doubling per restart,
+    capped at 2s).
     """
 
     shards: int = 4
@@ -53,13 +73,34 @@ class ServiceConfig:
     max_inflight: int = 64
     max_instances: int = 8
     kernel: str = "fast"
+    queue_bound: int = 64
+    max_restarts: int = 3
+    restart_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
-        for name in ("shards", "max_batch", "max_inflight", "max_instances"):
+        for name in ("shards", "max_batch", "max_inflight", "max_instances",
+                     "queue_bound"):
             value = getattr(self, name)
-            if not isinstance(value, int) or value < 1:
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
                 raise ValueError(f"{name} must be a positive int, got {value!r}")
+        if (
+            isinstance(self.max_restarts, bool)
+            or not isinstance(self.max_restarts, int)
+            or self.max_restarts < 0
+        ):
+            raise ValueError(
+                f"max_restarts must be a non-negative int, got {self.max_restarts!r}"
+            )
+        if (
+            isinstance(self.restart_backoff, bool)
+            or not isinstance(self.restart_backoff, numbers.Real)
+            or not self.restart_backoff >= 0
+        ):
+            raise ValueError(
+                "restart_backoff must be a non-negative number (seconds), "
+                f"got {self.restart_backoff!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -76,6 +117,11 @@ class ServiceStats:
     cache_hits: int
     cache_misses: int
     evictions: int
+    timeouts: int              # requests failed on their deadline
+    shed: int                  # requests rejected by full shard queues
+    restarts: int              # shard worker threads restarted
+    worker_deaths: int         # shard worker threads that died
+    failed_shards: int         # shards past their restart budget
     shards: tuple[ShardStats, ...]
 
     def to_obj(self) -> dict:
@@ -91,12 +137,22 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "restarts": self.restarts,
+            "worker_deaths": self.worker_deaths,
+            "failed_shards": self.failed_shards,
             "shards": [
                 {
                     "index": s.index,
                     "requests": s.requests,
                     "batches": s.batches,
                     "max_batch_seen": s.max_batch_seen,
+                    "timeouts": s.timeouts,
+                    "shed": s.shed,
+                    "restarts": s.restarts,
+                    "worker_deaths": s.worker_deaths,
+                    "failed": s.failed,
                     "entries": s.lru.entries,
                     "peak_entries": s.lru.peak_entries,
                     "hits": s.lru.hits,
@@ -120,17 +176,29 @@ class SolveService:
     :meth:`submit` returns exactly what the corresponding synchronous
     call would: a ``SolveResult`` (or :class:`~repro.algos.batch_api.
     SweepPoint` for bounds-only), or a list of them for an ``ms`` sweep.
+    Failures surface as :class:`~repro.service.protocol.ServiceError`
+    (``timeout`` / ``overloaded`` / ``shutdown`` / ``internal``), so
+    callers can branch on ``exc.code`` / ``exc.retryable``.
     :meth:`submit_many` preserves input order.
+
+    ``faults`` arms a deterministic :class:`~repro.service.faults.
+    FaultPlan` — test/bench only; production services pass none.
     """
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.config = config or ServiceConfig()
+        self.faults = faults
         self._shards = [
             Shard(
                 i,
                 max_batch=self.config.max_batch,
                 max_instances=self.config.max_instances,
                 kernel=self.config.kernel,
+                queue_bound=self.config.queue_bound,
+                max_restarts=self.config.max_restarts,
+                restart_backoff=self.config.restart_backoff,
+                faults=faults,
             )
             for i in range(self.config.shards)
         ]
@@ -157,7 +225,11 @@ class SolveService:
         return self.start()
 
     async def aclose(self) -> None:
-        """Finish queued work, stop the workers, release every cache."""
+        """Finish queued work, stop the workers, release every cache.
+
+        Requests still pending or in flight when a worker refuses to
+        die in time resolve with a ``shutdown`` error — never hang.
+        """
         if self._closed:
             return
         self._closed = True
@@ -175,13 +247,20 @@ class SolveService:
     # ------------------------------------------------------------------ #
 
     async def submit(self, request: SolveRequest):
-        """Solve one request (validated now, dispatched under backpressure)."""
+        """Solve one request (validated now, dispatched under backpressure).
+
+        The ``timeout_ms`` deadline starts *here* — it covers the wait
+        for an admission slot, the shard queue, and the solve itself.
+        """
         if not self._started or self._closed:
             raise RuntimeError("service is not running (use 'async with' or start())")
         # Fail fast in the caller's task: names checked before dispatch,
         # so a bad request never occupies a backpressure slot.
         _validate_request(request.variant, request.algorithm, request.schedules)
         item = request.to_item()
+        token = None
+        if request.timeout_ms is not None:
+            token = CancelToken.after(request.timeout_ms / 1000.0)
         fingerprint = request.instance.fingerprint()
         shard = self._shards[shard_index(fingerprint, len(self._shards))]
         loop = asyncio.get_running_loop()
@@ -189,8 +268,14 @@ class SolveService:
         self._inflight += 1
         self._peak_inflight = max(self._peak_inflight, self._inflight)
         try:
+            if token is not None and token.cancelled:
+                # Expired while waiting for admission: never reaches a shard.
+                shard.note_loop_timeout()
+                raise ServiceError.timeout(
+                    "request deadline expired awaiting admission"
+                )
             future = loop.create_future()
-            shard.submit(_Work(item=item, future=future, loop=loop))
+            shard.submit(_Work(item=item, future=future, loop=loop, cancel=token))
             return await future
         finally:
             self._inflight -= 1
@@ -219,5 +304,10 @@ class SolveService:
             cache_hits=sum(s.lru.hits for s in shard_stats),
             cache_misses=sum(s.lru.misses for s in shard_stats),
             evictions=sum(s.lru.evictions for s in shard_stats),
+            timeouts=sum(s.timeouts for s in shard_stats),
+            shed=sum(s.shed for s in shard_stats),
+            restarts=sum(s.restarts for s in shard_stats),
+            worker_deaths=sum(s.worker_deaths for s in shard_stats),
+            failed_shards=sum(1 for s in shard_stats if s.failed),
             shards=shard_stats,
         )

@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the service layer.
+
+The robustness machinery of :mod:`repro.service` — shard supervision,
+deadlines, shedding, structured errors — is only trustworthy if it can
+be *driven*: every failure path needs a way to fire on demand, in a
+test, deterministically.  A :class:`FaultPlan` is that driver: a fixed,
+seeded list of fault specs consumed by the shard workers (via two narrow
+hooks) and by the chaos harness (for client-side faults).
+
+The four injection points mirror the real-world failure modes the
+supervisor must survive:
+
+* :class:`KillWorker` — raise :class:`WorkerKilled` (a ``BaseException``,
+  so it sails past the shard's per-item ``except Exception`` isolation)
+  at the start of a shard's N-th micro-batch dispatch: the worker thread
+  dies exactly the way an un-catchable defect would.
+* :class:`DelaySolve` — sleep inside ``solve_batch`` just before an
+  item's solve: an artificially slow request, used to push work past its
+  ``timeout_ms`` deadline while it is *in flight*.
+* :class:`RaiseInBatch` — raise a ``RuntimeError`` inside
+  ``solve_batch``: an unexpected per-request failure, exercising the
+  micro-batch isolation fallback and the ``internal`` error path.
+* :class:`DropConnection` — a **client-side** fault: the chaos harness
+  closes its connection after sending N requests mid-burst.  The plan
+  only carries the spec (:meth:`FaultPlan.drop_connection_after`); the
+  server side must simply survive it.
+
+Counters are kept **per shard** (requests route to shards by instance
+fingerprint, which is deterministic), so a plan fires at the same
+points on every run of the same request sequence.  ``seed`` feeds the
+:meth:`FaultPlan.preset` builders, which derive their thresholds from a
+``random.Random(seed)`` — the fixed plan set the chaos bench runs under.
+
+Plans round-trip through JSON (:meth:`to_obj` / :meth:`from_obj`) so
+``python -m repro.service --faults '<json>'`` can arm a subprocess.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "DelaySolve",
+    "DropConnection",
+    "FaultPlan",
+    "KillWorker",
+    "RaiseInBatch",
+    "WorkerKilled",
+]
+
+
+class WorkerKilled(BaseException):
+    """The injected worker-thread death (intentionally not an Exception).
+
+    Deriving from ``BaseException`` is the point: the shard's dispatch
+    loop isolates per-request failures with ``except Exception``, so an
+    injected kill must not be catchable there — it has to unwind the
+    whole worker thread and trigger the supervisor, exactly like a
+    genuine un-catchable defect would.
+    """
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Kill a shard worker at the start of its ``after_batches+1``-th dispatch."""
+
+    shard: Optional[int] = None   # None: fires on whichever shard gets there
+    after_batches: int = 1
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class DelaySolve:
+    """Sleep ``seconds`` before solving a shard's ``after_items+1``-th item."""
+
+    seconds: float = 0.2
+    shard: Optional[int] = None
+    after_items: int = 0
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class RaiseInBatch:
+    """Raise inside ``solve_batch`` before a shard's ``after_items+1``-th item."""
+
+    shard: Optional[int] = None
+    after_items: int = 0
+    times: int = 1
+    message: str = "injected solve failure"
+
+
+@dataclass(frozen=True)
+class DropConnection:
+    """Client-side: the harness drops its connection after N requests."""
+
+    after_requests: int = 8
+
+
+_KINDS = {
+    "kill_worker": KillWorker,
+    "delay_solve": DelaySolve,
+    "raise_in_batch": RaiseInBatch,
+    "drop_connection": DropConnection,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+class FaultPlan:
+    """A fixed, seeded set of faults with deterministic firing state.
+
+    One plan instance is shared by every shard of one service (hook
+    calls are serialized under an internal lock); ``fired`` exposes how
+    often each kind actually fired, so tests and the chaos bench can
+    assert the plan was exercised, and stats can be reconciled against
+    injected damage.
+    """
+
+    def __init__(self, faults: Sequence = (), seed: int = 0) -> None:
+        for fault in faults:
+            if type(fault) not in _KIND_OF:
+                raise ValueError(f"unknown fault spec {fault!r}")
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._remaining = [
+            getattr(fault, "times", 0) for fault in self.faults
+        ]
+        self._batches: dict[int, int] = {}   # shard -> dispatches started
+        self._items: dict[int, int] = {}     # shard -> items reached
+        self.fired: dict[str, int] = {kind: 0 for kind in _KINDS}
+
+    # ------------------------------------------------------------------ #
+    # worker-side hooks (called from shard threads)
+    # ------------------------------------------------------------------ #
+
+    def on_batch_start(self, shard: int) -> None:
+        """Hook: a shard is about to dispatch a micro-batch.  May kill it."""
+        with self._lock:
+            count = self._batches.get(shard, 0) + 1
+            self._batches[shard] = count
+            for idx, fault in enumerate(self.faults):
+                if (
+                    isinstance(fault, KillWorker)
+                    and (fault.shard is None or fault.shard == shard)
+                    and count > fault.after_batches
+                    and self._remaining[idx] > 0
+                ):
+                    self._remaining[idx] -= 1
+                    self.fired["kill_worker"] += 1
+                    raise WorkerKilled(
+                        f"injected kill: shard {shard}, batch {count}"
+                    )
+
+    def on_item(self, shard: int, item) -> None:
+        """Hook: a shard is about to solve one batch item (via ``before_solve``)."""
+        delays: list[DelaySolve] = []
+        raises: list[RaiseInBatch] = []
+        with self._lock:
+            count = self._items.get(shard, 0) + 1
+            self._items[shard] = count
+            for idx, fault in enumerate(self.faults):
+                if self._remaining[idx] <= 0:
+                    continue
+                if isinstance(fault, DelaySolve) and (
+                    fault.shard is None or fault.shard == shard
+                ) and count > fault.after_items:
+                    self._remaining[idx] -= 1
+                    self.fired["delay_solve"] += 1
+                    delays.append(fault)
+                elif isinstance(fault, RaiseInBatch) and (
+                    fault.shard is None or fault.shard == shard
+                ) and count > fault.after_items:
+                    self._remaining[idx] -= 1
+                    self.fired["raise_in_batch"] += 1
+                    raises.append(fault)
+        for fault in delays:          # sleep outside the lock
+            time.sleep(fault.seconds)
+        if raises:
+            raise RuntimeError(raises[0].message)
+
+    def item_hook(self, shard: int) -> Callable:
+        """The ``before_solve`` callable a shard passes to ``solve_batch``."""
+        return lambda item: self.on_item(shard, item)
+
+    # ------------------------------------------------------------------ #
+    # client-side spec (consumed by the chaos harness, not the server)
+    # ------------------------------------------------------------------ #
+
+    def drop_connection_after(self) -> Optional[int]:
+        """Requests to send before dropping the connection (None: don't)."""
+        for fault in self.faults:
+            if isinstance(fault, DropConnection):
+                return fault.after_requests
+        return None
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (the ``--faults`` CLI flag)
+    # ------------------------------------------------------------------ #
+
+    def to_obj(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": _KIND_OF[type(fault)], **fault.__dict__}
+                for fault in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "FaultPlan":
+        if not isinstance(obj, dict) or not isinstance(obj.get("faults"), list):
+            raise ValueError(f"fault plan must be {{seed, faults: [...]}}, got {obj!r}")
+        faults = []
+        for spec in obj["faults"]:
+            kind = spec.get("kind")
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of {sorted(_KINDS)}"
+                )
+            fields = {k: v for k, v in spec.items() if k != "kind"}
+            try:
+                faults.append(_KINDS[kind](**fields))
+            except TypeError as exc:
+                raise ValueError(f"bad fields for fault {kind!r}: {exc}") from None
+        return cls(faults, seed=obj.get("seed", 0))
+
+    # ------------------------------------------------------------------ #
+    # the fixed chaos-bench plan set
+    # ------------------------------------------------------------------ #
+
+    PRESETS = ("kill", "delay", "raise", "drop")
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """One of the fixed chaos scenarios, thresholds derived from ``seed``.
+
+        ``kill``  — kill shard 0 early, then again (restart supervision);
+        ``delay`` — slow two solves well past a short deadline;
+        ``raise`` — three injected in-batch failures (isolation fallback);
+        ``drop``  — client vanishes mid-burst.
+        """
+        rng = random.Random(seed)
+        if name == "kill":
+            faults: tuple = (
+                KillWorker(shard=0, after_batches=rng.randint(1, 3)),
+                KillWorker(shard=0, after_batches=rng.randint(4, 6)),
+            )
+        elif name == "delay":
+            faults = (
+                DelaySolve(seconds=0.25, after_items=rng.randint(0, 3), times=2),
+            )
+        elif name == "raise":
+            faults = (
+                RaiseInBatch(after_items=rng.randint(0, 3), times=3),
+            )
+        elif name == "drop":
+            faults = (DropConnection(after_requests=rng.randint(6, 12)),)
+        else:
+            raise ValueError(
+                f"unknown preset {name!r}; expected one of {cls.PRESETS}"
+            )
+        return cls(faults, seed=seed)

@@ -26,7 +26,24 @@ schedule.  Housekeeping ops: ``{"op": "ping"}``, ``{"op": "stats"}`` and
 Response shape::
 
     {"id": 7, "ok": true, "results": [<result>, ...]}
-    {"id": 7, "ok": false, "error": "<one-line message>"}
+    {"id": 7, "ok": false,
+     "error": {"code": "<code>", "message": "<one line>", "retryable": false}}
+
+Errors are **structured**: ``code`` is one of the closed taxonomy
+:data:`ERROR_CODES` — ``bad_request`` (malformed line/field/name; fix
+the request), ``timeout`` (the request's ``timeout_ms`` budget expired
+in queue or mid-solve), ``overloaded`` (shed at admission because the
+target shard's queue was full; safe to retry after backoff),
+``shutdown`` (the service stopped before the request ran; safe to
+retry elsewhere), ``internal`` (unexpected server-side failure; the
+message is generic — details go to server logs, never the wire).
+``retryable`` says whether resubmitting the identical request can
+succeed: true for ``overloaded``/``shutdown``, false otherwise.
+
+``timeout_ms`` (optional positive int) gives a request a deadline: the
+clock starts at admission and keeps running while the request waits in
+its shard's queue, and an in-flight solve is cooperatively cancelled at
+the next dual-test probe boundary once the budget is spent.
 
 A full solve result carries the certificate plus the schedule as the
 columnar row projection (:meth:`repro.core.schedule.Schedule.rows` —
@@ -39,7 +56,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Union
 
 from ..algos.api import SolveResult
 from ..algos.batch_api import BatchItem, SweepPoint, _validate_request
@@ -48,7 +65,9 @@ from ..core.errors import InvalidInstanceError
 from ..core.instance import Instance
 
 __all__ = [
+    "ERROR_CODES",
     "ProtocolError",
+    "ServiceError",
     "SolveRequest",
     "encode_time",
     "parse_time",
@@ -63,6 +82,67 @@ __all__ = [
 
 class ProtocolError(ValueError):
     """A malformed request line / field (reported, never fatal)."""
+
+
+# --------------------------------------------------------------------------- #
+# the error taxonomy
+# --------------------------------------------------------------------------- #
+
+#: The closed set of wire error codes, mapped to whether resubmitting the
+#: identical request can succeed (the default ``retryable`` per code).
+ERROR_CODES = {
+    "bad_request": False,   # the request itself is wrong; retrying can't help
+    "timeout": False,       # the same budget would expire the same way
+    "overloaded": True,     # shed at admission; retry after backoff
+    "shutdown": True,       # never ran; retry against a live replica
+    "internal": False,      # server-side failure; details in server logs
+}
+
+
+class ServiceError(Exception):
+    """One structured service failure: ``{code, message, retryable}``.
+
+    The only error shape the service puts on the wire (and the only
+    exception :meth:`SolveService.submit` raises for request-level
+    failures).  ``code`` must be in :data:`ERROR_CODES`; ``retryable``
+    defaults per code and says whether the *identical* request can be
+    resubmitted with hope of success.
+    """
+
+    def __init__(self, code: str, message: str, retryable: Optional[bool] = None):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}; expected one of "
+                             f"{sorted(ERROR_CODES)}")
+        self.code = code
+        self.message = message
+        self.retryable = ERROR_CODES[code] if retryable is None else bool(retryable)
+        super().__init__(f"[{code}] {message}")
+
+    def to_obj(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "retryable": self.retryable}
+
+    # Terse constructors: keep call sites at one line per failure mode.
+    @classmethod
+    def bad_request(cls, message: str) -> "ServiceError":
+        return cls("bad_request", message)
+
+    @classmethod
+    def timeout(cls, message: str = "request deadline exceeded") -> "ServiceError":
+        return cls("timeout", message)
+
+    @classmethod
+    def overloaded(cls, message: str = "shard queue full, request shed") -> "ServiceError":
+        return cls("overloaded", message)
+
+    @classmethod
+    def shutdown(cls, message: str = "service shut down before the request "
+                 "was processed") -> "ServiceError":
+        return cls("shutdown", message)
+
+    @classmethod
+    def internal(cls, message: str = "internal error") -> "ServiceError":
+        return cls("internal", message)
 
 
 # --------------------------------------------------------------------------- #
@@ -148,7 +228,10 @@ class SolveRequest:
 
     ``schedules=False`` is the bounds-only mode; ``ms`` makes the request
     a machine sweep.  ``id`` is the caller's correlation value, echoed on
-    the response line (``None`` for in-process use).
+    the response line (``None`` for in-process use).  ``timeout_ms``
+    (optional) is the request's total deadline budget — queue wait plus
+    solve time; an expired request resolves as a structured ``timeout``
+    error instead of an answer.
     """
 
     instance: Instance
@@ -158,6 +241,7 @@ class SolveRequest:
     schedules: bool = True
     ms: Optional[tuple[int, ...]] = None
     id: object = None
+    timeout_ms: Optional[int] = None
 
     def to_item(self) -> BatchItem:
         """The :func:`~repro.algos.batch_api.solve_batch` work unit."""
@@ -182,7 +266,7 @@ def request_from_obj(obj) -> SolveRequest:
         raise ProtocolError(f"request must be a JSON object, got {obj!r}")
     unknown = set(obj) - {
         "id", "op", "instance", "variant", "algorithm", "eps",
-        "schedules", "bounds_only", "ms",
+        "schedules", "bounds_only", "ms", "timeout_ms",
     }
     if unknown:
         raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
@@ -213,13 +297,22 @@ def request_from_obj(obj) -> SolveRequest:
     if eps <= 0:
         raise ProtocolError(f"eps must be positive, got {eps}")
 
+    timeout_ms = obj.get("timeout_ms")
+    if timeout_ms is not None and (
+        not isinstance(timeout_ms, int) or isinstance(timeout_ms, bool)
+        or timeout_ms < 1
+    ):
+        raise ProtocolError(
+            f"timeout_ms must be a positive int (milliseconds), got {timeout_ms!r}"
+        )
+
     algorithm = obj.get("algorithm", "three_halves")
     variant = _validate_request(
         obj.get("variant", Variant.NONPREEMPTIVE), algorithm, schedules
     )
     return SolveRequest(
         instance=instance, variant=variant, algorithm=algorithm, eps=eps,
-        schedules=schedules, ms=ms, id=obj.get("id"),
+        schedules=schedules, ms=ms, id=obj.get("id"), timeout_ms=timeout_ms,
     )
 
 
@@ -279,7 +372,16 @@ def response_line(request_id, results) -> str:
     return json.dumps(payload, separators=(",", ":"))
 
 
-def error_line(request_id, message: str) -> str:
+def error_line(request_id, error: Union["ServiceError", str]) -> str:
+    """The failure line for one request (always the structured shape).
+
+    Accepts a :class:`ServiceError` or, as a convenience, a bare string
+    (encoded as a non-retryable ``internal`` error) so ad-hoc callers
+    cannot reintroduce free-form wire errors.
+    """
+    if not isinstance(error, ServiceError):
+        error = ServiceError.internal(str(error))
     return json.dumps(
-        {"id": request_id, "ok": False, "error": str(message)}, separators=(",", ":")
+        {"id": request_id, "ok": False, "error": error.to_obj()},
+        separators=(",", ":"),
     )

@@ -14,19 +14,34 @@ counters plus the process's ``ru_maxrss``) snapshots at its position in
 the response order, so it deterministically counts every request that
 precedes it on the connection; ``shutdown`` acknowledges, then closes
 the connection — and stops a TCP server.
+
+Every failure goes on the wire as a structured
+:class:`~repro.service.protocol.ServiceError` object.  Unexpected
+(``internal``) failures never leak exception text to the client: the
+wire carries the code and a generic message, the full traceback goes to
+the ``repro.service`` logger.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import sys
 from typing import Awaitable, Callable, Optional
 
 from .engine import SolveService
-from .protocol import ProtocolError, error_line, request_from_obj, response_line
+from .protocol import (
+    ProtocolError,
+    ServiceError,
+    error_line,
+    request_from_obj,
+    response_line,
+)
 
 __all__ = ["handle_lines", "serve_stdio", "serve_tcp"]
+
+log = logging.getLogger("repro.service")
 
 
 def _maxrss_kib() -> Optional[int]:
@@ -60,8 +75,9 @@ async def handle_lines(
                     line = await fut
                 except asyncio.CancelledError:  # pragma: no cover - shutdown race
                     raise
-                except Exception as exc:  # noqa: BLE001 - reported on the wire
-                    line = error_line(None, f"internal error: {exc}")
+                except Exception:  # noqa: BLE001 - reported on the wire
+                    log.exception("response future failed")
+                    line = error_line(None, ServiceError.internal())
                 await write_line(line)
             finally:
                 # Must release even when write_line raises (client gone):
@@ -75,12 +91,16 @@ async def handle_lines(
             request = request_from_obj(obj)
             result = await service.submit(request)
             return response_line(request.id, result)
+        except ServiceError as exc:  # already taxonomized (timeout/shed/...)
+            return error_line(request_id, exc)
         except (ProtocolError, ValueError) as exc:
-            return error_line(request_id, str(exc))
+            return error_line(request_id, ServiceError.bad_request(str(exc)))
         except asyncio.CancelledError:
             raise
-        except Exception as exc:  # noqa: BLE001 - id must survive any failure
-            return error_line(request_id, f"internal error: {exc}")
+        except Exception:  # noqa: BLE001 - id must survive any failure
+            # Generic code on the wire; the details stay server-side.
+            log.exception("request %r failed", request_id)
+            return error_line(request_id, ServiceError.internal())
 
     async def immediate(line: str) -> str:
         return line
@@ -117,9 +137,9 @@ async def handle_lines(
             try:
                 obj = json.loads(raw)
             except json.JSONDecodeError as exc:
-                responses.put_nowait(
-                    asyncio.ensure_future(immediate(error_line(None, f"bad JSON: {exc}")))
-                )
+                responses.put_nowait(asyncio.ensure_future(immediate(
+                    error_line(None, ServiceError.bad_request(f"bad JSON: {exc}"))
+                )))
                 continue
             op = obj.get("op", "solve") if isinstance(obj, dict) else "solve"
             request_id = obj.get("id") if isinstance(obj, dict) else None
@@ -146,7 +166,7 @@ async def handle_lines(
                 responses.put_nowait(asyncio.create_task(solve_one(obj)))
             else:
                 responses.put_nowait(asyncio.ensure_future(immediate(
-                    error_line(request_id, f"unknown op {op!r}")
+                    error_line(request_id, ServiceError.bad_request(f"unknown op {op!r}"))
                 )))
     finally:
         responses.put_nowait(None)

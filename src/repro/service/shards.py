@@ -1,4 +1,4 @@
-"""Shard worker threads: fingerprint-affine micro-batched dispatch.
+"""Shard workers: fingerprint-affine micro-batched dispatch, supervised.
 
 A shard is one worker thread plus one FIFO queue plus one
 :class:`~repro.service.cache.InstanceLRU` of warm representatives.  The
@@ -9,23 +9,54 @@ queue in micro-batches of up to ``max_batch`` requests and dispatches
 each batch through :func:`repro.algos.batch_api.solve_batch` with the
 shard's LRU as the cross-batch representative table.
 
+On top of the PR-5 dispatch plumbing, a shard is **fault-tolerant**:
+
+* **Deadlines** — work whose :class:`~repro.core.cancel.CancelToken`
+  has expired is skipped at dequeue (a structured ``timeout`` error,
+  no solve); in-flight work carries its token into ``solve_batch``,
+  where the probe loops abort it cooperatively.
+* **Supervision** — a worker thread that dies (anything escaping the
+  dispatch loop, including ``BaseException``s that per-item isolation
+  cannot catch) resolves its in-flight futures with structured
+  ``internal`` errors and is restarted under a bounded exponential
+  backoff (``max_restarts`` / ``restart_backoff``).  A shard that
+  exhausts its restart budget is **failed**: everything queued and
+  everything submitted later resolves immediately with an ``internal``
+  error instead of hanging.
+* **Shedding** — the queue is bounded (``queue_bound``); submits
+  against a full queue are rejected with a retryable ``overloaded``
+  error instead of queueing without bound.
+* **Shutdown** — ``close()`` resolves every pending *and* in-flight
+  future with a ``shutdown`` error even when the worker outlives the
+  join timeout; awaiting clients are never left hanging.
+
 Results travel back to the asyncio event loop with
 ``loop.call_soon_threadsafe`` onto per-request futures; a failed batch
 is retried item by item so one bad request cannot poison the others in
-its micro-batch.
+its micro-batch.  Future resolution is **idempotent** (first writer
+wins, later attempts see a done future and skip), which is what makes
+the shutdown/supervision sweeps race-safe against a worker that is
+still running.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from ..algos.batch_api import solve_batch
+from ..core.cancel import SolveCancelled
 from .cache import InstanceLRU, LRUStats
+from .faults import FaultPlan
+from .protocol import ServiceError
 
 __all__ = ["Shard", "ShardStats", "shard_index"]
+
+log = logging.getLogger("repro.service")
 
 
 def shard_index(fingerprint: str, shards: int) -> int:
@@ -35,12 +66,17 @@ def shard_index(fingerprint: str, shards: int) -> int:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """One shard's dispatch counters plus its LRU table's counters."""
+    """One shard's dispatch + robustness counters plus its LRU's counters."""
 
     index: int
     requests: int
     batches: int
     max_batch_seen: int
+    timeouts: int          # deadline expiries (at dequeue, pre-dispatch, in flight)
+    shed: int              # submits rejected because the queue was full
+    restarts: int          # worker threads restarted by the supervisor
+    worker_deaths: int     # worker threads that died (restarted or not)
+    failed: bool           # restart budget exhausted; shard serves errors only
     lru: LRUStats
 
 
@@ -48,28 +84,47 @@ class _Work(NamedTuple):
     item: object        # BatchItem
     future: object      # asyncio.Future
     loop: object        # the event loop that owns the future
+    cancel: object = None  # Optional[CancelToken] (the request's deadline)
 
 
 class Shard:
-    """One fingerprint-affine worker (see module docstring)."""
+    """One supervised fingerprint-affine worker (see module docstring)."""
 
     def __init__(self, index: int, *, max_batch: int, max_instances: int,
-                 kernel: str = "fast") -> None:
+                 kernel: str = "fast", queue_bound: int = 64,
+                 max_restarts: int = 3, restart_backoff: float = 0.05,
+                 faults: Optional[FaultPlan] = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.index = index
         self.max_batch = max_batch
         self.kernel = kernel
+        self.queue_bound = queue_bound
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
         self.lru = InstanceLRU(max_instances)
+        self._faults = faults
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
-        self._thread = threading.Thread(
-            target=self._run, name=f"repro-shard-{index}", daemon=True
-        )
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-shard-{index}", daemon=True
+            )
+        ]
         self._requests = 0
         self._batches = 0
         self._max_batch_seen = 0
+        # Counters are single-writer: *_w only from the worker thread,
+        # *_l only from the event-loop thread; stats() sums them, so no
+        # increment is ever lost to an unlocked read-modify-write race.
+        self._timeouts_w = 0
+        self._timeouts_l = 0
+        self._shed = 0          # loop thread (shedding happens at submit)
+        self._restarts = 0      # worker thread (supervision is sequential)
+        self._deaths = 0
+        self._inflight: tuple[_Work, ...] = ()
         self._started = False
         self._closed = False
+        self._failed = False
 
     # ------------------------------------------------------------------ #
     # lifecycle (event-loop side)
@@ -78,20 +133,41 @@ class Shard:
     def start(self) -> None:
         if not self._started:
             self._started = True
-            self._thread.start()
+            self._threads[0].start()
 
     def submit(self, work: _Work) -> None:
         if self._closed or not self._started:
             raise RuntimeError("shard is not running")
+        if self._failed:
+            raise ServiceError.internal(
+                f"shard {self.index} is failed (worker restart budget exhausted)"
+            )
+        # Shed policy: reject-new with a retryable error.  qsize() is
+        # approximate under concurrency, but the only writer besides us
+        # is the worker popping — so the estimate only ever *overshoots*
+        # the true backlog, never hides an overload.
+        if self._queue.qsize() >= self.queue_bound:
+            self._shed += 1
+            raise ServiceError.overloaded(
+                f"shard {self.index} queue full ({self.queue_bound} pending); "
+                f"retry after backoff"
+            )
         self._queue.put(work)
-        # TOCTOU guard: close() may have completed (worker exited and
-        # drained) between the check above and our put, in which case
-        # nothing will ever drain this work — fail it ourselves rather
-        # than leave the submitter awaiting a future forever.  Safe to
-        # race the other abandon sweeps: queue pops are atomic and each
-        # work item is resolved by whoever pops it.
-        if self._closed and not self._thread.is_alive():
+        # TOCTOU guards: close()/failure may have completed (worker gone,
+        # queue drained) between the checks above and our put, in which
+        # case nothing will ever drain this work — fail it ourselves
+        # rather than leave the submitter awaiting a future forever.
+        # Safe to race the other sweeps: queue pops are atomic and each
+        # work item is resolved by whoever pops it (resolution is
+        # idempotent on the futures).
+        if self._failed:
+            self._drain_failed()
+        elif self._closed and not self._worker_alive():
             self._abandon_pending()
+
+    def note_loop_timeout(self) -> None:
+        """Count a deadline expiry detected before dispatch (loop thread)."""
+        self._timeouts_l += 1
 
     def signal_close(self) -> None:
         """Phase 1 of shutdown: refuse new work, enqueue the sentinel.
@@ -108,15 +184,22 @@ class Shard:
         """Stop after finishing already-queued work; release the LRU.
 
         The LRU (and its instances' cache dicts) is only torn down once
-        the worker thread is confirmed dead — clearing it while a long
+        every worker thread is confirmed dead — clearing it while a long
         micro-batch is still solving would have two threads mutating
         unlocked dicts.  A worker that outlives the join timeout keeps
-        its state and dies with the process (daemon thread).
+        its caches and dies with the process (daemon thread) — but its
+        pending **and in-flight futures are still resolved** with a
+        structured ``shutdown`` error, so no client is left hanging on
+        a wedged solve (resolution is idempotent: if the solve does
+        finish later, its late result meets an already-done future).
         """
         self.signal_close()
         if self._started:
-            self._thread.join(timeout=join_timeout)
-            if self._thread.is_alive():  # pragma: no cover - pathological solve
+            if not self._join_workers(join_timeout):
+                self._fail_inflight(ServiceError.shutdown(
+                    "service shut down while the request was in flight"
+                ))
+                self._abandon_pending()
                 return
             self._abandon_pending()  # anything that raced in behind the sentinel
         self.lru.clear()
@@ -127,8 +210,103 @@ class Shard:
             requests=self._requests,
             batches=self._batches,
             max_batch_seen=self._max_batch_seen,
+            timeouts=self._timeouts_w + self._timeouts_l,
+            shed=self._shed,
+            restarts=self._restarts,
+            worker_deaths=self._deaths,
+            failed=self._failed,
             lru=self.lru.stats(),
         )
+
+    # ------------------------------------------------------------------ #
+    # join/teardown helpers
+    # ------------------------------------------------------------------ #
+
+    def _worker_alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    def _join_workers(self, timeout: float) -> bool:
+        """Join every worker generation (restarts append new threads).
+
+        Polls because the supervisor may spawn a replacement while we
+        join the dying generation; returns False once the deadline
+        passes with any thread still alive.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            alive = [t for t in self._threads if t.is_alive()]
+            if not alive:
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            alive[0].join(timeout=min(remaining, 0.05))
+
+    def _fail_inflight(self, error: ServiceError) -> None:
+        """Resolve whatever the worker was solving when we gave up on it."""
+        inflight, self._inflight = self._inflight, ()
+        for work in inflight:
+            self._resolve(work, None, error)
+
+    def _abandon_pending(self) -> None:
+        """Fail queued work that will never run (shutdown), don't hang it.
+
+        A submit that raced ``close()`` can land its work *behind* the
+        sentinel; silently dropping it would block its ``await future``
+        forever.  Called by the worker on exit and again by ``close()``
+        after the join, when the queue is single-threaded again.
+        """
+        self._drain_queue(ServiceError.shutdown())
+
+    def _drain_failed(self) -> None:
+        """Fail queued work on a permanently failed shard."""
+        self._drain_queue(ServiceError.internal(
+            f"shard {self.index} is failed (worker restart budget exhausted)"
+        ))
+
+    def _drain_queue(self, error: ServiceError) -> None:
+        while True:
+            try:
+                work = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if work is not None:
+                self._resolve(work, None, error)
+
+    # ------------------------------------------------------------------ #
+    # result delivery (any thread -> event loop)
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, work: _Work, result, error) -> None:
+        self._resolve_batch([(work, result, error)])
+
+    def _resolve_batch(self, outcomes) -> None:
+        """Settle many futures with one loop wakeup per event loop.
+
+        ``call_soon_threadsafe`` costs a cross-thread wakeup each call;
+        resolving a whole micro-batch through a single callback keeps the
+        per-request orchestration overhead flat as batches grow.  The
+        ``done()`` guard makes resolution idempotent — shutdown and
+        supervision sweeps may race the worker for the same future, and
+        whoever gets there first wins.
+        """
+        by_loop: dict = {}
+        for work, result, error in outcomes:
+            by_loop.setdefault(work.loop, []).append((work.future, result, error))
+        for loop, entries in by_loop.items():
+            def settle(entries=entries) -> None:
+                for fut, result, error in entries:
+                    if fut.done():  # cancelled, or already resolved by a sweep
+                        continue
+                    if error is None:
+                        fut.set_result(result)
+                    else:
+                        fut.set_exception(error)
+
+            try:
+                loop.call_soon_threadsafe(settle)
+            except RuntimeError:  # pragma: no cover - loop closed mid-shutdown
+                pass
 
     # ------------------------------------------------------------------ #
     # worker (shard-thread side)
@@ -151,80 +329,132 @@ class Shard:
             batch.append(nxt)
         return batch
 
-    def _resolve(self, work: _Work, result, error) -> None:
-        self._resolve_batch([(work, result, error)])
+    def _expire(self, batch: list[_Work]) -> list[_Work]:
+        """Skip dequeued work whose deadline already passed: no solve."""
+        live: list[_Work] = []
+        for work in batch:
+            token = work.cancel
+            if token is not None and token.cancelled:
+                self._timeouts_w += 1
+                self._resolve(work, None, ServiceError.timeout(
+                    "request deadline expired while queued"
+                ))
+            else:
+                live.append(work)
+        return live
 
-    def _resolve_batch(self, outcomes) -> None:
-        """Settle many futures with one loop wakeup per event loop.
+    def _request_error(self, exc: Exception) -> ServiceError:
+        """Map one request's failure onto the wire taxonomy.
 
-        ``call_soon_threadsafe`` costs a cross-thread wakeup each call;
-        resolving a whole micro-batch through a single callback keeps the
-        per-request orchestration overhead flat as batches grow.
+        The full exception goes to the server-side log; the structured
+        error carries only the code and a generic message (plus the
+        original as ``__cause__`` for in-process callers).
         """
-        by_loop: dict = {}
-        for work, result, error in outcomes:
-            by_loop.setdefault(work.loop, []).append((work.future, result, error))
-        for loop, entries in by_loop.items():
-            def settle(entries=entries) -> None:
-                for fut, result, error in entries:
-                    if fut.cancelled():
-                        continue
-                    if error is None:
-                        fut.set_result(result)
-                    else:
-                        fut.set_exception(error)
+        if isinstance(exc, SolveCancelled):
+            self._timeouts_w += 1
+            return ServiceError.timeout(
+                "request deadline exceeded mid-solve"
+            )
+        if isinstance(exc, ServiceError):
+            return exc
+        log.exception("shard %d: request failed", self.index)
+        error = ServiceError.internal()
+        error.__cause__ = exc
+        return error
 
-            try:
-                loop.call_soon_threadsafe(settle)
-            except RuntimeError:  # pragma: no cover - loop closed mid-shutdown
-                pass
-
-    def _abandon_pending(self) -> None:
-        """Fail queued work that will never run (shutdown), don't hang it.
-
-        A submit that raced ``close()`` can land its work *behind* the
-        sentinel; silently dropping it would block its ``await future``
-        forever.  Called by the worker on exit and again by ``close()``
-        after the join, when the queue is single-threaded again.
-        """
-        while True:
-            try:
-                work = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if work is not None:
-                self._resolve(
-                    work, None,
-                    RuntimeError("service closed before the request was processed"),
-                )
+    def _dispatch(self, live: list[_Work]) -> None:
+        """Solve one micro-batch; every future in ``live`` gets resolved."""
+        self._batches += 1
+        self._requests += len(live)
+        self._max_batch_seen = max(self._max_batch_seen, len(live))
+        before = None
+        if self._faults is not None:
+            self._faults.on_batch_start(self.index)  # may raise WorkerKilled
+            before = self._faults.item_hook(self.index)
+        cancels = [w.cancel for w in live]
+        try:
+            results = solve_batch(
+                [w.item for w in live], kernel=self.kernel, reps=self.lru,
+                cancels=cancels, before_solve=before,
+            )
+        except Exception:
+            # Isolate the offender: re-run item by item so the rest of
+            # the micro-batch still gets its (bit-identical) answers and
+            # only the failing/expired request carries the error.
+            for work in live:
+                try:
+                    result = solve_batch(
+                        [work.item], kernel=self.kernel, reps=self.lru,
+                        cancels=[work.cancel], before_solve=before,
+                    )[0]
+                except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
+                    self._resolve(work, None, self._request_error(exc))
+                else:
+                    self._resolve(work, result, None)
+        else:
+            self._resolve_batch(
+                [(work, result, None) for work, result in zip(live, results)]
+            )
 
     def _run(self) -> None:
-        while True:
-            batch = self._drain()
-            if batch is None:
-                self._abandon_pending()
-                return
-            self._batches += 1
-            self._requests += len(batch)
-            self._max_batch_seen = max(self._max_batch_seen, len(batch))
-            try:
-                results = solve_batch(
-                    [w.item for w in batch], kernel=self.kernel, reps=self.lru
-                )
-            except Exception:
-                # Isolate the offender: re-run item by item so the rest
-                # of the micro-batch still gets its (bit-identical)
-                # answers and only the bad request carries the error.
-                for work in batch:
-                    try:
-                        result = solve_batch(
-                            [work.item], kernel=self.kernel, reps=self.lru
-                        )[0]
-                    except Exception as exc:  # noqa: BLE001 - forwarded to caller
-                        self._resolve(work, None, exc)
-                    else:
-                        self._resolve(work, result, None)
-                continue
-            self._resolve_batch(
-                [(work, result, None) for work, result in zip(batch, results)]
+        try:
+            while True:
+                batch = self._drain()
+                if batch is None:
+                    self._abandon_pending()
+                    return
+                live = self._expire(batch)
+                if not live:
+                    continue
+                self._inflight = tuple(live)
+                self._dispatch(live)
+                self._inflight = ()
+        except BaseException as exc:  # noqa: BLE001 - supervised worker death
+            self._supervise(exc)
+
+    def _supervise(self, exc: BaseException) -> None:
+        """The shard supervisor: runs in the dying worker's last breath.
+
+        Resolves the in-flight micro-batch with structured errors, then
+        either restarts a fresh worker generation (bounded exponential
+        backoff) or marks the shard failed and fails its whole queue.
+        CPython guarantees we get here for any exception raised in the
+        worker, so death is never silent.
+        """
+        self._deaths += 1
+        log.error("shard %d: worker died: %r", self.index, exc, exc_info=exc)
+        inflight, self._inflight = self._inflight, ()
+        death = ServiceError(
+            "internal", "shard worker died mid-batch", retryable=True
+        )
+        death.__cause__ = exc if isinstance(exc, Exception) else None
+        for work in inflight:
+            self._resolve(work, None, death)
+        if self._closed:
+            self._abandon_pending()
+            return
+        if self._restarts >= self.max_restarts:
+            self._failed = True
+            log.error(
+                "shard %d: restart budget (%d) exhausted, failing shard",
+                self.index, self.max_restarts,
             )
+            self._drain_failed()
+            return
+        self._restarts += 1
+        backoff = min(self.restart_backoff * (2 ** (self._restarts - 1)), 2.0)
+        time.sleep(backoff)
+        if self._closed:  # closed while backing off: drain, don't restart
+            self._abandon_pending()
+            return
+        replacement = threading.Thread(
+            target=self._run,
+            name=f"repro-shard-{self.index}-r{self._restarts}",
+            daemon=True,
+        )
+        self._threads.append(replacement)
+        log.warning(
+            "shard %d: restarting worker (attempt %d/%d, backoff %.3fs)",
+            self.index, self._restarts, self.max_restarts, backoff,
+        )
+        replacement.start()

@@ -16,6 +16,7 @@ import os
 import random
 import subprocess
 import sys
+import threading
 from fractions import Fraction
 from pathlib import Path
 
@@ -36,6 +37,7 @@ from repro.service import (
     InstanceLRU,
     ProtocolError,
     ServiceConfig,
+    ServiceError,
     SolveRequest,
     SolveService,
     serve_tcp,
@@ -411,8 +413,15 @@ class TestProtocol:
         line = response_line(7, ref)
         parsed = json.loads(line)
         assert parsed["id"] == 7 and parsed["ok"] and len(parsed["results"]) == 1
-        err = json.loads(error_line("x", "boom"))
-        assert err == {"id": "x", "ok": False, "error": "boom"}
+        err = json.loads(error_line("x", "boom"))  # bare string: internal
+        assert err == {
+            "id": "x",
+            "ok": False,
+            "error": {"code": "internal", "message": "boom", "retryable": False},
+        }
+        err = json.loads(error_line(3, ServiceError.overloaded()))
+        assert err["error"]["code"] == "overloaded"
+        assert err["error"]["retryable"] is True
 
 
 # --------------------------------------------------------------------------- #
@@ -503,6 +512,31 @@ class TestServiceEngine:
             ServiceConfig(shards=0)
         with pytest.raises(ValueError, match="unknown kernel"):
             ServiceConfig(kernel="quick")
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"queue_bound": 0}, "queue_bound"),
+            ({"queue_bound": True}, "queue_bound"),
+            ({"queue_bound": "64"}, "queue_bound"),
+            ({"max_restarts": -1}, "max_restarts"),
+            ({"max_restarts": 1.5}, "max_restarts"),
+            ({"max_restarts": True}, "max_restarts"),
+            ({"restart_backoff": -0.1}, "restart_backoff"),
+            ({"restart_backoff": "fast"}, "restart_backoff"),
+            ({"restart_backoff": True}, "restart_backoff"),
+        ],
+    )
+    def test_robustness_knob_validation(self, kwargs, match):
+        # One clear error naming the offending knob, nothing else.
+        with pytest.raises(ValueError, match=match):
+            ServiceConfig(**kwargs)
+
+    def test_robustness_knob_good_values(self):
+        config = ServiceConfig(queue_bound=1, max_restarts=0, restart_backoff=0)
+        assert config.queue_bound == 1
+        assert config.max_restarts == 0  # 0 = never restart, fail immediately
+        assert config.restart_backoff == 0
 
 
 class TestServiceFuzz:
@@ -653,6 +687,117 @@ class TestTcpDisconnect:
         assert asyncio.run(asyncio.wait_for(main(), timeout=30))
 
 
+class TestDisconnectFuzz:
+    """Seeded async fuzz with clients that vanish mid-burst.
+
+    Several concurrent TCP clients pipeline seeded bursts; some read a
+    few responses and then drop their connection partway (the rest
+    unread).  Afterwards the service must still answer (no orphaned
+    futures, no wedged admission windows), every shard worker must be
+    joined at close (no leaked threads), and every response that *did*
+    arrive must be bit-identical to a fresh ``solve()``.
+    """
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mid_burst_disconnects(self, seed):
+        rng = random.Random(7000 + seed)
+        pool = TestServiceFuzz().pool()
+        config = ServiceConfig(
+            shards=rng.randint(1, 3),
+            max_batch=rng.randint(1, 4),
+            max_inflight=rng.randint(4, 8),
+        )
+
+        def burst() -> list[dict]:
+            objs = []
+            for k in range(rng.randint(4, 10)):
+                inst = rng.choice(pool)
+                obj = {
+                    "id": k,
+                    "instance": instance_to_obj(fresh(inst, rng.randint(1, inst.n + 1))),
+                }
+                if rng.random() < 0.4:
+                    obj["bounds_only"] = True
+                objs.append(obj)
+            return objs
+
+        async def client(host, port, objs, drop_after, read_before_drop):
+            reader, writer = await asyncio.open_connection(host, port)
+            arrived = []
+            try:
+                for k, obj in enumerate(objs):
+                    writer.write((json.dumps(obj) + "\n").encode())
+                    await writer.drain()
+                    if drop_after is not None and k + 1 == drop_after:
+                        for _ in range(read_before_drop):
+                            line = await reader.readline()
+                            if line:
+                                arrived.append(json.loads(line))
+                        return arrived  # vanish mid-burst; rest unread
+                for _ in objs:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    arrived.append(json.loads(line))
+            finally:
+                writer.close()
+            return arrived
+
+        async def main():
+            # asyncio.timeout, not wait_for: the latter wraps the body in
+            # an extra task that the orphaned-task sweep would flag.
+            async with asyncio.timeout(60), SolveService(config) as svc:
+                server = await serve_tcp(svc, "127.0.0.1", 0)
+                host, port = server.sockets[0].getsockname()[:2]
+                plans = []
+                for _ in range(4):
+                    objs = burst()
+                    if rng.random() < 0.5:
+                        drop_after = rng.randint(1, len(objs))
+                        plans.append((objs, drop_after, rng.randint(0, drop_after - 1)))
+                    else:
+                        plans.append((objs, None, 0))
+                arrived = await asyncio.gather(
+                    *(client(host, port, *plan) for plan in plans)
+                )
+                # Not wedged: a fresh in-process request still answers.
+                probe_req = SolveRequest(instance=fresh(pool[0]))
+                probe = await svc.submit(probe_req)
+                server.close()
+                await server.wait_closed()
+                stray = ()
+                for _ in range(100):  # let dead connection handlers unwind
+                    stray = [
+                        t for t in asyncio.all_tasks()
+                        if t is not asyncio.current_task() and not t.done()
+                    ]
+                    if not stray:
+                        break
+                    await asyncio.sleep(0.05)
+                assert not stray, f"orphaned tasks: {stray!r}"
+                return plans, arrived, (probe_req, probe)
+
+        plans, arrived, (probe_req, probe) = asyncio.run(main())
+        assert_matches_reference(probe_req, probe)
+        leaked = [t.name for t in threading.enumerate()
+                  if t.name.startswith("repro-shard")]
+        assert not leaked, f"leaked shard threads: {leaked}"
+        # Whatever arrived is in request order and bit-identical.
+        for (objs, _, _), replies in zip(plans, arrived):
+            by_id = {obj["id"]: obj for obj in objs}
+            assert [r["id"] for r in replies] == [obj["id"] for obj in objs[:len(replies)]]
+            for reply in replies:
+                assert reply["ok"], reply
+                req = request_from_obj(by_id[reply["id"]])
+                ref = reference_for(req)
+                got = reply["results"][0]
+                assert parse_time(got["T"]) == ref.T
+                assert parse_time(got["ratio_bound"]) == ref.ratio_bound
+                assert parse_time(got["opt_lower_bound"]) == ref.opt_lower_bound
+                if req.schedules:
+                    assert parse_time(got["makespan"]) == ref.makespan
+
+
 class TestStdioCli:
     def test_subprocess_session(self, tiny):
         payload = "".join(
@@ -677,5 +822,8 @@ class TestStdioCli:
         assert parse_time(replies[0]["results"][0]["makespan"]) == ref.makespan
         split = solve(fresh(tiny), Variant.SPLITTABLE)
         assert parse_time(replies[1]["results"][0]["T"]) == split.T
-        assert replies[2]["ok"] is False and "unknown variant" in replies[2]["error"]
+        assert replies[2]["ok"] is False
+        assert replies[2]["error"]["code"] == "bad_request"
+        assert replies[2]["error"]["retryable"] is False
+        assert "unknown variant" in replies[2]["error"]["message"]
         assert replies[3]["pong"] is True
