@@ -2,11 +2,11 @@
 
 Times the solve engine on the standard medium/large/zipf workloads plus a
 ``wide`` many-class fixture (the paper's setup-dominated regime), writing a
-flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR5.json`` in the
-repository root; ``BENCH_PR1.json``..``BENCH_PR4.json`` are the preserved
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR7.json`` in the
+repository root; ``BENCH_PR1.json``..``BENCH_PR5.json`` are the preserved
 earlier snapshots).
 
-Seven bench families:
+Eight bench families:
 
 * ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
   both numeric kernels (``fast`` scaled-int default vs the ``fraction``
@@ -52,6 +52,19 @@ Seven bench families:
   the warm set at or under the configured bound.  The derived
   ``speedup/service/<fixture>`` is the PR-5 acceptance series (≥ 3× on
   medium at 4 shards).
+* ``procshards/<fixture>/{thread,process}/w{1,2,4}`` — the PR-7 worker
+  backends head to head: the identical S5 mixed burst through the
+  service with thread shards vs supervised **process** shards at 1, 2,
+  and 4 workers (child spawn happens at service start, outside the
+  clock).  The derived ``speedup/procshards/<fixture>/w<n>`` ratios are
+  thread-over-process at matched worker count; the headline
+  ``speedup/procshards/<fixture>`` is the 4-worker point, where process
+  shards buy real multicore against the GIL-bound thread backend.  The
+  single-worker medium ratio is the pipe-overhead acceptance cell: CI
+  asserts process stays within 0.8x of thread there (the pure
+  serialization cost, no parallelism to hide behind).  Both the
+  headline and the floor presume parent and child get their own CPU —
+  check ``meta/cpu_count`` (the CI assert skips below 2).
 * ``shortcut/<fixture>/nonp/{on,off}`` — cold ``solve(nonpreemptive)``
   with the ``fast_nonp_test`` cheap-class ``class_tmax`` short-circuit
   enabled vs disabled.  The deliberately *baseline-neutral* family the
@@ -74,6 +87,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -174,6 +188,55 @@ def bench_service(inst: Instance, fixture_name: str, reps: int) -> dict[str, flo
         f"service/{fixture_name}/peak_instances": float(timing.peak_instances),
         f"service/{fixture_name}/max_instances": float(timing.max_instances),
     }
+
+
+def bench_procshards(inst: Instance, fixture_name: str, reps: int) -> dict[str, float]:
+    """Thread vs process shard backends on the identical S5 burst.
+
+    Pure backend-vs-backend (no naive-loop baseline — that lives in the
+    ``service`` family): the same mixed burst through ``SolveService``
+    with ``workers="thread"`` and ``workers="process"`` at matched
+    worker counts.  Each measurement restarts the service per repetition
+    (cold LRUs; shard threads and worker children start outside the
+    clock) and times the burst only.
+
+    Interpret against ``meta/cpu_count``: with a single CPU the parent's
+    pump/loop threads and every worker child timeshare one core, so the
+    family records scheduler contention, not serialization overhead or
+    scaling — the ``w1`` acceptance ratio is only meaningful (and only
+    asserted in CI) on >= 2 CPUs.
+    """
+    import asyncio
+
+    from repro.experiments.scaling import service_burst, service_pool
+    from repro.service.engine import ServiceConfig, SolveService
+
+    pool = service_pool(inst)
+    counts = (1, 2, 4)
+    out: dict[str, float] = {}
+    secs: dict[tuple[str, int], float] = {}
+    for workers in ("thread", "process"):
+        for w in counts:
+            config = ServiceConfig(shards=w, max_instances=2, workers=workers)
+
+            async def once(config=config):
+                async with SolveService(config) as svc:
+                    burst = service_burst(pool, rounds=2)
+                    t0 = time.perf_counter()
+                    await svc.submit_many(burst)
+                    return time.perf_counter() - t0
+
+            best = min(asyncio.run(once()) for _ in range(reps))
+            secs[(workers, w)] = best
+            out[f"procshards/{fixture_name}/{workers}/w{w}"] = best
+    for w in counts:
+        out[f"speedup/procshards/{fixture_name}/w{w}"] = (
+            secs[("thread", w)] / secs[("process", w)]
+        )
+    out[f"speedup/procshards/{fixture_name}"] = (
+        secs[("thread", counts[-1])] / secs[("process", counts[-1])]
+    )
+    return out
 
 
 def bench_shortcut(inst: Instance, fixture_name: str, reps: int) -> dict[str, float]:
@@ -280,6 +343,8 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
             record(name, value)
         for name, value in bench_service(inst, fixture_name, max(reps, 3)).items():
             record(name, value)
+        for name, value in bench_procshards(inst, fixture_name, max(reps, 3)).items():
+            record(name, value)
         for name, value in bench_shortcut(inst, fixture_name, reps).items():
             record(name, value)
     for name, value in bench_grid_nonp(max(reps, 3)).items():
@@ -291,8 +356,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR5.json"),
-        help="output JSON path (default: repo-root BENCH_PR5.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
+        help="output JSON path (default: repo-root BENCH_PR7.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(
@@ -305,6 +370,11 @@ def main(argv: list[str] | None = None) -> int:
     reps = 2 if args.smoke else args.reps
     results = run(fixtures, reps)
     results["meta/have_numpy"] = 1.0 if batchdual.HAVE_NUMPY else 0.0
+    # The procshards family is only a serialization-overhead measurement
+    # when parent and child can actually run in parallel; on one CPU it
+    # measures timesharing.  Record the count so readers (and the CI
+    # floor assert) can tell which regime produced the numbers.
+    results["meta/cpu_count"] = float(os.cpu_count() or 1)
     out = Path(args.output)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {len(results)} entries to {out} (python {platform.python_version()})")

@@ -19,14 +19,21 @@ fingerprints), and asserts:
 ``--faults`` switches to the **chaos smoke**: the same subprocess
 harness armed with each fixed :meth:`FaultPlan.preset` in turn (worker
 kills, injected delays against short deadlines, in-batch raises, a
-client that drops its connection mid-burst) and asserts the robustness
-contract — the run finishes within a bounded wall time, every request
-resolves as either a bit-identical answer or a structured error from
-the closed taxonomy, restart/timeout/shed counters reconcile with the
-observed errors, and the server always exits cleanly.
+non-cooperative wedge against short deadlines, a client that drops its
+connection mid-burst — plus mid-batch SIGKILLs under the process
+backend) and asserts the robustness contract — the run finishes within
+a bounded wall time, every request resolves as either a bit-identical
+answer or a structured error from the closed taxonomy,
+restart/timeout/shed counters reconcile with the observed errors, and
+the server always exits cleanly.
+
+``--workers process`` runs every scenario against the process-isolated
+shard backend instead of worker threads; the assertions are identical
+(the two backends are bit-compatible by contract).
 
 Used by CI on both dependency footprints (numpy and minimal — the
-service must behave identically on the scalar tier), in both modes.
+service must behave identically on the scalar tier), in both modes and
+with both backends.
 """
 
 from __future__ import annotations
@@ -112,7 +119,7 @@ def reference_schedule_key(schedule) -> list[tuple]:
     )
 
 
-def smoke() -> int:
+def smoke(workers: str = "thread") -> int:
     requests = build_requests()
     lines = [json.dumps(o) for o in requests]
     lines.append(json.dumps({"id": "stats", "op": "stats"}))
@@ -120,6 +127,7 @@ def smoke() -> int:
         [
             sys.executable, "-m", "repro.service",
             "--shards", "4", "--max-instances", "1",
+            "--workers", workers,
         ],
         input="\n".join(lines) + "\n",
         capture_output=True, text=True, env=ENV, timeout=600,
@@ -163,9 +171,10 @@ def smoke() -> int:
     maxrss = stats.get("maxrss_kib")
     if maxrss is not None:
         assert maxrss < MAX_RSS_KIB, f"service RSS {maxrss} KiB over {MAX_RSS_KIB} KiB"
+    assert stats["workers"] == workers
     print(
-        f"service smoke ok: {len(requests)} requests ({solves} schedules, "
-        f"{bounds} bounds) bit-identical; peak warm "
+        f"service smoke ok [{workers}]: {len(requests)} requests "
+        f"({solves} schedules, {bounds} bounds) bit-identical; peak warm "
         f"{stats['peak_instances']}/{stats['max_instances']}, "
         f"{stats['evictions']} evictions, batches {stats['batches']}, "
         f"maxrss {maxrss} KiB"
@@ -243,7 +252,8 @@ def reconcile(stats: dict, outcomes: list[str]) -> None:
 
 
 def run_stdio_scenario(name: str, expect_codes: set[str],
-                       timeout_ms: int | None = None) -> str:
+                       timeout_ms: int | None = None,
+                       workers: str = "thread") -> str:
     plan = FaultPlan.preset(name)
     objs = chaos_requests(timeout_ms)
     lines = [json.dumps(o) for o in objs]
@@ -253,6 +263,7 @@ def run_stdio_scenario(name: str, expect_codes: set[str],
         [
             sys.executable, "-m", "repro.service",
             "--shards", "1", "--max-batch", "2",
+            "--workers", workers,
             "--faults", json.dumps(plan.to_obj()),
         ],
         input="\n".join(lines) + "\n",
@@ -282,7 +293,7 @@ def run_stdio_scenario(name: str, expect_codes: set[str],
     )
 
 
-def run_drop_scenario() -> str:
+def run_drop_scenario(workers: str = "thread") -> str:
     """Client vanishes mid-burst; the server must shrug and keep serving."""
     plan = FaultPlan.preset("drop")
     drop_after = plan.drop_connection_after()
@@ -292,6 +303,7 @@ def run_drop_scenario() -> str:
         [
             sys.executable, "-m", "repro.service",
             "--tcp", "127.0.0.1:0", "--shards", "1",
+            "--workers", workers,
         ],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=ENV,
     )
@@ -348,18 +360,33 @@ def run_drop_scenario() -> str:
             proc.wait()
 
 
-def chaos() -> int:
+def chaos(workers: str = "thread") -> int:
     summaries = [
-        run_stdio_scenario("kill", {"internal"}),
+        run_stdio_scenario("kill", {"internal"}, workers=workers),
         # 100 ms budget vs two injected 250 ms stalls on one worker:
         # the stalled solves and everything queued behind them time out.
-        run_stdio_scenario("delay", {"timeout"}, timeout_ms=100),
-        run_stdio_scenario("raise", {"internal"}),
-        run_drop_scenario(),
+        run_stdio_scenario("delay", {"timeout"}, timeout_ms=100,
+                           workers=workers),
+        run_stdio_scenario("raise", {"internal"}, workers=workers),
+        # A non-cooperative 1 s busy wedge against 600 ms budgets (long
+        # enough to survive a process-backend child spawn, short enough
+        # to die inside the wedge): threads surface the timeouts once the
+        # wedge ends; processes hard-kill the wedged child at deadline +
+        # grace and restart it.
+        run_stdio_scenario("wedge", {"timeout"}, timeout_ms=600,
+                           workers=workers),
+        run_drop_scenario(workers=workers),
     ]
+    if workers == "process":
+        # Mid-batch SIGKILL is process-specific: a thread backend has no
+        # child to kill, so the fault would never fire there.
+        summaries.append(
+            run_stdio_scenario("sigkill", {"internal", "timeout"},
+                               workers=workers)
+        )
     for line in summaries:
         print(f"chaos {line}")
-    print(f"service chaos ok: {len(summaries)} scenarios, "
+    print(f"service chaos ok [{workers}]: {len(summaries)} scenarios, "
           f"every response bit-identical or structured")
     return 0
 
@@ -370,8 +397,12 @@ def main(argv: list[str] | None = None) -> int:
         "--faults", action="store_true",
         help="run the chaos smoke (fixed FaultPlan presets) instead",
     )
+    parser.add_argument(
+        "--workers", choices=["thread", "process"], default="thread",
+        help="shard worker backend to smoke (default thread)",
+    )
     args = parser.parse_args(argv)
-    return chaos() if args.faults else smoke()
+    return chaos(args.workers) if args.faults else smoke(args.workers)
 
 
 if __name__ == "__main__":

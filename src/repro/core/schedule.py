@@ -40,6 +40,7 @@ All times are exact rationals (:mod:`repro.core.numeric`).
 
 from __future__ import annotations
 
+import pickle
 from array import array
 from dataclasses import dataclass, replace
 from fractions import Fraction
@@ -448,6 +449,66 @@ class ScheduleColumns:
         out._exported = False
         return out
 
+    # ------------------------------------------------------------------ #
+    # cross-process transport
+    # ------------------------------------------------------------------ #
+
+    _COL_NAMES = ("machine", "start_num", "length_num", "den", "cls", "job_idx")
+
+    def to_ipc(self) -> dict:
+        """Wire form for cross-process transport.
+
+        ``mode="i64"`` wraps the six ``array('q')`` buffers in
+        :class:`pickle.PickleBuffer`, so a protocol-5 pickler with a
+        ``buffer_callback`` ships them out-of-band — the process-shard
+        pipe protocol frames the raw int64 bytes with no per-row
+        encoding.  Big-int rows (``int_mode`` False) fall back to
+        in-band exact int lists, which plain pickle handles at any
+        magnitude.  Inverse: :meth:`from_ipc`.
+        """
+        self.compact()
+        if self.int_mode and not isinstance(self.machine, list):
+            return {
+                "mode": "i64",
+                "cols": [
+                    pickle.PickleBuffer(getattr(self, name))
+                    for name in self._COL_NAMES
+                ],
+            }
+        return {
+            "mode": "obj",
+            "cols": [list(getattr(self, name)) for name in self._COL_NAMES],
+        }
+
+    @classmethod
+    def from_ipc(cls, obj: dict) -> "ScheduleColumns":
+        """Rebuild columns from :meth:`to_ipc` output (post-unpickle).
+
+        After the pickle round trip the ``i64`` entries arrive as
+        bytes-like buffers; they are copied into fresh ``array('q')``
+        columns (the wire buffer is owned by the frame reader).
+        """
+        mode = obj.get("mode") if isinstance(obj, dict) else None
+        data = obj.get("cols") if isinstance(obj, dict) else None
+        if (
+            mode not in ("i64", "obj")
+            or not isinstance(data, (list, tuple))
+            or len(data) != len(cls._COL_NAMES)
+        ):
+            raise ValueError("malformed ScheduleColumns IPC payload")
+        out = cls()
+        if mode == "i64":
+            for name, raw in zip(cls._COL_NAMES, data):
+                col = array("q")
+                col.frombytes(raw)
+                setattr(out, name, col)
+        else:
+            for name, vals in zip(cls._COL_NAMES, data):
+                setattr(out, name, [int(v) for v in vals])
+            out.int_mode = False
+        out._dens = set(out.den)
+        return out
+
 
 def _rows_view(col):
     """Zero-copy int64 numpy view of an ``array('q')`` column.
@@ -555,6 +616,20 @@ class Schedule:
     def columns(self) -> Optional[ScheduleColumns]:
         """The live column store, or ``None`` once the schedule is thawed."""
         return self._cols
+
+    @classmethod
+    def from_columns(cls, instance: Instance, cols: ScheduleColumns) -> "Schedule":
+        """A schedule adopting ``cols`` as its backing column store.
+
+        The transport-side constructor: the process-shard protocol ships
+        :meth:`ScheduleColumns.to_ipc` payloads and rebuilds the child's
+        schedule here without materializing a single
+        :class:`Placement`.  The caller hands over ownership of
+        ``cols``.
+        """
+        sched = cls(instance)
+        sched._cols_live = cols
+        return sched
 
     def _columns_for_append(self) -> Optional[ScheduleColumns]:
         """Columns ready for direct appends (caches invalidated), or None.

@@ -510,6 +510,7 @@ def run_service_throughput(
     rounds: int = 2,
     repeats: int = 3,
     max_instances: int = 2,
+    workers: str = "thread",
 ) -> list[ServiceTiming]:
     """Experiment S5: the mixed burst through the service at each shard count.
 
@@ -517,10 +518,12 @@ def run_service_throughput(
     one-request-at-a-time ``solve()`` calls.  Each service measurement
     restarts the service (cold LRUs) and times the burst only — shard
     threads are started outside the clock.  Expect the shard dimension
-    to be roughly flat on CPython: the solves hold the GIL, so shards
-    buy cache *affinity* and eviction isolation, not core parallelism;
-    the speedup comes from warm-instance coalescing and bounds-only
-    resolution.
+    to be roughly flat on CPython under ``workers="thread"``: the solves
+    hold the GIL, so thread shards buy cache *affinity* and eviction
+    isolation, not core parallelism.  ``workers="process"`` runs each
+    shard in a supervised child process — real multicore, at the price
+    of the pipe round trip per micro-batch (child spawn happens outside
+    the clock here too, same as thread start-up).
     """
     import asyncio
 
@@ -538,7 +541,9 @@ def run_service_throughput(
 
     out = []
     for shards in shard_counts:
-        config = ServiceConfig(shards=shards, max_instances=max_instances)
+        config = ServiceConfig(
+            shards=shards, max_instances=max_instances, workers=workers
+        )
 
         async def once(config=config):
             async with SolveService(config) as svc:

@@ -34,13 +34,25 @@ subsystem turns the :mod:`repro.algos.batch_api` engine into a service:
   order.
 * **Fault tolerance** — requests carry optional ``timeout_ms``
   deadlines (cooperatively cancelled at probe boundaries); dead shard
-  workers are supervised and restarted under a bounded backoff; every
+  workers are supervised and restarted under a bounded backoff; a shard
+  past its restart budget fails fast and its fingerprint range reroutes
+  to the survivors (degraded mode, surfaced via ``stats``); every
   failure is a structured :class:`~repro.service.protocol.ServiceError`
   from a closed taxonomy (``bad_request`` / ``timeout`` / ``overloaded``
   / ``shutdown`` / ``internal``) with retryability semantics.  All of it
   is driven deterministically by :class:`~repro.service.faults.FaultPlan`
   injection (``tests/test_service_faults.py``, the chaos mode of
   ``benchmarks/service_smoke.py``).
+* **Worker backends** — ``ServiceConfig(workers="thread"|"process")``
+  picks what a shard's solves run on.  Threads (default) buy cache
+  affinity under the GIL at zero serialization cost; **process** shards
+  (:class:`~repro.service.shards.ProcessShard` supervising a
+  :mod:`repro.service.procworker` child over a length-prefixed pipe)
+  add what threads cannot: crash containment, heartbeat liveness,
+  SIGKILL-backed *hard* deadlines (``hard_kill_grace_ms``), and real
+  multicore on multi-CPU hosts.  Responses are bit-identical across
+  backends; the pipe cost is bounded by a payload-eliding slim wire
+  over a parent-side shadow replay of the child's LRU.
 
 Front ends: ``python -m repro.service`` speaks JSON lines over stdio, or
 over a local TCP socket with ``--tcp HOST:PORT``

@@ -58,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--shards", type=int, default=4,
                         help="worker threads / cache-affinity shards (default 4)")
+    parser.add_argument("--workers", choices=["thread", "process"],
+                        default="thread",
+                        help="shard backend: in-process worker threads, or "
+                             "one supervised child process per shard (crash "
+                             "containment, hard deadlines, multicore; "
+                             "default thread)")
+    parser.add_argument("--hard-kill-grace-ms", type=int, default=200,
+                        help="process backend: grace past the last in-flight "
+                             "deadline before a silent child is SIGKILLed "
+                             "(default 200)")
     parser.add_argument("--max-batch", type=int, default=16,
                         help="micro-batch size per shard dispatch (default 16)")
     parser.add_argument("--max-inflight", type=int, default=64,
@@ -79,8 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", type=_parse_faults, metavar="PLAN",
                         default=None,
                         help="arm a deterministic fault plan (testing only): "
-                             "a preset name (kill/delay/raise/drop) or "
-                             "FaultPlan JSON")
+                             "a preset name (kill/delay/raise/drop/wedge/"
+                             "sigkill) or FaultPlan JSON")
     return parser
 
 
@@ -94,6 +104,8 @@ async def _amain(args: argparse.Namespace) -> int:
         queue_bound=args.queue_bound,
         max_restarts=args.max_restarts,
         restart_backoff=args.restart_backoff,
+        workers=args.workers,
+        hard_kill_grace_ms=args.hard_kill_grace_ms,
     )
     async with SolveService(config, faults=args.faults) as service:
         if args.tcp is None:

@@ -43,7 +43,7 @@ from ..core.cancel import CancelToken
 from ..core.fastnum import validate_kernel
 from .faults import FaultPlan
 from .protocol import ServiceError, SolveRequest
-from .shards import Shard, ShardStats, _Work, shard_index
+from .shards import ProcessShard, Shard, ShardStats, _Work, shard_index
 
 __all__ = ["ServiceConfig", "ServiceStats", "SolveService"]
 
@@ -66,6 +66,16 @@ class ServiceConfig:
     is restarted before the shard is declared failed; ``restart_backoff``
     is the first restart's delay in seconds (doubling per restart,
     capped at 2s).
+
+    ``workers`` selects the shard backend: ``"thread"`` (default) runs
+    each shard's solves on its worker thread in-process; ``"process"``
+    runs them in a supervised child process per shard
+    (:class:`~repro.service.shards.ProcessShard`) — crash containment,
+    SIGKILL-backed hard deadlines, and true multicore scaling, at the
+    cost of per-request serialization and per-child cache rebuilds.
+    ``hard_kill_grace_ms`` (process backend only) is how long past the
+    last in-flight deadline a child may go silent before it is
+    SIGKILLed.
     """
 
     shards: int = 4
@@ -76,9 +86,24 @@ class ServiceConfig:
     queue_bound: int = 64
     max_restarts: int = 3
     restart_backoff: float = 0.05
+    workers: str = "thread"
+    hard_kill_grace_ms: int = 200
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
+        if self.workers not in ("thread", "process"):
+            raise ValueError(
+                f"workers must be 'thread' or 'process', got {self.workers!r}"
+            )
+        if (
+            isinstance(self.hard_kill_grace_ms, bool)
+            or not isinstance(self.hard_kill_grace_ms, int)
+            or self.hard_kill_grace_ms < 0
+        ):
+            raise ValueError(
+                "hard_kill_grace_ms must be a non-negative int, "
+                f"got {self.hard_kill_grace_ms!r}"
+            )
         for name in ("shards", "max_batch", "max_inflight", "max_instances",
                      "queue_bound"):
             value = getattr(self, name)
@@ -119,9 +144,12 @@ class ServiceStats:
     evictions: int
     timeouts: int              # requests failed on their deadline
     shed: int                  # requests rejected by full shard queues
-    restarts: int              # shard worker threads restarted
-    worker_deaths: int         # shard worker threads that died
+    restarts: int              # shard workers restarted (threads or processes)
+    worker_deaths: int         # shard workers that died
     failed_shards: int         # shards past their restart budget
+    workers: str               # backend: "thread" | "process"
+    rerouted: int              # requests rerouted off failed shards
+    degraded_shards: tuple[int, ...]  # failed shard indices serving reroutes
     shards: tuple[ShardStats, ...]
 
     def to_obj(self) -> dict:
@@ -142,6 +170,9 @@ class ServiceStats:
             "restarts": self.restarts,
             "worker_deaths": self.worker_deaths,
             "failed_shards": self.failed_shards,
+            "workers": self.workers,
+            "rerouted": self.rerouted,
+            "degraded_shards": list(self.degraded_shards),
             "shards": [
                 {
                     "index": s.index,
@@ -189,22 +220,32 @@ class SolveService:
                  faults: Optional[FaultPlan] = None) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
-        self._shards = [
-            Shard(
-                i,
-                max_batch=self.config.max_batch,
-                max_instances=self.config.max_instances,
-                kernel=self.config.kernel,
-                queue_bound=self.config.queue_bound,
-                max_restarts=self.config.max_restarts,
-                restart_backoff=self.config.restart_backoff,
-                faults=faults,
-            )
-            for i in range(self.config.shards)
-        ]
+        shard_kwargs = dict(
+            max_batch=self.config.max_batch,
+            max_instances=self.config.max_instances,
+            kernel=self.config.kernel,
+            queue_bound=self.config.queue_bound,
+            max_restarts=self.config.max_restarts,
+            restart_backoff=self.config.restart_backoff,
+            faults=faults,
+        )
+        if self.config.workers == "process":
+            self._shards: list[Shard] = [
+                ProcessShard(
+                    i,
+                    hard_kill_grace_ms=self.config.hard_kill_grace_ms,
+                    **shard_kwargs,
+                )
+                for i in range(self.config.shards)
+            ]
+        else:
+            self._shards = [
+                Shard(i, **shard_kwargs) for i in range(self.config.shards)
+            ]
         self._sem = asyncio.Semaphore(self.config.max_inflight)
         self._inflight = 0
         self._peak_inflight = 0
+        self._rerouted = 0
         self._started = False
         self._closed = False
 
@@ -262,7 +303,7 @@ class SolveService:
         if request.timeout_ms is not None:
             token = CancelToken.after(request.timeout_ms / 1000.0)
         fingerprint = request.instance.fingerprint()
-        shard = self._shards[shard_index(fingerprint, len(self._shards))]
+        shard = self._route(shard_index(fingerprint, len(self._shards)))
         loop = asyncio.get_running_loop()
         await self._sem.acquire()
         self._inflight += 1
@@ -280,6 +321,28 @@ class SolveService:
         finally:
             self._inflight -= 1
             self._sem.release()
+
+    def _route(self, index: int) -> Shard:
+        """Degraded-mode routing: walk off a failed shard to a survivor.
+
+        Normally the fingerprint's home shard.  Once a shard exhausts
+        its restart budget, its fingerprint range reroutes to the next
+        surviving shard (deterministic walk, so a fingerprint keeps one
+        home per failed-set) instead of serving errors forever — cache
+        affinity degrades (the survivor rebuilds warm state) but the
+        range stays *served*.  Surfaced via ``stats().rerouted`` and
+        ``stats().degraded_shards``; with no survivor left, the home
+        shard's structured ``internal`` failure propagates as before.
+        """
+        shard = self._shards[index]
+        if shard.failed:
+            n = len(self._shards)
+            for offset in range(1, n):
+                survivor = self._shards[(index + offset) % n]
+                if not survivor.failed:
+                    self._rerouted += 1
+                    return survivor
+        return shard
 
     async def submit_many(self, requests: Iterable[SolveRequest]) -> list:
         """Submit concurrently, return results in request order."""
@@ -309,5 +372,8 @@ class SolveService:
             restarts=sum(s.restarts for s in shard_stats),
             worker_deaths=sum(s.worker_deaths for s in shard_stats),
             failed_shards=sum(1 for s in shard_stats if s.failed),
+            workers=self.config.workers,
+            rerouted=self._rerouted,
+            degraded_shards=tuple(s.index for s in shard_stats if s.failed),
             shards=shard_stats,
         )

@@ -20,10 +20,38 @@ supervisor must survive:
 * :class:`RaiseInBatch` — raise a ``RuntimeError`` inside
   ``solve_batch``: an unexpected per-request failure, exercising the
   micro-batch isolation fallback and the ``internal`` error path.
+* :class:`WedgeSolve` — a **busy loop** before an item's solve that
+  ignores cooperative cancellation entirely (no probe boundaries, no
+  token checks): the non-cooperative hang a ``timeout_ms`` deadline
+  cannot interrupt.  The two worker backends differ by construction
+  here, and both behaviors are asserted in ``tests/test_service_faults``:
+  a **thread** backend cannot preempt the wedge — it can only shed the
+  wedged request at shutdown (``close()`` resolves the future with a
+  ``shutdown`` error while the loop runs on in the daemon thread) —
+  while a **process** backend SIGKILLs the wedged child once the batch
+  deadline plus ``hard_kill_grace_ms`` passes and resolves the request
+  with a ``timeout`` error.
+* :class:`SigKill` — a **process-targeted** fault: the parent-side
+  supervisor SIGKILLs a shard's live child immediately after handing it
+  a micro-batch, simulating a segfault/OOM mid-solve.  Meaningful only
+  under ``workers="process"`` (a thread backend has no process to
+  kill); adjudicated by the supervisor via :meth:`FaultPlan.sigkill_now`
+  so a restarted child never resets the firing state.
 * :class:`DropConnection` — a **client-side** fault: the chaos harness
   closes its connection after sending N requests mid-burst.  The plan
   only carries the spec (:meth:`FaultPlan.drop_connection_after`); the
   server side must simply survive it.
+
+Under the process backend **every** firing decision is made by the
+parent supervisor against the single authoritative plan: batch-level
+kills via :meth:`FaultPlan.on_batch_start` / :meth:`FaultPlan.sigkill_now`,
+and item-level faults via :meth:`FaultPlan.item_directives`, whose
+mechanical outcome (sleep / busy-spin / raise) ships over the pipe for
+the child to execute (:func:`execute_directive`).  Arming children with
+their own plan copy would be wrong twice over: a freshly restarted
+child would re-fire already-consumed faults from reset state (burning
+the restart budget, or re-wedging on the recovery request), and
+``fired`` counts would be invisible to the parent the tests assert on.
 
 Counters are kept **per shard** (requests route to shards by instance
 fingerprint, which is deterministic), so a plan fires at the same
@@ -49,8 +77,35 @@ __all__ = [
     "FaultPlan",
     "KillWorker",
     "RaiseInBatch",
+    "SigKill",
+    "WedgeSolve",
     "WorkerKilled",
+    "execute_directive",
 ]
+
+
+def execute_directive(directive: Optional[dict]) -> None:
+    """Execute one item directive from :meth:`FaultPlan.item_directives`.
+
+    Runs wherever the item is actually solved: in the shard thread
+    (thread backend, via :meth:`FaultPlan.on_item`) or in the child
+    process (process backend, directive shipped inside the batch frame).
+    Order matters and mirrors the historical hook: sleep the delays,
+    spin the wedges, then raise.
+    """
+    if not directive:
+        return
+    for seconds in directive.get("delays", ()):
+        time.sleep(seconds)
+    for seconds in directive.get("wedges", ()):
+        # Busy-wait, never sleep, never check a token: the point is
+        # a hang cooperative cancellation cannot reach.
+        end = time.monotonic() + seconds
+        while time.monotonic() < end:
+            pass
+    message = directive.get("raise")
+    if message is not None:
+        raise RuntimeError(message)
 
 
 class WorkerKilled(BaseException):
@@ -94,6 +149,38 @@ class RaiseInBatch:
 
 
 @dataclass(frozen=True)
+class WedgeSolve:
+    """Busy-loop ``seconds`` before a shard's ``after_items+1``-th item.
+
+    Unlike :class:`DelaySolve` (a plain sleep a thread scheduler can
+    work around), the wedge spins without ever checking a cancel token
+    — the worker is *gone* for the duration as far as cooperative
+    cancellation is concerned.  See the module docstring for how the
+    two backends shed it.
+    """
+
+    seconds: float = 2.0
+    shard: Optional[int] = None
+    after_items: int = 0
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class SigKill:
+    """SIGKILL a shard's child right after its ``after_batches+1``-th dispatch.
+
+    Process backend only; adjudicated parent-side
+    (:meth:`FaultPlan.sigkill_now`) so the in-flight micro-batch is
+    already in the child when the kill lands — the crash-containment
+    path, not the pre-dispatch :class:`KillWorker` path.
+    """
+
+    shard: Optional[int] = None
+    after_batches: int = 1
+    times: int = 1
+
+
+@dataclass(frozen=True)
 class DropConnection:
     """Client-side: the harness drops its connection after N requests."""
 
@@ -104,6 +191,8 @@ _KINDS = {
     "kill_worker": KillWorker,
     "delay_solve": DelaySolve,
     "raise_in_batch": RaiseInBatch,
+    "wedge_solve": WedgeSolve,
+    "sigkill": SigKill,
     "drop_connection": DropConnection,
 }
 _KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
@@ -155,10 +244,21 @@ class FaultPlan:
                         f"injected kill: shard {shard}, batch {count}"
                     )
 
-    def on_item(self, shard: int, item) -> None:
-        """Hook: a shard is about to solve one batch item (via ``before_solve``)."""
-        delays: list[DelaySolve] = []
-        raises: list[RaiseInBatch] = []
+    def item_directives(self, shard: int) -> Optional[dict]:
+        """Consume firing state for one item; return what should happen.
+
+        Counts one item reached on ``shard`` and returns the mechanical
+        directive ``{"delays": [s, ...], "wedges": [s, ...], "raise":
+        msg | None}`` — or ``None`` when nothing fires.  This is the
+        decide-without-execute half of :meth:`on_item`: the process
+        backend calls it in the *parent* (the single authoritative plan
+        — a restarted child must never re-fire from reset state) and
+        ships the directive across the pipe for the child to execute
+        (:func:`execute_directive`).
+        """
+        delays: list[float] = []
+        wedges: list[float] = []
+        raise_msg: Optional[str] = None
         with self._lock:
             count = self._items.get(shard, 0) + 1
             self._items[shard] = count
@@ -170,21 +270,54 @@ class FaultPlan:
                 ) and count > fault.after_items:
                     self._remaining[idx] -= 1
                     self.fired["delay_solve"] += 1
-                    delays.append(fault)
+                    delays.append(fault.seconds)
+                elif isinstance(fault, WedgeSolve) and (
+                    fault.shard is None or fault.shard == shard
+                ) and count > fault.after_items:
+                    self._remaining[idx] -= 1
+                    self.fired["wedge_solve"] += 1
+                    wedges.append(fault.seconds)
                 elif isinstance(fault, RaiseInBatch) and (
                     fault.shard is None or fault.shard == shard
                 ) and count > fault.after_items:
                     self._remaining[idx] -= 1
                     self.fired["raise_in_batch"] += 1
-                    raises.append(fault)
-        for fault in delays:          # sleep outside the lock
-            time.sleep(fault.seconds)
-        if raises:
-            raise RuntimeError(raises[0].message)
+                    if raise_msg is None:
+                        raise_msg = fault.message
+        if not delays and not wedges and raise_msg is None:
+            return None
+        return {"delays": delays, "wedges": wedges, "raise": raise_msg}
+
+    def on_item(self, shard: int, item) -> None:
+        """Hook: a shard is about to solve one batch item (via ``before_solve``)."""
+        execute_directive(self.item_directives(shard))
 
     def item_hook(self, shard: int) -> Callable:
         """The ``before_solve`` callable a shard passes to ``solve_batch``."""
         return lambda item: self.on_item(shard, item)
+
+    def sigkill_now(self, shard: int) -> bool:
+        """Hook: should the supervisor SIGKILL ``shard``'s child mid-batch?
+
+        Called by the process-shard supervisor right after
+        :meth:`on_batch_start` for the same dispatch (the batch count it
+        reads is the one that call just recorded).  Parent-side by
+        design: the parent holds the single authoritative plan, so a
+        restarted child cannot reset the firing state.
+        """
+        with self._lock:
+            count = self._batches.get(shard, 0)
+            for idx, fault in enumerate(self.faults):
+                if (
+                    isinstance(fault, SigKill)
+                    and (fault.shard is None or fault.shard == shard)
+                    and count > fault.after_batches
+                    and self._remaining[idx] > 0
+                ):
+                    self._remaining[idx] -= 1
+                    self.fired["sigkill"] += 1
+                    return True
+        return False
 
     # ------------------------------------------------------------------ #
     # client-side spec (consumed by the chaos harness, not the server)
@@ -232,16 +365,19 @@ class FaultPlan:
     # the fixed chaos-bench plan set
     # ------------------------------------------------------------------ #
 
-    PRESETS = ("kill", "delay", "raise", "drop")
+    PRESETS = ("kill", "delay", "raise", "drop", "wedge", "sigkill")
 
     @classmethod
     def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
         """One of the fixed chaos scenarios, thresholds derived from ``seed``.
 
-        ``kill``  — kill shard 0 early, then again (restart supervision);
-        ``delay`` — slow two solves well past a short deadline;
-        ``raise`` — three injected in-batch failures (isolation fallback);
-        ``drop``  — client vanishes mid-burst.
+        ``kill``    — kill shard 0 early, then again (restart supervision);
+        ``delay``   — slow two solves well past a short deadline;
+        ``raise``   — three injected in-batch failures (isolation fallback);
+        ``drop``    — client vanishes mid-burst;
+        ``wedge``   — one non-cooperative busy hang (shed at shutdown on
+        threads, hard-killed on deadline under processes);
+        ``sigkill`` — SIGKILL shard 0's child mid-batch (process backend).
         """
         rng = random.Random(seed)
         if name == "kill":
@@ -259,6 +395,14 @@ class FaultPlan:
             )
         elif name == "drop":
             faults = (DropConnection(after_requests=rng.randint(6, 12)),)
+        elif name == "wedge":
+            faults = (
+                WedgeSolve(seconds=1.0, after_items=rng.randint(0, 2)),
+            )
+        elif name == "sigkill":
+            faults = (
+                SigKill(shard=0, after_batches=rng.randint(1, 3)),
+            )
         else:
             raise ValueError(
                 f"unknown preset {name!r}; expected one of {cls.PRESETS}"

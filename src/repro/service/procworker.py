@@ -1,0 +1,625 @@
+"""Process shard worker: child main loop, pipe framing, wire codecs.
+
+One process shard (:class:`repro.service.shards.ProcessShard`) owns one
+supervised child process running :func:`main` below — spawned as
+``python -m repro.service.procworker`` with the shard's knobs on the
+command line.  Parent and child speak a length-prefixed binary frame
+protocol over the child's stdin/stdout pipes:
+
+* **Frames** are ``uint32 nparts``, then ``nparts`` little-endian
+  ``uint64`` part lengths, then the parts.  Part 0 is a pickle
+  **protocol 5** payload; the remaining parts are its out-of-band
+  :class:`pickle.PickleBuffer` buffers, in ``buffer_callback`` order.
+  That is the zero-copy hand-off the columnar backend was built for:
+  a result schedule travels as six raw ``int64`` column buffers
+  (:meth:`~repro.core.schedule.ScheduleColumns.to_ipc`), not as pickled
+  Python objects — with an in-band exact-int fallback for the rare
+  big-int overflow rows.
+* **Requests** cross as the service's exact-rational wire encoding
+  (:func:`~repro.service.protocol.instance_to_obj` /
+  :func:`~repro.service.protocol.encode_time`), so a process shard's
+  inputs are bit-equal to what a JSON front end would deliver.
+  Deadlines cross as ``remaining_ms`` *budgets* computed with the
+  parent token's own (injectable) clock — the child re-arms a local
+  monotonic token, so parent/child clocks never need to agree on an
+  epoch.
+* **Liveness** is a heartbeat frame every ``--heartbeat-ms`` from a
+  child-side daemon thread.  A busy solve keeps heartbeating (the GIL
+  timeslices the beat thread in); only a truly frozen or dead process
+  goes silent, which is exactly what the parent supervisor wants to
+  distinguish from "slow".
+
+The child mirrors the thread backend's dispatch semantics exactly —
+same :func:`~repro.algos.batch_api.solve_batch` call, same per-item
+isolation retry, same error taxonomy mapping, its own
+:class:`~repro.service.cache.InstanceLRU` under the same bound — so
+responses stay bit-identical to the thread backend and to looped
+``solve()``.  Stray ``print``\\ s from library code cannot corrupt the
+frame stream: the child re-points ``stdout`` at ``stderr`` on startup
+and keeps a private duplicate of the real pipe for frames.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import struct
+import subprocess
+import sys
+import threading
+import time
+from queue import Empty, SimpleQueue
+from typing import Optional
+
+from ..algos.api import SolveResult
+from ..algos.batch_api import BatchItem, SweepPoint, solve_batch
+from ..core.bounds import Variant
+from ..core.cancel import CancelToken, SolveCancelled
+from ..core.schedule import Schedule, ScheduleColumns
+from .cache import InstanceLRU
+from .faults import execute_directive
+from .protocol import (
+    ServiceError,
+    encode_time,
+    instance_from_obj,
+    instance_to_obj,
+    parse_time,
+)
+
+__all__ = ["WorkerProc", "read_frame", "write_frame", "main"]
+
+_HEAD = struct.Struct("<I")
+_PLEN = struct.Struct("<Q")
+_MAX_PARTS = 1 << 16
+_MAX_PART_LEN = 1 << 40
+#: Requested OS pipe capacity for the frame streams.  A 16-item result
+#: frame tops the 64 KiB Linux default, so with the previous frame still
+#: undrained the child's coalesced write *blocks on the parent's read
+#: latency* — measured as ~1 ms of dead time per batch on the child's
+#: solve thread.  A megabyte of kernel-side slack decouples the two.
+_PIPE_CAPACITY = 1 << 20
+
+
+def _widen_pipe(fileobj) -> None:
+    """Best-effort bump of a pipe's kernel buffer (Linux ``F_SETPIPE_SZ``)."""
+    try:
+        import fcntl
+
+        fcntl.fcntl(fileobj.fileno(), fcntl.F_SETPIPE_SZ, _PIPE_CAPACITY)
+    except (ImportError, AttributeError, OSError, ValueError):
+        pass  # non-Linux, pipe-max-size cap, or closed fd: the default works
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+
+
+#: Frames up to this size are coalesced into one ``write``.  A result
+#: frame is ~100 tiny parts (each schedule ships six column buffers);
+#: written one by one through a small pipe buffer that is ~100 write
+#: syscalls and as many reader wake-ups — measured at ~1ms per batch,
+#: serialized with the child's solving.  One join + one write makes it
+#: one syscall.  Above the cap, fall back to streaming the parts so a
+#: huge frame never doubles its own memory.
+_COALESCE_MAX = 4 << 20
+
+
+def write_frame(stream, obj) -> None:
+    """Write one frame: pickle-5 payload + out-of-band buffers."""
+    buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    parts: list = [payload]
+    parts.extend(buf.raw() for buf in buffers)  # raw(): flat B-format views
+    head = [_HEAD.pack(len(parts))]
+    head.extend(_PLEN.pack(len(part)) for part in parts)
+    if sum(len(part) for part in parts) <= _COALESCE_MAX:
+        stream.write(b"".join(head + parts))
+    else:  # pragma: no cover - only multi-megabyte frames
+        stream.write(b"".join(head))
+        for part in parts:
+            stream.write(part)
+    stream.flush()
+
+
+def _read_exact(stream, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes; None at a clean boundary, EOFError mid-read."""
+    chunks = []
+    while n:
+        block = stream.read(n)
+        if not block:
+            if not chunks:
+                return None
+            raise EOFError("stream truncated mid-read")
+        chunks.append(block)
+        n -= len(block)
+    return b"".join(chunks)
+
+
+def read_frame(stream):
+    """Read one frame; ``None`` on clean EOF, :class:`EOFError` mid-frame."""
+    head = _read_exact(stream, _HEAD.size)
+    if head is None:
+        return None
+    (nparts,) = _HEAD.unpack(head)
+    if not 1 <= nparts <= _MAX_PARTS:
+        raise EOFError(f"corrupt frame header: {nparts} parts")
+    lens = []
+    for _ in range(nparts):
+        raw = _read_exact(stream, _PLEN.size)
+        if raw is None:
+            raise EOFError("truncated frame (length table)")
+        (plen,) = _PLEN.unpack(raw)
+        if plen > _MAX_PART_LEN:
+            raise EOFError(f"corrupt frame part length: {plen}")
+        lens.append(plen)
+    parts = []
+    for plen in lens:
+        data = _read_exact(stream, plen)
+        if data is None:
+            raise EOFError("truncated frame (payload)")
+        parts.append(data)
+    return pickle.loads(parts[0], buffers=parts[1:])
+
+
+# --------------------------------------------------------------------------- #
+# wire codecs (items parent -> child, results child -> parent)
+# --------------------------------------------------------------------------- #
+
+
+def work_to_wire(item: BatchItem, token: Optional[CancelToken],
+                 directive: Optional[dict] = None, *,
+                 slim: bool = False) -> dict:
+    """One batch item as wire data (exact-rational request encoding).
+
+    The deadline crosses as a remaining-time *budget* read through the
+    token's own clock, so injected test clocks propagate through the
+    pipe: the child arms a fresh monotonic token with the same budget.
+    ``directive`` is an already-adjudicated item-fault directive
+    (:meth:`~repro.service.faults.FaultPlan.item_directives`) the child
+    executes mechanically — firing decisions never happen child-side.
+
+    ``slim=True`` omits the instance payload (setups/jobs), keeping only
+    the machine count and the fingerprint.  The caller must *prove* the
+    child can resolve the fingerprint at decode time — either from its
+    LRU or from a payload-carrying item earlier in the same batch (see
+    ``ProcessShard._slim_plan``'s shadow-LRU argument).  The payload is
+    the dominant per-item pipe cost, so warm traffic crosses in a few
+    dozen bytes instead of re-shipping data the child already holds.
+    """
+    remaining_ms = None
+    if token is not None:
+        if token.cancelled:
+            remaining_ms = 0.0
+        else:
+            remaining = token.remaining()
+            if remaining is not None:
+                remaining_ms = remaining * 1000.0
+    return {
+        "instance": (
+            {"m": item.instance.m} if slim else instance_to_obj(item.instance)
+        ),
+        "slim": slim,
+        # The parent's (cached) content fingerprint rides along as a
+        # cache key: the pipe is a trusted intra-host boundary, so the
+        # child can use it to reuse a warm representative — or to seed
+        # its own instance's digest — without re-hashing the payload.
+        "fp": item.instance.fingerprint(),
+        "variant": item.variant.value,
+        "algorithm": item.algorithm,
+        "eps": encode_time(item.eps),
+        "schedules": item.schedules,
+        "ms": list(item.ms) if item.ms is not None else None,
+        "remaining_ms": remaining_ms,
+        "fault": directive,
+    }
+
+
+def _item_from_wire(obj: dict, lru: Optional[InstanceLRU] = None,
+                    local: Optional[dict] = None) -> BatchItem:
+    """Rebuild one batch item, skipping decode work a warm cache makes moot.
+
+    When the wire fingerprint is already warm in the child's LRU — or
+    was decoded from a payload-carrying item earlier in this batch
+    (``local``) — the item reuses that representative through an O(c)
+    cache-sharing ``with_machines`` copy — exactly the sharing
+    ``solve_batch`` would set up anyway — instead of re-validating and
+    re-hashing the payload.  Cold items decode normally and inherit the
+    parent's fingerprint, so the blake2b digest is computed once per
+    request service-wide (on the parent, which needed it for shard
+    routing regardless).  *Slim* items carry no payload at all; the
+    parent only sends them when its shadow replay of this LRU proves a
+    representative is resolvable, so a slim miss is a protocol bug —
+    raised loudly and absorbed by crash containment (retryable errors,
+    fresh child, full payloads on retry).
+    """
+    fp = obj.get("fp")
+    instance = None
+    if fp is not None:
+        rep = lru.peek(fp) if lru is not None else None
+        if rep is None and local is not None:
+            rep = local.get(fp)
+        if rep is not None:
+            instance = rep.with_machines(obj["instance"]["m"], share_caches=True)
+    if instance is None:
+        if obj.get("slim"):
+            raise RuntimeError(
+                f"slim wire item without a warm representative for {fp!r} "
+                "(parent shadow-LRU desync)"
+            )
+        instance = instance_from_obj(obj["instance"])
+        if fp is not None:
+            instance._misc_cache["fingerprint"] = fp
+            if local is not None:
+                local[fp] = instance
+    return BatchItem(
+        instance=instance,
+        variant=Variant(obj["variant"]),
+        algorithm=obj["algorithm"],
+        eps=parse_time(obj["eps"], "eps"),
+        schedules=obj["schedules"],
+        ms=tuple(obj["ms"]) if obj["ms"] is not None else None,
+    )
+
+
+def _token_from_wire(obj: dict) -> Optional[CancelToken]:
+    remaining_ms = obj.get("remaining_ms")
+    if remaining_ms is None:
+        return None
+    return CancelToken.after(remaining_ms / 1000.0)
+
+
+def result_to_wire(result) -> dict:
+    """One solve outcome as wire data (child side).
+
+    Certificates use the exact-rational encoding; schedules leave as
+    columnar IPC payloads whose int64 buffers the protocol-5 pickler
+    ships out-of-band.
+    """
+    if isinstance(result, list):  # an ms sweep
+        return {"kind": "list", "results": [result_to_wire(r) for r in result]}
+    if isinstance(result, SweepPoint):
+        return {
+            "kind": "bounds",
+            "m": result.m,
+            "variant": result.variant.value,
+            "algorithm": result.algorithm,
+            "T": encode_time(result.T),
+            "ratio_bound": encode_time(result.ratio_bound),
+            "opt_lower_bound": encode_time(result.opt_lower_bound),
+            "accept_calls": result.accept_calls,
+        }
+    if isinstance(result, SolveResult):
+        sched = result.schedule
+        cols = sched.columns()
+        if cols is None:  # thawed (identity-level repairs): re-encode
+            cols = ScheduleColumns.from_placements(sched.iter_all())
+        return {
+            "kind": "solve",
+            "m": sched.instance.m,
+            "variant": result.variant.value,
+            "algorithm": result.algorithm,
+            "T": encode_time(result.T),
+            "ratio_bound": encode_time(result.ratio_bound),
+            "opt_lower_bound": encode_time(result.opt_lower_bound),
+            "schedule": cols.to_ipc(),
+        }
+    raise TypeError(f"unexpected solve result type: {type(result)!r}")
+
+
+def result_from_wire(obj: dict, base_instance):
+    """Inverse of :func:`result_to_wire` (parent side).
+
+    ``base_instance`` is the parent's own instance for the request —
+    the rebuilt schedule hangs off it (or a ``with_machines`` sibling
+    for sweep entries), never off anything unpickled.
+    """
+    kind = obj["kind"]
+    if kind == "list":
+        return [result_from_wire(r, base_instance) for r in obj["results"]]
+    variant = Variant(obj["variant"])
+    T = parse_time(obj["T"], "T")
+    ratio_bound = parse_time(obj["ratio_bound"], "ratio_bound")
+    opt_lower_bound = parse_time(obj["opt_lower_bound"], "opt_lower_bound")
+    if kind == "bounds":
+        return SweepPoint(
+            m=obj["m"],
+            variant=variant,
+            algorithm=obj["algorithm"],
+            T=T,
+            ratio_bound=ratio_bound,
+            opt_lower_bound=opt_lower_bound,
+            accept_calls=obj["accept_calls"],
+        )
+    if kind != "solve":
+        raise ValueError(f"unknown result kind {kind!r}")
+    cols = ScheduleColumns.from_ipc(obj["schedule"])
+    m = obj["m"]
+    instance = base_instance
+    if instance.m != m:
+        instance = instance.with_machines(m)
+    return SolveResult(
+        schedule=Schedule.from_columns(instance, cols),
+        variant=variant,
+        algorithm=obj["algorithm"],
+        T=T,
+        ratio_bound=ratio_bound,
+        opt_lower_bound=opt_lower_bound,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# child side
+# --------------------------------------------------------------------------- #
+
+
+def _error_outcome(exc: Exception) -> tuple:
+    """Map one request's failure onto the wire taxonomy (child side).
+
+    The same mapping as ``Shard._request_error``; the parent re-raises
+    the tuple as a :class:`ServiceError` and owns the timeout counters.
+    """
+    if isinstance(exc, SolveCancelled):
+        return ("err", "timeout", "request deadline exceeded mid-solve", False)
+    if isinstance(exc, ServiceError):
+        return ("err", exc.code, exc.message, exc.retryable)
+    import traceback
+
+    traceback.print_exc(file=sys.stderr)
+    return ("err", "internal", "internal error", False)
+
+
+def _run_batch(items_wire, *, lru, kernel) -> list[tuple]:
+    """Solve one micro-batch: the child-side mirror of ``Shard._dispatch``."""
+    # `local` holds instances decoded from payload-carrying items in THIS
+    # batch, so slim siblings behind them resolve even when the LRU is
+    # still cold (solve_batch only admits after all items are decoded).
+    local: dict = {}
+    items = [_item_from_wire(obj, lru, local) for obj in items_wire]
+    tokens = [_token_from_wire(obj) for obj in items_wire]
+    # Item-fault directives were adjudicated by the parent plan; keyed by
+    # item identity so the per-item isolation retry below replays the
+    # same directive on the same item (never a fresh firing decision).
+    directives = {
+        id(item): obj["fault"]
+        for item, obj in zip(items, items_wire)
+        if obj.get("fault")
+    }
+    before = (
+        (lambda item: execute_directive(directives.get(id(item))))
+        if directives else None
+    )
+    try:
+        results = solve_batch(
+            items, kernel=kernel, reps=lru, cancels=tokens, before_solve=before
+        )
+    except Exception:
+        # Same per-item isolation as the thread backend: one bad request
+        # must not poison its micro-batch.
+        outcomes = []
+        for item, token in zip(items, tokens):
+            try:
+                result = solve_batch(
+                    [item], kernel=kernel, reps=lru,
+                    cancels=[token], before_solve=before,
+                )[0]
+            except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
+                outcomes.append(_error_outcome(exc))
+            else:
+                outcomes.append(("ok", result_to_wire(result)))
+        return outcomes
+    return [("ok", result_to_wire(result)) for result in results]
+
+
+def _lru_obj(lru: InstanceLRU) -> dict:
+    stats = lru.stats()
+    return {
+        "entries": stats.entries,
+        "peak_entries": stats.peak_entries,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.procworker",
+        description="One process-shard child worker (spawned by ProcessShard).",
+    )
+    parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument("--kernel", default="fast")
+    parser.add_argument("--max-instances", type=int, default=8)
+    parser.add_argument("--heartbeat-ms", type=int, default=100)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    # Keep the frame pipe pure: duplicate the real stdout for frames,
+    # then point fd 1 at stderr so stray prints can't corrupt a frame.
+    # Both frame streams get megabyte buffers — a result frame easily
+    # tops the 8 KiB default, and every refill/flush is a syscall on
+    # the solve thread's critical path.
+    out = os.fdopen(os.dup(sys.stdout.fileno()), "wb", buffering=1 << 20)
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    inp = os.fdopen(os.dup(sys.stdin.fileno()), "rb", buffering=1 << 20)
+
+    lru = InstanceLRU(args.max_instances)
+    wlock = threading.Lock()
+
+    with wlock:
+        write_frame(out, ("ready", os.getpid()))
+
+    stop = threading.Event()
+    beat_s = max(args.heartbeat_ms, 1) / 1000.0
+
+    def _beat() -> None:
+        while not stop.wait(beat_s):
+            try:
+                with wlock:
+                    write_frame(out, ("hb",))
+            except (OSError, ValueError):  # parent gone: die quietly
+                return
+
+    threading.Thread(target=_beat, name="repro-procworker-hb", daemon=True).start()
+
+    try:
+        while True:
+            msg = read_frame(inp)
+            if msg is None or msg[0] == "close":
+                return 0
+            if msg[0] != "batch":
+                continue
+            _, batch_id, items_wire = msg
+            outcomes = _run_batch(items_wire, lru=lru, kernel=args.kernel)
+            with wlock:
+                write_frame(out, ("result", batch_id, outcomes, _lru_obj(lru)))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return 0
+    finally:
+        stop.set()
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+
+
+class WorkerProc:
+    """Parent-side handle of one child worker process.
+
+    Owns the :class:`subprocess.Popen`, a reader thread that drains the
+    child's frame stream into :attr:`frames` (heartbeats are consumed
+    here, bumping :attr:`last_frame`), and the write lock for the
+    request pipe.  ``None`` on :attr:`frames` marks EOF — the child is
+    gone and no further frame will ever arrive.
+    """
+
+    def __init__(self, shard: int, *, kernel: str, max_instances: int,
+                 heartbeat_ms: int = 100) -> None:
+        self.shard = shard
+        self.kernel = kernel
+        self.max_instances = max_instances
+        self.heartbeat_ms = heartbeat_ms
+        self.proc: Optional[subprocess.Popen] = None
+        self.pid: Optional[int] = None
+        self.frames: SimpleQueue = SimpleQueue()
+        self.last_frame = time.monotonic()
+        self._wlock = threading.Lock()
+        self._reader: Optional[threading.Thread] = None
+
+    def start(self, ready_timeout: float = 60.0) -> None:
+        """Spawn the child and block until its ready frame."""
+        # `-c` instead of `-m`: runpy would re-execute a module the
+        # package already imported (and warn about it on stderr).
+        cmd = [
+            sys.executable, "-c",
+            "from repro.service.procworker import main; raise SystemExit(main())",
+            "--shard", str(self.shard),
+            "--kernel", self.kernel,
+            "--max-instances", str(self.max_instances),
+            "--heartbeat-ms", str(self.heartbeat_ms),
+        ]
+        env = dict(os.environ)
+        # The child must import the same `repro` this process runs —
+        # works from a source checkout (PYTHONPATH=src) and from an
+        # installed package alike.
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        prev = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = pkg_root + (os.pathsep + prev if prev else "")
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env,
+            bufsize=1 << 20,  # frame streams routinely top the 8 KiB default
+        )
+        _widen_pipe(self.proc.stdin)
+        _widen_pipe(self.proc.stdout)
+        self.pid = self.proc.pid
+        self.last_frame = time.monotonic()
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-procshard-{self.shard}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+        try:
+            msg = self.frames.get(timeout=ready_timeout)
+        except Empty:
+            self.destroy()
+            raise RuntimeError(
+                f"shard {self.shard}: worker process never became ready"
+            ) from None
+        if not (isinstance(msg, tuple) and msg and msg[0] == "ready"):
+            self.destroy()
+            raise RuntimeError(
+                f"shard {self.shard}: worker process died during startup"
+            )
+
+    def _read_loop(self) -> None:
+        stream = self.proc.stdout
+        while True:
+            try:
+                msg = read_frame(stream)
+            except Exception:  # noqa: BLE001 - any read failure is EOF to us
+                msg = None
+            self.last_frame = time.monotonic()
+            if msg is None:
+                self.frames.put(None)
+                return
+            if isinstance(msg, tuple) and msg and msg[0] == "hb":
+                continue
+            self.frames.put(msg)
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def send_batch(self, batch_id: int, items_wire: list) -> None:
+        with self._wlock:
+            write_frame(self.proc.stdin, ("batch", batch_id, items_wire))
+
+    def kill(self) -> None:
+        """SIGKILL the child (hard deadline / liveness / injected fault).
+
+        Safe from any thread; the reader thread surfaces the death as
+        EOF on :attr:`frames`.
+        """
+        proc = self.proc
+        if proc is not None and proc.poll() is None:
+            try:
+                proc.kill()
+            except OSError:  # pragma: no cover - already reaped
+                pass
+
+    def destroy(self, close_timeout: float = 1.0) -> None:
+        """Tear the child down: graceful close frame, then SIGKILL; reap."""
+        proc = self.proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            try:
+                with self._wlock:
+                    write_frame(proc.stdin, ("close",))
+            except (OSError, ValueError):
+                pass
+            try:
+                proc.wait(timeout=close_timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill is SIGKILL
+            pass
+        for stream in (proc.stdin, proc.stdout):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        if self._reader is not None:
+            self._reader.join(timeout=2.0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

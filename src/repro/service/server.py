@@ -44,6 +44,19 @@ __all__ = ["handle_lines", "serve_stdio", "serve_tcp"]
 log = logging.getLogger("repro.service")
 
 
+def _normalize_maxrss(ru_maxrss: int, platform: str) -> int:
+    """``ru_maxrss`` as KiB, whatever unit ``platform`` reported it in.
+
+    POSIX leaves the ``ru_maxrss`` unit unspecified and the platforms
+    disagree: Linux and the BSDs report **kibibytes**, macOS reports
+    **bytes**.  ``stats`` payloads must be comparable across deploys,
+    so everything is normalized to KiB here (split out from
+    :func:`_maxrss_kib` purely so the per-platform arithmetic is unit
+    testable without faking ``getrusage`` wholesale).
+    """
+    return ru_maxrss // 1024 if platform == "darwin" else ru_maxrss
+
+
 def _maxrss_kib() -> Optional[int]:
     """Peak RSS of this process in KiB (None where unsupported)."""
     try:
@@ -51,8 +64,7 @@ def _maxrss_kib() -> Optional[int]:
     except ImportError:  # pragma: no cover - non-POSIX
         return None
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB, macOS bytes; normalize to KiB.
-    return usage // 1024 if sys.platform == "darwin" else usage
+    return _normalize_maxrss(usage, sys.platform)
 
 
 async def handle_lines(

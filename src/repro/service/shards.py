@@ -45,16 +45,18 @@ import logging
 import queue
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import NamedTuple, Optional
 
 from ..algos.batch_api import solve_batch
 from ..core.cancel import SolveCancelled
 from .cache import InstanceLRU, LRUStats
-from .faults import FaultPlan
+from .faults import FaultPlan, WorkerKilled
+from .procworker import WorkerProc, result_from_wire, work_to_wire
 from .protocol import ServiceError
 
-__all__ = ["Shard", "ShardStats", "shard_index"]
+__all__ = ["ProcessShard", "Shard", "ShardStats", "shard_index"]
 
 log = logging.getLogger("repro.service")
 
@@ -200,9 +202,23 @@ class Shard:
                     "service shut down while the request was in flight"
                 ))
                 self._abandon_pending()
+                # The abandon sweep just consumed the close sentinel; a
+                # shed worker that eventually finishes its solve would
+                # otherwise park in queue.get() forever.  Re-arm it so
+                # the zombie exits the moment it comes back for work.
+                self._queue.put(None)
                 return
             self._abandon_pending()  # anything that raced in behind the sentinel
         self.lru.clear()
+
+    @property
+    def failed(self) -> bool:
+        """True once the restart budget is exhausted (serves errors only)."""
+        return self._failed
+
+    def _lru_stats(self) -> LRUStats:
+        """The shard's warm-cache counters (overridden by process shards)."""
+        return self.lru.stats()
 
     def stats(self) -> ShardStats:
         return ShardStats(
@@ -215,7 +231,7 @@ class Shard:
             restarts=self._restarts,
             worker_deaths=self._deaths,
             failed=self._failed,
-            lru=self.lru.stats(),
+            lru=self._lru_stats(),
         )
 
     # ------------------------------------------------------------------ #
@@ -317,6 +333,24 @@ class Shard:
         head = self._queue.get()
         if head is None:
             return None
+        return self._soak(head)
+
+    def _drain_nowait(self) -> list[_Work] | None:
+        """Non-blocking :meth:`_drain`: ``[]`` when the queue is empty.
+
+        The process backend's pipelined pump uses this to top up the
+        child's in-flight window without blocking while a batch is
+        already being solved.
+        """
+        try:
+            head = self._queue.get_nowait()
+        except queue.Empty:
+            return []
+        if head is None:
+            return None
+        return self._soak(head)
+
+    def _soak(self, head: _Work) -> list[_Work]:
         batch = [head]
         while len(batch) < self.max_batch:
             try:
@@ -458,3 +492,412 @@ class Shard:
             self.index, self._restarts, self.max_restarts, backoff,
         )
         replacement.start()
+
+
+class _WorkerProcDied(Exception):
+    """Internal: a shard's child process died mid-batch (unwinds to the
+    supervisor, which restarts the shard under the bounded backoff)."""
+
+
+class ProcessShard(Shard):
+    """A shard whose solves run in a supervised child **process**.
+
+    Same interface, queueing, supervision, and accounting as
+    :class:`Shard` — the worker thread stays, but it becomes a *pump*:
+    micro-batches are serialized over a length-prefixed pipe to a child
+    running :mod:`repro.service.procworker`, and the columnar results
+    decoded on return (see that module for the protocol).  The pump is
+    *pipelined* (:data:`PIPELINE_DEPTH`): while the child solves one
+    batch, the next is already encoded and shipped, so the wire codec
+    and the pipe round trip overlap the solve instead of serializing
+    with it — the process backend's throughput tax is one batch's
+    latency, not per-batch dead time.  The child
+    rebuilds per-instance caches locally under the same
+    :class:`~repro.service.cache.InstanceLRU` bound; its counters ride
+    back on every result frame and are folded across child generations
+    by :meth:`_lru_stats`, so service-level cache accounting is backend
+    agnostic.
+
+    What the process boundary buys over threads:
+
+    * **Crash containment** — a child that segfaults, OOMs, or is
+      SIGKILLed resolves its in-flight requests with the existing
+      retryable ``internal``/``timeout`` taxonomy and is replaced under
+      the PR-6 bounded restart backoff; nothing else in the service is
+      touched.
+    * **Hard deadlines** — when every in-flight request carries a
+      deadline and the last of them has been expired for more than
+      ``hard_kill_grace_ms`` with no result, the child is SIGKILLed:
+      even a solve that never reaches a cooperative probe boundary (a
+      wedged extension, a non-cooperative busy loop) cannot hold the
+      shard past its deadline.  The kill waits for the *latest* deadline
+      in the batch on purpose — the child solves items sequentially, so
+      an earlier item's expiry says nothing about whether the child is
+      stuck or legitimately working on a later item.
+    * **Liveness** — the child heartbeats every ``heartbeat_ms``; a
+      child that goes silent (frozen, suspended, dead pipe) is killed
+      and treated as a crash.  A merely *busy* child keeps beating (the
+      beat thread shares the child's GIL timeslices), so slow is never
+      misread as dead.
+
+    Every fault decision — batch-level (:class:`~repro.service.faults.
+    KillWorker`, :class:`~repro.service.faults.SigKill`) *and*
+    item-level — is adjudicated here in the parent against the single
+    authoritative plan; the child only receives mechanical directives
+    inside the batch frame (see :meth:`FaultPlan.item_directives`), so a
+    restarted child can never re-fire faults from reset state.
+    """
+
+    def __init__(self, index: int, *, hard_kill_grace_ms: int = 200,
+                 heartbeat_ms: int = 100, **kwargs) -> None:
+        super().__init__(index, **kwargs)
+        self.hard_kill_grace = max(hard_kill_grace_ms, 0) / 1000.0
+        self.heartbeat_ms = heartbeat_ms
+        self._child: Optional[WorkerProc] = None
+        self._batch_seq = 0
+        # Child-side LRU accounting: the live child's latest snapshot
+        # plus the folded totals of every dead generation.
+        self._lru_live: Optional[dict] = None
+        self._lru_dead = {"hits": 0, "misses": 0, "evictions": 0,
+                          "peak_entries": 0}
+        # Shadow replay of the live child's LRU, in send order (see
+        # _slim_plan): real keys are fingerprints *provably* warm
+        # child-side; "?N" phantom slots model the worst-case
+        # displacement of items whose LRU touch the parent cannot
+        # guarantee (deadline- or directive-carrying requests may be
+        # skipped before their reps.get).  Reset with every child spawn.
+        self._shadow: OrderedDict[str, None] = OrderedDict()
+        self._shadow_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # child lifecycle (pump-thread side, plus start()/close() on the
+    # loop side)
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if not self._started:
+            # Spawn the child before the pump thread exists, so service
+            # start-up pays the interpreter launch instead of the first
+            # request (bench clocks and tail latencies stay clean).
+            # Respawns after a crash remain lazy via _ensure_child() on
+            # the next dispatch.
+            self._ensure_child()
+        super().start()
+
+    def _ensure_child(self) -> WorkerProc:
+        child = self._child
+        if child is not None and child.alive():
+            return child
+        if child is not None:  # died idle between batches: replace quietly
+            log.warning("shard %d: worker process gone, respawning", self.index)
+            self._retire_child()
+        child = WorkerProc(
+            self.index,
+            kernel=self.kernel,
+            max_instances=self.lru.max_entries,
+            heartbeat_ms=self.heartbeat_ms,
+        )
+        child.start()
+        self._child = child
+        self._shadow.clear()  # fresh child, empty LRU: everything is cold
+        return child
+
+    def _retire_child(self) -> None:
+        """Fold the child's cache counters into the totals and reap it."""
+        child, self._child = self._child, None
+        live, self._lru_live = self._lru_live, None
+        if live:
+            dead = self._lru_dead
+            dead["hits"] += live.get("hits", 0)
+            dead["misses"] += live.get("misses", 0)
+            dead["evictions"] += live.get("evictions", 0)
+            dead["peak_entries"] = max(
+                dead["peak_entries"], live.get("peak_entries", 0)
+            )
+        if child is not None:
+            child.destroy()
+
+    def _lru_stats(self) -> LRUStats:
+        live = self._lru_live or {}
+        dead = self._lru_dead
+        return LRUStats(
+            entries=live.get("entries", 0),
+            peak_entries=max(dead["peak_entries"], live.get("peak_entries", 0)),
+            hits=dead["hits"] + live.get("hits", 0),
+            misses=dead["misses"] + live.get("misses", 0),
+            evictions=dead["evictions"] + live.get("evictions", 0),
+            max_entries=self.lru.max_entries,
+        )
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Graceful drain, then — unlike threads — hard-kill a wedge.
+
+        The thread backend can only *shed* a wedged worker at shutdown
+        (resolve its futures and abandon the daemon thread to die with
+        the process).  Here the wedge is an OS process we own: after the
+        same future-shedding sweep, the child is SIGKILLed and reaped,
+        so a non-cooperative hang never outlives ``close()``.
+        """
+        self.signal_close()
+        if self._started:
+            if not self._join_workers(join_timeout):
+                self._fail_inflight(ServiceError.shutdown(
+                    "service shut down while the request was in flight"
+                ))
+                self._abandon_pending()
+                self._queue.put(None)  # re-arm the sentinel (sweep ate it)
+                child = self._child
+                if child is not None:
+                    child.kill()  # unblocks the pump via EOF
+                self._join_workers(2.0)
+                self._retire_child()
+                return
+            self._abandon_pending()
+        self._retire_child()
+        self.lru.clear()  # parent-side table (unused here, kept invariant)
+
+    # ------------------------------------------------------------------ #
+    # pipelined pump (pump-thread side)
+    # ------------------------------------------------------------------ #
+
+    #: Batches kept in flight toward the child.  Depth 2 is classic
+    #: double buffering: while the child solves batch k, the pump
+    #: already encodes and ships batch k+1 — the wire codec and the
+    #: pipe round trip leave the critical path instead of serializing
+    #: with every solve.
+    PIPELINE_DEPTH = 2
+
+    def _run(self) -> None:
+        try:
+            # (child, batch_id, live) in child order; every entry's
+            # works are also in self._inflight so supervision, close(),
+            # and crash sweeps can resolve the whole window.
+            pending: deque = deque()
+            draining = False
+            while True:
+                if draining:
+                    batch: list[_Work] | None = []
+                elif pending:
+                    batch = self._drain_nowait()
+                else:
+                    batch = self._drain()
+                if batch is None:  # close sentinel
+                    draining = True
+                    batch = []
+                if batch:
+                    live = self._expire(batch)
+                    if live:
+                        self._inflight = self._inflight + tuple(live)
+                        pending.append(self._send(live, pending))
+                if not pending:
+                    if draining:
+                        self._abandon_pending()
+                        return
+                    continue
+                if (not draining and batch
+                        and len(pending) < self.PIPELINE_DEPTH):
+                    continue  # top the window up before blocking
+                child, batch_id, live = pending.popleft()
+                rest = tuple(w for _, _, lv in pending for w in lv)
+                self._await_result(child, batch_id, live, doomed=rest)
+                self._inflight = rest
+        except BaseException as exc:  # noqa: BLE001 - supervised worker death
+            self._supervise(exc)
+
+    def _send(self, live: list[_Work], pending) -> tuple:
+        """Encode one micro-batch and ship it; the result comes later."""
+        self._batches += 1
+        self._requests += len(live)
+        self._max_batch_seen = max(self._max_batch_seen, len(live))
+        sigkill = False
+        if self._faults is not None:
+            try:
+                self._faults.on_batch_start(self.index)
+            except WorkerKilled:
+                # The injected pre-dispatch death: the child dies with
+                # this worker generation, exactly like the thread path.
+                self._retire_child()
+                raise
+            sigkill = self._faults.sigkill_now(self.index)
+        if pending:
+            # Earlier batches already ride this child generation: reuse
+            # it.  If it died meanwhile, the send below fails and the
+            # whole in-flight window unwinds through _child_failure.
+            child = self._child
+        else:
+            child = None
+        if child is None:
+            try:
+                child = self._ensure_child()
+            except Exception as exc:  # noqa: BLE001 - supervised spawn failure
+                died = _WorkerProcDied(
+                    f"shard {self.index}: worker process failed to start"
+                )
+                died.__cause__ = exc
+                raise died
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        wire = self._encode_batch(live)
+        try:
+            child.send_batch(batch_id, wire)
+        except Exception as exc:  # noqa: BLE001 - child died, pipe broke
+            doomed = [w for _, _, lv in pending for w in lv]
+            self._child_failure(
+                list(live) + doomed, "worker pipe broke mid-send", cause=exc
+            )
+        if sigkill:
+            child.kill()  # injected mid-flight crash (frames go EOF)
+        return child, batch_id, live
+
+    def _encode_batch(self, live: list[_Work]) -> list:
+        """Wire-encode one batch, slimming items the child can rebuild.
+
+        The instance payload dominates the per-item pipe cost, so items
+        whose fingerprint is *provably* resolvable child-side cross slim
+        (fingerprint + machine count, no setups/jobs).  Provable means:
+        the fingerprint is a real key in :attr:`_shadow` — the parent's
+        deterministic replay of the child LRU's get/admit/evict sequence
+        — or a payload-carrying item earlier in this same batch supplies
+        it (the child's decode loop keeps a batch-local table precisely
+        for that).
+
+        The shadow must never claim warmth the child might lack, so any
+        item whose LRU touch is *uncertain* — it carries a deadline
+        token or a fault directive, either of which can abort the item
+        before its ``reps.get`` — is replayed as a **phantom** slot:
+        the touch counts toward eviction pressure (as if it admitted a
+        brand-new entry) but never marks its own fingerprint warm.
+        Whatever the child actually did, the shadow's real keys stay a
+        subset of the child's table.  Item faults are also adjudicated
+        HERE, against the parent's single authoritative plan, and cross
+        the pipe as mechanical directives — a restarted child must never
+        re-fire from reset plan state.
+        """
+        shadow = self._shadow
+        avail = {fp for fp in shadow if not fp.startswith("?")}
+        wire = []
+        touches = []
+        for w in live:
+            directive = (
+                self._faults.item_directives(self.index)
+                if self._faults is not None else None
+            )
+            fp = w.item.instance.fingerprint()
+            slim = fp in avail
+            if not slim:
+                avail.add(fp)  # its payload rides this frame from here on
+            touches.append((fp, w.cancel is None and directive is None))
+            wire.append(work_to_wire(w.item, w.cancel, directive, slim=slim))
+        max_entries = self.lru.max_entries
+        for fp, certain in touches:
+            if certain and fp in shadow:
+                shadow.move_to_end(fp)
+                continue
+            if not certain:
+                self._shadow_seq += 1
+                fp = f"?{self._shadow_seq}"
+            while len(shadow) >= max_entries:
+                shadow.popitem(last=False)
+            shadow[fp] = None
+        return wire
+
+    def _child_failure(self, live, reason, cause=None):
+        """The child is gone with ``live`` in flight: resolve and unwind.
+
+        Requests whose deadline already expired resolve as ``timeout``
+        (they were going to time out regardless of the crash — and for
+        a hard kill, the timeout *is* the resolution); the rest are
+        left for :meth:`Shard._supervise` to resolve with the standard
+        retryable worker-death ``internal`` error when the exception
+        raised here unwinds the pump.  Both writes race nothing:
+        settlement order is FIFO per event loop and idempotent.
+        """
+        self._retire_child()
+        for work in live:
+            token = work.cancel
+            if token is not None and token.cancelled:
+                self._timeouts_w += 1
+                self._resolve(work, None, ServiceError.timeout(
+                    "request deadline exceeded; worker process terminated"
+                ))
+        died = _WorkerProcDied(f"shard {self.index}: {reason}")
+        if cause is not None:
+            died.__cause__ = cause
+        raise died
+
+    def _await_result(self, child: WorkerProc, batch_id: int, live,
+                      doomed=()) -> None:
+        """Block for one batch's result frame, supervising the child.
+
+        ``doomed`` is the rest of the in-flight window (batches shipped
+        behind this one): they share the child's fate on a crash, and
+        the hard-kill rule is evaluated over the *whole* window — the
+        kill only arms when every in-flight request carries a deadline.
+        """
+        kill_at = None
+        tokens = [w.cancel for w in live] + [w.cancel for w in doomed]
+        if tokens and all(t is not None and t.deadline is not None for t in tokens):
+            # Hard-kill horizon: the *latest* deadline in flight plus
+            # grace.  Never keyed on the earliest — the child works the
+            # window sequentially, and killing at the first expiry would
+            # murder a healthy child that is busy on a later item.
+            budget = max(t.remaining() for t in tokens)
+            kill_at = time.monotonic() + budget + self.hard_kill_grace
+        hb_timeout = max(20 * self.heartbeat_ms / 1000.0, 2.0)
+        killed: Optional[str] = None
+        while True:
+            try:
+                msg = child.frames.get(timeout=0.05)
+            except queue.Empty:
+                now = time.monotonic()
+                if killed is None:
+                    if kill_at is not None and now >= kill_at:
+                        killed = ("hard deadline exceeded (cooperative "
+                                  "cancellation never landed)")
+                        log.warning("shard %d: %s, killing worker process",
+                                    self.index, killed)
+                        child.kill()
+                    elif now - child.last_frame > hb_timeout:
+                        killed = "worker process stopped heartbeating"
+                        log.error("shard %d: %s, killing it", self.index, killed)
+                        child.kill()
+                continue  # a killed child surfaces as EOF shortly
+            if msg is None:  # EOF: the child is gone, with the whole window
+                self._child_failure(
+                    list(live) + list(doomed),
+                    killed or "worker process died mid-batch",
+                )
+            if not (isinstance(msg, tuple) and msg and msg[0] == "result"):
+                continue
+            _, got_id, outcomes, lru_obj = msg
+            if got_id != batch_id:  # stale frame from a raced teardown
+                continue
+            self._lru_live = lru_obj
+            self._resolve_outcomes(live, outcomes)
+            return
+
+    def _resolve_outcomes(self, live, outcomes) -> None:
+        entries = []
+        for work, outcome in zip(live, outcomes):
+            if outcome[0] == "ok":
+                try:
+                    result = result_from_wire(outcome[1], work.item.instance)
+                except Exception as exc:  # noqa: BLE001 - malformed frame
+                    log.exception("shard %d: malformed worker result", self.index)
+                    error = ServiceError.internal("malformed worker result")
+                    error.__cause__ = exc
+                    entries.append((work, None, error))
+                else:
+                    entries.append((work, result, None))
+            else:
+                _, code, message, retryable = outcome
+                if code == "timeout":
+                    self._timeouts_w += 1  # parent owns the timeout counters
+                entries.append(
+                    (work, None, ServiceError(code, message, retryable=retryable))
+                )
+        for work in live[len(outcomes):]:  # defensive: never hang a client
+            entries.append(
+                (work, None, ServiceError.internal("worker result missing"))
+            )
+        self._resolve_batch(entries)

@@ -560,8 +560,12 @@ class TestServiceFuzz:
         pool.extend(inst for _, inst in small_exact_suite()[:2])
         return pool
 
+    @pytest.mark.parametrize("workers", ["thread", "process"])
     @pytest.mark.parametrize("seed", range(4))
-    def test_random_interleavings(self, seed):
+    def test_random_interleavings(self, seed, workers):
+        # Same seeds, both backends: responses must be bit-identical to
+        # the sequential reference whether the shard solves in a thread
+        # or in a supervised child process (the wire round-trip included).
         rng = random.Random(1000 + seed)
         pool = self.pool()
         config = ServiceConfig(
@@ -569,6 +573,7 @@ class TestServiceFuzz:
             max_batch=rng.randint(1, 8),
             max_inflight=rng.randint(2, 32),
             max_instances=rng.randint(1, 3),
+            workers=workers,
         )
         reqs = []
         for k in range(rng.randint(12, 28)):

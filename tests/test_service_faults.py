@@ -17,7 +17,12 @@ injected fault needs):
 * ``close()`` resolves pending *and* in-flight futures with ``shutdown``
   errors even when the worker thread outlives the join timeout;
 * injected in-batch failures are isolated to the offending request and
-  never leak exception text onto the wire.
+  never leak exception text onto the wire;
+* the process backend (``workers="process"``) honors all of the above
+  *plus* the guarantees threads cannot give: a non-cooperative wedge is
+  hard-killed at deadline + grace, a SIGKILLed child is contained to
+  structured retryable errors, and a shard past its restart budget
+  degrades gracefully — its fingerprint range reroutes to survivors.
 """
 
 from __future__ import annotations
@@ -53,10 +58,12 @@ from repro.service.faults import (
     DropConnection,
     KillWorker,
     RaiseInBatch,
+    SigKill,
+    WedgeSolve,
     WorkerKilled,
 )
 from repro.service.protocol import instance_to_obj, parse_time
-from repro.service.shards import Shard, _Work
+from repro.service.shards import Shard, _Work, shard_index
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -102,6 +109,26 @@ class TestCancelToken:
         with pytest.raises(SolveCancelled, match="cancelled"):
             token.check()
 
+    def test_deadline_exactly_at_probe_boundary(self):
+        """``clock() == deadline`` counts as expired, not as one more probe.
+
+        The boundary is closed on the cancel side by design: ``remaining()``
+        is 0 at the instant the deadline lands, and a budget of 0 must
+        never buy another probe — otherwise two hosts disagreeing by one
+        clock tick would disagree on whether a request timed out.
+        """
+        now = [0.0]
+        token = CancelToken.after(1.0, clock=lambda: now[0])
+        now[0] = 1.0 - 1e-9
+        assert not token.cancelled
+        assert token.remaining() > 0.0
+        now[0] = 1.0  # exactly the deadline
+        assert token.remaining() == 0.0
+        fresh_view = CancelToken(deadline=token.deadline, clock=lambda: now[0])
+        assert fresh_view.cancelled  # >= comparison, no open interval
+        with pytest.raises(SolveCancelled, match="deadline"):
+            fresh_view.check()
+
     def test_scope_nesting_and_noop(self):
         from repro.core.cancel import current_token
 
@@ -146,6 +173,8 @@ class TestFaultPlan:
                 KillWorker(shard=1, after_batches=2, times=2),
                 DelaySolve(seconds=0.5, after_items=3),
                 RaiseInBatch(message="zap"),
+                WedgeSolve(seconds=1.5, shard=0, after_items=1),
+                SigKill(shard=0, after_batches=3, times=2),
                 DropConnection(after_requests=5),
             ],
             seed=42,
@@ -195,11 +224,16 @@ TINY = Instance.build(2, [(2, [3, 4]), (1, [2, 2, 2])])
 
 
 class TestDeadlines:
-    def test_generous_timeout_is_bit_identical(self):
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_generous_timeout_is_bit_identical(self, workers):
+        # Satellite: an armed-but-never-expiring token must not change a
+        # probe on either backend — under processes the deadline crosses
+        # the pipe as a remaining-ms budget and is re-armed child-side.
         base = solve(fresh(TINY))
 
         async def main():
-            async with SolveService(ServiceConfig(shards=1)) as svc:
+            config = ServiceConfig(shards=1, workers=workers)
+            async with SolveService(config) as svc:
                 return await svc.submit(
                     SolveRequest(instance=fresh(TINY), timeout_ms=60_000)
                 )
@@ -207,12 +241,14 @@ class TestDeadlines:
         got = run(main())
         assert got.T == base.T and got.makespan == base.makespan
 
-    def test_inflight_deadline_times_out(self):
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_inflight_deadline_times_out(self, workers):
         """A delayed solve blows its budget mid-flight: structured timeout."""
         plan = FaultPlan([DelaySolve(seconds=0.3, after_items=0, times=1)])
 
         async def main():
-            async with SolveService(ServiceConfig(shards=1), faults=plan) as svc:
+            config = ServiceConfig(shards=1, workers=workers)
+            async with SolveService(config, faults=plan) as svc:
                 with pytest.raises(ServiceError) as err:
                     await svc.submit(
                         SolveRequest(instance=fresh(TINY), timeout_ms=50)
@@ -259,12 +295,15 @@ class TestDeadlines:
 
 
 class TestSupervision:
-    def test_killed_worker_restarts_and_recovers(self):
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_killed_worker_restarts_and_recovers(self, workers):
         plan = FaultPlan([KillWorker(shard=None, after_batches=0, times=1)])
         base = solve(fresh(TINY))
 
         async def main():
-            config = ServiceConfig(shards=1, restart_backoff=0.01)
+            config = ServiceConfig(
+                shards=1, restart_backoff=0.01, workers=workers
+            )
             async with SolveService(config, faults=plan) as svc:
                 with pytest.raises(ServiceError) as err:
                     await svc.submit(SolveRequest(instance=fresh(TINY)))
@@ -282,12 +321,13 @@ class TestSupervision:
         assert stats.failed_shards == 0
         assert plan.fired["kill_worker"] == 1
 
-    def test_restart_budget_respected_then_failed(self):
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_restart_budget_respected_then_failed(self, workers):
         plan = FaultPlan([KillWorker(shard=0, after_batches=0, times=5)])
 
         async def main():
             config = ServiceConfig(
-                shards=1, max_restarts=1, restart_backoff=0.01
+                shards=1, max_restarts=1, restart_backoff=0.01, workers=workers
             )
             async with SolveService(config, faults=plan) as svc:
                 codes = []
@@ -327,6 +367,198 @@ class TestSupervision:
         assert error.code == "internal" and "failed" in error.message
         assert elapsed < 1.0  # fail fast, no queueing behind a dead worker
         assert stats.failed_shards == 1 and stats.restarts == 0
+
+
+# --------------------------------------------------------------------------- #
+# process isolation: wedges, SIGKILL, graceful degradation
+# --------------------------------------------------------------------------- #
+
+
+class TestProcessBackend:
+    """Crash containment only a process boundary can give (the tentpole).
+
+    The wedge tests pin down the documented backend contrast: a thread
+    cannot preempt a non-cooperative busy loop (the deadline only lands
+    at the *next* probe boundary, after the wedge ends), while a process
+    shard SIGKILLs the wedged child at deadline + ``hard_kill_grace_ms``
+    and answers immediately with a structured ``timeout``.
+    """
+
+    def test_thread_cannot_preempt_wedge(self):
+        plan = FaultPlan([WedgeSolve(seconds=1.2, after_items=0, times=1)])
+
+        async def main():
+            config = ServiceConfig(shards=1, workers="thread")
+            async with SolveService(config, faults=plan) as svc:
+                start = time.monotonic()
+                with pytest.raises(ServiceError) as err:
+                    await svc.submit(
+                        SolveRequest(instance=fresh(TINY), timeout_ms=100)
+                    )
+                return err.value, time.monotonic() - start
+
+        error, elapsed = run(main())
+        assert error.code == "timeout"
+        # The whole wedge ran before cancellation could land: no preemption.
+        assert elapsed >= 1.0, elapsed
+        assert plan.fired["wedge_solve"] == 1
+
+    def test_thread_wedge_is_shed_at_shutdown(self):
+        """Thread backend's only escape from a wedge: abandon it at close."""
+        plan = FaultPlan([WedgeSolve(seconds=1.5, after_items=0, times=1)])
+
+        async def main():
+            shard = Shard(
+                0, max_batch=1, max_instances=4, faults=plan, queue_bound=64
+            )
+            shard.start()
+            loop = asyncio.get_running_loop()
+            wedged = loop.create_future()
+            item = SolveRequest(instance=fresh(TINY)).to_item()
+            shard.submit(_Work(item=item, future=wedged, loop=loop))
+            await asyncio.sleep(0.3)  # worker is now spinning in the wedge
+            await loop.run_in_executor(None, lambda: shard.close(join_timeout=0.1))
+            with pytest.raises(ServiceError) as err:
+                await asyncio.wait_for(wedged, timeout=1.0)
+            return err.value, shard
+
+        error, shard = run(main())
+        assert error.code == "shutdown" and error.retryable is True
+        # The abandoned worker spins the wedge out in the background;
+        # reap it so later tests' thread-leak sweeps see a clean slate.
+        assert shard._join_workers(5.0)
+
+    def test_process_hard_kills_wedge_at_deadline(self):
+        # A wedge far longer than the test budget: only SIGKILL can end it.
+        plan = FaultPlan([WedgeSolve(seconds=30.0, after_items=0, times=1)])
+
+        async def main():
+            config = ServiceConfig(
+                shards=1, workers="process", hard_kill_grace_ms=100,
+                restart_backoff=0.01,
+            )
+            async with SolveService(config, faults=plan) as svc:
+                start = time.monotonic()
+                with pytest.raises(ServiceError) as err:
+                    await svc.submit(
+                        SolveRequest(instance=fresh(TINY), timeout_ms=300)
+                    )
+                elapsed = time.monotonic() - start
+                # The replacement child must not re-fire the consumed
+                # wedge (fault state lives in the parent, not the child).
+                result = await svc.submit(SolveRequest(instance=fresh(TINY)))
+                return err.value, elapsed, result, svc.stats()
+
+        error, elapsed, result, stats = run(main())
+        assert error.code == "timeout"
+        assert elapsed < 10.0, elapsed  # killed at ~0.4s, never 30s
+        assert result.makespan == solve(fresh(TINY)).makespan
+        assert stats.worker_deaths >= 1
+        assert stats.failed_shards == 0 and stats.degraded_shards == ()
+        assert plan.fired["wedge_solve"] == 1
+
+    def test_sigkill_mid_burst_is_contained(self):
+        """Acceptance: SIGKILL mid-burst -> structured retryable errors,
+        restarted shard, reconciled stats, zero hung clients."""
+        plan = FaultPlan([SigKill(shard=0, after_batches=1, times=1)])
+        base = solve(fresh(TINY))
+
+        async def main():
+            config = ServiceConfig(
+                shards=1, max_batch=2, workers="process", restart_backoff=0.01
+            )
+            async with SolveService(config, faults=plan) as svc:
+                outcomes = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(
+                            svc.submit(SolveRequest(instance=fresh(TINY)))
+                            for _ in range(8)
+                        ),
+                        return_exceptions=True,
+                    ),
+                    timeout=120,  # zero hung clients, with CI headroom
+                )
+                follow_up = await svc.submit(SolveRequest(instance=fresh(TINY)))
+                return outcomes, follow_up, svc.stats()
+
+        outcomes, follow_up, stats = run(main())
+        errors = [e for e in outcomes if isinstance(e, Exception)]
+        served = [r for r in outcomes if not isinstance(r, Exception)]
+        assert errors, "the SIGKILLed batch must surface errors"
+        for exc in errors:  # structured and retryable, nothing else
+            assert isinstance(exc, ServiceError)
+            assert exc.code in ("internal", "timeout")
+            assert exc.retryable is True
+        for r in served + [follow_up]:
+            assert r.makespan == base.makespan
+        assert stats.worker_deaths >= 1 and stats.restarts >= 1
+        assert stats.failed_shards == 0
+        assert stats.requests == 9
+        assert plan.fired["sigkill"] == 1
+
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_failed_shard_reroutes_to_survivors(self, workers):
+        """Graceful degradation: a dead shard's range moves to survivors."""
+        plan = FaultPlan([KillWorker(shard=0, after_batches=0, times=99)])
+        pool = [
+            uniform_instance(m=3, c=2, n_per_class=2, seed=s) for s in range(8)
+        ]
+        on_zero = [
+            inst for inst in pool
+            if shard_index(inst.fingerprint(), 2) == 0
+        ]
+        assert on_zero, "seed pool must cover shard 0"
+
+        async def main():
+            config = ServiceConfig(
+                shards=2, max_batch=1, max_restarts=1, restart_backoff=0.01,
+                workers=workers,
+            )
+            async with SolveService(config, faults=plan) as svc:
+                errors = 0
+                for _ in range(4):  # burn the restart budget on shard 0
+                    try:
+                        await svc.submit(
+                            SolveRequest(instance=fresh(on_zero[0]))
+                        )
+                    except ServiceError:
+                        errors += 1
+                    await asyncio.sleep(0.05)
+                rerouted = [
+                    await svc.submit(SolveRequest(instance=fresh(inst)))
+                    for inst in on_zero
+                ]
+                return errors, rerouted, svc.stats()
+
+        errors, rerouted, stats = run(main())
+        assert errors >= 2  # initial kill + the post-restart kill
+        assert stats.failed_shards == 1
+        assert stats.degraded_shards == (0,)
+        assert stats.rerouted >= len(on_zero)
+        for inst, result in zip(on_zero, rerouted):
+            assert result.makespan == solve(fresh(inst)).makespan
+
+    def test_injected_raise_replays_on_isolation_retry(self):
+        # Directives are adjudicated once in the parent and replayed on
+        # the child's per-item isolation retry: the offender fails
+        # deterministically (no thread-style transient recovery), later
+        # requests are untouched.
+        plan = FaultPlan([RaiseInBatch(after_items=0, times=1)])
+        base = solve(fresh(TINY))
+
+        async def main():
+            config = ServiceConfig(shards=1, workers="process")
+            async with SolveService(config, faults=plan) as svc:
+                with pytest.raises(ServiceError) as err:
+                    await svc.submit(SolveRequest(instance=fresh(TINY)))
+                ok = await svc.submit(SolveRequest(instance=fresh(TINY)))
+                return err.value, ok
+
+        error, ok = run(main())
+        assert error.code == "internal"
+        assert "injected" not in error.message  # generic text only
+        assert ok.makespan == base.makespan
+        assert plan.fired["raise_in_batch"] == 1
 
 
 # --------------------------------------------------------------------------- #
