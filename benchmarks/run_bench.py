@@ -2,11 +2,11 @@
 
 Times the solve engine on the standard medium/large/zipf workloads plus a
 ``wide`` many-class fixture (the paper's setup-dominated regime), writing a
-flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR7.json`` in the
-repository root; ``BENCH_PR1.json``..``BENCH_PR5.json`` are the preserved
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR8.json`` in the
+repository root; ``BENCH_PR1.json``..``BENCH_PR7.json`` are the preserved
 earlier snapshots).
 
-Eight bench families:
+Nine bench families:
 
 * ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
   both numeric kernels (``fast`` scaled-int default vs the ``fraction``
@@ -65,6 +65,15 @@ Eight bench families:
   serialization cost, no parallelism to hide behind).  Both the
   headline and the floor presume parent and child get their own CPU —
   check ``meta/cpu_count`` (the CI assert skips below 2).
+* ``xbatch/<shape>/{seq,fused}`` — the PR-8 cross-instance batched dual
+  tests: one service micro-batch (16 bounds-only ``eps`` solves, mixed
+  variants) through ``solve_batch`` with per-item probe loops vs the
+  lockstep coordinator fusing each round's probes across instances into
+  one padded grid evaluation.  Identical probe streams and bit-identical
+  verdicts on both sides (``use_grid=False``; the drift regression pins
+  the streams), warm instance caches.  The derived
+  ``speedup/xbatch/<shape>`` is the PR-8 acceptance series (≥ 1.3× on
+  the medium micro-batch; CI smoke floor 1.1).
 * ``shortcut/<fixture>/nonp/{on,off}`` — cold ``solve(nonpreemptive)``
   with the ``fast_nonp_test`` cheap-class ``class_tmax`` short-circuit
   enabled vs disabled.  The deliberately *baseline-neutral* family the
@@ -287,6 +296,90 @@ def bench_grid_nonp(reps: int) -> dict[str, float]:
     return out
 
 
+def bench_xbatch(reps: int) -> dict[str, float]:
+    """Cross-instance fused dual tests vs per-item probe loops (PR 8).
+
+    One service micro-batch (16 bounds-only ``eps`` solves — the shard
+    dispatch shape at the default ``max_batch``) per fixture shape,
+    solved through ``solve_batch`` with ``xbatch=False`` (one Python
+    probe loop per item) and ``xbatch=True`` (the lockstep coordinator
+    fusing each round's probes across instances into one padded grid
+    evaluation).  Both sides run scalar per-probe streams
+    (``use_grid=False``), so the cell isolates exactly what the fused
+    path replaces: the probe *streams* are identical by construction
+    (the drift regression in ``tests/test_xbatch.py`` pins this) and
+    the verdicts bit-identical — only the evaluator changes.  Instances
+    are warmed outside the clock (warm per-instance caches, the
+    service's repeated-dispatch regime; both sides share the state).
+
+    The fixture shapes are micro-batch compositions, not the
+    single-instance ``FIXTURES``: ``medium``/``wide`` draw uniform
+    many-class instances in the near-linear regime the paper targets
+    (``m`` close to ``c``, where the bracket searches are longest);
+    ``zipf`` draws heavy-tailed class sizes at moderate job times.
+    Variants round-robin through all three.  The derived
+    ``speedup/xbatch/<shape>`` family is the acceptance series
+    (≥ 1.3× on medium; the CI smoke floor asserts 1.1 for noise).
+    """
+    if not batchdual.HAVE_NUMPY:
+        return {}
+    import random
+    from fractions import Fraction
+
+    from repro.algos.batch_api import BatchItem, solve_batch
+
+    def zipf_classes(seed: int, c: int) -> Instance:
+        rng = random.Random(seed)
+        classes = []
+        for i in range(c):
+            njobs = max(1, int(6 / (1 + i % 11)))  # zipf-ish class sizes
+            classes.append(
+                (rng.randint(0, 30), [rng.randint(1, 20) for _ in range(njobs)])
+            )
+        return Instance.build(rng.randint(max(2, c // 2), c), classes)
+
+    def microbatch(shape: str) -> list:
+        variants = (Variant.SPLITTABLE, Variant.NONPREEMPTIVE, Variant.PREEMPTIVE)
+        items = []
+        for i in range(16):  # the service's default max_batch
+            if shape == "medium":
+                inst = uniform_instance(
+                    m=300 - 2 * i, c=300, n_per_class=2, seed=800 + i, tmax=20
+                )
+            elif shape == "zipf":
+                inst = zipf_classes(860 + i, 250)
+            else:  # wide
+                inst = uniform_instance(
+                    m=400 - 2 * i, c=400, n_per_class=2, seed=880 + i, tmax=20
+                )
+            items.append(
+                BatchItem(
+                    instance=inst,
+                    variant=variants[i % 3],
+                    algorithm="eps",
+                    eps=Fraction(1, 1000),
+                    schedules=False,
+                )
+            )
+        return items
+
+    out: dict[str, float] = {}
+    for shape in ("medium", "zipf", "wide"):
+        items = microbatch(shape)
+        for xb in (False, True):  # warm the shared instance caches
+            solve_batch(items, xbatch=xb, use_grid=False)
+        seq = best_of(
+            lambda: solve_batch(items, xbatch=False, use_grid=False), reps
+        )
+        fused = best_of(
+            lambda: solve_batch(items, xbatch=True, use_grid=False), reps
+        )
+        out[f"xbatch/{shape}/seq"] = seq
+        out[f"xbatch/{shape}/fused"] = fused
+        out[f"speedup/xbatch/{shape}"] = seq / fused
+    return out
+
+
 def run(fixtures: dict, reps: int) -> dict[str, float]:
     results: dict[str, float] = {}
 
@@ -349,6 +442,8 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
             record(name, value)
     for name, value in bench_grid_nonp(max(reps, 3)).items():
         record(name, value)
+    for name, value in bench_xbatch(max(reps, 5)).items():
+        record(name, value)
     return results
 
 
@@ -356,8 +451,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
-        help="output JSON path (default: repo-root BENCH_PR7.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR8.json"),
+        help="output JSON path (default: repo-root BENCH_PR8.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(

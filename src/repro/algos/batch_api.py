@@ -39,16 +39,18 @@ from fractions import Fraction
 from typing import Callable, Iterable, MutableMapping, Optional, Sequence, Union
 
 from ..core import batchdual
-from ..core.bounds import Variant, lower_bound, setup_plus_tmax
-from ..core.cancel import CancelToken, cancel_scope
+from ..core.bounds import Variant, lower_bound, setup_plus_tmax, t_min
+from ..core.cancel import CancelToken, SolveCancelled, cancel_scope
 from ..core.fastnum import validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time
 from .api import Algorithm, Kernel, SolveResult, solve
-from .jumping_pmtn import find_flip_pmtn
-from .jumping_split import find_flip_splittable
-from .nonpreemptive import three_halves_nonpreemptive
-from .search import binary_search_dual
+from .jumping_pmtn import find_flip_pmtn, flip_plan_pmtn
+from .jumping_split import find_flip_splittable, flip_plan_splittable
+from .nonpreemptive import nonp_dual_schedule, three_halves_nonpreemptive
+from .pmtn_general import pmtn_dual_schedule
+from .search import binary_search_dual, eps_probe_plan, integer_probe_plan
+from .splittable import split_dual_schedule
 
 __all__ = ["BatchItem", "SweepPoint", "solve_batch", "solve_many", "sweep_machines"]
 
@@ -273,8 +275,6 @@ def _grid_safe_for(ctx, instance: Instance, variant: Variant) -> bool:
     superset of the dyadic refinements and class-jump denominators seen
     in practice) and keeps grids off when it does not clear.
     """
-    from ..core.bounds import t_min
-
     tmin = t_min(instance, variant)
     max_td = tmin.denominator * 1024 * max(1, 2 * instance.m)
     lo = tmin.numerator * (max_td // tmin.denominator)
@@ -447,6 +447,27 @@ def _grid_safe_cached(instance: Instance, variant: Variant) -> bool:
     return cached
 
 
+def _solve_item(
+    shared: Instance,
+    variant: Variant,
+    item: BatchItem,
+    kernel: Kernel,
+    use_grid: Optional[bool],
+):
+    """One item of :func:`solve_batch` on the sequential per-item path."""
+    if item.ms is not None:
+        return sweep_machines(
+            shared, item.ms, variant, item.algorithm, item.eps,
+            kernel=kernel, schedules=item.schedules, use_grid=use_grid,
+        )
+    if item.schedules:
+        return solve(shared, variant, item.algorithm, item.eps, kernel=kernel)
+    grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+    if grid and use_grid is None and not _grid_safe_cached(shared, variant):
+        grid = False  # auto policy, see sweep_machines
+    return _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
+
+
 def solve_batch(
     items: Sequence[BatchItem],
     *,
@@ -455,6 +476,7 @@ def solve_batch(
     use_grid: Optional[bool] = None,
     cancels: Optional[Sequence[Optional[CancelToken]]] = None,
     before_solve: Optional[Callable[[BatchItem], None]] = None,
+    xbatch: bool = False,
 ) -> list:
     """Solve one heterogeneous micro-batch, coalescing equal instances.
 
@@ -488,6 +510,19 @@ def solve_batch(
     instrumentation hook invoked with each item just before its solve —
     the service's fault-injection harness hangs delays/raises off it;
     production callers leave it ``None``.
+
+    ``xbatch=True`` solves the batch through the **cross-instance
+    lockstep coordinator**: every eligible item's bracket search runs as
+    a probe plan (:mod:`repro.algos.search`), the coordinator advances
+    all plans one round at a time, and each round's same-kind probes —
+    across *different* instances — fuse into one padded
+    :class:`repro.core.xbatch.BatchDualContext` kernel call.  Results,
+    probe counts, and raised errors are bit-identical to ``xbatch=False``
+    (each plan is the very generator the sequential path drives, and the
+    fused kernels are differentially pinned against the scalar ones);
+    items the coordinator cannot fuse — ``ms`` sweeps, ``"two"``, the
+    trivial closed forms — fall back to the per-item path inside the
+    same call, as does the whole batch on the fraction kernel.
     """
     validate_kernel(kernel)
     prepared = [
@@ -506,6 +541,10 @@ def solve_batch(
         )
     if reps is None:
         reps = {}
+    if xbatch and kernel == "fast":
+        return _solve_batch_lockstep(
+            prepared, kernel, reps, use_grid, cancels, before_solve
+        )
     out: list = []
     for idx, (item, variant) in enumerate(prepared):
         token = cancels[idx] if cancels is not None else None
@@ -524,22 +563,291 @@ def solve_batch(
                 shared = inst
             else:
                 shared = rep.with_machines(inst.m, share_caches=True)
-            if item.ms is not None:
-                out.append(
-                    sweep_machines(
-                        shared, item.ms, variant, item.algorithm, item.eps,
-                        kernel=kernel, schedules=item.schedules, use_grid=use_grid,
+            out.append(_solve_item(shared, variant, item, kernel, use_grid))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# cross-instance lockstep coordinator (xbatch=True)
+# --------------------------------------------------------------------------- #
+
+#: Probe kind of each variant's dual test in the fused kernels.
+_PROBE_KIND = {
+    Variant.SPLITTABLE: "split",
+    Variant.PREEMPTIVE: "pmtn",
+    Variant.NONPREEMPTIVE: "nonp",
+}
+
+
+@dataclass
+class _LockstepRun:
+    """One item's in-flight probe plan inside the coordinator."""
+
+    idx: int
+    plan: object                     # probe-plan generator (see algos.search)
+    token: Optional[CancelToken]
+    member: int                      # row index into the BatchDualContext
+    m: int                           # machine count (pmtn_base accept formula)
+    finish: Callable                 # StopIteration.value -> output object
+    response: object = None          # verdicts to send into the next round
+
+
+def _lockstep_prepare(
+    shared: Instance,
+    variant: Variant,
+    item: BatchItem,
+    kernel: Kernel,
+    use_grid: Optional[bool],
+):
+    """``(plan, finish)`` for a fusable item, ``None`` for the fallbacks.
+
+    The plan is the identical generator the sequential entry point for
+    this item drives (:func:`~repro.algos.search.eps_probe_plan` /
+    :func:`~repro.algos.search.integer_probe_plan` / the flip plans), so
+    the item's probe sequence under lockstep equals its solo sequence by
+    construction.  ``finish`` runs the per-item construction and mirrors
+    the :class:`SolveResult` / :class:`SweepPoint` assembly of
+    ``solve()`` / :func:`_bounds_point` field for field.
+    """
+    if item.ms is not None or item.algorithm == "two":
+        return None
+    if shared.m == 1 or (variant is not Variant.SPLITTABLE and shared.m >= shared.n):
+        return None  # trivial closed forms: no probes to fuse
+    if item.schedules:
+        grid = False  # full-schedule solves always use the scalar searches
+    else:
+        grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+        if grid and use_grid is None and not _grid_safe_cached(shared, variant):
+            grid = False  # auto policy, see sweep_machines
+    kind = _PROBE_KIND[variant]
+    lb = lower_bound(shared, variant)
+    m = shared.m
+
+    if item.algorithm == "eps":
+        if item.eps <= 0:
+            raise ValueError("eps must be positive")
+        mode = "alpha" if variant is Variant.PREEMPTIVE else ""
+        plan = eps_probe_plan(t_min(shared, variant), item.eps, kind, mode, grid=grid)
+
+        def finish(res):
+            T, lo, calls = res
+            ratio = Fraction(3, 2) * T / lo
+            if item.schedules:
+                return SolveResult(
+                    schedule=_build_for(shared, variant, kernel, T),
+                    variant=variant, algorithm="eps", T=T,
+                    ratio_bound=ratio, opt_lower_bound=max(lb, lo),
+                )
+            return SweepPoint(
+                m=m, variant=variant, algorithm="eps", T=T, ratio_bound=ratio,
+                opt_lower_bound=max(lb, lo), accept_calls=calls,
+            )
+
+        return plan, finish
+
+    if variant is Variant.SPLITTABLE:
+        plan = flip_plan_splittable(shared, grid=grid)
+
+        def finish(res):
+            T_star, calls = res
+            if item.schedules:
+                return SolveResult(
+                    schedule=split_dual_schedule(shared, T_star, kernel=kernel),
+                    variant=variant, algorithm="three_halves", T=T_star,
+                    ratio_bound=Fraction(3, 2), opt_lower_bound=max(lb, T_star),
+                )
+            return SweepPoint(
+                m=m, variant=variant, algorithm="three_halves", T=T_star,
+                ratio_bound=Fraction(3, 2), opt_lower_bound=max(lb, T_star),
+                accept_calls=calls,
+            )
+
+        return plan, finish
+
+    if variant is Variant.PREEMPTIVE:
+        plan = flip_plan_pmtn(shared, grid=grid)
+
+        def finish(res):
+            T_star, T_witness, calls = res
+            ratio = (
+                Fraction(3, 2) * T_witness / T_star if T_star else Fraction(3, 2)
+            )
+            if item.schedules:
+                return SolveResult(
+                    schedule=pmtn_dual_schedule(
+                        shared, T_witness, mode="gamma", kernel=kernel
+                    ),
+                    variant=variant, algorithm="three_halves", T=T_witness,
+                    ratio_bound=ratio, opt_lower_bound=max(lb, T_star),
+                )
+            return SweepPoint(
+                m=m, variant=variant, algorithm="three_halves", T=T_witness,
+                ratio_bound=ratio, opt_lower_bound=max(lb, T_star),
+                accept_calls=calls,
+            )
+
+        return plan, finish
+
+    plan = integer_probe_plan(t_min(shared, variant), kind, grid=grid)
+
+    def finish(res):
+        T, calls = res
+        if item.schedules:
+            return SolveResult(
+                schedule=nonp_dual_schedule(shared, T, kernel=kernel, pretested=True),
+                variant=variant, algorithm="three_halves", T=T,
+                ratio_bound=Fraction(3, 2), opt_lower_bound=max(lb, T),
+            )
+        return SweepPoint(
+            m=m, variant=variant, algorithm="three_halves", T=T,
+            ratio_bound=Fraction(3, 2), opt_lower_bound=max(lb, T),
+            accept_calls=calls,
+        )
+
+    return plan, finish
+
+
+def _build_for(shared: Instance, variant: Variant, kernel: Kernel, T: Time):
+    """The eps path's build hook (mirrors ``api._dual_for``'s builders)."""
+    if variant is Variant.SPLITTABLE:
+        return split_dual_schedule(shared, T, kernel=kernel)
+    if variant is Variant.PREEMPTIVE:
+        return pmtn_dual_schedule(shared, T, kernel=kernel)
+    return nonp_dual_schedule(shared, T, kernel=kernel)
+
+
+def _solve_batch_lockstep(
+    prepared: Sequence[tuple[BatchItem, Variant]],
+    kernel: Kernel,
+    reps: MutableMapping[str, Instance],
+    use_grid: Optional[bool],
+    cancels: Optional[Sequence[Optional[CancelToken]]],
+    before_solve: Optional[Callable[[BatchItem], None]],
+) -> list:
+    """Advance all items' probe plans in rounds, fusing each round's probes.
+
+    Contract notes (all pinned by ``tests/test_xbatch.py``):
+
+    * **Bit-identity** — each plan is the sequential path's own
+      generator and every fused verdict is bit-identical to the scalar
+      kernel, so outputs (including ``accept_calls``) match
+      ``xbatch=False`` exactly.
+    * **First-error** — the sequential loop raises the smallest-index
+      item's error and never starts later items.  Here the prelude stops
+      at the first failing item, earlier items still run to completion
+      (one of them may produce an even earlier error), and the
+      smallest-index error is raised at the end; plans past it are
+      abandoned unfinished.
+    * **Cancellation** — a token is polled exactly where the sequential
+      evaluators poll (once per "accept"/"accept_block" request; never
+      on "verdict" requests); a fired token removes only its own item
+      from the round, the rest of the fused batch continues untouched.
+    """
+    from ..core.xbatch import BatchDualContext
+
+    n = len(prepared)
+    out: list = [None] * n
+    errors: dict[int, Exception] = {}
+    xctx = BatchDualContext([])
+    runs: dict[int, _LockstepRun] = {}
+
+    # ---- prelude: admission + rep resolution + fallbacks, item order -- #
+    for idx, (item, variant) in enumerate(prepared):
+        token = cancels[idx] if cancels is not None else None
+        try:
+            with cancel_scope(token):
+                if before_solve is not None:
+                    before_solve(item)
+                if token is not None:
+                    token.check()
+                inst = item.instance
+                fp = inst.fingerprint()
+                rep = reps.get(fp)
+                if rep is None:
+                    reps[fp] = inst
+                    shared = inst
+                elif rep is inst:
+                    shared = inst
+                else:
+                    shared = rep.with_machines(inst.m, share_caches=True)
+                prep = _lockstep_prepare(shared, variant, item, kernel, use_grid)
+                if prep is None:
+                    out[idx] = _solve_item(shared, variant, item, kernel, use_grid)
+                else:
+                    plan, finish = prep
+                    runs[idx] = _LockstepRun(
+                        idx=idx, plan=plan, token=token,
+                        member=xctx.member_index(shared.fast_ctx()),
+                        m=shared.m, finish=finish,
                     )
+        except Exception as exc:  # noqa: BLE001 - first-error contract
+            errors[idx] = exc
+            break  # later items never start, like the sequential loop
+
+    # ---- lockstep rounds ---------------------------------------------- #
+    while runs:
+        min_err = min(errors) if errors else None
+        pending: list[tuple[int, object]] = []
+        for idx in sorted(runs):
+            run = runs[idx]
+            if min_err is not None and idx > min_err:
+                # This item's result would be discarded by the raise below.
+                run.plan.close()
+                del runs[idx]
+                continue
+            try:
+                req = run.plan.send(run.response)
+            except StopIteration as stop:
+                del runs[idx]
+                try:
+                    with cancel_scope(run.token):
+                        out[idx] = run.finish(stop.value)
+                except Exception as exc:  # noqa: BLE001
+                    errors[idx] = exc
+                continue
+            except Exception as exc:  # noqa: BLE001
+                del runs[idx]
+                errors[idx] = exc
+                continue
+            run.response = None
+            pending.append((idx, req))
+
+        groups: dict[tuple[str, str], list] = {}
+        for idx, req in pending:
+            run = runs[idx]
+            if req.op in ("accept", "accept_block") and run.token is not None:
+                try:
+                    run.token.check()  # the sequential probe-boundary poll
+                except SolveCancelled as exc:
+                    run.plan.close()
+                    del runs[idx]
+                    errors[idx] = exc
+                    continue
+            groups.setdefault((req.kind, req.mode), []).append((idx, req))
+
+        for (kind, mode), entries in groups.items():
+            rows = []
+            for idx, req in entries:
+                member = runs[idx].member
+                rows.extend(
+                    (member, T.numerator, T.denominator) for T in req.times
                 )
-            elif item.schedules:
-                out.append(
-                    solve(shared, variant, item.algorithm, item.eps, kernel=kernel)
-                )
-            else:
-                grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
-                if grid and use_grid is None and not _grid_safe_cached(shared, variant):
-                    grid = False  # auto policy, see sweep_machines
-                out.append(
-                    _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
-                )
+            verdicts = xctx.evaluate(kind, mode, rows)
+            pos = 0
+            for idx, req in entries:
+                vs = verdicts[pos : pos + len(req.times)]
+                pos += len(req.times)
+                if req.op == "verdict":
+                    runs[idx].response = vs
+                elif kind == "pmtn_base":
+                    m = runs[idx].m
+                    runs[idx].response = [
+                        m * T.numerator >= load * T.denominator and m >= m_prime
+                        for T, (load, m_prime) in zip(req.times, vs)
+                    ]
+                else:
+                    runs[idx].response = [v.accepted for v in vs]
+
+    if errors:
+        raise errors[min(errors)]
     return out

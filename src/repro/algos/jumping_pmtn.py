@@ -42,6 +42,7 @@ from typing import Callable, Optional
 
 from ..core import batchdual
 from ..core.bounds import Variant, t_min
+from ..core.cancel import check_cancelled
 from ..core.fastnum import (
     DualContext,
     PmtnVerdict,
@@ -53,7 +54,7 @@ from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
 from .pmtn_general import pmtn_dual_schedule, pmtn_dual_test
-from .search import MemoAccept, right_interval_bisect
+from .search import ProbeRequest, drive_plan, plan_accept, right_interval_plan
 
 #: relative witness offset for non-attained infima
 _WITNESS_EPS = Fraction(1, 2**40)
@@ -107,45 +108,21 @@ def _base_accept(instance: Instance, T: Time) -> bool:
     return instance.m * T >= load and instance.m >= m_prime
 
 
-def _base_flip(
-    instance: Instance,
-    tmin: Time,
-    thi: Time,
-    *,
-    kernel: str = "fast",
-    ctx: Optional[DualContext] = None,
-    use_grid: bool = False,
-) -> Time:
-    """Class Jumping on the monotone core (Algorithm 4 steps 2-7).
+def base_flip_plan(instance: Instance, tmin: Time, thi: Time, *, grid: bool = False):
+    """Class Jumping on the monotone core (Algorithm 4 steps 2-7) as a plan.
 
     Returns ``T̃ = min{T ≥ tmin : base-accept}``; everything below is
     rejected by the full test too (``L_base ≤ L_pmtn``, ``m′`` shared).
     Probes are memoized, so endpoints shared across the bisection phases
-    hit the kernel once; ``use_grid=True`` resolves each bisection with
-    batched grid calls (identical flip — the base core is monotone).
+    hit the kernel once; ``grid=True`` resolves each bisection with
+    batched candidate blocks (identical flip — the base core is
+    monotone).  Base probes were never counted in ``accept_calls``, so
+    the plan keeps its own discarded counter.
     """
-    grid_accept = None
-    if validate_kernel(kernel):
-        if ctx is None:
-            ctx = instance.fast_ctx()
+    memo: dict[tuple[int, int], bool] = {}
+    uncounted = [0]
 
-        def base_core(T: Time) -> tuple:
-            return fast_base_core(ctx, T.numerator, T.denominator)
-
-        if use_grid:
-            grid_accept = batchdual.grid_accept_fn(ctx, "pmtn_base")
-    else:
-        base_core = lambda T: _base_core(instance, T)
-
-    def accept_once(T: Time) -> bool:
-        load, m_prime = base_core(T)
-        return instance.m * T.numerator >= load * T.denominator and instance.m >= m_prime
-
-    accept = MemoAccept(accept_once)
-    if grid_accept is not None:
-        grid_accept = accept.wrap_grid(grid_accept)
-
-    if accept(tmin):
+    if (yield from plan_accept(memo, uncounted, "pmtn_base", "", tmin)):
         return tmin
 
     # membership candidates that move classes across I+exp / I0exp / I-exp /
@@ -157,7 +134,9 @@ def _base_flip(
             if tmin < b < thi:
                 pts.add(b)
     candidates = [tmin] + sorted(pts) + [thi]
-    A1, T1 = right_interval_bisect(candidates, accept, grid_accept=grid_accept)
+    A1, T1 = yield from right_interval_plan(
+        candidates, memo, uncounted, "pmtn_base", "", grid
+    )
 
     # fastest jumping class f among I+exp on the open interior
     mid = (A1 + T1) / 2
@@ -169,7 +148,7 @@ def _base_flip(
         and instance.setups[i] + instance.processing(i) >= mid
     ]
     if not exp_plus:
-        return _flip_constant_core(instance, A1, T1, base_core)
+        return (yield from _flip_constant_core(instance, A1, T1))
 
     f = max(exp_plus, key=lambda i: instance.setups[i] + instance.processing(i))
     SPf = Fraction(2 * (instance.setups[f] + instance.processing(f)))
@@ -182,7 +161,9 @@ def _base_flip(
     lo_b, hi_b = A1, T1
     if k_hi >= k_lo:
         jump_candidates = [A1] + [SPf / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
-        lo_b, hi_b = right_interval_bisect(jump_candidates, accept, grid_accept=grid_accept)
+        lo_b, hi_b = yield from right_interval_plan(
+            jump_candidates, memo, uncounted, "pmtn_base", "", grid
+        )
 
     inner: set[Time] = set()
     for i in exp_plus:
@@ -197,15 +178,20 @@ def _base_flip(
             inner.add(SPi / k)
     assert len(inner) <= len(exp_plus), "Lemma 5 violated"
     if inner:
-        lo_b, hi_b = right_interval_bisect(
-            [lo_b] + sorted(inner) + [hi_b], accept, grid_accept=grid_accept
+        lo_b, hi_b = yield from right_interval_plan(
+            [lo_b] + sorted(inner) + [hi_b], memo, uncounted, "pmtn_base", "", grid
         )
-    return _flip_constant_core(instance, lo_b, hi_b, base_core)
+    return (yield from _flip_constant_core(instance, lo_b, hi_b))
 
 
-def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time, base_core) -> Time:
-    """Step 9 analogue for the monotone core on a jump-free right interval."""
-    load, m_prime = base_core(T_fail)
+def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time):
+    """Step 9 analogue for the monotone core on a jump-free right interval.
+
+    The ``(L_base, m′)`` pair at ``T_fail`` comes back through a
+    "verdict" probe — unmemoized and uncounted, like the former raw
+    ``base_core()`` call.
+    """
+    load, m_prime = (yield ProbeRequest("verdict", "pmtn_base", "", (T_fail,)))[0]
     if instance.m < m_prime:
         return T_ok
     T_new = Fraction(load, instance.m)
@@ -372,57 +358,110 @@ def find_flip_pmtn(
     fast = validate_kernel(kernel)
     if ctx is None:
         ctx = instance.fast_ctx() if fast else None
+    grid = use_grid and fast
+    return drive_plan(
+        flip_plan_pmtn(instance, use_base_jump=use_base_jump, grid=grid),
+        pmtn_probe_evaluator(instance, fast=fast, ctx=ctx, grid=grid),
+    )
 
-    probe_cache: dict[tuple[int, int], PmtnVerdict] = {}
-    calls = 0
 
-    def probe(T: Time) -> PmtnVerdict:
-        """(accepted, load, m', case, y_neg) of the γ test at ``T`` (memoized)."""
-        nonlocal calls
-        key = (T.numerator, T.denominator)
-        v = probe_cache.get(key)
-        if v is not None:
-            return v
-        calls += 1
+def pmtn_probe_evaluator(
+    instance: Instance, *, fast: bool, ctx: Optional[DualContext], grid: bool
+):
+    """Kernel dispatch for :func:`flip_plan_pmtn` probe requests.
+
+    Base-core accepts ("accept"/"accept_block", kind ``pmtn_base``) poll
+    cancellation at the probe boundary like the former MemoAccept;
+    "verdict" requests — the γ-test probes of the scan and the raw
+    constant-piece core reads — mirror the sequential code, which never
+    polled on them.
+    """
+    grid_fn = batchdual.grid_accept_fn(ctx, "pmtn_base") if grid else None
+
+    def base_core(T: Time) -> tuple:
         if fast:
-            v = fast_pmtn_test(ctx, T.numerator, T.denominator, "gamma")
-        else:
-            d = pmtn_dual_test(instance, T, mode="gamma")
-            v = PmtnVerdict(
-                d.accepted, d.load, d.machines_needed, d.case,
-                any("F < L*" in r for r in d.reject_reasons),
-            )
-        probe_cache[key] = v
-        return v
+            return fast_base_core(ctx, T.numerator, T.denominator)
+        return _base_core(instance, T)
 
-    def accept(T: Time) -> bool:
-        return probe(T).accepted
+    def evaluate(req: ProbeRequest):
+        if req.op == "verdict":
+            if req.kind == "pmtn_base":
+                return [base_core(T) for T in req.times]
+            if fast:
+                return [
+                    fast_pmtn_test(ctx, T.numerator, T.denominator, req.mode)
+                    for T in req.times
+                ]
+            out = []
+            for T in req.times:
+                d = pmtn_dual_test(instance, T, mode=req.mode)
+                out.append(
+                    PmtnVerdict(
+                        d.accepted, d.load, d.machines_needed, d.case,
+                        any("F < L*" in r for r in d.reject_reasons),
+                    )
+                )
+            return out
+        check_cancelled()  # probe boundary: no partial state to unwind
+        if req.op == "accept_block" and grid_fn is not None:
+            return [bool(v) for v in grid_fn(list(req.times))]
+        m = instance.m
+        flags = []
+        for T in req.times:
+            load, m_prime = base_core(T)
+            flags.append(m * T.numerator >= load * T.denominator and m >= m_prime)
+        return flags
+
+    return evaluate
+
+
+def flip_plan_pmtn(instance: Instance, *, use_base_jump: bool = True, grid: bool = False):
+    """Algorithm 4 + piece scan as a plan; returns ``(T*, witness, calls)``.
+
+    γ-test probes are memoized as full verdicts (``accept`` is the
+    verdict's flag, so re-testing an endpoint is free) and counted; the
+    base flip's probes ride through :func:`base_flip_plan` uncounted.
+    The knapsack stable-point analysis stays inline plan computation on
+    the exact Fraction reference — it needs the full partition, not a
+    probe.
+    """
+    memo: dict[tuple[int, int], PmtnVerdict] = {}
+    counted = [0]
+
+    def probe(T: Time):
+        """(accepted, load, m', case, y_neg) of the γ test at ``T`` (memoized)."""
+        key = (T.numerator, T.denominator)
+        v = memo.get(key)
+        if v is None:
+            counted[0] += 1
+            v = (yield ProbeRequest("verdict", "pmtn", "gamma", (T,)))[0]
+            memo[key] = v
+        return v
 
     tmin = t_min(instance, Variant.PREEMPTIVE)
     thi = 2 * tmin
-    if accept(tmin):
-        return tmin, tmin, calls
+    if (yield from probe(tmin)).accepted:
+        return tmin, tmin, counted[0]
 
-    t_base = (
-        _base_flip(instance, tmin, thi, kernel=kernel, ctx=ctx, use_grid=use_grid)
-        if use_base_jump
-        else tmin
-    )
+    if use_base_jump:
+        t_base = yield from base_flip_plan(instance, tmin, thi, grid=grid)
+    else:
+        t_base = tmin
 
     # exhaustive left-to-right scan from the certified frontier
     points = [t_base] + _change_points(instance, t_base, thi) + [thi]
     for idx, p in enumerate(points):
-        if p != tmin and accept(p):
-            return p, p, calls
+        if p != tmin and (yield from probe(p)).accepted:
+            return p, p, counted[0]
         if idx + 1 >= len(points):
             break
         q = points[idx + 1]
         stable = [p] + _knapsack_stable_points(instance, p, q) + [q]
         for a, b in zip(stable, stable[1:]):
-            if a != p and accept(a):
-                return a, a, calls
+            if a != p and (yield from probe(a)).accepted:
+                return a, a, counted[0]
             mid = (a + b) / 2
-            d = probe(mid)
+            d = yield from probe(mid)
             if instance.m < d.machines_needed:
                 continue
             if d.case == "trivial":
@@ -434,13 +473,13 @@ def find_flip_pmtn(
                 # the whole open interval (a, b) is accepted: infimum a not
                 # attained (a itself was rejected above)
                 witness = a + min((b - a) / 2, a * _WITNESS_EPS)
-                assert accept(witness)
-                return a, witness, calls
+                assert (yield from probe(witness)).accepted
+                return a, witness, counted[0]
             if flip < b:
-                assert accept(flip)
-                return flip, flip, calls
-    assert accept(thi)
-    return thi, thi, calls
+                assert (yield from probe(flip)).accepted
+                return flip, flip, counted[0]
+    assert (yield from probe(thi)).accepted
+    return thi, thi, counted[0]
 
 
 def three_halves_preemptive(

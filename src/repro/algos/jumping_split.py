@@ -20,6 +20,12 @@ Correctness leans on the monotonicity of ``L_split`` and ``m_exp`` in ``T``
 (larger ``T`` ⟹ fewer forced setups/machines), which makes every point
 below the returned value provably rejected; the returned value is therefore
 ≤ OPT and the built schedule is a 3/2-approximation.
+
+The probe sequence lives in :func:`flip_plan_splittable`, a resumable
+probe plan (see :mod:`repro.algos.search`): :func:`find_flip_splittable`
+drives it against the per-instance kernel, and the xbatch coordinator
+drives the *same* generator in lockstep with other items' searches —
+identical probes by construction.
 """
 
 from __future__ import annotations
@@ -30,11 +36,17 @@ from typing import Optional
 
 from ..core import batchdual
 from ..core.bounds import Variant, t_min
+from ..core.cancel import check_cancelled
 from ..core.fastnum import DualContext, SplitVerdict, fast_split_test, validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, frac_ceil, frac_floor
 from ..core.schedule import Schedule
-from .search import MemoAccept, right_interval_bisect
+from .search import (
+    ProbeRequest,
+    drive_plan,
+    plan_accept,
+    right_interval_plan,
+)
 from .splittable import split_dual_schedule, split_dual_test
 
 
@@ -86,33 +98,60 @@ def find_flip_splittable(
     fast = validate_kernel(kernel)
     if ctx is None:
         ctx = instance.fast_ctx() if fast else None
+    grid = use_grid and fast
+    return drive_plan(
+        flip_plan_splittable(instance, grid=grid),
+        split_probe_evaluator(instance, fast=fast, ctx=ctx, grid=grid),
+    )
 
-    if fast:
-        accept = MemoAccept(
-            lambda T: fast_split_test(ctx, T.numerator, T.denominator).accepted
-        )
-    else:
-        accept = MemoAccept(lambda T: split_dual_test(instance, T).accepted)
-    grid_accept = None
-    if use_grid and fast:
-        grid_accept = accept.wrap_grid(batchdual.grid_accept_fn(ctx, "split"))
 
-    def core(T: Time) -> SplitVerdict:
-        """(accepted, load, m_exp) of the dual at ``T`` — kernel-dispatched."""
+def split_probe_evaluator(
+    instance: Instance, *, fast: bool, ctx: Optional[DualContext], grid: bool
+):
+    """Kernel dispatch for :func:`flip_plan_splittable` probe requests.
+
+    "accept"/"accept_block" requests poll cancellation at the probe
+    boundary (the MemoAccept contract); "verdict" requests mirror the raw
+    ``core()`` calls of the step-9 case analysis, which never polled.
+    """
+    grid_fn = batchdual.grid_accept_fn(ctx, "split") if grid else None
+
+    def evaluate(req: ProbeRequest):
+        if req.op == "verdict":
+            if fast:
+                return [
+                    fast_split_test(ctx, T.numerator, T.denominator)
+                    for T in req.times
+                ]
+            duals = (split_dual_test(instance, T) for T in req.times)
+            return [SplitVerdict(d.accepted, d.load, d.machines_exp) for d in duals]
+        check_cancelled()  # probe boundary: no partial state to unwind
+        if req.op == "accept_block" and grid_fn is not None:
+            return [bool(v) for v in grid_fn(list(req.times))]
         if fast:
-            return fast_split_test(ctx, T.numerator, T.denominator)
-        d = split_dual_test(instance, T)
-        return SplitVerdict(d.accepted, d.load, d.machines_exp)
+            return [
+                fast_split_test(ctx, T.numerator, T.denominator).accepted
+                for T in req.times
+            ]
+        return [split_dual_test(instance, T).accepted for T in req.times]
+
+    return evaluate
+
+
+def flip_plan_splittable(instance: Instance, *, grid: bool = False):
+    """Algorithm 1's probe sequence; returns ``(T_star, accept_calls)``."""
+    memo: dict[tuple[int, int], bool] = {}
+    counted = [0]
 
     tmin = t_min(instance, Variant.SPLITTABLE)
     thi = 2 * tmin
-    if accept(tmin):
-        return tmin, accept.calls
+    if (yield from plan_accept(memo, counted, "split", "", tmin)):
+        return tmin, counted[0]
 
     # ---- step 4: right interval between doubled setups ---------------- #
     setup_bounds = sorted({Fraction(2 * s) for s in instance.setups if tmin < 2 * s < thi})
     candidates = [tmin] + setup_bounds + [thi]
-    A1, T1 = right_interval_bisect(candidates, accept, grid_accept=grid_accept)
+    A1, T1 = yield from right_interval_plan(candidates, memo, counted, "split", "", grid)
     # Partition (I_exp, I_chp) is constant on [A1, T1); evaluate it at A1.
     exp = tuple(
         i for i, s in enumerate(instance.setups) if 2 * s * A1.denominator > A1.numerator
@@ -121,7 +160,8 @@ def find_flip_splittable(
     if not exp:
         # No expensive classes: L_split constant on [A1, T1); the flip is
         # either T_new = L/m inside the interval or T1 itself.
-        return _flip_on_constant_piece(instance, A1, T1, accept, core), accept.calls
+        T = yield from _flip_on_constant_piece(instance, memo, counted, A1, T1)
+        return T, counted[0]
 
     # ---- step 5: fastest jumping class f ------------------------------ #
     f = max(exp, key=lambda i: instance.processing(i))
@@ -139,7 +179,9 @@ def find_flip_splittable(
     if k_hi >= k_lo:
         # candidate jumps are decreasing in k; build ascending candidate list
         jump_candidates = [A1] + [Pf2 / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
-        lo_b, hi_b = right_interval_bisect(jump_candidates, accept, grid_accept=grid_accept)
+        lo_b, hi_b = yield from right_interval_plan(
+            jump_candidates, memo, counted, "split", "", grid
+        )
 
     # ---- steps 7-8: collect the ≤ c jumps inside (lo_b, hi_b) --------- #
     inner: set[Time] = set()
@@ -159,24 +201,27 @@ def find_flip_splittable(
     assert len(inner) <= len(exp), "Lemma 3 violated: too many jumps in X"
     if inner:
         jump_list = [lo_b] + sorted(inner) + [hi_b]
-        T_fail, T_ok = right_interval_bisect(jump_list, accept, grid_accept=grid_accept)
+        T_fail, T_ok = yield from right_interval_plan(
+            jump_list, memo, counted, "split", "", grid
+        )
     else:
         T_fail, T_ok = lo_b, hi_b
 
     # ---- step 9: constant piece [T_fail, T_ok) ------------------------ #
-    return _flip_on_constant_piece(instance, T_fail, T_ok, accept, core), accept.calls
+    T = yield from _flip_on_constant_piece(instance, memo, counted, T_fail, T_ok)
+    return T, counted[0]
 
 
-def _flip_on_constant_piece(
-    instance: Instance, T_fail: Time, T_ok: Time, accept, core
-) -> Time:
+def _flip_on_constant_piece(instance: Instance, memo, counted, T_fail: Time, T_ok: Time):
     """Step 9's case analysis on a jump-free right interval.
 
     ``L_split`` and ``m_exp`` are constant on ``[T_fail, T_ok)``; ``T_fail``
-    is rejected and ``T_ok`` accepted.  ``core(T)`` supplies the dual's
-    ``(accepted, load, m_exp)`` through the caller's kernel.
+    is rejected and ``T_ok`` accepted.  The full ``(accepted, load,
+    m_exp)`` verdict at ``T_fail`` comes back through a "verdict" probe
+    (kernel-dispatched by the evaluator, unmemoized and uncounted exactly
+    like the former raw ``core()`` call).
     """
-    dual = core(T_fail)
+    dual = (yield ProbeRequest("verdict", "split", "", (T_fail,)))[0]
     m = instance.m
     if m < dual.machines_exp:
         # the whole piece needs too many machines: everything < T_ok rejected
@@ -187,5 +232,6 @@ def _flip_on_constant_piece(
         return T_ok
     # T_fail rejected by load ⟹ T_new = L/m > T_fail; accepted at T_new.
     assert T_fail < T_new < T_ok
-    assert accept(T_new)
+    ok = yield from plan_accept(memo, counted, "split", "", T_new)
+    assert ok
     return T_new

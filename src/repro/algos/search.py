@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 from ..core.bounds import Variant, t_min
 from ..core.cancel import check_cancelled
@@ -70,6 +70,200 @@ GridAcceptFn = Callable[[Sequence[Time]], Sequence[bool]]
 GRID_BLOCK = 128
 
 _MISSING = object()
+
+
+# --------------------------------------------------------------------------- #
+# probe plans — resumable searches for the cross-instance coordinator
+# --------------------------------------------------------------------------- #
+#
+# A *plan* is a generator that encodes one search's probe sequence: it
+# yields ProbeRequest values, receives the corresponding verdict list via
+# ``send``, and returns its result through StopIteration.  The sequential
+# entry points below (binary_search_dual, integer_search_dual,
+# right_interval_bisect — and the flip searches in jumping_split /
+# jumping_pmtn) drive these same plans against per-item evaluators, while
+# the xbatch coordinator (repro.algos.batch_api, xbatch=True) advances
+# many items' plans in lockstep rounds and fuses each round's requests
+# into one repro.core.xbatch kernel call.  Because both paths run the
+# identical generator, an item's probe sequence under lockstep equals its
+# solo sequence *by construction* — the bit-identity the differential
+# fuzz suite (tests/test_xbatch.py) pins.
+#
+# Division of labour: plans own probe *memoization* (only cache misses are
+# yielded — mirroring MemoAccept / wrap_grid) and the ``accept_calls``
+# bookkeeping; evaluators own kernel dispatch and the cancellation poll
+# (one check_cancelled per "accept"/"accept_block" request — "verdict"
+# requests mirror the raw core()/probe() calls of the sequential code,
+# which never polled).
+
+
+class ProbeRequest(NamedTuple):
+    """One batch of same-kind dual-test probes a plan needs answered.
+
+    ``op`` is ``"accept"`` (scalar probes of the memoized accept
+    predicate), ``"accept_block"`` (a grid-bisection candidate block), or
+    ``"verdict"`` (full dual verdicts — SplitVerdict / PmtnVerdict /
+    ``(load, m')`` — for the constant-piece case analyses).  ``kind``
+    names the dual test (``split`` / ``nonp`` / ``pmtn`` / ``pmtn_base``)
+    and ``mode`` the preemptive counting mode; sequential drivers that
+    already close over their kernel ignore both.  The response sent back
+    into the plan must be a sequence aligned with ``times``.
+    """
+
+    op: str
+    kind: str
+    mode: str
+    times: tuple[Time, ...]
+
+
+def drive_plan(plan, evaluate):
+    """Run a probe plan to completion against ``evaluate(request)``."""
+    response = None
+    try:
+        while True:
+            response = evaluate(plan.send(response))
+    except StopIteration as stop:
+        return stop.value
+
+
+def plan_accept(memo, counted, kind, mode, T: Time):
+    """Memoized scalar accept probe (the MemoAccept protocol as a plan)."""
+    key = (T.numerator, T.denominator)
+    hit = memo.get(key, _MISSING)
+    if hit is not _MISSING:
+        return hit
+    flags = yield ProbeRequest("accept", kind, mode, (T,))
+    verdict = bool(flags[0])
+    memo[key] = verdict
+    counted[0] += 1
+    return verdict
+
+
+def plan_accept_block(memo, counted, kind, mode, cands: Sequence[Time]):
+    """Grid-block accept sharing the plan's memo (the wrap_grid protocol)."""
+    unknown = [
+        T for T in cands if memo.get((T.numerator, T.denominator), _MISSING) is _MISSING
+    ]
+    if unknown:
+        flags = yield ProbeRequest("accept_block", kind, mode, tuple(unknown))
+        counted[0] += len(unknown)
+        for T, verdict in zip(unknown, flags):
+            memo[(T.numerator, T.denominator)] = bool(verdict)
+    return [memo[(T.numerator, T.denominator)] for T in cands]
+
+
+def right_interval_plan(
+    candidates: Sequence[Time], memo, counted, kind: str, mode: str, grid: bool
+):
+    """:func:`right_interval_bisect`'s narrowing as a plan (default flags)."""
+    if len(candidates) < 2:
+        raise ValueError("need at least two candidates")
+    lo, hi = 0, len(candidates) - 1
+    if grid:
+        while hi - lo > 1:
+            if hi - lo - 1 <= GRID_BLOCK:
+                idxs = list(range(lo + 1, hi))
+            else:
+                stride = Fraction(hi - lo, GRID_BLOCK + 1)
+                idxs = sorted(
+                    {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
+                )
+            flags = yield from plan_accept_block(
+                memo, counted, kind, mode, [candidates[k] for k in idxs]
+            )
+            first_ok = next((k for k, ok in enumerate(flags) if ok), None)
+            if first_ok is None:
+                lo = idxs[-1]
+            else:
+                hi = idxs[first_ok]
+                if first_ok > 0:
+                    lo = idxs[first_ok - 1]
+        return candidates[lo], candidates[hi]
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if (yield from plan_accept(memo, counted, kind, mode, candidates[mid])):
+            hi = mid
+        else:
+            lo = mid
+    return candidates[lo], candidates[hi]
+
+
+def eps_probe_plan(tmin: Time, eps: Fraction, kind: str, mode: str, grid: bool):
+    """Theorem 2's probe sequence; returns ``(T, certificate_lo, calls)``."""
+    if grid:
+        # rounds r with tmin/2^r <= eps*tmin  ⟺  2^r >= 1/eps
+        r = 0
+        while (1 << r) * eps.numerator < eps.denominator:
+            r += 1
+        step = tmin / (1 << r)
+        grid_pts = tuple(tmin + j * step for j in range((1 << r) + 1))
+        flags = yield ProbeRequest("accept_block", kind, mode, grid_pts)
+        calls = len(grid_pts)
+        if flags[0]:
+            return tmin, tmin, calls
+        j = next(k for k, ok in enumerate(flags) if ok)  # grid[-1] = 2·tmin accepts
+        return grid_pts[j], grid_pts[j - 1], calls
+
+    calls = 1
+    if (yield ProbeRequest("accept", kind, mode, (tmin,)))[0]:
+        # T_min ≤ OPT: ratio exactly 3/2.
+        return tmin, tmin, calls
+    lo, hi = tmin, 2 * tmin  # lo rejected (lo < OPT), hi accepted (2Tmin ≥ OPT)
+    # Shrink the gap below eps*tmin ≤ eps*OPT.
+    while hi - lo > eps * tmin:
+        mid = (lo + hi) / 2
+        calls += 1
+        if (yield ProbeRequest("accept", kind, mode, (mid,)))[0]:
+            hi = mid
+        else:
+            lo = mid
+    # lo < OPT and hi ≤ lo + eps*tmin < (1+eps)·OPT.
+    return hi, lo, calls
+
+
+def integer_probe_plan(tmin: Time, kind: str, grid: bool):
+    """Theorem 8's probe sequence; returns ``(T, calls)`` with ``T`` exact."""
+    lo_int = frac_ceil(tmin)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
+    hi_int = frac_ceil(2 * tmin)
+    calls = 1
+    if grid:
+        flags = yield ProbeRequest("accept_block", kind, "", (Fraction(lo_int),))
+        if flags[0]:
+            return Fraction(lo_int), calls
+        lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
+        while hi - lo > 1:
+            if hi - lo - 1 <= GRID_BLOCK:
+                cands = list(range(lo + 1, hi))
+            else:
+                stride = Fraction(hi - lo, GRID_BLOCK + 1)
+                cands = sorted(
+                    {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
+                )
+            calls += len(cands)
+            flags = yield ProbeRequest(
+                "accept_block", kind, "", tuple(Fraction(c) for c in cands)
+            )
+            first_ok = next((k for k, ok in enumerate(flags) if ok), None)
+            if first_ok is None:
+                lo = cands[-1]
+            else:
+                hi = cands[first_ok]
+                if first_ok > 0:
+                    lo = cands[first_ok - 1]
+        return Fraction(hi), calls
+
+    if (yield ProbeRequest("accept", kind, "", (Fraction(lo_int),)))[0]:
+        return Fraction(lo_int), calls
+    lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        calls += 1
+        if (yield ProbeRequest("accept", kind, "", (Fraction(mid),)))[0]:
+            hi = mid
+        else:
+            lo = mid
+    # hi accepted, hi−1 rejected ⟹ OPT > hi−1 ⟹ OPT ≥ hi (integrality).
+    return Fraction(hi), calls
 
 
 class MemoAccept:
@@ -153,35 +347,6 @@ def _maybe_build(build: Optional[BuildFn], T: Time) -> Optional[Schedule]:
     return None if build is None else build(T)
 
 
-def _grid_narrow(lo: int, hi: int, evaluate) -> tuple[int, int]:
-    """Narrow ``lo`` (rejected) .. ``hi`` (accepted) to an adjacent pair.
-
-    Evaluates blocks of up to :data:`GRID_BLOCK` evenly spaced interior
-    integers per round via ``evaluate(ints) -> [accepted]`` — ranges up
-    to ``GRID_BLOCK²`` resolve in two rounds.  Shared by the integer
-    search (candidates are the integers themselves) and the candidate-
-    list bisection (integers are list indices).
-    """
-    while hi - lo > 1:
-        check_cancelled()
-        if hi - lo - 1 <= GRID_BLOCK:
-            cands = list(range(lo + 1, hi))
-        else:
-            stride = Fraction(hi - lo, GRID_BLOCK + 1)
-            cands = sorted(
-                {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
-            )
-        flags = evaluate(cands)
-        first_ok = next((k for k, ok in enumerate(flags) if ok), None)
-        if first_ok is None:
-            lo = cands[-1]
-        else:
-            hi = cands[first_ok]
-            if first_ok > 0:
-                lo = cands[first_ok - 1]
-    return lo, hi
-
-
 def binary_search_dual(
     instance: Instance,
     variant: Variant,
@@ -202,51 +367,11 @@ def binary_search_dual(
     if eps <= 0:
         raise ValueError("eps must be positive")
     tmin = t_min(instance, variant)
-
-    if grid_accept is not None:
-        # rounds r with tmin/2^r <= eps*tmin  ⟺  2^r >= 1/eps
-        r = 0
-        while (1 << r) * eps.numerator < eps.denominator:
-            r += 1
-        step = tmin / (1 << r)
-        grid = [tmin + j * step for j in range((1 << r) + 1)]
-        check_cancelled()
-        flags = grid_accept(grid)
-        calls = len(grid)
-        if flags[0]:
-            return SearchResult(
-                tmin, _maybe_build(build, tmin), certificate_lo=tmin,
-                accept_calls=calls,
-            )
-        j = next(k for k, ok in enumerate(flags) if ok)  # grid[-1] = 2·tmin accepts
-        hi, lo = grid[j], grid[j - 1]
-        return SearchResult(
-            hi, _maybe_build(build, hi), certificate_lo=lo, accept_calls=calls
-        )
-
-    calls = 0
-
-    def test(T: Time) -> bool:
-        nonlocal calls
-        check_cancelled()  # probe boundary
-        calls += 1
-        return accept(T)
-
-    if test(tmin):
-        # T_min ≤ OPT: ratio exactly 3/2.
-        return SearchResult(
-            tmin, _maybe_build(build, tmin), certificate_lo=tmin, accept_calls=calls
-        )
-    lo, hi = tmin, 2 * tmin  # lo rejected (lo < OPT), hi accepted (hi ≥ ... 2Tmin ≥ OPT)
-    # Shrink the gap below eps*tmin ≤ eps*OPT.
-    while hi - lo > eps * tmin:
-        mid = (lo + hi) / 2
-        if test(mid):
-            hi = mid
-        else:
-            lo = mid
-    # lo < OPT and hi ≤ lo + eps*tmin < (1+eps)·OPT.
-    return SearchResult(hi, _maybe_build(build, hi), certificate_lo=lo, accept_calls=calls)
+    plan = eps_probe_plan(tmin, eps, "", "", grid=grid_accept is not None)
+    T, lo, calls = drive_plan(plan, _black_box_evaluator(accept, grid_accept))
+    return SearchResult(
+        T, _maybe_build(build, T), certificate_lo=lo, accept_calls=calls
+    )
 
 
 def integer_search_dual(
@@ -265,54 +390,29 @@ def integer_search_dual(
     instance — resolve in at most two batched calls.
     """
     tmin = t_min(instance, variant)
-    lo_int = frac_ceil(tmin)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
-    hi_int = frac_ceil(2 * tmin)
-    calls = 0
-
-    if grid_accept is not None:
-        check_cancelled()
-        first = grid_accept([Fraction(lo_int)])
-        calls += 1
-        if first[0]:
-            return SearchResult(
-                Fraction(lo_int), _maybe_build(build, Fraction(lo_int)),
-                certificate_lo=Fraction(lo_int), accept_calls=calls,
-            )
-        def evaluate(cands: list[int]) -> Sequence[bool]:
-            nonlocal calls
-            calls += len(cands)
-            return grid_accept([Fraction(c) for c in cands])
-
-        # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
-        _, hi = _grid_narrow(lo_int, hi_int, evaluate)
-        return SearchResult(
-            Fraction(hi), _maybe_build(build, Fraction(hi)),
-            certificate_lo=Fraction(hi), accept_calls=calls,
-        )
-
-    def test(T: int) -> bool:
-        nonlocal calls
-        check_cancelled()  # probe boundary
-        calls += 1
-        return accept(Fraction(T))
-
-    if test(lo_int):
-        return SearchResult(
-            Fraction(lo_int), _maybe_build(build, Fraction(lo_int)),
-            certificate_lo=Fraction(lo_int), accept_calls=calls,
-        )
-    lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if test(mid):
-            hi = mid
-        else:
-            lo = mid
-    # hi accepted, hi−1 rejected ⟹ OPT > hi−1 ⟹ OPT ≥ hi (integrality).
+    plan = integer_probe_plan(tmin, "", grid=grid_accept is not None)
+    T, calls = drive_plan(plan, _black_box_evaluator(accept, grid_accept))
     return SearchResult(
-        Fraction(hi), _maybe_build(build, Fraction(hi)),
-        certificate_lo=Fraction(hi), accept_calls=calls,
+        T, _maybe_build(build, T), certificate_lo=T, accept_calls=calls
     )
+
+
+def _black_box_evaluator(accept: AcceptFn, grid_accept: Optional[GridAcceptFn]):
+    """Route plan requests to a caller-supplied accept / grid evaluator.
+
+    Preserves the sequential probe contract exactly: one cancellation
+    poll per request, scalar probes through ``accept``, candidate blocks
+    through ``grid_accept`` (only emitted by grid-mode plans).
+    """
+
+    def evaluate(req: ProbeRequest) -> Sequence[bool]:
+        check_cancelled()  # probe boundary
+        if req.op == "accept_block":
+            assert grid_accept is not None
+            return grid_accept(list(req.times))
+        return [accept(T) for T in req.times]
+
+    return evaluate
 
 
 def right_interval_bisect(
@@ -336,22 +436,12 @@ def right_interval_bisect(
         raise ValueError("candidates[0] must be rejected")
     if not last_accepted and not accept(candidates[-1]):
         raise ValueError("candidates[-1] must be accepted")
-    lo, hi = 0, len(candidates) - 1
-
-    if grid_accept is not None:
-        lo, hi = _grid_narrow(
-            lo, hi, lambda idxs: grid_accept([candidates[k] for k in idxs])
-        )
-        return candidates[lo], candidates[hi]
-
-    while hi - lo > 1:
-        check_cancelled()  # probe boundary
-        mid = (lo + hi) // 2
-        if accept(candidates[mid]):
-            hi = mid
-        else:
-            lo = mid
-    return candidates[lo], candidates[hi]
+    # Fresh plan-local memo: a caller's MemoAccept / wrap_grid still
+    # deduplicates across phases, so counting is unchanged.
+    plan = right_interval_plan(
+        candidates, {}, [0], "", "", grid=grid_accept is not None
+    )
+    return drive_plan(plan, _black_box_evaluator(accept, grid_accept))
 
 
 # --------------------------------------------------------------------------- #

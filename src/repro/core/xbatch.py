@@ -1,0 +1,569 @@
+"""Cross-instance batched dual tests: one padded grid per micro-batch round.
+
+The PR-2 grids (:mod:`repro.core.batchdual`) vectorize candidate-``T``
+sweeps *within* one instance.  A service shard's micro-batch is the
+opposite shape: many small instances, each probing a handful of
+candidates per search round.  This module stacks those probes — rows of
+``(member, tn, td)`` over *different* instances — into one numpy
+evaluation per round:
+
+* every member :class:`~repro.core.fastnum.DualContext` contributes its
+  per-class columns to padded ``(members, c_max)`` arrays (zero padding
+  is neutral for all four duals: a padded class has ``s = P = t_max =
+  0``, so it is never expensive, never cheap-with-stars, and adds zero
+  setup/load);
+* the per-class sorted job views concatenate into one **batch-level flat
+  key space** keyed by a global class slot (member offset + class
+  offset): slot ``g`` owns keys in ``[g·spacing, (g+1)·spacing)``, with
+  one trailing *empty* slot for padded lanes, so all ``rows × c_max``
+  job-threshold queries of a round resolve in a single ``searchsorted``
+  — the :func:`~repro.core.batchdual._np_flat` trick generalized across
+  instances;
+* each verdict is **bit-identical** to the scalar kernel: the exact-int
+  overflow precheck (:func:`~repro.core.batchdual._grid_is_safe` per
+  member, plus the global flat-key bound) drops unsafe members to the
+  scalar kernel, the preemptive knapsack lanes resolve scalar lane-by-
+  lane exactly like the within-instance grid, and without numpy the
+  whole evaluation is a pure-Python loop over
+  :mod:`repro.core.fastnum` — numpy stays optional.
+
+The consumer is the lockstep coordinator of
+:func:`repro.algos.batch_api.solve_batch` (``xbatch=True``): it advances
+every item's bracket search one round at a time and hands each round's
+probe rows to :meth:`BatchDualContext.evaluate`.  The differential fuzz
+suite (``tests/test_xbatch.py``) asserts row-for-row bit-identity
+against the scalar kernel on every kind, including the overflow
+boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .batchdual import (
+    _GUARD,
+    _CHUNK_ELEMS,
+    HAVE_NUMPY,
+    _grid_is_safe,
+    _np,
+)
+from .fastnum import (
+    DualContext,
+    NonpVerdict,
+    PmtnVerdict,
+    SplitVerdict,
+    fast_base_core,
+    fast_nonp_test,
+    fast_pmtn_test,
+    fast_split_test,
+)
+
+__all__ = [
+    "BatchDualContext",
+    "PROBE_KINDS",
+    "fast_split_test_xgrid",
+    "fast_nonp_test_xgrid",
+    "fast_pmtn_test_xgrid",
+    "fast_base_core_xgrid",
+]
+
+#: The dual-test kinds one batch row can carry.  ``pmtn`` honours a mode
+#: (``alpha``/``gamma``); ``pmtn_base`` is Algorithm 4's monotone core.
+PROBE_KINDS = ("split", "nonp", "pmtn", "pmtn_base")
+
+#: Below this many fusable rows a padded kernel dispatch costs more than
+#: the scalar probes it replaces; purely a performance cutoff (both
+#: paths are bit-identical).
+_MIN_FUSED_ROWS = 2
+
+
+def _ceil_div_np(num, den):
+    return -((-num) // den)
+
+
+def _member_cols(ctx) -> tuple:
+    """Per-member int64 class columns ``(setups, P, class_tmax)``.
+
+    Parked in the member's shared ``batch_cache`` scratch (m-independent,
+    shared by ``for_m`` clones, cleared by the LRU eviction hook) so a
+    warm rep pads the batch arrays from ready-made views instead of
+    re-converting the Python lists.
+    """
+    cols = ctx.batch_cache.get("xgrid_cols")
+    if cols is None:
+        cols = (
+            _np.asarray(ctx.setups, dtype=_np.int64),
+            _np.asarray(ctx.P, dtype=_np.int64),
+            _np.asarray(ctx.class_tmax, dtype=_np.int64),
+        )
+        ctx.batch_cache["xgrid_cols"] = cols
+    return cols
+
+
+def _member_segments(ctx) -> dict:
+    """Per-member pieces of the flat sorted-key layout, batch-independent.
+
+    The batch layout interleaves every member's per-class sorted keys
+    into one global key space; the only batch-dependent parts of that
+    are the slot offsets and the spacing.  Everything member-local —
+    concatenated sorted keys, each key's class id, prefix sums, and the
+    per-class counts — is computed once per context and parked in its
+    shared ``batch_cache`` scratch, so assembling a fresh batch layout
+    is a handful of vectorised ops per member rather than a Python loop
+    over every class of every member.
+    """
+    seg = ctx.batch_cache.get("xgrid_segments")
+    if seg is None:
+        keys_parts = []
+        prefix_parts = []
+        counts = _np.empty(ctx.c, dtype=_np.int64)
+        plens = _np.empty(ctx.c, dtype=_np.int64)
+        for ci in range(ctx.c):
+            ts, prefix = ctx.sorted_jobs(ci)
+            keys_parts.append(_np.asarray(ts, dtype=_np.int64))
+            prefix_parts.append(_np.asarray(prefix, dtype=_np.int64))
+            counts[ci] = len(ts)
+            plens[ci] = len(prefix)
+        seg = {
+            "keys": _np.concatenate(keys_parts)
+            if keys_parts
+            else _np.empty(0, dtype=_np.int64),
+            "class_of_key": _np.repeat(
+                _np.arange(ctx.c, dtype=_np.int64), counts
+            ),
+            "prefix": _np.concatenate(prefix_parts)
+            if prefix_parts
+            else _np.empty(0, dtype=_np.int64),
+            "counts": counts,
+            "plens": plens,
+        }
+        ctx.batch_cache["xgrid_segments"] = seg
+    return seg
+
+
+class BatchDualContext:
+    """Ragged→flat mapping over the member contexts of one micro-batch.
+
+    ``members`` are the distinct :class:`DualContext` objects of a batch
+    (one per fingerprint representative × machine count).  The context
+    owns the padded per-class arrays and the global flat sorted-key
+    layout; both build lazily on the first fused evaluation, reusing the
+    members' instance-cached sorted views.
+    """
+
+    def __init__(self, members: Sequence[DualContext]) -> None:
+        self.members = list(members)
+        self._pad: Optional[dict] = None
+        self._flat: Optional[dict] = None
+        self._flat_safe: Optional[bool] = None
+
+    def member_index(self, ctx: DualContext) -> int:
+        """Index of ``ctx`` in ``members`` (appends unseen contexts)."""
+        for i, member in enumerate(self.members):
+            if member is ctx:
+                return i
+        self.members.append(ctx)
+        self._pad = self._flat = self._flat_safe = None  # rebuild lazily
+        return len(self.members) - 1
+
+    # ------------------------------------------------------------------ #
+    # lazily built batch-level layouts
+    # ------------------------------------------------------------------ #
+
+    def _padded(self) -> dict:
+        """Padded ``(members, c_max)`` class columns + per-member scalars."""
+        pad = self._pad
+        if pad is None:
+            g = len(self.members)
+            c_max = max(ctx.c for ctx in self.members)
+            S = _np.zeros((g, c_max), dtype=_np.int64)
+            P = _np.zeros((g, c_max), dtype=_np.int64)
+            tmax = _np.zeros((g, c_max), dtype=_np.int64)
+            for k, ctx in enumerate(self.members):
+                cS, cP, ctm = _member_cols(ctx)
+                S[k, : ctx.c] = cS
+                P[k, : ctx.c] = cP
+                tmax[k, : ctx.c] = ctm
+            pad = {
+                "c_max": c_max,
+                "S": S,
+                "P": P,
+                "tmax": tmax,
+                "m": _np.asarray([ctx.m for ctx in self.members], dtype=_np.int64),
+                "tp": _np.asarray(
+                    [ctx.total_processing for ctx in self.members], dtype=_np.int64
+                ),
+                "spt": _np.asarray(
+                    [ctx.spt for ctx in self.members], dtype=_np.int64
+                ),
+            }
+            self._pad = pad
+        return pad
+
+    def _flat_layout(self) -> dict:
+        """Global flat sorted-key space over every member's classes.
+
+        Class ``ci`` of member ``mi`` owns global slot ``slot_base[mi] +
+        ci``; slot ``n_slots`` is the empty dummy slot every padded lane
+        points at (searchsorted past the last real key ⟹ count 0,
+        weight 0).  ``spacing`` exceeds every job length of every
+        member, so slot key ranges stay disjoint.
+        """
+        flat = self._flat
+        if flat is None:
+            pad = self._padded()
+            g, c_max = len(self.members), pad["c_max"]
+            spacing = max(max(ctx.class_tmax) for ctx in self.members) + 2
+            cs = [ctx.c for ctx in self.members]
+            slot_base = [0] * g
+            for k in range(1, g):
+                slot_base[k] = slot_base[k - 1] + cs[k - 1]
+            n_slots = slot_base[-1] + cs[-1]
+            # (members, c_max) global slot ids; padded lanes → dummy slot
+            slot = _np.full((g, c_max), n_slots, dtype=_np.int64)
+            keys_parts = []
+            prefix_parts = []
+            counts_parts = []
+            plens_parts = []
+            for k, ctx in enumerate(self.members):
+                seg = _member_segments(ctx)
+                slot[k, : ctx.c] = slot_base[k] + _np.arange(ctx.c, dtype=_np.int64)
+                keys_parts.append(
+                    seg["keys"] + (seg["class_of_key"] + slot_base[k]) * spacing
+                )
+                prefix_parts.append(seg["prefix"])
+                counts_parts.append(seg["counts"])
+                plens_parts.append(seg["plens"])
+            counts_all = _np.concatenate(counts_parts)  # slot order
+            pos = int(counts_all.sum())
+            noff = _np.zeros(n_slots + 2, dtype=_np.int64)
+            _np.cumsum(counts_all, out=noff[1 : n_slots + 1])
+            noff[n_slots + 1] = pos
+            poff = _np.zeros(n_slots + 1, dtype=_np.int64)
+            _np.cumsum(_np.concatenate(plens_parts), out=poff[1:])
+            counts = _np.zeros(n_slots + 1, dtype=_np.int64)
+            counts[:n_slots] = counts_all
+            # dummy slot: zero keys, a single 0-prefix entry
+            prefix_parts.append(_np.zeros(1, dtype=_np.int64))
+            flat = {
+                "spacing": spacing,
+                "slot": slot,
+                "n_slots": n_slots,
+                "keys": _np.concatenate(keys_parts)
+                if keys_parts
+                else _np.empty(0, dtype=_np.int64),
+                "prefix": _np.concatenate(prefix_parts),
+                "noff": noff,
+                "poff": poff,
+                "counts": counts,
+            }
+            self._flat = flat
+        return flat
+
+    def _flat_keys_safe(self) -> bool:
+        """Does the *global* key space fit int64 with headroom?"""
+        safe = self._flat_safe
+        if safe is None:
+            spacing = max(max(ctx.class_tmax) for ctx in self.members) + 2
+            n_slots = sum(ctx.c for ctx in self.members)
+            safe = (n_slots + 2) * spacing < _GUARD
+            self._flat_safe = safe
+        return safe
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def scalar_one(self, kind: str, mode: str, mi: int, tn: int, td: int):
+        """One probe on the scalar kernel — the exact pure-Python tier."""
+        ctx = self.members[mi]
+        if kind == "split":
+            return fast_split_test(ctx, tn, td)
+        if kind == "nonp":
+            return fast_nonp_test(ctx, tn, td)
+        if kind == "pmtn":
+            return fast_pmtn_test(ctx, tn, td, mode)
+        if kind == "pmtn_base":
+            return fast_base_core(ctx, tn, td)
+        raise ValueError(f"unknown probe kind {kind!r}")
+
+    def evaluate(self, kind: str, mode: str, rows: Sequence[tuple[int, int, int]]):
+        """Verdicts for ``rows = [(member_idx, tn, td), ...]``, row order.
+
+        Bit-identical to ``[scalar_one(kind, mode, *row) for row in
+        rows]`` on every tier: fused numpy for the members whose rows
+        clear the exact-int overflow precheck, the scalar kernel for the
+        rest (and for everything when numpy is unavailable).
+        """
+        out: list = [None] * len(rows)
+        fused: list[int] = []
+        if HAVE_NUMPY and len(rows) >= _MIN_FUSED_ROWS:
+            need_flat = kind in ("nonp", "pmtn")
+            flat_ok = not need_flat or self._flat_keys_safe()
+            if flat_ok:
+                by_member: dict[int, list[int]] = {}
+                for j, (mi, _, _) in enumerate(rows):
+                    by_member.setdefault(mi, []).append(j)
+                for mi, idxs in by_member.items():
+                    tns = [rows[j][1] for j in idxs]
+                    tds = [rows[j][2] for j in idxs]
+                    if _grid_is_safe(self.members[mi], tns, tds):
+                        fused.extend(idxs)
+        if len(fused) < _MIN_FUSED_ROWS:
+            fused = []
+        fused_set = set(fused)
+        for j, (mi, tn, td) in enumerate(rows):
+            if j not in fused_set:
+                out[j] = self.scalar_one(kind, mode, mi, tn, td)
+        if fused:
+            fused.sort()
+            mis = _np.asarray([rows[j][0] for j in fused], dtype=_np.int64)
+            tns = _np.asarray([rows[j][1] for j in fused], dtype=_np.int64)
+            tds = _np.asarray([rows[j][2] for j in fused], dtype=_np.int64)
+            if kind == "split":
+                verdicts = self._split_rows(mis, tns, tds)
+            elif kind == "pmtn_base":
+                verdicts = self._base_rows(mis, tns, tds)
+            elif kind == "nonp":
+                verdicts = self._nonp_rows(mis, tns, tds)
+            else:
+                verdicts = self._pmtn_rows(mis, tns, tds, mode)
+            for j, v in zip(fused, verdicts):
+                out[j] = v
+        return out
+
+    def _chunks(self, n_rows: int, fine: int = 1):
+        c_max = self._padded()["c_max"]
+        step = max(1, _CHUNK_ELEMS // max(1, fine * c_max))
+        for lo in range(0, n_rows, step):
+            yield lo, min(n_rows, lo + step)
+
+    # each kernel below mirrors its scalar twin in repro.core.fastnum
+    # (and the within-instance grid in repro.core.batchdual) with the
+    # candidate axis as rows and the padded class axis as columns.
+
+    def _split_rows(self, mis, tns, tds) -> list[SplitVerdict]:
+        pad = self._padded()
+        out: list[SplitVerdict] = []
+        for lo, hi in self._chunks(len(mis)):
+            mi = mis[lo:hi]
+            tn, td = tns[lo:hi, None], tds[lo:hi, None]
+            S, P = pad["S"][mi], pad["P"][mi]
+            exp = 2 * S * td > tn
+            beta = _ceil_div_np(2 * P * td, tn)
+            load = pad["tp"][mi] + _np.where(exp, beta * S, S).sum(axis=1)
+            m_exp = _np.where(exp, beta, 0).sum(axis=1)
+            m = pad["m"][mi]
+            acc = (m * tns[lo:hi] >= load * tds[lo:hi]) & (m >= m_exp)
+            out.extend(
+                SplitVerdict(bool(a), int(l), int(me))
+                for a, l, me in zip(acc, load, m_exp)
+            )
+        return out
+
+    def _base_rows(self, mis, tns, tds) -> list[tuple[int, int]]:
+        pad = self._padded()
+        out: list[tuple[int, int]] = []
+        for lo, hi in self._chunks(len(mis)):
+            mi = mis[lo:hi]
+            tn, td = tns[lo:hi, None], tds[lo:hi, None]
+            S, P = pad["S"][mi], pad["P"][mi]
+            total = S + P
+            exp = 2 * S * td > tn
+            iplus = exp & (total * td >= tn)
+            izero = exp & ~iplus & (4 * total * td > 3 * tn)
+            iminus = exp & ~iplus & ~izero
+            gam = _np.maximum(1, _ceil_div_np(2 * total * td, tn) - 2)
+            load = pad["tp"][mi] + _np.where(iplus, gam * S, S).sum(axis=1)
+            gsum = _np.where(iplus, gam, 0).sum(axis=1)
+            l = izero.sum(axis=1)
+            minus = iminus.sum(axis=1)
+            m_prime = l + gsum + _ceil_div_np(minus, 2)
+            out.extend((int(a), int(b)) for a, b in zip(load, m_prime))
+        return out
+
+    def _nonp_rows(self, mis, tns, tds) -> list[NonpVerdict]:
+        pad = self._padded()
+        flat = self._flat_layout()
+        out: list[Optional[NonpVerdict]] = [None] * len(mis)
+        trivial = tns < pad["spt"][mis] * tds
+        for j in _np.nonzero(trivial)[0]:
+            ctx = self.members[int(mis[j])]
+            out[int(j)] = NonpVerdict(False, ctx.total_load, ctx.m + 1)  # Note 2
+        live = _np.nonzero(~trivial)[0]
+        spacing, hi_clip = flat["spacing"], flat["spacing"] - 2
+        keys, prefix = flat["keys"], flat["prefix"]
+        noff, poff, counts = flat["noff"], flat["poff"], flat["counts"]
+        for lo, hi in self._chunks(len(live), fine=4):
+            idx = live[lo:hi]
+            mi = mis[idx]
+            tn, td = tns[idx, None], tds[idx, None]
+            td2 = 2 * td
+            S, P = pad["S"][mi], pad["P"][mi]
+            slot = flat["slot"][mi]
+            base = slot * spacing
+            std = S * td
+            cap = tn - std
+            exp = 2 * std > tn
+            m_exp = _ceil_div_np(P * td, cap)
+            q_big = base + _np.clip(tn // td2, 0, hi_clip)
+            cut_big = (
+                _np.searchsorted(keys, q_big.ravel(), side="right").reshape(q_big.shape)
+                - noff[slot]
+            )
+            n_big = counts[slot] - cut_big
+            w_big = P - prefix[poff[slot] + cut_big]
+            q_ge = base + _np.clip((tn - 2 * std) // td2, 0, hi_clip)
+            cut_ge = (
+                _np.searchsorted(keys, q_ge.ravel(), side="right").reshape(q_ge.shape)
+                - noff[slot]
+            )
+            k_weight = (P - prefix[poff[slot] + cut_ge]) - w_big
+            m_chp = n_big + _np.where(
+                k_weight > 0, _ceil_div_np(k_weight * td, cap), 0
+            )
+            m_i = _np.where(exp, m_exp, m_chp)
+            load = (
+                pad["tp"][mi]
+                + (m_i * S).sum(axis=1)
+                + _np.where(P * td > m_i * cap, S, 0).sum(axis=1)
+            )
+            m_prime = m_i.sum(axis=1)
+            m = pad["m"][mi]
+            acc = (m * tns[idx] >= load * tds[idx]) & (m >= m_prime)
+            for k, j in enumerate(idx):
+                out[int(j)] = NonpVerdict(bool(acc[k]), int(load[k]), int(m_prime[k]))
+        return out  # type: ignore[return-value]
+
+    def _pmtn_rows(self, mis, tns, tds, mode: str) -> list[PmtnVerdict]:
+        pad = self._padded()
+        flat = self._flat_layout()
+        out: list[Optional[PmtnVerdict]] = [None] * len(mis)
+        trivial = tns < pad["spt"][mis] * tds
+        for j in _np.nonzero(trivial)[0]:
+            ctx = self.members[int(mis[j])]
+            out[int(j)] = PmtnVerdict(False, ctx.total_load, 0, "trivial", False)
+        live = _np.nonzero(~trivial)[0]
+        spacing, hi_clip = flat["spacing"], flat["spacing"] - 2
+        keys, prefix = flat["keys"], flat["prefix"]
+        noff, poff, counts = flat["noff"], flat["poff"], flat["counts"]
+        for lo, hi in self._chunks(len(live), fine=4):
+            idx = live[lo:hi]
+            mi = mis[idx]
+            tn, td = tns[idx, None], tds[idx, None]
+            td2 = 2 * td
+            S, P, tmax = pad["S"][mi], pad["P"][mi], pad["tmax"][mi]
+            total = S + P
+            std = S * td
+            exp = 2 * std > tn
+            iplus = exp & (total * td >= tn)
+            izero = exp & ~iplus & (4 * total * td > 3 * tn)
+            iminus = exp & ~iplus & ~izero
+            if mode == "alpha":
+                # masked lanes clamp to 1 so no unbounded quotient feeds
+                # a product (see the within-instance grid's comment)
+                k = _np.where(
+                    iplus,
+                    _np.maximum(1, (P * td) // _np.where(iplus, tn - std, 1)),
+                    1,
+                )
+            else:
+                num2 = 2 * P * td
+                bp = num2 // tn
+                cond = num2 - bp * tn <= 2 * (tn - std)
+                k = _np.where(cond, _np.maximum(bp, 1), _ceil_div_np(num2, tn))
+            load = pad["tp"][mi] + _np.where(iplus, k * S, S).sum(axis=1)
+            counts_sum = _np.where(iplus, k, 0).sum(axis=1)
+            l = izero.sum(axis=1)
+            n_minus = iminus.sum(axis=1)
+            base_sum = _np.where(iplus, k * S + P, 0)
+            chp_plus = ~exp & (4 * std >= tn)
+            base_sum = base_sum + _np.where(iminus | chp_plus, total, 0)
+            star = ~exp & ~chp_plus & (2 * (S + tmax) * td > tn)
+            slot = flat["slot"][mi]
+            q = slot * spacing + _np.clip((tn - 2 * std) // td2, 0, hi_clip)
+            cut = (
+                _np.searchsorted(keys, q.ravel(), side="right").reshape(q.shape)
+                - noff[slot]
+            )
+            cnt = counts[slot] - cut
+            p_star = P - prefix[poff[slot] + cut]
+            demand2 = _np.where(star, td2 * (S + P), 0).sum(axis=1)
+            lstar2 = _np.where(
+                star, td2 * (S + p_star) - cnt * (tn - 2 * std), 0
+            ).sum(axis=1)
+            base = base_sum.sum(axis=1)
+            m = pad["m"][mi]
+            m_prime = l + counts_sum + _ceil_div_np(n_minus, 2)
+            F2 = 2 * (m - l) * tns[idx] - 2 * base * tds[idx]
+            acc_simple = (m * tns[idx] >= load * tds[idx]) & (m >= m_prime)
+            nice = l == 0
+            case3b = ~nice & (F2 >= demand2)
+            y_neg = ~nice & ~case3b & (F2 - lstar2 < 0)
+            for k_i, j in enumerate(idx):
+                j = int(j)
+                if nice[k_i]:
+                    out[j] = PmtnVerdict(
+                        bool(acc_simple[k_i]), int(load[k_i]), int(m_prime[k_i]),
+                        "nice", False,
+                    )
+                elif case3b[k_i]:
+                    out[j] = PmtnVerdict(
+                        bool(acc_simple[k_i]), int(load[k_i]), int(m_prime[k_i]),
+                        "3b", False,
+                    )
+                elif y_neg[k_i]:
+                    out[j] = PmtnVerdict(
+                        False, int(load[k_i]), int(m_prime[k_i]), "3a", True
+                    )
+                else:  # case 3a with the knapsack: scalar lane (rare)
+                    out[j] = fast_pmtn_test(
+                        self.members[int(mis[j])], int(tns[j]), int(tds[j]), mode
+                    )
+        return out  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# row-level entry points (the public xgrid surface the tests differential)
+# --------------------------------------------------------------------------- #
+
+
+def _rows(mis: Sequence[int], tns: Sequence[int], tds: Sequence[int]):
+    if not (len(mis) == len(tns) == len(tds)):
+        raise ValueError(
+            f"parallel row vectors expected: {len(mis)} members, "
+            f"{len(tns)} numerators, {len(tds)} denominators"
+        )
+    rows = list(zip(mis, tns, tds))
+    for mi, tn, td in rows:
+        if tn <= 0 or td <= 0:
+            raise ValueError(f"candidates must be positive rationals, got {tn}/{td}")
+    return rows
+
+
+def fast_split_test_xgrid(
+    xctx: BatchDualContext, mis, tns, tds
+) -> list[SplitVerdict]:
+    """Theorem 7(i) on cross-instance rows ``(member, tn, td)``."""
+    return xctx.evaluate("split", "", _rows(mis, tns, tds))
+
+
+def fast_nonp_test_xgrid(
+    xctx: BatchDualContext, mis, tns, tds
+) -> list[NonpVerdict]:
+    """Theorem 9(i) on cross-instance rows ``(member, tn, td)``."""
+    return xctx.evaluate("nonp", "", _rows(mis, tns, tds))
+
+
+def fast_pmtn_test_xgrid(
+    xctx: BatchDualContext, mis, tns, tds, mode: str = "alpha"
+) -> list[PmtnVerdict]:
+    """Theorem 5(i) on cross-instance rows ``(member, tn, td)``."""
+    return xctx.evaluate("pmtn", mode, _rows(mis, tns, tds))
+
+
+def fast_base_core_xgrid(
+    xctx: BatchDualContext, mis, tns, tds
+) -> list[tuple[int, int]]:
+    """Algorithm 4's monotone core on cross-instance rows."""
+    return xctx.evaluate("pmtn_base", "", _rows(mis, tns, tds))

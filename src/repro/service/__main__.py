@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restart-backoff", type=float, default=0.05,
                         help="first restart delay in seconds, doubling per "
                              "restart (default 0.05)")
+    parser.add_argument("--xbatch", action="store_true",
+                        help="fuse each micro-batch's dual tests across "
+                             "instances into one padded grid evaluation "
+                             "(bit-identical results; fast kernel only)")
     parser.add_argument("--faults", type=_parse_faults, metavar="PLAN",
                         default=None,
                         help="arm a deterministic fault plan (testing only): "
@@ -106,6 +110,7 @@ async def _amain(args: argparse.Namespace) -> int:
         restart_backoff=args.restart_backoff,
         workers=args.workers,
         hard_kill_grace_ms=args.hard_kill_grace_ms,
+        xbatch=args.xbatch,
     )
     async with SolveService(config, faults=args.faults) as service:
         if args.tcp is None:

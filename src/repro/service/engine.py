@@ -76,6 +76,14 @@ class ServiceConfig:
     ``hard_kill_grace_ms`` (process backend only) is how long past the
     last in-flight deadline a child may go silent before it is
     SIGKILLed.
+
+    ``xbatch=True`` dispatches each micro-batch through the
+    cross-instance lockstep coordinator
+    (``solve_batch(..., xbatch=True)``): all items' bracket searches
+    advance in rounds and each round's dual-test probes fuse into one
+    padded :class:`~repro.core.xbatch.BatchDualContext` kernel call.
+    Responses are bit-identical either way (pinned by
+    ``tests/test_xbatch.py``); both backends honour the knob.
     """
 
     shards: int = 4
@@ -88,6 +96,7 @@ class ServiceConfig:
     restart_backoff: float = 0.05
     workers: str = "thread"
     hard_kill_grace_ms: int = 200
+    xbatch: bool = False
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
@@ -95,6 +104,8 @@ class ServiceConfig:
             raise ValueError(
                 f"workers must be 'thread' or 'process', got {self.workers!r}"
             )
+        if not isinstance(self.xbatch, bool):
+            raise ValueError(f"xbatch must be a bool, got {self.xbatch!r}")
         if (
             isinstance(self.hard_kill_grace_ms, bool)
             or not isinstance(self.hard_kill_grace_ms, int)
@@ -228,6 +239,7 @@ class SolveService:
             max_restarts=self.config.max_restarts,
             restart_backoff=self.config.restart_backoff,
             faults=faults,
+            xbatch=self.config.xbatch,
         )
         if self.config.workers == "process":
             self._shards: list[Shard] = [

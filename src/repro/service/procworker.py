@@ -370,7 +370,7 @@ def _error_outcome(exc: Exception) -> tuple:
     return ("err", "internal", "internal error", False)
 
 
-def _run_batch(items_wire, *, lru, kernel) -> list[tuple]:
+def _run_batch(items_wire, *, lru, kernel, xbatch=False) -> list[tuple]:
     """Solve one micro-batch: the child-side mirror of ``Shard._dispatch``."""
     # `local` holds instances decoded from payload-carrying items in THIS
     # batch, so slim siblings behind them resolve even when the LRU is
@@ -392,7 +392,8 @@ def _run_batch(items_wire, *, lru, kernel) -> list[tuple]:
     )
     try:
         results = solve_batch(
-            items, kernel=kernel, reps=lru, cancels=tokens, before_solve=before
+            items, kernel=kernel, reps=lru, cancels=tokens,
+            before_solve=before, xbatch=xbatch,
         )
     except Exception:
         # Same per-item isolation as the thread backend: one bad request
@@ -402,7 +403,7 @@ def _run_batch(items_wire, *, lru, kernel) -> list[tuple]:
             try:
                 result = solve_batch(
                     [item], kernel=kernel, reps=lru,
-                    cancels=[token], before_solve=before,
+                    cancels=[token], before_solve=before, xbatch=xbatch,
                 )[0]
             except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
                 outcomes.append(_error_outcome(exc))
@@ -432,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--kernel", default="fast")
     parser.add_argument("--max-instances", type=int, default=8)
     parser.add_argument("--heartbeat-ms", type=int, default=100)
+    parser.add_argument("--xbatch", action="store_true")
     return parser
 
 
@@ -473,7 +475,9 @@ def main(argv=None) -> int:
             if msg[0] != "batch":
                 continue
             _, batch_id, items_wire = msg
-            outcomes = _run_batch(items_wire, lru=lru, kernel=args.kernel)
+            outcomes = _run_batch(
+                items_wire, lru=lru, kernel=args.kernel, xbatch=args.xbatch
+            )
             with wlock:
                 write_frame(out, ("result", batch_id, outcomes, _lru_obj(lru)))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
@@ -498,11 +502,12 @@ class WorkerProc:
     """
 
     def __init__(self, shard: int, *, kernel: str, max_instances: int,
-                 heartbeat_ms: int = 100) -> None:
+                 heartbeat_ms: int = 100, xbatch: bool = False) -> None:
         self.shard = shard
         self.kernel = kernel
         self.max_instances = max_instances
         self.heartbeat_ms = heartbeat_ms
+        self.xbatch = xbatch
         self.proc: Optional[subprocess.Popen] = None
         self.pid: Optional[int] = None
         self.frames: SimpleQueue = SimpleQueue()
@@ -522,6 +527,8 @@ class WorkerProc:
             "--max-instances", str(self.max_instances),
             "--heartbeat-ms", str(self.heartbeat_ms),
         ]
+        if self.xbatch:
+            cmd.append("--xbatch")
         env = dict(os.environ)
         # The child must import the same `repro` this process runs —
         # works from a source checkout (PYTHONPATH=src) and from an

@@ -103,6 +103,64 @@ def test_fuzz_seeded(seed, m):
     _check_generator_case(seed, m)
 
 
+# --------------------------------------------------------------------------- #
+# cross-instance micro-batches: xbatch lockstep vs the sequential engine
+# --------------------------------------------------------------------------- #
+
+
+def _check_cross_instance_case(seed: int) -> None:
+    """One heterogeneous micro-batch, solved both ways — bit-identical.
+
+    The strategy draws a batch like a service shard would see: several
+    distinct instances (different m / c / values), mixed variants and
+    algorithms, some bounds-only, some heterogeneous ``eps``.  The
+    xbatch lockstep coordinator must reproduce the sequential engine's
+    output field for field (placements included).
+    """
+    from repro.algos.batch_api import BatchItem, solve_batch
+
+    rng = random.Random(seed)
+    variants = list(Variant)
+    items = []
+    for _ in range(rng.randint(2, 6)):
+        inst = _random_instance(rng.randint(0, 10**9), rng.randint(1, 7))
+        algorithm = rng.choice(["three_halves", "three_halves", "eps"])
+        items.append(BatchItem(
+            instance=inst,
+            variant=rng.choice(variants),
+            algorithm=algorithm,
+            eps=Fraction(1, rng.choice([2, 10, 100])),
+            schedules=rng.random() < 0.5,
+        ))
+    tag = f"seed={seed}"
+    ref = solve_batch(items, xbatch=False)
+    got = solve_batch(items, xbatch=True)
+    assert len(got) == len(ref), tag
+    for item, g, r in zip(items, got, ref):
+        if not item.schedules:
+            assert g == r, (tag, item.variant)
+            continue
+        assert g.T == r.T, (tag, item.variant)
+        assert g.ratio_bound == r.ratio_bound, (tag, item.variant)
+        assert g.opt_lower_bound == r.opt_lower_bound, (tag, item.variant)
+        g_key = [
+            (p.machine, p.start, p.length, p.cls, p.job)
+            for p in g.schedule.iter_all()
+        ]
+        r_key = [
+            (p.machine, p.start, p.length, p.cls, p.job)
+            for p in r.schedule.iter_all()
+        ]
+        assert g_key == r_key, (tag, item.variant)
+        cmax = validate_schedule(g.schedule, item.variant)
+        assert cmax == r.schedule.makespan(), (tag, item.variant)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_cross_instance_fuzz_seeded(seed):
+    _check_cross_instance_case(seed)
+
+
 if HAVE_HYPOTHESIS:
 
     @settings(max_examples=60, deadline=None)
@@ -112,3 +170,9 @@ if HAVE_HYPOTHESIS:
         # Shrinking minimizes (seed, m); the assertion tag prints the pair,
         # so any counterexample reproduces via _check_generator_case(seed, m).
         _check_generator_case(seed, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_cross_instance_fuzz_hypothesis(seed):
+        # Counterexamples reproduce via _check_cross_instance_case(seed).
+        _check_cross_instance_case(seed)

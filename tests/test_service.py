@@ -538,6 +538,27 @@ class TestServiceEngine:
         assert config.max_restarts == 0  # 0 = never restart, fail immediately
         assert config.restart_backoff == 0
 
+    def test_xbatch_knob_validation(self):
+        assert ServiceConfig(xbatch=True).xbatch is True
+        assert ServiceConfig().xbatch is False
+        with pytest.raises(ValueError, match="xbatch"):
+            ServiceConfig(xbatch="yes")
+        with pytest.raises(ValueError, match="xbatch"):
+            ServiceConfig(xbatch=1)
+
+    def test_xbatch_service_bit_identical(self):
+        # The same burst through a fused-dispatch service: every response
+        # must match the sequential reference exactly.
+        reqs = self.mixed_requests()
+        results, stats = run_service(
+            reqs,
+            ServiceConfig(shards=2, max_batch=8, max_instances=3, xbatch=True),
+        )
+        assert len(results) == len(reqs)
+        for req, result in zip(reqs, results):
+            assert_matches_reference(req, result)
+        assert stats.requests == len(reqs)
+
 
 class TestServiceFuzz:
     """Seeded async fuzz: random interleavings, bit-identical responses.
@@ -560,12 +581,15 @@ class TestServiceFuzz:
         pool.extend(inst for _, inst in small_exact_suite()[:2])
         return pool
 
+    @pytest.mark.parametrize("xbatch", [False, True])
     @pytest.mark.parametrize("workers", ["thread", "process"])
     @pytest.mark.parametrize("seed", range(4))
-    def test_random_interleavings(self, seed, workers):
-        # Same seeds, both backends: responses must be bit-identical to
-        # the sequential reference whether the shard solves in a thread
-        # or in a supervised child process (the wire round-trip included).
+    def test_random_interleavings(self, seed, workers, xbatch):
+        # Same seeds, both backends, fused and sequential dispatch:
+        # responses must be bit-identical to the sequential reference
+        # whether the shard solves in a thread or in a supervised child
+        # process (the wire round-trip included), and whether each
+        # micro-batch runs the lockstep coordinator or the plain loop.
         rng = random.Random(1000 + seed)
         pool = self.pool()
         config = ServiceConfig(
@@ -574,6 +598,7 @@ class TestServiceFuzz:
             max_inflight=rng.randint(2, 32),
             max_instances=rng.randint(1, 3),
             workers=workers,
+            xbatch=xbatch,
         )
         reqs = []
         for k in range(rng.randint(12, 28)):
@@ -614,6 +639,54 @@ class TestServiceFuzz:
             assert_matches_reference(req, result)
         assert stats.peak_instances <= stats.max_instances
         assert stats.peak_inflight <= config.max_inflight
+
+
+class TestXbatchTimeout:
+    """A deadline firing inside a fused micro-batch hits only its request.
+
+    The lockstep coordinator polls each item's token at the same probe
+    boundaries the sequential evaluators do; when one fires, only that
+    item leaves the round and the shard's per-item isolation re-runs the
+    rest — their answers must stay bit-identical.
+    """
+
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_one_expired_deadline_rest_bit_identical(self, workers):
+        from repro.service.faults import DelaySolve, FaultPlan
+
+        insts = [inst for _, inst in small_exact_suite()[:3]]
+        insts.append(medium_suite()[0][1])
+        # the first dispatched item sleeps past the doomed request's budget
+        plan = FaultPlan([DelaySolve(seconds=0.3, after_items=0, times=1)])
+
+        async def main():
+            config = ServiceConfig(
+                shards=1, max_batch=8, workers=workers, xbatch=True
+            )
+            async with SolveService(config, faults=plan) as svc:
+                reqs = [
+                    SolveRequest(instance=fresh(inst), variant=variant, id=k)
+                    for k, (inst, variant) in enumerate(
+                        (i, v) for i in insts for v in Variant
+                    )
+                ]
+                doomed = SolveRequest(
+                    instance=fresh(insts[0]), timeout_ms=50, id="doomed"
+                )
+                tasks = [
+                    asyncio.create_task(svc.submit(r)) for r in reqs[:4]
+                ]
+                doomed_task = asyncio.create_task(svc.submit(doomed))
+                tasks.extend(asyncio.create_task(svc.submit(r)) for r in reqs[4:])
+                results = await asyncio.gather(*tasks)
+                with pytest.raises(ServiceError) as err:
+                    await doomed_task
+                return reqs, results, err.value
+
+        reqs, results, error = asyncio.run(main())
+        assert error.code == "timeout"
+        for req, result in zip(reqs, results):
+            assert_matches_reference(req, result)
 
 
 # --------------------------------------------------------------------------- #
