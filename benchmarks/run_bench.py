@@ -2,11 +2,11 @@
 
 Times the solve engine on the standard medium/large/zipf workloads plus a
 ``wide`` many-class fixture (the paper's setup-dominated regime), writing a
-flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR8.json`` in the
-repository root; ``BENCH_PR1.json``..``BENCH_PR7.json`` are the preserved
+flat ``{bench_name: seconds}`` JSON (default ``BENCH_PR9.json`` in the
+repository root; ``BENCH_PR1.json``..``BENCH_PR8.json`` are the preserved
 earlier snapshots).
 
-Nine bench families:
+Ten bench families:
 
 * ``solve/<fixture>/<variant>/<kernel>`` — single ``repro.solve`` calls on
   both numeric kernels (``fast`` scaled-int default vs the ``fraction``
@@ -74,6 +74,18 @@ Nine bench families:
   the streams), warm instance caches.  The derived
   ``speedup/xbatch/<shape>`` is the PR-8 acceptance series (≥ 1.3× on
   the medium micro-batch; CI smoke floor 1.1).
+* ``plans/<fixture>/<variant>/{warm,cold}`` — the PR-9 pair-native plan
+  tier: one bounds-only single solve (``solve_batch`` with a single
+  ``schedules=False`` item, ``use_grid=False``) — exactly the probe-plan
+  search plus certificate assembly the plan tier rewrote onto normalized
+  ``(num, den)`` pairs.  ``warm`` reuses one instance (hot caches, the
+  service's repeated-dispatch regime); ``cold`` rebuilds the instance
+  each run.  The derived ``speedup/plans/<fixture>/<variant>`` is the
+  warm fraction-driver over warm fast-plan ratio, and the headline
+  ``speedup/plans/<fixture>`` is the *minimum* of the splittable and
+  preemptive cells — the two flip searches whose `Fraction` bookkeeping
+  the PR-8 profiling flagged (acceptance ≥ 1.3× on large; CI smoke
+  floor 1.1 on medium).
 * ``shortcut/<fixture>/nonp/{on,off}`` — cold ``solve(nonpreemptive)``
   with the ``fast_nonp_test`` cheap-class ``class_tmax`` short-circuit
   enabled vs disabled.  The deliberately *baseline-neutral* family the
@@ -248,6 +260,61 @@ def bench_procshards(inst: Instance, fixture_name: str, reps: int) -> dict[str, 
     return out
 
 
+def bench_plans(inst: Instance, fixture_name: str, reps: int) -> dict[str, float]:
+    """Pair-native probe plans: warm/cold single-solve search latency (PR 9).
+
+    Bounds-only single solves isolate the search layer: the plan
+    generators' probes, memo table, bracket bookkeeping and certificate
+    assembly — no schedule construction.  ``use_grid=False`` on both
+    sides so the cell measures the scalar plan drive, not the flattened
+    grids.  The cells are microseconds-scale, so each measurement times
+    an inner block and divides.
+    """
+    from repro.algos.batch_api import BatchItem, solve_batch
+
+    def block(fn, inner: int) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / inner)
+        return best
+
+    out: dict[str, float] = {}
+    warm_by_variant: dict[Variant, float] = {}
+    inst_warm = fresh(inst)
+    for variant in Variant:
+        item = BatchItem(
+            instance=inst_warm, variant=variant, algorithm="three_halves",
+            schedules=False,
+        )
+        for kern in KERNELS:  # prime the shared caches outside the clock
+            solve_batch([item], kernel=kern, use_grid=False)
+        warm = block(
+            lambda: solve_batch([item], kernel="fast", use_grid=False), inner=20
+        )
+        warm_frac = block(
+            lambda: solve_batch([item], kernel="fraction", use_grid=False), inner=20
+        )
+        cold = block(
+            lambda v=variant: solve_batch(
+                [BatchItem(instance=fresh(inst), variant=v,
+                           algorithm="three_halves", schedules=False)],
+                kernel="fast", use_grid=False,
+            ),
+            inner=5,
+        )
+        out[f"plans/{fixture_name}/{variant.value}/warm"] = warm
+        out[f"plans/{fixture_name}/{variant.value}/cold"] = cold
+        out[f"speedup/plans/{fixture_name}/{variant.value}"] = warm_frac / warm
+        warm_by_variant[variant] = warm_frac / warm
+    out[f"speedup/plans/{fixture_name}"] = min(
+        warm_by_variant[Variant.SPLITTABLE], warm_by_variant[Variant.PREEMPTIVE]
+    )
+    return out
+
+
 def bench_shortcut(inst: Instance, fixture_name: str, reps: int) -> dict[str, float]:
     """Cold non-preemptive solves with the class_tmax short-circuit on/off."""
     from repro.core import fastnum
@@ -380,7 +447,7 @@ def bench_xbatch(reps: int) -> dict[str, float]:
     return out
 
 
-def run(fixtures: dict, reps: int) -> dict[str, float]:
+def run(fixtures: dict, reps: int, plans_only: bool = False) -> dict[str, float]:
     results: dict[str, float] = {}
 
     def record(name: str, value: float) -> None:
@@ -388,6 +455,12 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
         unit = "x" if name.startswith("speedup/") else " s"
         shown = f"{value:9.2f} x" if unit == "x" else f"{value * 1000:9.3f} ms"
         print(f"{name:50s} {shown}")
+
+    if plans_only:
+        for fixture_name, make in fixtures.items():
+            for name, value in bench_plans(make(), fixture_name, max(reps, 3)).items():
+                record(name, value)
+        return results
 
     for fixture_name, make in fixtures.items():
         inst = make()
@@ -438,6 +511,8 @@ def run(fixtures: dict, reps: int) -> dict[str, float]:
             record(name, value)
         for name, value in bench_procshards(inst, fixture_name, max(reps, 3)).items():
             record(name, value)
+        for name, value in bench_plans(inst, fixture_name, max(reps, 3)).items():
+            record(name, value)
         for name, value in bench_shortcut(inst, fixture_name, reps).items():
             record(name, value)
     for name, value in bench_grid_nonp(max(reps, 3)).items():
@@ -451,19 +526,23 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR8.json"),
-        help="output JSON path (default: repo-root BENCH_PR8.json)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
+        help="output JSON path (default: repo-root BENCH_PR9.json)",
     )
     parser.add_argument("--reps", type=int, default=7, help="repetitions per cell")
     parser.add_argument(
         "--smoke", action="store_true",
         help="CI mode: medium fixture only, 2 repetitions",
     )
+    parser.add_argument(
+        "--plans-only", action="store_true",
+        help="run only the plans family (the PyPy CI job's cheap profile)",
+    )
     args = parser.parse_args(argv)
 
     fixtures = {"medium": FIXTURES["medium"]} if args.smoke else dict(FIXTURES)
     reps = 2 if args.smoke else args.reps
-    results = run(fixtures, reps)
+    results = run(fixtures, reps, plans_only=args.plans_only)
     results["meta/have_numpy"] = 1.0 if batchdual.HAVE_NUMPY else 0.0
     # The procshards family is only a serialization-overhead measurement
     # when parent and child can actually run in parallel; on one CPU it

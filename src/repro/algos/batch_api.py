@@ -43,13 +43,18 @@ from ..core.bounds import Variant, lower_bound, setup_plus_tmax, t_min
 from ..core.cancel import CancelToken, SolveCancelled, cancel_scope
 from ..core.fastnum import validate_kernel
 from ..core.instance import Instance
-from ..core.numeric import Time
+from ..core.numeric import Time, fast_fraction
 from .api import Algorithm, Kernel, SolveResult, solve
 from .jumping_pmtn import find_flip_pmtn, flip_plan_pmtn
 from .jumping_split import find_flip_splittable, flip_plan_splittable
 from .nonpreemptive import nonp_dual_schedule, three_halves_nonpreemptive
 from .pmtn_general import pmtn_dual_schedule
-from .search import binary_search_dual, eps_probe_plan, integer_probe_plan
+from .search import (
+    GRID_BLOCK,
+    binary_search_dual,
+    eps_probe_plan,
+    integer_probe_plan,
+)
 from .splittable import split_dual_schedule
 
 __all__ = ["BatchItem", "SweepPoint", "solve_batch", "solve_many", "sweep_machines"]
@@ -226,37 +231,93 @@ def _bounds_point(
     )
 
 
-#: Auto-policy floor for the non-preemptive grid tier.  PR 3 calibrated
-#: the crossover at ≈ 200 classes; PR 5's ``class_tmax`` short-circuit in
-#: the scalar ``fast_nonp_test`` (cheap classes with ``s_i + t_max^i ≤
-#: T/2`` skip both sorted-view bisections) collapsed the scalar probes'
-#: cost on exactly the many-cheap-classes fixtures where the grid used to
-#: win — re-measured up to c = 3200, scalar probes now win everywhere
-#: (Experiment S3, ``python -m repro.experiments gridcross``).  The auto
-#: policy therefore never engages the non-preemptive grid; the tier stays
-#: available via ``use_grid=True`` and its bit-identity stays tested.
-NONP_GRID_MIN_C = float("inf")
+#: Probe kind of each variant's dual test in the fused/grid kernels.
+_PROBE_KIND = {
+    Variant.SPLITTABLE: "split",
+    Variant.PREEMPTIVE: "pmtn",
+    Variant.NONPREEMPTIVE: "nonp",
+}
+
+#: Shape-aware grid auto-policy: per search shape a ``(block_min,
+#: work_max)`` window — the grid engages only when the candidate-block
+#: size reaches ``block_min`` (vectorization width to amortize the numpy
+#: call overhead) *and* the product ``block × c`` stays under
+#: ``work_max`` (every grid candidate touches all ``c`` classes, while a
+#: scalar probe bisects sorted prefix views in O(log c); the blow-up
+#: must stay bounded).  Calibrated by Experiment S3 (``python -m
+#: repro.experiments gridcross``), re-run for PR 9 on the scaled-integer
+#: plans:
+#:
+#: * ``pmtn`` flip search — grid wins 1.06–1.15× for block×c in
+#:   ≈ 10k–26k, parity at 51k, loses below block ≈ 64;
+#: * ``split`` flip search — parity (0.91–1.01×) across the same band;
+#:   kept engaged there so the shared-candidate batched calls stay
+#:   exercised at no measured cost;
+#: * ``eps`` — the dyadic ε-grid (129 candidates for ε = 1/100) now
+#:   loses at every measured class count (0.01–0.24×): the pair-native
+#:   scalar bisection needs only ~7 probes, so the grid's 129 full-width
+#:   evaluations never amortize.  Never auto-engaged;
+#: * ``nonp`` — PR 5's ``class_tmax`` short-circuit keeps the scalar
+#:   probes ahead everywhere re-measured (up to c = 3200).  Never
+#:   auto-engaged.
+#:
+#: Forced tiers stay available via ``use_grid=True`` and their
+#: bit-identity stays tested regardless of the policy.
+GRID_POLICY: dict[str, tuple[int, int]] = {
+    "split": (64, 64_000),
+    "pmtn": (64, 32_000),
+    "nonp": (0, 0),
+    "eps": (0, 0),
+}
+
+
+def _grid_block_estimate(algorithm: Algorithm, eps: Optional[Fraction], c: int) -> int:
+    """Candidates per batched grid call for this search shape.
+
+    The ε-search probes one dyadic grid of ``2^r + 1`` points with
+    ``2^r ≥ 1/ε`` (:func:`~repro.algos.search.eps_probe_plan`); the flip
+    searches narrow candidate lists of at most ``c + 2`` points in
+    blocks capped at :data:`~repro.algos.search.GRID_BLOCK` interior
+    candidates (:func:`~repro.algos.search.right_interval_plan`), as
+    does the Theorem-8 integer search.
+    """
+    if algorithm == "eps" and eps is not None and eps > 0:
+        r = 0
+        while (1 << r) * eps.numerator < eps.denominator:
+            r += 1
+        return (1 << r) + 1
+    return min(c + 2, GRID_BLOCK)
 
 
 def _resolve_use_grid(
-    use_grid: Optional[bool], kernel: Kernel, variant: Variant, c: int
+    use_grid: Optional[bool],
+    kernel: Kernel,
+    variant: Variant,
+    c: int,
+    algorithm: Algorithm = "three_halves",
+    eps: Optional[Fraction] = None,
 ) -> bool:
-    """Auto-policy for the vectorized grid evaluators.
+    """Shape-aware auto-policy for the vectorized grid evaluators.
 
-    ``None`` engages the grids where they are measured neutral-to-faster:
-    for splittable/preemptive (2-D class×candidate kernels) always, and
-    for non-preemptive never since the scalar test's ``class_tmax``
-    short-circuit — see :data:`NONP_GRID_MIN_C`.
-    ``True`` forces grids and requires numpy (fails loudly rather than
-    silently degrading to candidate-by-candidate scalar loops);
-    ``False`` forces scalar probing.
+    A grid round evaluates its whole candidate block at once where the
+    scalar search would bisect it with ~log₂(block) probes, and every
+    grid candidate costs kernel work linear in the class count — the
+    numpy constant-factor win has to amortize that blow-up.  ``None``
+    therefore engages a kind's grid only while the product of the
+    search shape's candidate-block size (:func:`_grid_block_estimate`)
+    and the class count stays under the kind's measured ceiling
+    (:data:`GRID_POLICY`).  ``True`` forces grids and requires
+    numpy (fails loudly rather than silently degrading to
+    candidate-by-candidate scalar loops); ``False`` forces scalar
+    probing.
     """
     if use_grid is None:
         if not (batchdual.HAVE_NUMPY and kernel == "fast"):
             return False
-        if variant is Variant.NONPREEMPTIVE:
-            return c >= NONP_GRID_MIN_C
-        return True
+        shape = "eps" if algorithm == "eps" else _PROBE_KIND[variant]
+        block_min, work_max = GRID_POLICY[shape]
+        block = _grid_block_estimate(algorithm, eps, c)
+        return block >= block_min and block * c <= work_max
     if use_grid and not batchdual.HAVE_NUMPY:
         raise RuntimeError("use_grid=True but numpy is not installed")
     return bool(use_grid)
@@ -330,7 +391,7 @@ def sweep_machines(
         )
     grid = (
         False if schedules
-        else _resolve_use_grid(use_grid, kernel, variant, instance.c)
+        else _resolve_use_grid(use_grid, kernel, variant, instance.c, algorithm, eps)
     )
     if kernel == "fast":
         ctx = instance.fast_ctx()  # ensure the shared context exists pre-sweep
@@ -384,7 +445,7 @@ def solve_many(
             reps[key] = inst
             grid = (
                 False if schedules
-                else _resolve_use_grid(use_grid, kernel, variant, inst.c)
+                else _resolve_use_grid(use_grid, kernel, variant, inst.c, algorithm, eps)
             )
             if kernel == "fast":
                 ctx = inst.fast_ctx()
@@ -462,7 +523,9 @@ def _solve_item(
         )
     if item.schedules:
         return solve(shared, variant, item.algorithm, item.eps, kernel=kernel)
-    grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+    grid = _resolve_use_grid(
+        use_grid, kernel, variant, shared.c, item.algorithm, item.eps
+    )
     if grid and use_grid is None and not _grid_safe_cached(shared, variant):
         grid = False  # auto policy, see sweep_machines
     return _bounds_point(shared, variant, item.algorithm, item.eps, kernel, grid)
@@ -571,14 +634,6 @@ def solve_batch(
 # cross-instance lockstep coordinator (xbatch=True)
 # --------------------------------------------------------------------------- #
 
-#: Probe kind of each variant's dual test in the fused kernels.
-_PROBE_KIND = {
-    Variant.SPLITTABLE: "split",
-    Variant.PREEMPTIVE: "pmtn",
-    Variant.NONPREEMPTIVE: "nonp",
-}
-
-
 @dataclass
 class _LockstepRun:
     """One item's in-flight probe plan inside the coordinator."""
@@ -616,7 +671,9 @@ def _lockstep_prepare(
     if item.schedules:
         grid = False  # full-schedule solves always use the scalar searches
     else:
-        grid = _resolve_use_grid(use_grid, kernel, variant, shared.c)
+        grid = _resolve_use_grid(
+            use_grid, kernel, variant, shared.c, item.algorithm, item.eps
+        )
         if grid and use_grid is None and not _grid_safe_cached(shared, variant):
             grid = False  # auto policy, see sweep_machines
     kind = _PROBE_KIND[variant]
@@ -631,6 +688,7 @@ def _lockstep_prepare(
 
         def finish(res):
             T, lo, calls = res
+            T, lo = fast_fraction(*T), fast_fraction(*lo)
             ratio = Fraction(3, 2) * T / lo
             if item.schedules:
                 return SolveResult(
@@ -650,6 +708,7 @@ def _lockstep_prepare(
 
         def finish(res):
             T_star, calls = res
+            T_star = fast_fraction(*T_star)
             if item.schedules:
                 return SolveResult(
                     schedule=split_dual_schedule(shared, T_star, kernel=kernel),
@@ -669,6 +728,8 @@ def _lockstep_prepare(
 
         def finish(res):
             T_star, T_witness, calls = res
+            T_star = fast_fraction(*T_star)
+            T_witness = fast_fraction(*T_witness)
             ratio = (
                 Fraction(3, 2) * T_witness / T_star if T_star else Fraction(3, 2)
             )
@@ -692,6 +753,7 @@ def _lockstep_prepare(
 
     def finish(res):
         T, calls = res
+        T = fast_fraction(*T)
         if item.schedules:
             return SolveResult(
                 schedule=nonp_dual_schedule(shared, T, kernel=kernel, pretested=True),
@@ -829,9 +891,7 @@ def _solve_batch_lockstep(
             rows = []
             for idx, req in entries:
                 member = runs[idx].member
-                rows.extend(
-                    (member, T.numerator, T.denominator) for T in req.times
-                )
+                rows.extend((member, tn, td) for tn, td in req.times)
             verdicts = xctx.evaluate(kind, mode, rows)
             pos = 0
             for idx, req in entries:
@@ -842,8 +902,8 @@ def _solve_batch_lockstep(
                 elif kind == "pmtn_base":
                     m = runs[idx].m
                     runs[idx].response = [
-                        m * T.numerator >= load * T.denominator and m >= m_prime
-                        for T, (load, m_prime) in zip(req.times, vs)
+                        m * tn >= load * td and m >= m_prime
+                        for (tn, td), (load, m_prime) in zip(req.times, vs)
                     ]
                 else:
                     runs[idx].response = [v.accepted for v in vs]

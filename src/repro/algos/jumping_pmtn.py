@@ -32,13 +32,24 @@ Then ``T_star`` is the infimum and ``T_witness`` an accepted point within
 a relative ``2^{-40}`` of it; the schedule is built at the witness, so the
 proven ratio is ``(3/2)(1+2^{-40})`` in that measure-zero corner and
 exactly 3/2 otherwise.
+
+The plan runs on the scaled-integer tier: candidates, change points and
+the affine-root solve all live on normalized ``(num, den)`` int pairs.
+The affine slopes of the knapsack analysis are half-integers, so the
+solve carries *doubled* slope coefficients (``|C*_i|`` instead of
+``|C*_i|/2``) — the common factor 2 cancels in every root, and the
+normalized pairs are canonical, so each stable point equals the historic
+Fraction computation bit-for-bit.  Fractions appear only at the
+fraction-kernel evaluator branch, the one ``pmtn_dual_test`` structure
+read per piece (it needs the full partition), and the returned results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Optional
+from functools import cmp_to_key
+from typing import Optional
 
 from ..core import batchdual
 from ..core.bounds import Variant, t_min
@@ -46,15 +57,22 @@ from ..core.cancel import check_cancelled
 from ..core.fastnum import (
     DualContext,
     PmtnVerdict,
+    as_pair,
     fast_base_core,
     fast_pmtn_test,
+    norm_pair,
+    pair_add,
+    pair_ceil,
+    pair_cmp,
+    pair_key,
+    pair_mid,
     validate_kernel,
 )
 from ..core.instance import Instance
-from ..core.numeric import Time, frac_ceil, frac_floor
+from ..core.numeric import Time, fast_fraction, frac_ceil
 from ..core.schedule import Schedule
 from .pmtn_general import pmtn_dual_schedule, pmtn_dual_test
-from .search import ProbeRequest, drive_plan, plan_accept, right_interval_plan
+from .search import Pair, ProbeRequest, drive_plan, plan_accept, right_interval_plan
 
 #: relative witness offset for non-attained infima
 _WITNESS_EPS = Fraction(1, 2**40)
@@ -108,7 +126,7 @@ def _base_accept(instance: Instance, T: Time) -> bool:
     return instance.m * T >= load and instance.m >= m_prime
 
 
-def base_flip_plan(instance: Instance, tmin: Time, thi: Time, *, grid: bool = False):
+def base_flip_plan(instance: Instance, tmin: Pair, thi: Pair, *, grid: bool = False):
     """Class Jumping on the monotone core (Algorithm 4 steps 2-7) as a plan.
 
     Returns ``T̃ = min{T ≥ tmin : base-accept}``; everything below is
@@ -127,64 +145,68 @@ def base_flip_plan(instance: Instance, tmin: Time, thi: Time, *, grid: bool = Fa
 
     # membership candidates that move classes across I+exp / I0exp / I-exp /
     # cheap (these change m' discontinuously and bound gamma's domain)
-    pts: set[Time] = set()
+    pts: set[Pair] = set()
     for i in range(instance.c):
         s, P = instance.setups[i], instance.processing(i)
-        for b in (Fraction(2 * s), Fraction(s + P), Fraction(4 * (s + P), 3)):
-            if tmin < b < thi:
+        for b in ((2 * s, 1), (s + P, 1), norm_pair(4 * (s + P), 3)):
+            if pair_cmp(tmin, b) < 0 < pair_cmp(thi, b):
                 pts.add(b)
-    candidates = [tmin] + sorted(pts) + [thi]
+    candidates = [tmin] + sorted(pts, key=pair_key) + [thi]
     A1, T1 = yield from right_interval_plan(
         candidates, memo, uncounted, "pmtn_base", "", grid
     )
 
     # fastest jumping class f among I+exp on the open interior
-    mid = (A1 + T1) / 2
-    half = mid / 2
+    mid = pair_mid(A1, T1)
+    mn, md = mid
     exp_plus = [
         i
         for i in range(instance.c)
-        if instance.setups[i] > half
-        and instance.setups[i] + instance.processing(i) >= mid
+        # s > mid/2  and  s + P >= mid
+        if 2 * instance.setups[i] * md > mn
+        and (instance.setups[i] + instance.processing(i)) * md >= mn
     ]
     if not exp_plus:
         return (yield from _flip_constant_core(instance, A1, T1))
 
     f = max(exp_plus, key=lambda i: instance.setups[i] + instance.processing(i))
-    SPf = Fraction(2 * (instance.setups[f] + instance.processing(f)))
-    k_lo = max(1, frac_ceil(SPf / T1))
-    if SPf / k_lo >= T1:
+    SPf = 2 * (instance.setups[f] + instance.processing(f))
+    k_lo = max(1, pair_ceil(SPf * T1[1], T1[0]))
+    if SPf * T1[1] >= k_lo * T1[0]:  # SPf/k_lo >= T1
         k_lo += 1
-    k_hi = frac_floor(SPf / A1)
-    if k_hi >= k_lo and SPf / k_hi <= A1:
+    k_hi = (SPf * A1[1]) // A1[0]
+    if k_hi >= k_lo and SPf * A1[1] <= k_hi * A1[0]:  # SPf/k_hi <= A1
         k_hi -= 1
     lo_b, hi_b = A1, T1
     if k_hi >= k_lo:
-        jump_candidates = [A1] + [SPf / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        jump_candidates = (
+            [A1] + [norm_pair(SPf, k) for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        )
         lo_b, hi_b = yield from right_interval_plan(
             jump_candidates, memo, uncounted, "pmtn_base", "", grid
         )
 
-    inner: set[Time] = set()
+    inner: set[Pair] = set()
     for i in exp_plus:
-        SPi = Fraction(2 * (instance.setups[i] + instance.processing(i)))
-        k_min = max(1, frac_ceil(SPi / hi_b))
-        if SPi / k_min >= hi_b:
+        SPi = 2 * (instance.setups[i] + instance.processing(i))
+        k_min = max(1, pair_ceil(SPi * hi_b[1], hi_b[0]))
+        if SPi * hi_b[1] >= k_min * hi_b[0]:  # SPi/k_min >= hi_b
             k_min += 1
-        k_max = frac_floor(SPi / lo_b)
-        if k_max >= k_min and SPi / k_max <= lo_b:
+        k_max = (SPi * lo_b[1]) // lo_b[0]
+        if k_max >= k_min and SPi * lo_b[1] <= k_max * lo_b[0]:  # SPi/k_max <= lo_b
             k_max -= 1
         for k in range(k_min, k_max + 1):
-            inner.add(SPi / k)
+            inner.add(norm_pair(SPi, k))
     assert len(inner) <= len(exp_plus), "Lemma 5 violated"
     if inner:
         lo_b, hi_b = yield from right_interval_plan(
-            [lo_b] + sorted(inner) + [hi_b], memo, uncounted, "pmtn_base", "", grid
+            [lo_b] + sorted(inner, key=pair_key) + [hi_b],
+            memo, uncounted, "pmtn_base", "", grid,
         )
     return (yield from _flip_constant_core(instance, lo_b, hi_b))
 
 
-def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time):
+def _flip_constant_core(instance: Instance, T_fail: Pair, T_ok: Pair):
     """Step 9 analogue for the monotone core on a jump-free right interval.
 
     The ``(L_base, m′)`` pair at ``T_fail`` comes back through a
@@ -194,10 +216,10 @@ def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time):
     load, m_prime = (yield ProbeRequest("verdict", "pmtn_base", "", (T_fail,)))[0]
     if instance.m < m_prime:
         return T_ok
-    T_new = Fraction(load, instance.m)
-    if T_new >= T_ok:
+    T_new = norm_pair(load, instance.m)
+    if pair_cmp(T_new, T_ok) >= 0:
         return T_ok
-    assert T_fail < T_new
+    assert pair_cmp(T_fail, T_new) < 0
     return T_new
 
 
@@ -206,52 +228,86 @@ def _flip_constant_core(instance: Instance, T_fail: Time, T_ok: Time):
 # --------------------------------------------------------------------------- #
 
 
-def _change_points(instance: Instance, lo: Time, hi: Time) -> list[Time]:
+def _change_points(instance: Instance, lo: Pair, hi: Pair) -> list[Pair]:
     """All points in ``(lo, hi)`` where the Theorem-5 data may change."""
-    pts: set[Time] = set()
+    pts: set[Pair] = set()
     for i in range(instance.c):
         s, P = instance.setups[i], instance.processing(i)
-        for b in (Fraction(2 * s), Fraction(4 * s), Fraction(s + P), Fraction(4 * (s + P), 3)):
-            if lo < b < hi:
+        for b in (
+            (2 * s, 1), (4 * s, 1), (s + P, 1), norm_pair(4 * (s + P), 3),
+        ):
+            if pair_cmp(lo, b) < 0 < pair_cmp(hi, b):
                 pts.add(b)
         # gamma jumps 2(s+P)/j
-        SP = Fraction(2 * (s + P))
-        j0 = max(1, frac_ceil(SP / hi))
-        j1 = frac_floor(SP / lo)
+        SP = 2 * (s + P)
+        j0 = max(1, pair_ceil(SP * hi[1], hi[0]))
+        j1 = (SP * lo[1]) // lo[0]
         for j in range(j0, j1 + 1):
-            b = SP / j
-            if lo < b < hi:
+            b = norm_pair(SP, j)
+            if pair_cmp(lo, b) < 0 < pair_cmp(hi, b):
                 pts.add(b)
         # star-job boundaries 2(s_i + t_j)
         for t in instance.jobs[i]:
-            b = Fraction(2 * (s + t))
-            if lo < b < hi:
+            b = (2 * (s + t), 1)
+            if pair_cmp(lo, b) < 0 < pair_cmp(hi, b):
                 pts.add(b)
-    return sorted(pts)
+    return sorted(pts, key=pair_key)
 
 
-def _knapsack_stable_points(instance: Instance, lo: Time, hi: Time) -> list[Time]:
+def _density_cmp(a: tuple, b: tuple) -> int:
+    """The knapsack greedy order on ``(key, s, W)`` with signed weight ``W``.
+
+    ``W`` is the item's affine weight evaluated at the region midpoint and
+    scaled by a common positive factor (``2·denominator``), so comparing
+    ``−s/W`` by sign-normalized cross-multiplication reproduces the
+    historic Fraction key ``(w==0, −s/w, −s, repr(key))`` exactly.
+    """
+    ka, sa, wa = a
+    kb, sb, wb = b
+    azero = wa == 0
+    if azero != (wb == 0):
+        return -1 if azero else 1
+    if not azero:
+        na, da = (-sa, wa) if wa > 0 else (sa, -wa)
+        nb, db = (-sb, wb) if wb > 0 else (sb, -wb)
+        lhs, rhs = na * db, nb * da
+        if lhs != rhs:
+            return -1 if lhs < rhs else 1
+    if sa != sb:  # −s ascending ⟺ s descending
+        return -1 if sa > sb else 1
+    ra, rb = repr(ka), repr(kb)
+    return 0 if ra == rb else (-1 if ra < rb else 1)
+
+
+_density_key = cmp_to_key(_density_cmp)
+
+
+def _knapsack_stable_points(instance: Instance, lo: Pair, hi: Pair) -> list[Pair]:
     """Points in ``(lo, hi)`` where the knapsack's unselected set can change.
 
     Preconditions: no membership/γ change point inside ``(lo, hi)``; then
     item weights ``w_i(T)`` and the capacity ``Y(T)`` are affine, so both
     density-order changes and prefix/capacity crossings are roots of linear
-    equations.
+    equations.  All slopes are half-integers, so the solve runs on doubled
+    integer coefficients (``w_i = (ws2_i·T + wc2_i)/2`` etc.); the factor
+    2 cancels in every root.  The one Fraction boundary is the
+    ``pmtn_dual_test`` structure read at the piece midpoint — it needs the
+    full partition, not just a verdict.
     """
-    mid = (lo + hi) / 2
-    d = pmtn_dual_test(instance, mid, mode="gamma")
+    mid = pair_mid(lo, hi)
+    d = pmtn_dual_test(instance, fast_fraction(*mid), mode="gamma")
     if d.partition.is_nice:
         return []
     part = d.partition
     m, l = instance.m, d.l
 
-    # affine data: value(T) = slope*T + icept
-    def affine_weight(i: int) -> tuple[Fraction, Fraction]:
+    # doubled affine data: w_i(T) = (ws2·T + wc2)/2
+    def affine_weight2(i: int) -> tuple[int, int]:
         stars = part.big_jobs(i)
-        p_star = sum(instance.job_time(j) for j in stars)
+        p_star = sum(int(instance.job_time(j)) for j in stars)
         # w_i = P(C_i) − [p_star − |C*|(T/2 − s_i)] = const + |C*|/2 · T
-        c0 = Fraction(instance.processing(i) - p_star) - Fraction(len(stars) * instance.setups[i])
-        return Fraction(len(stars), 2), c0
+        wc2 = 2 * (instance.processing(i) - p_star - len(stars) * instance.setups[i])
+        return len(stars), wc2
 
     # F(T) = (m−l)T − Σ_{I+exp}(γ s + P) − Σ_{I-exp ∪ I+chp}(s+P): γ constant here
     base_c = sum(
@@ -260,78 +316,78 @@ def _knapsack_stable_points(instance: Instance, lo: Time, hi: Time) -> list[Time
         instance.setups[i] + instance.processing(i)
         for i in tuple(part.exp_minus) + tuple(part.chp_plus)
     )
+    demand_star = int(d.demand_star)
     if not part.chp_star:
         # only the case boundary F(T) = demand (= 0) matters: below it the
         # dual rejects outright (F < L* = 0), above it case 3b applies.
-        pts0: list[Time] = []
+        pts0: list[Pair] = []
         if m - l != 0:
-            root = (d.demand_star + base_c) / Fraction(m - l)
-            if lo < root < hi:
+            root = norm_pair(demand_star + base_c, m - l)
+            if pair_cmp(lo, root) < 0 < pair_cmp(hi, root):
                 pts0.append(root)
         return pts0
-    # L*(T) = Σ_{I*}(s_i + p*_i − |C*_i|(T/2 − s_i))
-    lstar_slope = Fraction(0)
-    lstar_c = Fraction(0)
+    # L*(T) = Σ_{I*}(s_i + p*_i − |C*_i|(T/2 − s_i)): slope −Σ|C*_i|/2
+    lstar_slope2 = 0
+    lstar_c = 0
     for i in part.chp_star:
         stars = part.big_jobs(i)
-        lstar_slope -= Fraction(len(stars), 2)
-        lstar_c += Fraction(
+        lstar_slope2 -= len(stars)
+        lstar_c += (
             instance.setups[i]
-            + sum(instance.job_time(j) for j in stars)
+            + sum(int(instance.job_time(j)) for j in stars)
             + len(stars) * instance.setups[i]
         )
-    y_slope = Fraction(m - l) - lstar_slope
-    y_c = Fraction(-base_c) - lstar_c
+    y_slope2 = 2 * (m - l) - lstar_slope2
+    y_c = -base_c - lstar_c
 
-    items = [(i, Fraction(instance.setups[i]), *affine_weight(i)) for i in part.chp_star]
-    pts: set[Time] = set()
+    items = [(i, instance.setups[i], *affine_weight2(i)) for i in part.chp_star]
+    pts: set[Pair] = set()
 
     # case boundary 3a/3b: F(T) = demand_star  (F slope m−l, intercept −base_c)
     if m - l != 0:
-        root = (d.demand_star + base_c) / Fraction(m - l)
-        if lo < root < hi:
+        root = norm_pair(demand_star + base_c, m - l)
+        if pair_cmp(lo, root) < 0 < pair_cmp(hi, root):
             pts.add(root)
-    # capacity sign change: Y(T) = 0
-    if y_slope != 0:
-        root = -y_c / y_slope
-        if lo < root < hi:
+    # capacity sign change: Y(T) = 0 with Y = (y_slope2·T + 2·y_c)/2
+    if y_slope2 != 0:
+        root = norm_pair(-2 * y_c, y_slope2)
+        if pair_cmp(lo, root) < 0 < pair_cmp(hi, root):
             pts.add(root)
 
     # density crossings: s_i (wj_s T + wj_c) = s_j (wi_s T + wi_c)
+    # (the common 1/2 of the doubled coefficients cancels)
     for a in range(len(items)):
         for b in range(a + 1, len(items)):
-            _, si, wis, wic = items[a]
-            _, sj, wjs, wjc = items[b]
-            num = sj * wic - si * wjc
-            den = si * wjs - sj * wis
+            _, si, wis2, wic2 = items[a]
+            _, sj, wjs2, wjc2 = items[b]
+            num = sj * wic2 - si * wjc2
+            den = si * wjs2 - sj * wis2
             if den != 0:
-                root = num / den
-                if lo < root < hi:
+                root = norm_pair(num, den)
+                if pair_cmp(lo, root) < 0 < pair_cmp(hi, root):
                     pts.add(root)
 
     # prefix/capacity crossings, per density-order region
-    regions = [lo] + sorted(pts) + [hi]
+    ws2_of = {key: ws2 for key, _, ws2, _ in items}
+    wc2_of = {key: wc2 for key, _, _, wc2 in items}
+    regions = [lo] + sorted(pts, key=pair_key) + [hi]
     for r_lo, r_hi in zip(regions, regions[1:]):
-        r_mid = (r_lo + r_hi) / 2
-
-        def density_key(item):
-            _, s, ws, wc = item
-            w = ws * r_mid + wc
-            if w == 0:
-                return (0, Fraction(0), -s, repr(item[0]))
-            return (1, -(s / w), -s, repr(item[0]))
-
-        order = sorted(items, key=density_key)
-        acc_s, acc_c = Fraction(0), Fraction(0)
-        for _, _, ws, wc in order:
-            acc_s += ws
-            acc_c += wc
-            den = acc_s - y_slope
-            if den != 0:
-                root = (y_c - acc_c) / den
-                if r_lo < root < r_hi:
+        rn, rd = pair_mid(r_lo, r_hi)
+        # signed item weight at the midpoint, scaled by 2·rd > 0
+        order = sorted(
+            ((key, s, ws2 * rn + wc2 * rd) for key, s, ws2, wc2 in items),
+            key=_density_key,
+        )
+        acc_s2, acc_c2 = 0, 0
+        for key, _, _ in order:
+            acc_s2 += ws2_of[key]
+            acc_c2 += wc2_of[key]
+            den2 = acc_s2 - y_slope2
+            if den2 != 0:
+                root = norm_pair(2 * y_c - acc_c2, den2)
+                if pair_cmp(r_lo, root) < 0 < pair_cmp(r_hi, root):
                     pts.add(root)
-    return sorted(pts)
+    return sorted(pts, key=pair_key)
 
 
 def find_flip_pmtn(
@@ -348,21 +404,23 @@ def find_flip_pmtn(
     scans every piece from ``T_min`` — the slow reference used by tests and
     the ablation benchmark.  ``kernel`` selects the scaled-integer or the
     Fraction dual test for the accept/structure probes (identical
-    decisions either way; the knapsack stable-point analysis always runs
-    on the exact reference since it needs the full partition).  ``ctx``
-    injects a shared probe context (machine sweeps); ``use_grid=True``
-    batches the base-flip bisections through the vectorized kernel.  All
-    probes are memoized on ``(numerator, denominator)`` — the scan
-    re-tests piece endpoints, so dedup saves real work here.
+    decisions either way; the knapsack stable-point analysis reads one
+    full ``pmtn_dual_test`` partition per piece on the exact reference).
+    ``ctx`` injects a shared probe context (machine sweeps);
+    ``use_grid=True`` batches the base-flip bisections through the
+    vectorized kernel.  All probes are memoized on the normalized
+    ``(numerator, denominator)`` pair — the scan re-tests piece
+    endpoints, so dedup saves real work here.
     """
     fast = validate_kernel(kernel)
     if ctx is None:
         ctx = instance.fast_ctx() if fast else None
     grid = use_grid and fast
-    return drive_plan(
+    T_star, T_witness, calls = drive_plan(
         flip_plan_pmtn(instance, use_base_jump=use_base_jump, grid=grid),
         pmtn_probe_evaluator(instance, fast=fast, ctx=ctx, grid=grid),
     )
+    return fast_fraction(*T_star), fast_fraction(*T_witness), calls
 
 
 def pmtn_probe_evaluator(
@@ -374,30 +432,32 @@ def pmtn_probe_evaluator(
     cancellation at the probe boundary like the former MemoAccept;
     "verdict" requests — the γ-test probes of the scan and the raw
     constant-piece core reads — mirror the sequential code, which never
-    polled on them.
+    polled on them.  The fraction branch is the pair→Fraction boundary;
+    its integral loads come back coerced to int so the plan stays on
+    pairs.
     """
-    grid_fn = batchdual.grid_accept_fn(ctx, "pmtn_base") if grid else None
+    grid_fn = batchdual.grid_accept_pairs_fn(ctx, "pmtn_base") if grid else None
 
-    def base_core(T: Time) -> tuple:
+    def base_core(tn: int, td: int) -> tuple[int, int]:
         if fast:
-            return fast_base_core(ctx, T.numerator, T.denominator)
-        return _base_core(instance, T)
+            return fast_base_core(ctx, tn, td)
+        load, m_prime = _base_core(instance, fast_fraction(tn, td))
+        return int(load), m_prime
 
     def evaluate(req: ProbeRequest):
         if req.op == "verdict":
             if req.kind == "pmtn_base":
-                return [base_core(T) for T in req.times]
+                return [base_core(tn, td) for tn, td in req.times]
             if fast:
                 return [
-                    fast_pmtn_test(ctx, T.numerator, T.denominator, req.mode)
-                    for T in req.times
+                    fast_pmtn_test(ctx, tn, td, req.mode) for tn, td in req.times
                 ]
             out = []
-            for T in req.times:
-                d = pmtn_dual_test(instance, T, mode=req.mode)
+            for tn, td in req.times:
+                d = pmtn_dual_test(instance, fast_fraction(tn, td), mode=req.mode)
                 out.append(
                     PmtnVerdict(
-                        d.accepted, d.load, d.machines_needed, d.case,
+                        d.accepted, int(d.load), d.machines_needed, d.case,
                         any("F < L*" in r for r in d.reject_reasons),
                     )
                 )
@@ -407,9 +467,9 @@ def pmtn_probe_evaluator(
             return [bool(v) for v in grid_fn(list(req.times))]
         m = instance.m
         flags = []
-        for T in req.times:
-            load, m_prime = base_core(T)
-            flags.append(m * T.numerator >= load * T.denominator and m >= m_prime)
+        for tn, td in req.times:
+            load, m_prime = base_core(tn, td)
+            flags.append(m * tn >= load * td and m >= m_prime)
         return flags
 
     return evaluate
@@ -421,25 +481,25 @@ def flip_plan_pmtn(instance: Instance, *, use_base_jump: bool = True, grid: bool
     γ-test probes are memoized as full verdicts (``accept`` is the
     verdict's flag, so re-testing an endpoint is free) and counted; the
     base flip's probes ride through :func:`base_flip_plan` uncounted.
-    The knapsack stable-point analysis stays inline plan computation on
-    the exact Fraction reference — it needs the full partition, not a
-    probe.
+    The knapsack stable-point analysis stays inline plan computation —
+    pair arithmetic plus one reference partition read per piece.
     """
     memo: dict[tuple[int, int], PmtnVerdict] = {}
     counted = [0]
 
-    def probe(T: Time):
+    def probe(T: Pair):
         """(accepted, load, m', case, y_neg) of the γ test at ``T`` (memoized)."""
-        key = (T.numerator, T.denominator)
+        key = norm_pair(*T)
         v = memo.get(key)
         if v is None:
             counted[0] += 1
-            v = (yield ProbeRequest("verdict", "pmtn", "gamma", (T,)))[0]
+            v = (yield ProbeRequest("verdict", "pmtn", "gamma", (key,)))[0]
             memo[key] = v
         return v
 
-    tmin = t_min(instance, Variant.PREEMPTIVE)
-    thi = 2 * tmin
+    tn, td = as_pair(t_min(instance, Variant.PREEMPTIVE))
+    tmin = (tn, td)
+    thi = norm_pair(2 * tn, td)
     if (yield from probe(tmin)).accepted:
         return tmin, tmin, counted[0]
 
@@ -460,7 +520,7 @@ def flip_plan_pmtn(instance: Instance, *, use_base_jump: bool = True, grid: bool
         for a, b in zip(stable, stable[1:]):
             if a != p and (yield from probe(a)).accepted:
                 return a, a, counted[0]
-            mid = (a + b) / 2
+            mid = pair_mid(a, b)
             d = yield from probe(mid)
             if instance.m < d.machines_needed:
                 continue
@@ -468,14 +528,17 @@ def flip_plan_pmtn(instance: Instance, *, use_base_jump: bool = True, grid: bool
                 continue
             if d.y_negative:
                 continue  # Y < 0 on the whole subinterval: rejected
-            flip = Fraction(d.load, instance.m)
-            if flip <= a:
+            flip = norm_pair(d.load, instance.m)
+            if pair_cmp(flip, a) <= 0:
                 # the whole open interval (a, b) is accepted: infimum a not
                 # attained (a itself was rejected above)
-                witness = a + min((b - a) / 2, a * _WITNESS_EPS)
+                half_gap = norm_pair(b[0] * a[1] - a[0] * b[1], 2 * a[1] * b[1])
+                eps_off = norm_pair(a[0], a[1] * 2**40)
+                off = half_gap if pair_cmp(half_gap, eps_off) <= 0 else eps_off
+                witness = pair_add(a, off)
                 assert (yield from probe(witness)).accepted
                 return a, witness, counted[0]
-            if flip < b:
+            if pair_cmp(flip, b) < 0:
                 assert (yield from probe(flip)).accepted
                 return flip, flip, counted[0]
     assert (yield from probe(thi)).accepted

@@ -26,6 +26,12 @@ probe plan (see :mod:`repro.algos.search`): :func:`find_flip_splittable`
 drives it against the per-instance kernel, and the xbatch coordinator
 drives the *same* generator in lockstep with other items' searches —
 identical probes by construction.
+
+The plan runs on the scaled-integer tier: candidates are normalized
+``(num, den)`` pairs (canonical per rational, so every probe value, memo
+key and jump set matches the historic Fraction plan bit-for-bit), and the
+only Fractions are the ones the *fraction-kernel* evaluator branch hands
+to the reference dual test, plus the returned ``T*``.
 """
 
 from __future__ import annotations
@@ -37,11 +43,22 @@ from typing import Optional
 from ..core import batchdual
 from ..core.bounds import Variant, t_min
 from ..core.cancel import check_cancelled
-from ..core.fastnum import DualContext, SplitVerdict, fast_split_test, validate_kernel
+from ..core.fastnum import (
+    DualContext,
+    SplitVerdict,
+    as_pair,
+    fast_split_test,
+    norm_pair,
+    pair_ceil,
+    pair_cmp,
+    pair_key,
+    validate_kernel,
+)
 from ..core.instance import Instance
-from ..core.numeric import Time, frac_ceil, frac_floor
+from ..core.numeric import Time, fast_fraction
 from ..core.schedule import Schedule
 from .search import (
+    Pair,
     ProbeRequest,
     drive_plan,
     plan_accept,
@@ -99,10 +116,11 @@ def find_flip_splittable(
     if ctx is None:
         ctx = instance.fast_ctx() if fast else None
     grid = use_grid and fast
-    return drive_plan(
+    T, calls = drive_plan(
         flip_plan_splittable(instance, grid=grid),
         split_probe_evaluator(instance, fast=fast, ctx=ctx, grid=grid),
     )
+    return fast_fraction(*T), calls
 
 
 def split_probe_evaluator(
@@ -113,48 +131,61 @@ def split_probe_evaluator(
     "accept"/"accept_block" requests poll cancellation at the probe
     boundary (the MemoAccept contract); "verdict" requests mirror the raw
     ``core()`` calls of the step-9 case analysis, which never polled.
+    The fraction branch is the pair→Fraction boundary: each probed pair
+    is rebuilt for the reference test (integral loads come back coerced
+    to int so the plan's case analysis stays on pairs).
     """
-    grid_fn = batchdual.grid_accept_fn(ctx, "split") if grid else None
+    grid_fn = batchdual.grid_accept_pairs_fn(ctx, "split") if grid else None
 
     def evaluate(req: ProbeRequest):
         if req.op == "verdict":
             if fast:
-                return [
-                    fast_split_test(ctx, T.numerator, T.denominator)
-                    for T in req.times
-                ]
-            duals = (split_dual_test(instance, T) for T in req.times)
-            return [SplitVerdict(d.accepted, d.load, d.machines_exp) for d in duals]
+                return [fast_split_test(ctx, tn, td) for tn, td in req.times]
+            duals = (
+                split_dual_test(instance, fast_fraction(tn, td))
+                for tn, td in req.times
+            )
+            return [
+                SplitVerdict(d.accepted, int(d.load), d.machines_exp) for d in duals
+            ]
         check_cancelled()  # probe boundary: no partial state to unwind
         if req.op == "accept_block" and grid_fn is not None:
             return [bool(v) for v in grid_fn(list(req.times))]
         if fast:
-            return [
-                fast_split_test(ctx, T.numerator, T.denominator).accepted
-                for T in req.times
-            ]
-        return [split_dual_test(instance, T).accepted for T in req.times]
+            return [fast_split_test(ctx, tn, td).accepted for tn, td in req.times]
+        return [
+            split_dual_test(instance, fast_fraction(tn, td)).accepted
+            for tn, td in req.times
+        ]
 
     return evaluate
 
 
 def flip_plan_splittable(instance: Instance, *, grid: bool = False):
-    """Algorithm 1's probe sequence; returns ``(T_star, accept_calls)``."""
+    """Algorithm 1's probe sequence; returns ``(T_star, accept_calls)``.
+
+    ``T_star`` comes back as a normalized pair; drivers rebuild the
+    Fraction at the result boundary.
+    """
     memo: dict[tuple[int, int], bool] = {}
     counted = [0]
 
-    tmin = t_min(instance, Variant.SPLITTABLE)
-    thi = 2 * tmin
+    tn, td = as_pair(t_min(instance, Variant.SPLITTABLE))
+    tmin = (tn, td)
+    thi = norm_pair(2 * tn, td)
     if (yield from plan_accept(memo, counted, "split", "", tmin)):
         return tmin, counted[0]
 
     # ---- step 4: right interval between doubled setups ---------------- #
-    setup_bounds = sorted({Fraction(2 * s) for s in instance.setups if tmin < 2 * s < thi})
-    candidates = [tmin] + setup_bounds + [thi]
+    # tmin < 2s < 2·tmin  ⟺  tn < 2·s·td < 2·tn  (setups are ints)
+    setup_bounds = sorted(
+        {2 * s for s in instance.setups if tn < 2 * s * td and s * td < tn}
+    )
+    candidates = [tmin] + [(b, 1) for b in setup_bounds] + [thi]
     A1, T1 = yield from right_interval_plan(candidates, memo, counted, "split", "", grid)
     # Partition (I_exp, I_chp) is constant on [A1, T1); evaluate it at A1.
     exp = tuple(
-        i for i, s in enumerate(instance.setups) if 2 * s * A1.denominator > A1.numerator
+        i for i, s in enumerate(instance.setups) if 2 * s * A1[1] > A1[0]
     )
 
     if not exp:
@@ -165,42 +196,44 @@ def flip_plan_splittable(instance: Instance, *, grid: bool = False):
 
     # ---- step 5: fastest jumping class f ------------------------------ #
     f = max(exp, key=lambda i: instance.processing(i))
-    Pf2 = Fraction(2 * instance.processing(f))
+    Pf2 = 2 * instance.processing(f)
 
     # ---- step 6: bisect over f's jumps 2P_f/k inside (A1, T1) --------- #
     # k-range of jumps strictly inside the interval: A1 < Pf2/k < T1.
-    k_lo = max(1, frac_ceil(Pf2 / T1))
-    if Pf2 / k_lo >= T1:
+    k_lo = max(1, pair_ceil(Pf2 * T1[1], T1[0]))
+    if Pf2 * T1[1] >= k_lo * T1[0]:  # Pf2/k_lo >= T1
         k_lo += 1
-    k_hi = frac_floor(Pf2 / A1)
-    if k_hi >= k_lo and Pf2 / k_hi <= A1:
+    k_hi = (Pf2 * A1[1]) // A1[0]
+    if k_hi >= k_lo and Pf2 * A1[1] <= k_hi * A1[0]:  # Pf2/k_hi <= A1
         k_hi -= 1
     lo_b, hi_b = A1, T1
     if k_hi >= k_lo:
         # candidate jumps are decreasing in k; build ascending candidate list
-        jump_candidates = [A1] + [Pf2 / k for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        jump_candidates = (
+            [A1] + [norm_pair(Pf2, k) for k in range(k_hi, k_lo - 1, -1)] + [T1]
+        )
         lo_b, hi_b = yield from right_interval_plan(
             jump_candidates, memo, counted, "split", "", grid
         )
 
     # ---- steps 7-8: collect the ≤ c jumps inside (lo_b, hi_b) --------- #
-    inner: set[Time] = set()
+    inner: set[Pair] = set()
     for i in exp:
-        Pi2 = Fraction(2 * instance.processing(i))
+        Pi2 = 2 * instance.processing(i)
         if Pi2 <= 0:
             continue
-        k_min = frac_ceil(Pi2 / hi_b)
-        if k_min > 0 and Pi2 / k_min >= hi_b:
+        k_min = pair_ceil(Pi2 * hi_b[1], hi_b[0])
+        if k_min > 0 and Pi2 * hi_b[1] >= k_min * hi_b[0]:  # Pi2/k_min >= hi_b
             k_min += 1
-        k_max = frac_floor(Pi2 / lo_b) if lo_b > 0 else 0
-        if k_max > 0 and Pi2 / k_max <= lo_b:
+        k_max = (Pi2 * lo_b[1]) // lo_b[0] if lo_b[0] > 0 else 0
+        if k_max > 0 and Pi2 * lo_b[1] <= k_max * lo_b[0]:  # Pi2/k_max <= lo_b
             k_max -= 1
         for k in range(max(k_min, 1), k_max + 1):
-            inner.add(Pi2 / k)
+            inner.add(norm_pair(Pi2, k))
     # Lemma 3: at most one jump per class between consecutive f-jumps.
     assert len(inner) <= len(exp), "Lemma 3 violated: too many jumps in X"
     if inner:
-        jump_list = [lo_b] + sorted(inner) + [hi_b]
+        jump_list = [lo_b] + sorted(inner, key=pair_key) + [hi_b]
         T_fail, T_ok = yield from right_interval_plan(
             jump_list, memo, counted, "split", "", grid
         )
@@ -212,7 +245,7 @@ def flip_plan_splittable(instance: Instance, *, grid: bool = False):
     return T, counted[0]
 
 
-def _flip_on_constant_piece(instance: Instance, memo, counted, T_fail: Time, T_ok: Time):
+def _flip_on_constant_piece(instance: Instance, memo, counted, T_fail: Pair, T_ok: Pair):
     """Step 9's case analysis on a jump-free right interval.
 
     ``L_split`` and ``m_exp`` are constant on ``[T_fail, T_ok)``; ``T_fail``
@@ -226,12 +259,12 @@ def _flip_on_constant_piece(instance: Instance, memo, counted, T_fail: Time, T_o
     if m < dual.machines_exp:
         # the whole piece needs too many machines: everything < T_ok rejected
         return T_ok
-    T_new = Fraction(dual.load, m)
-    if T_new >= T_ok:
+    T_new = norm_pair(dual.load, m)
+    if pair_cmp(T_new, T_ok) >= 0:
         # every T < T_ok has mT < L_split: rejected
         return T_ok
     # T_fail rejected by load ⟹ T_new = L/m > T_fail; accepted at T_new.
-    assert T_fail < T_new < T_ok
+    assert pair_cmp(T_fail, T_new) < 0 < pair_cmp(T_ok, T_new)
     ok = yield from plan_accept(memo, counted, "split", "", T_new)
     assert ok
     return T_new

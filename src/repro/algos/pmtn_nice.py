@@ -52,8 +52,6 @@ from ..core.numeric import (
     TimeLike,
     as_time,
     fast_fraction,
-    frac_ceil,
-    frac_floor,
     time_str,
 )
 from ..core.schedule import Schedule
@@ -79,6 +77,21 @@ def view_processing(view: NiceView, cls: int) -> Time:
     return sum((t for _, t in view[cls]), Fraction(0))
 
 
+def _view_processing_fast(instance: Instance, view: NiceView, cls: int) -> Time:
+    """:func:`view_processing`, shortcutting cached full-class views.
+
+    A view entry that *is* the instance's cached full-class tuple has the
+    integer class total already on hand (``class_processing``); only
+    derived piece views (freshly built lists, never the cache) pay the
+    Fraction summation.  Exact either way — ints and Fractions compare
+    and add exactly.
+    """
+    items = view[cls]
+    if items is instance.class_jobs_frac_cached(cls):
+        return instance.class_processing[cls]
+    return sum((t for _, t in items), Fraction(0))
+
+
 @dataclass(frozen=True)
 class NicePartition:
     """The Section-4.1 partition of a *view* for makespan ``T``."""
@@ -96,19 +109,21 @@ class NicePartition:
 
 def partition_view(instance: Instance, T: TimeLike, view: NiceView) -> NicePartition:
     T = as_time(T)
+    tn, td = T.numerator, T.denominator
     exp_plus: list[int] = []
     exp_zero: list[int] = []
     exp_minus: list[int] = []
     cheap: list[int] = []
     for i in sorted(view):
         s = instance.setups[i]
-        if s <= T / 2:
+        if 2 * s * td <= tn:  # s <= T/2, cross-multiplied (setups are ints)
             cheap.append(i)
             continue
-        total = s + view_processing(view, i)
-        if total >= T:
+        total = s + _view_processing_fast(instance, view, i)
+        qn, qd = total.numerator, total.denominator
+        if qn * td >= tn * qd:  # total >= T
             exp_plus.append(i)
-        elif total > 3 * T / 4:
+        elif 4 * qn * td > 3 * tn * qd:  # total > 3T/4
             exp_zero.append(i)
         else:
             exp_minus.append(i)
@@ -124,15 +139,18 @@ def partition_view(instance: Instance, T: TimeLike, view: NiceView) -> NiceParti
 def count_for(instance: Instance, T: Time, cls: int, P: Time, mode: CountMode) -> int:
     """``κ_i``: α′ (Theorem 4) or γ (Section 4.4) for an ``I⁺exp`` class."""
     s = instance.setups[cls]
+    tn, td = T.numerator, T.denominator
+    pn, pd = P.numerator, P.denominator  # P may be an exact int total
     if mode == "alpha":
-        if T <= s:
+        if tn <= s * td:
             raise ValueError(f"alpha' undefined: T={T} <= s_{cls}={s}")
-        return max(1, frac_floor(P / (T - s)))
-    # gamma (on the view's processing)
-    bp = frac_floor(2 * P / T)
-    if P - bp * T / 2 <= T - s:
+        return max(1, (pn * td) // (pd * (tn - s * td)))
+    # gamma (on the view's processing): bp = floor(2P/T), and the budget
+    # condition P − bp·T/2 ≤ T − s cross-multiplied by 2·pd·td > 0.
+    bp = (2 * pn * td) // (pd * tn)
+    if 2 * pn * td - bp * tn * pd <= 2 * pd * (tn - s * td):
         return max(bp, 1)
-    return frac_ceil(2 * P / T)
+    return -((-2 * pn * td) // (pd * tn))  # ceil(2P/T)
 
 
 @dataclass(frozen=True)
@@ -182,10 +200,12 @@ def nice_dual_test(
             machines_needed=m + 1, accepted=False, mode=mode,
         )
     counts = {
-        i: count_for(instance, T, i, view_processing(view, i), mode)
+        i: count_for(instance, T, i, _view_processing_fast(instance, view, i), mode)
         for i in part.exp_plus
     }
-    load = sum((view_processing(view, i) for i in view), Fraction(0))
+    load = sum(
+        (_view_processing_fast(instance, view, i) for i in view), Fraction(0)
+    )
     load += sum(counts[i] * instance.setups[i] for i in part.exp_plus)
     load += sum(instance.setups[i] for i in part.exp_minus)
     load += sum(instance.setups[i] for i in part.cheap)

@@ -36,10 +36,20 @@ Two batching hooks sit on top of that contract:
   returned bits.  For the monotone accept predicates all searches here
   are built on, the result is identical to the sequential bisection.
 * :class:`MemoAccept` deduplicates repeated probes of the same ``T``
-  (keyed on ``(numerator, denominator)``): the multi-phase flip searches
-  re-test interval endpoints across phases, and a machine sweep re-uses
-  each phase's frontier — with the memo each distinct ``T`` hits the
-  kernel once.
+  (keyed on the gcd-normalized ``(numerator, denominator)`` pair, so
+  equal rationals written in different forms can never double-probe):
+  the multi-phase flip searches re-test interval endpoints across
+  phases, and a machine sweep re-uses each phase's frontier — with the
+  memo each distinct ``T`` hits the kernel once.
+
+Since PR 9 the probe *plans* themselves run on the scaled-integer tier:
+candidates travel as normalized ``(num, den)`` int pairs
+(:func:`repro.core.fastnum.norm_pair` — canonical per rational, so pair
+arithmetic reproduces the historic Fraction plans' probe values, memo
+keys and dedup bit-for-bit), and :class:`fractions.Fraction` objects are
+built only at the boundaries: the caller-supplied ``accept`` /
+``grid_accept`` callables (:func:`_black_box_evaluator`) and the
+returned :class:`SearchResult` fields.
 
 Every probe loop additionally polls :func:`repro.core.cancel.
 check_cancelled` between dual tests: a solve running under a
@@ -57,13 +67,26 @@ from typing import Callable, NamedTuple, Optional, Sequence
 
 from ..core.bounds import Variant, t_min
 from ..core.cancel import check_cancelled
+from ..core.fastnum import (
+    as_pair,
+    norm_pair,
+    pair_ceil,
+    pair_cmp,
+    pair_mid,
+    pair_mul,
+    pair_sub,
+    round_half_even,
+)
 from ..core.instance import Instance
-from ..core.numeric import Time, TimeLike, as_time, frac_ceil
+from ..core.numeric import Time, TimeLike, as_time, fast_fraction, frac_ceil
 from ..core.schedule import Schedule
 
 AcceptFn = Callable[[Time], bool]
 BuildFn = Callable[[Time], Schedule]
 GridAcceptFn = Callable[[Sequence[Time]], Sequence[bool]]
+
+#: A normalized ``(num, den)`` rational — the plan tier's number type.
+Pair = tuple[int, int]
 
 #: Candidate-block size for chunked grid bisection: one block call replaces
 #: ``log2`` scalar round-trips, and ranges up to ``B^2`` resolve in two calls.
@@ -106,14 +129,17 @@ class ProbeRequest(NamedTuple):
     ``(load, m')`` — for the constant-piece case analyses).  ``kind``
     names the dual test (``split`` / ``nonp`` / ``pmtn`` / ``pmtn_base``)
     and ``mode`` the preemptive counting mode; sequential drivers that
-    already close over their kernel ignore both.  The response sent back
-    into the plan must be a sequence aligned with ``times``.
+    already close over their kernel ignore both.  ``times`` holds the
+    probed candidates as normalized ``(num, den)`` pairs — the scaled-int
+    evaluators feed them to the kernels directly, the black-box boundary
+    rebuilds Fractions.  The response sent back into the plan must be a
+    sequence aligned with ``times``.
     """
 
     op: str
     kind: str
     mode: str
-    times: tuple[Time, ...]
+    times: tuple[Pair, ...]
 
 
 def drive_plan(plan, evaluate):
@@ -126,34 +152,37 @@ def drive_plan(plan, evaluate):
         return stop.value
 
 
-def plan_accept(memo, counted, kind, mode, T: Time):
-    """Memoized scalar accept probe (the MemoAccept protocol as a plan)."""
-    key = (T.numerator, T.denominator)
+def plan_accept(memo, counted, kind, mode, T: Pair):
+    """Memoized scalar accept probe (the MemoAccept protocol as a plan).
+
+    Keys are gcd-normalized, so a caller handing in an unreduced pair
+    still shares its memo entry with the canonical form.
+    """
+    key = norm_pair(*T)
     hit = memo.get(key, _MISSING)
     if hit is not _MISSING:
         return hit
-    flags = yield ProbeRequest("accept", kind, mode, (T,))
+    flags = yield ProbeRequest("accept", kind, mode, (key,))
     verdict = bool(flags[0])
     memo[key] = verdict
     counted[0] += 1
     return verdict
 
 
-def plan_accept_block(memo, counted, kind, mode, cands: Sequence[Time]):
+def plan_accept_block(memo, counted, kind, mode, cands: Sequence[Pair]):
     """Grid-block accept sharing the plan's memo (the wrap_grid protocol)."""
-    unknown = [
-        T for T in cands if memo.get((T.numerator, T.denominator), _MISSING) is _MISSING
-    ]
+    keys = [norm_pair(*T) for T in cands]
+    unknown = [T for T in keys if memo.get(T, _MISSING) is _MISSING]
     if unknown:
         flags = yield ProbeRequest("accept_block", kind, mode, tuple(unknown))
         counted[0] += len(unknown)
         for T, verdict in zip(unknown, flags):
-            memo[(T.numerator, T.denominator)] = bool(verdict)
-    return [memo[(T.numerator, T.denominator)] for T in cands]
+            memo[T] = bool(verdict)
+    return [memo[T] for T in keys]
 
 
 def right_interval_plan(
-    candidates: Sequence[Time], memo, counted, kind: str, mode: str, grid: bool
+    candidates: Sequence[Pair], memo, counted, kind: str, mode: str, grid: bool
 ):
     """:func:`right_interval_bisect`'s narrowing as a plan (default flags)."""
     if len(candidates) < 2:
@@ -164,9 +193,13 @@ def right_interval_plan(
             if hi - lo - 1 <= GRID_BLOCK:
                 idxs = list(range(lo + 1, hi))
             else:
-                stride = Fraction(hi - lo, GRID_BLOCK + 1)
+                span = hi - lo
                 idxs = sorted(
-                    {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
+                    {
+                        lo + round_half_even((k + 1) * span, GRID_BLOCK + 1)
+                        for k in range(GRID_BLOCK)
+                    }
+                    - {lo, hi}
                 )
             flags = yield from plan_accept_block(
                 memo, counted, kind, mode, [candidates[k] for k in idxs]
@@ -188,15 +221,24 @@ def right_interval_plan(
     return candidates[lo], candidates[hi]
 
 
-def eps_probe_plan(tmin: Time, eps: Fraction, kind: str, mode: str, grid: bool):
-    """Theorem 2's probe sequence; returns ``(T, certificate_lo, calls)``."""
+def eps_probe_plan(tmin: TimeLike, eps: Fraction, kind: str, mode: str, grid: bool):
+    """Theorem 2's probe sequence; returns ``(T, certificate_lo, calls)``.
+
+    ``T`` and ``certificate_lo`` come back as normalized pairs; the
+    drivers rebuild Fractions at the result boundary.
+    """
+    tmin = norm_pair(*as_pair(tmin))
+    tn, td = tmin
     if grid:
         # rounds r with tmin/2^r <= eps*tmin  ⟺  2^r >= 1/eps
         r = 0
         while (1 << r) * eps.numerator < eps.denominator:
             r += 1
-        step = tmin / (1 << r)
-        grid_pts = tuple(tmin + j * step for j in range((1 << r) + 1))
+        # tmin + j·tmin/2^r = tmin·(2^r + j)/2^r
+        den = td << r
+        grid_pts = tuple(
+            norm_pair(tn * ((1 << r) + j), den) for j in range((1 << r) + 1)
+        )
         flags = yield ProbeRequest("accept_block", kind, mode, grid_pts)
         calls = len(grid_pts)
         if flags[0]:
@@ -208,10 +250,10 @@ def eps_probe_plan(tmin: Time, eps: Fraction, kind: str, mode: str, grid: bool):
     if (yield ProbeRequest("accept", kind, mode, (tmin,)))[0]:
         # T_min ≤ OPT: ratio exactly 3/2.
         return tmin, tmin, calls
-    lo, hi = tmin, 2 * tmin  # lo rejected (lo < OPT), hi accepted (2Tmin ≥ OPT)
-    # Shrink the gap below eps*tmin ≤ eps*OPT.
-    while hi - lo > eps * tmin:
-        mid = (lo + hi) / 2
+    lo, hi = tmin, norm_pair(2 * tn, td)  # lo rejected, hi accepted (2Tmin ≥ OPT)
+    gap = pair_mul(as_pair(eps), tmin)  # shrink the bracket below eps·tmin ≤ eps·OPT
+    while pair_cmp(pair_sub(hi, lo), gap) > 0:
+        mid = pair_mid(lo, hi)
         calls += 1
         if (yield ProbeRequest("accept", kind, mode, (mid,)))[0]:
             hi = mid
@@ -221,27 +263,32 @@ def eps_probe_plan(tmin: Time, eps: Fraction, kind: str, mode: str, grid: bool):
     return hi, lo, calls
 
 
-def integer_probe_plan(tmin: Time, kind: str, grid: bool):
-    """Theorem 8's probe sequence; returns ``(T, calls)`` with ``T`` exact."""
-    lo_int = frac_ceil(tmin)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
-    hi_int = frac_ceil(2 * tmin)
+def integer_probe_plan(tmin: TimeLike, kind: str, grid: bool):
+    """Theorem 8's probe sequence; returns ``(T, calls)``, ``T`` an exact pair."""
+    tn, td = as_pair(tmin)
+    lo_int = pair_ceil(tn, td)  # OPT ∈ N and OPT ≥ T_min ⟹ OPT ≥ ⌈T_min⌉
+    hi_int = pair_ceil(2 * tn, td)
     calls = 1
     if grid:
-        flags = yield ProbeRequest("accept_block", kind, "", (Fraction(lo_int),))
+        flags = yield ProbeRequest("accept_block", kind, "", ((lo_int, 1),))
         if flags[0]:
-            return Fraction(lo_int), calls
+            return (lo_int, 1), calls
         lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
         while hi - lo > 1:
             if hi - lo - 1 <= GRID_BLOCK:
                 cands = list(range(lo + 1, hi))
             else:
-                stride = Fraction(hi - lo, GRID_BLOCK + 1)
+                span = hi - lo
                 cands = sorted(
-                    {lo + round((k + 1) * stride) for k in range(GRID_BLOCK)} - {lo, hi}
+                    {
+                        lo + round_half_even((k + 1) * span, GRID_BLOCK + 1)
+                        for k in range(GRID_BLOCK)
+                    }
+                    - {lo, hi}
                 )
             calls += len(cands)
             flags = yield ProbeRequest(
-                "accept_block", kind, "", tuple(Fraction(c) for c in cands)
+                "accept_block", kind, "", tuple((c, 1) for c in cands)
             )
             first_ok = next((k for k, ok in enumerate(flags) if ok), None)
             if first_ok is None:
@@ -250,30 +297,33 @@ def integer_probe_plan(tmin: Time, kind: str, grid: bool):
                 hi = cands[first_ok]
                 if first_ok > 0:
                     lo = cands[first_ok - 1]
-        return Fraction(hi), calls
+        return (hi, 1), calls
 
-    if (yield ProbeRequest("accept", kind, "", (Fraction(lo_int),)))[0]:
-        return Fraction(lo_int), calls
+    if (yield ProbeRequest("accept", kind, "", ((lo_int, 1),)))[0]:
+        return (lo_int, 1), calls
     lo, hi = lo_int, hi_int  # lo rejected, hi accepted (hi ≥ 2·t_min ≥ OPT)
     while hi - lo > 1:
         mid = (lo + hi) // 2
         calls += 1
-        if (yield ProbeRequest("accept", kind, "", (Fraction(mid),)))[0]:
+        if (yield ProbeRequest("accept", kind, "", ((mid, 1),)))[0]:
             hi = mid
         else:
             lo = mid
     # hi accepted, hi−1 rejected ⟹ OPT > hi−1 ⟹ OPT ≥ hi (integrality).
-    return Fraction(hi), calls
+    return (hi, 1), calls
 
 
 class MemoAccept:
-    """Memoized ``accept(T)`` keyed on ``(T.numerator, T.denominator)``.
+    """Memoized ``accept(T)`` keyed on the normalized ``(num, den)`` pair.
 
-    ``calls`` counts *distinct* dual-test evaluations (cache hits are
-    free), which is what the ``accept_calls`` bookkeeping of the search
-    results reports.  ``seed``/``lookup`` let a grid evaluator share the
-    same cache, so scalar re-probes of grid-evaluated candidates cost
-    nothing.
+    Keys are gcd-reduced (:func:`repro.core.fastnum.norm_pair`), so two
+    representations of the same rational — e.g. a hand-built ``4/8``
+    against the canonical ``1/2`` — share one cache entry and can never
+    double-probe the kernel.  ``calls`` counts *distinct* dual-test
+    evaluations (cache hits are free), which is what the
+    ``accept_calls`` bookkeeping of the search results reports.
+    ``seed``/``wrap_grid`` let a grid evaluator share the same cache, so
+    scalar re-probes of grid-evaluated candidates cost nothing.
     """
 
     __slots__ = ("fn", "cache", "calls")
@@ -284,7 +334,7 @@ class MemoAccept:
         self.calls = 0
 
     def __call__(self, T: Time) -> bool:
-        key = (T.numerator, T.denominator)
+        key = norm_pair(T.numerator, T.denominator)
         hit = self.cache.get(key, _MISSING)
         if hit is not _MISSING:
             return hit  # type: ignore[return-value]
@@ -296,7 +346,7 @@ class MemoAccept:
 
     def seed(self, T: Time, verdict: bool) -> None:
         """Record an externally computed verdict (e.g. from a grid call)."""
-        self.cache[(T.numerator, T.denominator)] = verdict
+        self.cache[norm_pair(T.numerator, T.denominator)] = verdict
 
     def wrap_grid(self, grid_accept: GridAcceptFn) -> GridAcceptFn:
         """A grid evaluator that shares this memo's cache.
@@ -308,17 +358,18 @@ class MemoAccept:
 
         def evaluate(cands: Sequence[Time]) -> list[bool]:
             cache = self.cache
+            keys = [norm_pair(T.numerator, T.denominator) for T in cands]
             unknown = [
-                T for T in cands
-                if cache.get((T.numerator, T.denominator), _MISSING) is _MISSING
+                (T, key) for T, key in zip(cands, keys)
+                if cache.get(key, _MISSING) is _MISSING
             ]
             if unknown:
                 check_cancelled()
-                fresh = grid_accept(unknown)
+                fresh = grid_accept([T for T, _ in unknown])
                 self.calls += len(unknown)
-                for T, verdict in zip(unknown, fresh):
-                    cache[(T.numerator, T.denominator)] = bool(verdict)
-            return [cache[(T.numerator, T.denominator)] for T in cands]
+                for (_, key), verdict in zip(unknown, fresh):
+                    cache[key] = bool(verdict)
+            return [cache[key] for key in keys]
 
         return evaluate
 
@@ -369,8 +420,10 @@ def binary_search_dual(
     tmin = t_min(instance, variant)
     plan = eps_probe_plan(tmin, eps, "", "", grid=grid_accept is not None)
     T, lo, calls = drive_plan(plan, _black_box_evaluator(accept, grid_accept))
+    T = fast_fraction(*T)
     return SearchResult(
-        T, _maybe_build(build, T), certificate_lo=lo, accept_calls=calls
+        T, _maybe_build(build, T), certificate_lo=fast_fraction(*lo),
+        accept_calls=calls,
     )
 
 
@@ -392,6 +445,7 @@ def integer_search_dual(
     tmin = t_min(instance, variant)
     plan = integer_probe_plan(tmin, "", grid=grid_accept is not None)
     T, calls = drive_plan(plan, _black_box_evaluator(accept, grid_accept))
+    T = fast_fraction(*T)
     return SearchResult(
         T, _maybe_build(build, T), certificate_lo=T, accept_calls=calls
     )
@@ -400,17 +454,21 @@ def integer_search_dual(
 def _black_box_evaluator(accept: AcceptFn, grid_accept: Optional[GridAcceptFn]):
     """Route plan requests to a caller-supplied accept / grid evaluator.
 
-    Preserves the sequential probe contract exactly: one cancellation
-    poll per request, scalar probes through ``accept``, candidate blocks
-    through ``grid_accept`` (only emitted by grid-mode plans).
+    This is the pair→Fraction boundary for black-box searches: the
+    caller's ``accept`` / ``grid_accept`` speak :class:`Time`, so each
+    probed pair is rebuilt via ``fast_fraction`` here (pairs are already
+    normalized — the slot-writing constructor skips the gcd).  Preserves
+    the sequential probe contract exactly: one cancellation poll per
+    request, scalar probes through ``accept``, candidate blocks through
+    ``grid_accept`` (only emitted by grid-mode plans).
     """
 
     def evaluate(req: ProbeRequest) -> Sequence[bool]:
         check_cancelled()  # probe boundary
         if req.op == "accept_block":
             assert grid_accept is not None
-            return grid_accept(list(req.times))
-        return [accept(T) for T in req.times]
+            return grid_accept([fast_fraction(tn, td) for tn, td in req.times])
+        return [accept(fast_fraction(tn, td)) for tn, td in req.times]
 
     return evaluate
 
@@ -439,9 +497,11 @@ def right_interval_bisect(
     # Fresh plan-local memo: a caller's MemoAccept / wrap_grid still
     # deduplicates across phases, so counting is unchanged.
     plan = right_interval_plan(
-        candidates, {}, [0], "", "", grid=grid_accept is not None
+        [as_pair(T) for T in candidates], {}, [0], "", "",
+        grid=grid_accept is not None,
     )
-    return drive_plan(plan, _black_box_evaluator(accept, grid_accept))
+    lo, hi = drive_plan(plan, _black_box_evaluator(accept, grid_accept))
+    return fast_fraction(*lo), fast_fraction(*hi)
 
 
 # --------------------------------------------------------------------------- #

@@ -143,12 +143,14 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
 
     # ---- step 1: expensive classes ---------------------------------- #
     next_machine = 0
+    zero = Fraction(0)
     last_machines: list[tuple[int, int]] = []  # (class, ū_i)
     for i in dual.exp:
         s = Fraction(instance.setups[i])
         b = dual.betas[i]
-        gaps = [(next_machine, Fraction(0), s + half)]
-        gaps += [(next_machine + r, s, s + half) for r in range(1, b)]
+        s_top = s + half
+        gaps = [(next_machine, zero, s_top)]
+        gaps += [(next_machine + r, s, s_top) for r in range(1, b)]
         template = WrapTemplate.of(gaps)
         if fast:
             # cached views are pre-validated: skip Batch.of's per-item checks
@@ -166,6 +168,7 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
     # ---- step 2: cheap classes --------------------------------------- #
     if dual.chp:
         gaps = []
+        top = 3 * half
         for i, u in last_machines:
             if fast:
                 # Wrap fills every gap but the last completely, so the last
@@ -179,9 +182,9 @@ def split_dual_schedule(instance: Instance, T: TimeLike, *, kernel: str = "fast"
                 load_u = schedule.machine_load(u)
             if load_u < T:
                 # Reserve [L, L+T/2] for one cheap setup below the gap.
-                gaps.append((u, load_u + half, 3 * half))
+                gaps.append((u, load_u + half, top))
         for u in range(next_machine, instance.m):
-            gaps.append((u, half, 3 * half))
+            gaps.append((u, half, top))
         template = WrapTemplate.of(gaps)
         if fast:
             sequence = WrapSequence(

@@ -76,6 +76,7 @@ __all__ = [
     "fast_pmtn_test_grid",
     "fast_base_core_grid",
     "grid_accept_fn",
+    "grid_accept_pairs_fn",
 ]
 
 
@@ -572,6 +573,61 @@ def fast_base_core_grid(
 # --------------------------------------------------------------------------- #
 
 
+def grid_accept_pairs_fn(
+    ctx: DualContext,
+    kind: str,
+    mode: str = "gamma",
+    *,
+    use_numpy: Optional[bool] = None,
+) -> Callable[[Sequence[tuple[int, int]]], list[bool]]:
+    """A ``pairs -> [accepted]`` evaluator for the scaled-int plan tier.
+
+    Same dispatch as :func:`grid_accept_fn`, but the candidates arrive as
+    ``(num, den)`` int pairs — the native currency of the probe plans —
+    so no Fraction is touched between the plan and the grid kernels.
+    """
+    if kind == "split":
+        def evaluate(cands: Sequence[tuple[int, int]]) -> list[bool]:
+            tns = [tn for tn, _ in cands]
+            tds = [td for _, td in cands]
+            return [
+                v.accepted
+                for v in fast_split_test_grid(ctx, tns, tds, use_numpy=use_numpy)
+            ]
+    elif kind == "pmtn_base":
+        def evaluate(cands: Sequence[tuple[int, int]]) -> list[bool]:
+            tns = [tn for tn, _ in cands]
+            tds = [td for _, td in cands]
+            m = ctx.m
+            return [
+                m * tn >= load * td and m >= m_prime
+                for (load, m_prime), tn, td in zip(
+                    fast_base_core_grid(ctx, tns, tds, use_numpy=use_numpy), tns, tds
+                )
+            ]
+    elif kind == "nonp":
+        def evaluate(cands: Sequence[tuple[int, int]]) -> list[bool]:
+            tns = [tn for tn, _ in cands]
+            tds = [td for _, td in cands]
+            return [
+                v.accepted
+                for v in fast_nonp_test_grid(ctx, tns, tds, use_numpy=use_numpy)
+            ]
+    elif kind == "pmtn":
+        def evaluate(cands: Sequence[tuple[int, int]]) -> list[bool]:
+            tns = [tn for tn, _ in cands]
+            tds = [td for _, td in cands]
+            return [
+                v.accepted
+                for v in fast_pmtn_test_grid(
+                    ctx, tns, tds, mode, use_numpy=use_numpy
+                )
+            ]
+    else:
+        raise ValueError(f"unknown grid kind {kind!r}")
+    return evaluate
+
+
 def grid_accept_fn(
     ctx: DualContext,
     kind: str,
@@ -584,41 +640,12 @@ def grid_accept_fn(
     ``kind`` selects the dual: ``"split"`` / ``"nonp"`` / ``"pmtn"``
     (the latter honours ``mode``).  The returned callable is what
     :func:`repro.algos.search.binary_search_dual` and friends take as
-    ``grid_accept``.
+    ``grid_accept``.  Thin Time-speaking wrapper over
+    :func:`grid_accept_pairs_fn`.
     """
-    if kind == "split":
-        def evaluate(cands: Sequence[Time]) -> list[bool]:
-            tns, tds = grid_pairs(cands)
-            return [
-                v.accepted
-                for v in fast_split_test_grid(ctx, tns, tds, use_numpy=use_numpy)
-            ]
-    elif kind == "pmtn_base":
-        def evaluate(cands: Sequence[Time]) -> list[bool]:
-            tns, tds = grid_pairs(cands)
-            m = ctx.m
-            return [
-                m * tn >= load * td and m >= m_prime
-                for (load, m_prime), tn, td in zip(
-                    fast_base_core_grid(ctx, tns, tds, use_numpy=use_numpy), tns, tds
-                )
-            ]
-    elif kind == "nonp":
-        def evaluate(cands: Sequence[Time]) -> list[bool]:
-            tns, tds = grid_pairs(cands)
-            return [
-                v.accepted
-                for v in fast_nonp_test_grid(ctx, tns, tds, use_numpy=use_numpy)
-            ]
-    elif kind == "pmtn":
-        def evaluate(cands: Sequence[Time]) -> list[bool]:
-            tns, tds = grid_pairs(cands)
-            return [
-                v.accepted
-                for v in fast_pmtn_test_grid(
-                    ctx, tns, tds, mode, use_numpy=use_numpy
-                )
-            ]
-    else:
-        raise ValueError(f"unknown grid kind {kind!r}")
+    pairs_fn = grid_accept_pairs_fn(ctx, kind, mode, use_numpy=use_numpy)
+
+    def evaluate(cands: Sequence[Time]) -> list[bool]:
+        return pairs_fn([(T.numerator, T.denominator) for T in cands])
+
     return evaluate

@@ -39,6 +39,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from fractions import Fraction
 from functools import cmp_to_key
+from math import gcd
 from typing import TYPE_CHECKING, NamedTuple, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -50,6 +51,15 @@ __all__ = [
     "NonpVerdict",
     "PmtnVerdict",
     "as_pair",
+    "norm_pair",
+    "pair_add",
+    "pair_sub",
+    "pair_mul",
+    "pair_mid",
+    "pair_cmp",
+    "pair_key",
+    "pair_ceil",
+    "round_half_even",
     "ceil_div",
     "floor_div",
     "scale_int",
@@ -106,6 +116,90 @@ def as_pair(T) -> tuple[int, int]:
     if isinstance(T, Fraction):
         return T.numerator, T.denominator
     raise TypeError(f"expected int or Fraction, got {type(T).__name__}: {T!r}")
+
+
+# --------------------------------------------------------------------------- #
+# normalized rational pairs — the plan tier's number type
+# --------------------------------------------------------------------------- #
+#
+# The probe plans (repro.algos.search and the flip searches) carry makespan
+# candidates as gcd-normalized ``(num, den)`` int pairs with ``den > 0``.
+# Normalized pairs are *canonical*: two exact computations of the same
+# rational yield the same pair, so plan-level arithmetic on pairs produces
+# probe values, memo keys and dedup behaviour bit-identical to the historic
+# Fraction plans — without one Fraction allocation per arithmetic step.
+# ``fast_fraction(num, den)`` (repro.core.numeric) is the one boundary where
+# a pair becomes a Fraction again.
+
+
+def norm_pair(num: int, den: int) -> tuple[int, int]:
+    """Canonical ``(num, den)``: lowest terms, ``den > 0`` (sign on num)."""
+    if den < 0:
+        num, den = -num, -den
+    g = gcd(num, den)
+    if g > 1:
+        return num // g, den // g
+    return num, den
+
+
+def pair_add(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Exact ``a + b`` on pairs, normalized."""
+    an, ad = a
+    bn, bd = b
+    return norm_pair(an * bd + bn * ad, ad * bd)
+
+
+def pair_sub(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Exact ``a − b`` on pairs, normalized."""
+    an, ad = a
+    bn, bd = b
+    return norm_pair(an * bd - bn * ad, ad * bd)
+
+
+def pair_mul(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Exact ``a · b`` on pairs, normalized."""
+    an, ad = a
+    bn, bd = b
+    return norm_pair(an * bn, ad * bd)
+
+
+def pair_mid(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Exact midpoint ``(a + b)/2`` on pairs, normalized."""
+    an, ad = a
+    bn, bd = b
+    return norm_pair(an * bd + bn * ad, 2 * ad * bd)
+
+
+def pair_cmp(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Three-way compare of two pairs with positive denominators."""
+    lhs = a[0] * b[1]
+    rhs = b[0] * a[1]
+    if lhs == rhs:
+        return 0
+    return -1 if lhs < rhs else 1
+
+
+#: ``sorted(pairs, key=pair_key)`` orders pairs by rational value — tuple
+#: order on raw pairs would compare numerators first, which is wrong.
+pair_key = cmp_to_key(pair_cmp)
+
+
+def pair_ceil(num: int, den: int) -> int:
+    """``⌈num/den⌉`` for a pair with ``den > 0`` (``frac_ceil`` on pairs)."""
+    return -((-num) // den)
+
+
+def round_half_even(num: int, den: int) -> int:
+    """``round(num/den)`` with banker's rounding, ``den > 0``.
+
+    Bit-identical to ``round(Fraction(num, den))`` (CPython rounds the
+    floor remainder half-to-even), which the grid-bisection stride logic
+    historically used to place candidate indices.
+    """
+    q, r = divmod(num, den)
+    if 2 * r > den or (2 * r == den and q % 2):
+        return q + 1
+    return q
 
 
 def ceil_div(num: int, den: int) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Sequence
 
 from ..algos.api import solve
@@ -225,7 +226,9 @@ def render_machine_sweep(
 
 @dataclass(frozen=True)
 class GridTiming:
+    shape: str            # "<variant>/<algorithm>" search shape
     c: int
+    block: int            # candidates per batched grid call for this shape
     scalar_seconds: float
     grid_seconds: float
 
@@ -233,42 +236,73 @@ class GridTiming:
     def speedup(self) -> float:
         return self.scalar_seconds / self.grid_seconds if self.grid_seconds else float("inf")
 
+    @property
+    def work(self) -> int:
+        """The auto-policy gate product ``block × c``."""
+        return self.block * self.c
+
+
+#: The search shapes the auto policy distinguishes: every variant's
+#: Class-Jumping / integer flip search plus the dyadic ε-search.
+GRID_SHAPES: tuple[tuple[Variant, str], ...] = tuple(
+    (variant, algorithm) for variant in Variant for algorithm in ("three_halves", "eps")
+)
+
 
 def run_grid_crossover(
     cs: Sequence[int] = (12, 40, 100, 200, 400),
     m: int = 24,
     repeats: int = 3,
+    shapes: Sequence[tuple[Variant, str]] = GRID_SHAPES,
 ) -> list[GridTiming]:
-    """Bounds-only non-preemptive sweeps: grid evaluator off vs forced on.
+    """Bounds-only sweeps per search shape: grid evaluator off vs forced on.
 
     PR 3 flattened the grid's per-class ``searchsorted`` loop into one
-    concatenated-keys query (:func:`repro.core.batchdual._np_flat`); this
-    experiment measures where the grid tier overtakes the scalar integer
-    search probes as the class count grows (the auto policy
-    :data:`repro.algos.batch_api.NONP_GRID_MIN_C` is calibrated from it:
-    PR 3 measured a crossover ≈ 200 classes, and PR 5's ``class_tmax``
-    short-circuit in the scalar test moved it past every measured ``c``
-    — re-run this after touching either tier).  Requires numpy (the
-    ``[batch]`` extra).
+    concatenated-keys query (:func:`repro.core.batchdual._np_flat`) and
+    measured the non-preemptive crossover; PR 5's ``class_tmax``
+    short-circuit moved that crossover past every measured ``c``.  PR 9
+    made the auto policy *shape-aware* — gated per probe kind on the
+    product of candidate-block size and class count (see
+    :data:`repro.algos.batch_api.GRID_POLICY`) — so this
+    experiment now times every ``variant × algorithm`` search shape: the
+    flip searches probe candidate lists of ≤ c + 2 points, the ε-search
+    one dyadic grid of ~129 points, and the block×c column is exactly
+    the quantity the policy gates on.  Re-run after touching either tier
+    and recalibrate the ceilings from the winner column.  Requires numpy
+    (the ``[batch]`` extra).
     """
+    from ..algos.batch_api import _grid_block_estimate
     from ..core import batchdual
 
     if not batchdual.HAVE_NUMPY:
         raise RuntimeError("Experiment S3 requires numpy (pip install '.[batch]')")
+    eps = Fraction(1, 100)
     out = []
-    for c in cs:
-        inst = uniform_instance(m=m, c=c, n_per_class=2, seed=404)
-        ms = list(range(2, 2 * m + 1, 3))
-        best = {False: float("inf"), True: float("inf")}
-        for grid in (False, True):
-            for _ in range(repeats):
-                fresh = Instance(m=inst.m, setups=inst.setups, jobs=inst.jobs)
-                t0 = time.perf_counter()
-                sweep_machines(
-                    fresh, ms, Variant.NONPREEMPTIVE, schedules=False, use_grid=grid
+    for variant, algorithm in shapes:
+        for c in cs:
+            inst = uniform_instance(m=m, c=c, n_per_class=2, seed=404)
+            ms = list(range(2, 2 * m + 1, 3))
+            best = {False: float("inf"), True: float("inf")}
+            for grid in (False, True):
+                for _ in range(repeats):
+                    fresh = Instance(
+                        m=inst.m, setups=inst.setups, jobs=inst.jobs
+                    )
+                    t0 = time.perf_counter()
+                    sweep_machines(
+                        fresh, ms, variant, algorithm, eps,
+                        schedules=False, use_grid=grid,
+                    )
+                    best[grid] = min(best[grid], time.perf_counter() - t0)
+            out.append(
+                GridTiming(
+                    shape=f"{variant}/{algorithm}",
+                    c=c,
+                    block=_grid_block_estimate(algorithm, eps, c),
+                    scalar_seconds=best[False],
+                    grid_seconds=best[True],
                 )
-                best[grid] = min(best[grid], time.perf_counter() - t0)
-        out.append(GridTiming(c=c, scalar_seconds=best[False], grid_seconds=best[True]))
+            )
     return out
 
 
@@ -276,7 +310,10 @@ def render_grid_crossover(timings: list[GridTiming] | None = None) -> str:
     timings = timings if timings is not None else run_grid_crossover()
     table_rows = [
         [
+            t.shape,
             str(t.c),
+            str(t.block),
+            f"{t.work:,}",
             fmt_time(t.scalar_seconds),
             fmt_time(t.grid_seconds),
             f"{t.speedup:.2f}x",
@@ -285,10 +322,12 @@ def render_grid_crossover(timings: list[GridTiming] | None = None) -> str:
         for t in timings
     ]
     return format_table(
-        ["classes c", "scalar probes", "flattened grid", "grid speedup", "winner"],
+        ["search shape", "classes c", "block", "block×c", "scalar probes",
+         "flattened grid", "grid speedup", "winner"],
         table_rows,
-        title="Experiment S3: non-preemptive grid tier vs scalar probes "
-              "(bounds-only machine sweeps; flattened searchsorted, PR 3)",
+        title="Experiment S3: grid tier vs scalar probes per search shape "
+              "(bounds-only machine sweeps; the auto policy gates on block×c "
+              "per probe kind — repro.algos.batch_api.GRID_POLICY)",
     )
 
 

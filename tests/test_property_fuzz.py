@@ -176,3 +176,63 @@ if HAVE_HYPOTHESIS:
     def test_cross_instance_fuzz_hypothesis(seed):
         # Counterexamples reproduce via _check_cross_instance_case(seed).
         _check_cross_instance_case(seed)
+
+
+# --------------------------------------------------------------------------- #
+# scaled-integer probe plans: pair streams vs the Fraction kernel (PR 9)
+# --------------------------------------------------------------------------- #
+
+
+def _check_plan_stream_case(seed: int) -> None:
+    """The pair-native flip plans probe the exact same rationals, in the
+    same order, on both kernels — so memo hits and ``accept_calls`` agree
+    and the flip point is bit-identical."""
+    from repro.algos.jumping_pmtn import flip_plan_pmtn, pmtn_probe_evaluator
+    from repro.algos.jumping_split import flip_plan_splittable, split_probe_evaluator
+    from repro.algos.search import drive_plan
+
+    rng = random.Random(seed)
+    c = rng.randint(3, 8)
+    classes = [
+        (rng.randint(0, 20), [rng.randint(1, 15) for _ in range(rng.randint(1, 4))])
+        for _ in range(c)
+    ]
+    inst = Instance.build(rng.randint(max(1, c - 2), c + 1), classes)
+    tag = f"seed={seed} inst={inst.describe()}"
+
+    cases = [
+        (flip_plan_splittable,
+         lambda fast: split_probe_evaluator(
+             inst, fast=fast, ctx=inst.fast_ctx() if fast else None, grid=False)),
+        (flip_plan_pmtn,
+         lambda fast: pmtn_probe_evaluator(
+             inst, fast=fast, ctx=inst.fast_ctx() if fast else None, grid=False)),
+    ]
+    for plan_fn, make_eval in cases:
+        streams, results = [], []
+        for fast in (True, False):
+            stream = []
+            evaluate = make_eval(fast)
+
+            def spy(req, _ev=evaluate, _s=stream):
+                _s.extend((req.kind, req.mode, tn, td) for tn, td in req.times)
+                return _ev(req)
+
+            results.append(drive_plan(plan_fn(inst, grid=False), spy))
+            streams.append(stream)
+        assert streams[0] == streams[1], (tag, plan_fn.__name__)
+        assert results[0] == results[1], (tag, plan_fn.__name__)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_plan_stream_fuzz_seeded(seed):
+    _check_plan_stream_case(seed)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_plan_stream_fuzz_hypothesis(seed):
+        # Counterexamples reproduce via _check_plan_stream_case(seed).
+        _check_plan_stream_case(seed)

@@ -420,8 +420,8 @@ def record_solo_stream(plan, evaluate):
             req = plan.send(response) if response is not None else next(plan)
         except StopIteration:
             return stream
-        for T in req.times:
-            stream.append((req.kind, req.mode, T.numerator, T.denominator))
+        for tn, td in req.times:
+            stream.append((req.kind, req.mode, tn, td))
         response = evaluate(req)
 
 
@@ -473,7 +473,9 @@ class TestProbeDriftRegression:
             # the same grid resolution the coordinator's prelude applies
             grid = (
                 not item.schedules
-                and _resolve_use_grid(None, "fast", item.variant, inst.c)
+                and _resolve_use_grid(
+                    None, "fast", item.variant, inst.c, item.algorithm, item.eps
+                )
                 and _grid_safe_cached(inst, item.variant)
             )
             if item.variant is Variant.SPLITTABLE:
@@ -531,3 +533,220 @@ class TestProbeDriftRegression:
         for g, r in zip(got, ref):
             assert g.accept_calls == r.accept_calls
             assert g == r
+
+
+# --------------------------------------------------------------------------- #
+# scaled-integer plan tier (PR 9): pair plans vs the Fraction kernel
+# --------------------------------------------------------------------------- #
+
+
+def drive_recording(plan, evaluate):
+    """Drive ``plan`` to completion, returning ``(probe stream, result)``."""
+    from repro.algos.search import drive_plan
+
+    stream = []
+
+    def spy(req):
+        for tn, td in req.times:
+            stream.append((req.op, req.kind, req.mode, tn, td))
+        return evaluate(req)
+
+    return stream, drive_plan(plan, spy)
+
+
+class TestScaledIntPlanTier:
+    """The pair-native probe plans emit bit-identical streams on both kernels.
+
+    The plan generators carry normalized ``(num, den)`` pairs end to end;
+    the only Fractions are the ones the fraction-kernel evaluator branch
+    rebuilds at its boundary.  Since normalized pairs are canonical per
+    rational, the probe values, memo keys (hence hit counts and
+    ``accept_calls``) and results must match the Fraction-kernel drive
+    exactly — pinned here per variant, with and without numpy.
+    """
+
+    def _evaluators(self, inst, variant):
+        if variant is Variant.SPLITTABLE:
+            return (
+                split_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=False),
+                split_probe_evaluator(inst, fast=False, ctx=None, grid=False),
+            )
+        return (
+            pmtn_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=False),
+            pmtn_probe_evaluator(inst, fast=False, ctx=None, grid=False),
+        )
+
+    def _plan(self, inst, variant):
+        if variant is Variant.SPLITTABLE:
+            return flip_plan_splittable(inst, grid=False)
+        return flip_plan_pmtn(inst, grid=False)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "variant", [Variant.SPLITTABLE, Variant.PREEMPTIVE]
+    )
+    def test_flip_plan_stream_identical_across_kernels(self, seed, variant):
+        rng = random.Random(2100 + seed)
+        inst = rand_searchy_instance(rng)
+        fast_eval, frac_eval = self._evaluators(inst, variant)
+        fast_stream, fast_res = drive_recording(self._plan(inst, variant), fast_eval)
+        frac_stream, frac_res = drive_recording(self._plan(inst, variant), frac_eval)
+        assert fast_stream == frac_stream  # probe values, order, memo misses
+        assert fast_res == frac_res        # result pairs + accept_calls
+        # every emitted probe pair is in lowest terms with a positive den
+        from math import gcd
+
+        for _, _, _, tn, td in fast_stream:
+            assert td > 0 and gcd(tn, td) == 1
+
+    @pytest.mark.parametrize("variant", [Variant.SPLITTABLE, Variant.PREEMPTIVE])
+    def test_flip_plan_streams_without_numpy(self, variant, monkeypatch):
+        monkeypatch.setattr(batchdual, "HAVE_NUMPY", False)
+        monkeypatch.setattr(xbatch, "HAVE_NUMPY", False)
+        rng = random.Random(2200)
+        inst = rand_searchy_instance(rng)
+        fast_eval, frac_eval = self._evaluators(inst, variant)
+        fast_stream, fast_res = drive_recording(self._plan(inst, variant), fast_eval)
+        frac_stream, frac_res = drive_recording(self._plan(inst, variant), frac_eval)
+        assert fast_stream == frac_stream
+        assert fast_res == frac_res
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eps_and_integer_plan_streams(self, seed):
+        """Theorem-2/Theorem-8 plans: same streams on both kernels."""
+        from repro.algos.nonpreemptive import nonp_dual_test
+        from repro.algos.search import eps_probe_plan, integer_probe_plan
+        from repro.core.bounds import t_min
+        from repro.core.fastnum import fast_nonp_test
+        from repro.core.numeric import fast_fraction
+
+        rng = random.Random(2300 + seed)
+        inst = rand_searchy_instance(rng)
+        ctx = inst.fast_ctx()
+
+        fast_eval, frac_eval = self._evaluators(inst, Variant.SPLITTABLE)
+        tmin = t_min(inst, Variant.SPLITTABLE)
+        for eps in (Fraction(1, 3), Fraction(1, 100)):
+            fast_stream, fast_res = drive_recording(
+                eps_probe_plan(tmin, eps, "split", "", grid=False), fast_eval
+            )
+            frac_stream, frac_res = drive_recording(
+                eps_probe_plan(tmin, eps, "split", "", grid=False), frac_eval
+            )
+            assert fast_stream == frac_stream
+            assert fast_res == frac_res
+
+        def nonp_eval(fast):
+            def evaluate(req):
+                if fast:
+                    return [
+                        fast_nonp_test(ctx, tn, td).accepted for tn, td in req.times
+                    ]
+                return [
+                    nonp_dual_test(inst, fast_fraction(tn, td)).accepted
+                    for tn, td in req.times
+                ]
+
+            return evaluate
+
+        tmin_n = t_min(inst, Variant.NONPREEMPTIVE)
+        fast_stream, fast_res = drive_recording(
+            integer_probe_plan(tmin_n, "nonp", grid=False), nonp_eval(True)
+        )
+        frac_stream, frac_res = drive_recording(
+            integer_probe_plan(tmin_n, "nonp", grid=False), nonp_eval(False)
+        )
+        assert fast_stream == frac_stream
+        assert fast_res == frac_res
+
+    @pytest.mark.parametrize("variant", [Variant.SPLITTABLE, Variant.PREEMPTIVE])
+    def test_grid_and_scalar_plans_agree_on_results(self, variant):
+        """grid=True reorders probes into blocks but never changes the flip."""
+        rng = random.Random(2400)
+        inst = rand_searchy_instance(rng)
+        if variant is Variant.SPLITTABLE:
+            scalar = drive_recording(
+                flip_plan_splittable(inst, grid=False),
+                split_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=False),
+            )
+            grid = drive_recording(
+                flip_plan_splittable(inst, grid=True),
+                split_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=True),
+            )
+        else:
+            scalar = drive_recording(
+                flip_plan_pmtn(inst, grid=False),
+                pmtn_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=False),
+            )
+            grid = drive_recording(
+                flip_plan_pmtn(inst, grid=True),
+                pmtn_probe_evaluator(inst, fast=True, ctx=inst.fast_ctx(), grid=True),
+            )
+        assert scalar[1][0] == grid[1][0]  # same flip pair
+
+
+class TestMemoNormalization:
+    """Satellite: memo keys are gcd-reduced, so unnormalized inputs share
+    cache entries with their canonical representations."""
+
+    def test_memo_accept_unnormalized_inputs_hit_cache(self):
+        from types import SimpleNamespace
+
+        from repro.algos.search import MemoAccept
+
+        evaluated = []
+
+        def accept(T):
+            evaluated.append((T.numerator, T.denominator))
+            return Fraction(T.numerator, T.denominator) >= 1
+
+        memo = MemoAccept(accept)
+        assert memo(Fraction(3, 2)) is True
+        # hand-built unnormalized and sign-denormalized representations of 3/2
+        assert memo(SimpleNamespace(numerator=6, denominator=4)) is True
+        assert memo(SimpleNamespace(numerator=-3, denominator=-2)) is True
+        assert memo(Fraction(1, 2)) is False
+        assert memo(SimpleNamespace(numerator=2, denominator=4)) is False
+        assert memo.calls == 2  # one real evaluation per distinct rational
+        assert evaluated == [(3, 2), (1, 2)]
+
+    def test_memo_accept_seed_and_grid_share_normalized_cache(self):
+        from types import SimpleNamespace
+
+        from repro.algos.search import MemoAccept
+
+        memo = MemoAccept(lambda T: pytest.fail("scalar path must not run"))
+        memo.seed(SimpleNamespace(numerator=4, denominator=8), True)
+        assert memo(Fraction(1, 2)) is True
+        grid_calls = []
+        grid = memo.wrap_grid(lambda cands: [grid_calls.append(c) or True for c in cands])
+        # one candidate known (unnormalized alias), one fresh
+        out = grid([SimpleNamespace(numerator=2, denominator=4), Fraction(5, 2)])
+        assert out == [True, True]
+        assert grid_calls == [Fraction(5, 2)]
+        assert memo.calls == 1
+
+    def test_plan_accept_normalizes_pairs(self):
+        from repro.algos.search import plan_accept
+
+        memo, counted = {}, [0]
+
+        def run(pair):
+            gen = plan_accept(memo, counted, "split", "", pair)
+            try:
+                req = next(gen)
+            except StopIteration as stop:
+                return stop.value, None
+            try:
+                gen.send([True])
+            except StopIteration as stop:
+                return stop.value, req
+            pytest.fail("plan_accept yields at most once")
+
+        verdict, req = run((6, 4))
+        assert verdict is True and req is not None
+        assert req.times == ((3, 2),)  # probe emitted in lowest terms
+        # unnormalized and negative-denominator aliases are memo hits
+        assert run((3, 2)) == (True, None)
+        assert run((-6, -4)) == (True, None)
+        assert counted[0] == 1
