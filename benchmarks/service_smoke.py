@@ -125,10 +125,40 @@ def reference_schedule_key(schedule) -> list[tuple]:
     )
 
 
+def check_metrics_replies(json_reply: dict, prom_reply: dict,
+                          n_requests: int) -> None:
+    """The two ``metrics`` exposition variants, shape- and sanity-checked."""
+    assert json_reply["ok"] and json_reply["id"] == "metrics"
+    metrics = json_reply["metrics"]
+    assert sorted(metrics["stages"]) == sorted(
+        ["admission", "queue", "assembly", "solve", "encode", "total"]
+    ), f"unexpected stage set: {sorted(metrics['stages'])}"
+    for stage in ("admission", "queue", "solve", "total"):
+        hist = metrics["stages"][stage]
+        assert hist["count"] == n_requests, (
+            f"stage {stage}: observed {hist['count']} of {n_requests} requests"
+        )
+        # the wire shape is all-int so merges stay exact
+        assert isinstance(hist["total_us"], int)
+        assert all(isinstance(b, int) for b in hist["buckets"])
+    counters = metrics["counters"]
+    assert any(k.startswith("probe.") for k in counters), (
+        f"no probe counters in {sorted(counters)}"
+    )
+    assert prom_reply["ok"] and prom_reply["id"] == "metrics-prom"
+    text = prom_reply["metrics_text"]
+    assert "# TYPE repro_stage_seconds histogram" in text
+    assert 'repro_stage_seconds_count{stage="solve"}' in text
+
+
 def smoke(workers: str = "thread", xbatch: bool = False) -> int:
     requests = build_requests()
     lines = [json.dumps(o) for o in requests]
     lines.append(json.dumps({"id": "stats", "op": "stats"}))
+    lines.append(json.dumps({"id": "metrics", "op": "metrics"}))
+    lines.append(json.dumps(
+        {"id": "metrics-prom", "op": "metrics", "format": "prometheus"}
+    ))
     proc = subprocess.run(
         [
             sys.executable, "-m", "repro.service",
@@ -141,12 +171,13 @@ def smoke(workers: str = "thread", xbatch: bool = False) -> int:
     )
     assert proc.returncode == 0, f"service exited {proc.returncode}: {proc.stderr}"
     replies = [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
-    assert len(replies) == len(requests) + 1, (
-        f"expected {len(requests) + 1} response lines, got {len(replies)}"
+    assert len(replies) == len(requests) + 3, (
+        f"expected {len(requests) + 3} response lines, got {len(replies)}"
     )
-    assert [r["id"] for r in replies[:-1]] == [o["id"] for o in requests], (
+    assert [r["id"] for r in replies[:-3]] == [o["id"] for o in requests], (
         "responses out of request order"
     )
+    check_metrics_replies(replies[-2], replies[-1], len(requests))
 
     solves = bounds = 0
     for obj, reply in zip(requests, replies):
@@ -167,7 +198,7 @@ def smoke(workers: str = "thread", xbatch: bool = False) -> int:
             else:
                 bounds += 1
 
-    stats_reply = replies[-1]
+    stats_reply = replies[-3]
     assert stats_reply["ok"] and stats_reply["id"] == "stats"
     stats = stats_reply["stats"]
     assert stats["requests"] == len(requests)

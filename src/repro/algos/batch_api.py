@@ -44,6 +44,7 @@ from ..core.cancel import CancelToken, SolveCancelled, cancel_scope
 from ..core.fastnum import validate_kernel
 from ..core.instance import Instance
 from ..core.numeric import Time, fast_fraction
+from ..obs.trace import count as obs_count
 from .api import Algorithm, Kernel, SolveResult, solve
 from .jumping_pmtn import find_flip_pmtn, flip_plan_pmtn
 from .jumping_split import find_flip_splittable, flip_plan_splittable
@@ -313,13 +314,17 @@ def _resolve_use_grid(
     """
     if use_grid is None:
         if not (batchdual.HAVE_NUMPY and kernel == "fast"):
+            obs_count("dispatch.scalar")
             return False
         shape = "eps" if algorithm == "eps" else _PROBE_KIND[variant]
         block_min, work_max = GRID_POLICY[shape]
         block = _grid_block_estimate(algorithm, eps, c)
-        return block >= block_min and block * c <= work_max
+        grid = block >= block_min and block * c <= work_max
+        obs_count("dispatch.grid" if grid else "dispatch.scalar")
+        return grid
     if use_grid and not batchdual.HAVE_NUMPY:
         raise RuntimeError("use_grid=True but numpy is not installed")
+    obs_count("dispatch.grid" if use_grid else "dispatch.scalar")
     return bool(use_grid)
 
 
@@ -834,6 +839,7 @@ def _solve_batch_lockstep(
                     shared = rep.with_machines(inst.m, share_caches=True)
                 prep = _lockstep_prepare(shared, variant, item, kernel, use_grid)
                 if prep is None:
+                    obs_count("xbatch.straggler")
                     out[idx] = _solve_item(shared, variant, item, kernel, use_grid)
                 else:
                     plan, finish = prep
@@ -887,6 +893,8 @@ def _solve_batch_lockstep(
                     continue
             groups.setdefault((req.kind, req.mode), []).append((idx, req))
 
+        if groups:
+            obs_count("xbatch.fused_rounds")
         for (kind, mode), entries in groups.items():
             rows = []
             for idx, req in entries:

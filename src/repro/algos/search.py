@@ -80,6 +80,7 @@ from ..core.fastnum import (
 from ..core.instance import Instance
 from ..core.numeric import Time, TimeLike, as_time, fast_fraction, frac_ceil
 from ..core.schedule import Schedule
+from ..obs.trace import count as obs_count, count_probe as obs_count_probe
 
 AcceptFn = Callable[[Time], bool]
 BuildFn = Callable[[Time], Schedule]
@@ -143,11 +144,19 @@ class ProbeRequest(NamedTuple):
 
 
 def drive_plan(plan, evaluate):
-    """Run a probe plan to completion against ``evaluate(request)``."""
+    """Run a probe plan to completion against ``evaluate(request)``.
+
+    The single sequential chokepoint every plan-driven probe crosses,
+    so an armed :class:`repro.obs.trace.TraceScope` counts probe volume
+    per ``(kind, mode)`` here; disarmed, the hook is one thread-local
+    read per request and the probe stream is untouched either way.
+    """
     response = None
     try:
         while True:
-            response = evaluate(plan.send(response))
+            req = plan.send(response)
+            obs_count_probe(req.kind, req.mode, len(req.times))
+            response = evaluate(req)
     except StopIteration as stop:
         return stop.value
 
@@ -161,11 +170,13 @@ def plan_accept(memo, counted, kind, mode, T: Pair):
     key = norm_pair(*T)
     hit = memo.get(key, _MISSING)
     if hit is not _MISSING:
+        obs_count("memo.hit")
         return hit
     flags = yield ProbeRequest("accept", kind, mode, (key,))
     verdict = bool(flags[0])
     memo[key] = verdict
     counted[0] += 1
+    obs_count("memo.call")
     return verdict
 
 
@@ -173,9 +184,12 @@ def plan_accept_block(memo, counted, kind, mode, cands: Sequence[Pair]):
     """Grid-block accept sharing the plan's memo (the wrap_grid protocol)."""
     keys = [norm_pair(*T) for T in cands]
     unknown = [T for T in keys if memo.get(T, _MISSING) is _MISSING]
+    if len(unknown) < len(keys):
+        obs_count("memo.hit", len(keys) - len(unknown))
     if unknown:
         flags = yield ProbeRequest("accept_block", kind, mode, tuple(unknown))
         counted[0] += len(unknown)
+        obs_count("memo.call", len(unknown))
         for T, verdict in zip(unknown, flags):
             memo[T] = bool(verdict)
     return [memo[T] for T in keys]
@@ -337,9 +351,11 @@ class MemoAccept:
         key = norm_pair(T.numerator, T.denominator)
         hit = self.cache.get(key, _MISSING)
         if hit is not _MISSING:
+            obs_count("memo.hit")
             return hit  # type: ignore[return-value]
         check_cancelled()  # probe boundary: no partial state to unwind
         self.calls += 1
+        obs_count("memo.call")
         verdict = self.fn(T)
         self.cache[key] = verdict
         return verdict
@@ -363,10 +379,13 @@ class MemoAccept:
                 (T, key) for T, key in zip(cands, keys)
                 if cache.get(key, _MISSING) is _MISSING
             ]
+            if len(unknown) < len(keys):
+                obs_count("memo.hit", len(keys) - len(unknown))
             if unknown:
                 check_cancelled()
                 fresh = grid_accept([T for T, _ in unknown])
                 self.calls += len(unknown)
+                obs_count("memo.call", len(unknown))
                 for (_, key), verdict in zip(unknown, fresh):
                     cache[key] = bool(verdict)
             return [cache[key] for key in keys]

@@ -52,6 +52,7 @@ from .fastnum import (
     fast_split_test,
 )
 from .numeric import Time
+from ..obs.trace import count as obs_count
 
 try:  # pragma: no cover - exercised via both branches in CI matrices
     import numpy as _np
@@ -295,7 +296,9 @@ def fast_split_test_grid(
     if not tns:
         return []
     if not _use_numpy(ctx, tns, tds, use_numpy):
+        obs_count("grid.rows_scalar", len(tns))
         return [fast_split_test(ctx, tn, td) for tn, td in zip(tns, tds)]
+    obs_count("grid.rows_np", len(tns))
     views = _np_views(ctx)
     S = views["setups"][:, None]
     P = views["P"][:, None]
@@ -341,7 +344,9 @@ def fast_nonp_test_grid(
     if not tns:
         return []
     if not _use_numpy(ctx, tns, tds, use_numpy) or not _flat_keys_safe(ctx):
+        obs_count("grid.rows_scalar", len(tns))
         return [fast_nonp_test(ctx, tn, td) for tn, td in zip(tns, tds)]
+    obs_count("grid.rows_np", len(tns))
     m, spt, c = ctx.m, ctx.spt, ctx.c
     out: list[Optional[NonpVerdict]] = [None] * len(tns)
     tn_all = _np.asarray(tns, dtype=_np.int64)
@@ -430,7 +435,9 @@ def fast_pmtn_test_grid(
     if not tns:
         return []
     if not _use_numpy(ctx, tns, tds, use_numpy):
+        obs_count("grid.rows_scalar", len(tns))
         return [fast_pmtn_test(ctx, tn, td, mode) for tn, td in zip(tns, tds)]
+    obs_count("grid.rows_np", len(tns))
     m, spt = ctx.m, ctx.spt
     out: list[Optional[PmtnVerdict]] = [None] * len(tns)
     tn_all = _np.asarray(tns, dtype=_np.int64)
@@ -544,7 +551,9 @@ def fast_base_core_grid(
     if not tns:
         return []
     if not _use_numpy(ctx, tns, tds, use_numpy):
+        obs_count("grid.rows_scalar", len(tns))
         return [fast_base_core(ctx, tn, td) for tn, td in zip(tns, tds)]
+    obs_count("grid.rows_np", len(tns))
     views = _np_views(ctx)
     S = views["setups"][:, None]
     P = views["P"][:, None]

@@ -54,6 +54,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterator, Optional, Sequence
 
+from ..obs.trace import count as obs_count
 from .errors import ConstructionError
 
 #: The item is a partial piece of its job (siblings live elsewhere).
@@ -157,6 +158,7 @@ class ItemStore:
         Returns the pieces emitted as ``(slot, stream_pos)`` pairs (at most
         two) for the caller's parent map.
         """
+        obs_count("itemstore.emit")
         D = scale
         P = prefix
         # P[j+1]·D > w0  ⟺  P[j+1] > w0 // D  (ints), so the first

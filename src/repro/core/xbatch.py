@@ -57,6 +57,7 @@ from .fastnum import (
     fast_pmtn_test,
     fast_split_test,
 )
+from ..obs.trace import count as obs_count
 
 __all__ = [
     "BatchDualContext",
@@ -311,6 +312,10 @@ class BatchDualContext:
                         fused.extend(idxs)
         if len(fused) < _MIN_FUSED_ROWS:
             fused = []
+        if fused:
+            obs_count("xbatch.rows_fused", len(fused))
+        if len(fused) < len(rows):
+            obs_count("xbatch.rows_scalar", len(rows) - len(fused))
         fused_set = set(fused)
         for j, (mi, tn, td) in enumerate(rows):
             if j not in fused_set:

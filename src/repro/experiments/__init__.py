@@ -10,6 +10,7 @@ Run from the command line::
 """
 
 from .figures import FIGURES, render_all, render_figure
+from .obs_report import render_obs_summary, summarize_trace
 from .ratio_study import (
     render_counting_ablation,
     render_jump_ablation,
@@ -39,6 +40,8 @@ __all__ = [
     "render_figure",
     "render_counting_ablation",
     "render_jump_ablation",
+    "render_obs_summary",
+    "summarize_trace",
     "render_ratio_study",
     "run_jump_ablation",
     "run_ratio_study",

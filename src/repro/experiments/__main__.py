@@ -14,6 +14,7 @@ from . import (
     render_jump_ablation,
     render_kernel_scaling,
     render_machine_sweep,
+    render_obs_summary,
     render_ratio_study,
     render_scaling,
     render_service_throughput,
@@ -56,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
     svc.add_argument("--shards", type=int, nargs="*", default=None)
     sub.add_parser("ratio", help="Experiment R1: ratio study")
     sub.add_parser("ablation", help="Experiments A1/A2: jumping + counting ablations")
+    obs = sub.add_parser(
+        "obs",
+        help="summarize a service trace file (python -m repro.service "
+             "--trace FILE): batch latency + solver counters",
+    )
+    obs.add_argument("trace", help="JSONL span file written by --trace")
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -85,6 +92,8 @@ def main(argv: list[str] | None = None) -> int:
         print(render_jump_ablation())
         print()
         print(render_counting_ablation())
+    elif args.command == "obs":
+        print(render_obs_summary(args.trace))
     return 0
 
 

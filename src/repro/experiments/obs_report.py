@@ -1,0 +1,102 @@
+"""Trace-file summarizer: ``python -m repro.experiments obs FILE``.
+
+Reads the JSONL span summaries a service run dumps under
+``python -m repro.service --trace FILE`` (one record per dispatched
+micro-batch: wall time, item count, and the batch's solver counters —
+see the glossary in :mod:`repro.obs.trace`) and renders an operator's
+digest: batch volume and latency per span name, plus the merged solver
+counters with per-request rates.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..obs.metrics import Histogram
+
+__all__ = ["render_obs_summary", "summarize_trace"]
+
+
+def summarize_trace(records) -> dict:
+    """Aggregate span records (dicts) into one summary object.
+
+    Returns ``{"groups": {name: {...}}, "counts": {...}, "items": n}``:
+    per span name a batch count, item total, and a log-bucketed
+    :class:`~repro.obs.metrics.Histogram` of batch durations; globally
+    the merged solver counters and the overall item count.
+    """
+    groups: dict[str, dict] = {}
+    counts: dict[str, int] = {}
+    items = 0
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        name = str(rec.get("name", "?"))
+        group = groups.get(name)
+        if group is None:
+            group = groups[name] = {"batches": 0, "items": 0,
+                                    "hist": Histogram()}
+        group["batches"] += 1
+        n = int(rec.get("n", 0))
+        group["items"] += n
+        items += n
+        dur = rec.get("dur")
+        if isinstance(dur, (int, float)):
+            group["hist"].observe(float(dur))
+        for key, value in (rec.get("counts") or {}).items():
+            counts[key] = counts.get(key, 0) + int(value)
+    return {"groups": groups, "counts": counts, "items": items}
+
+
+def _load_records(path: str) -> list:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a torn tail line from an interrupted run
+    return records
+
+
+def _fmt_ms(seconds_us: int) -> str:
+    return f"{seconds_us / 1000.0:.3f}"
+
+
+def render_obs_summary(path: str) -> str:
+    """The ``obs`` subcommand body: one trace file as a readable digest."""
+    summary = summarize_trace(_load_records(path))
+    groups, counts, items = (
+        summary["groups"], summary["counts"], summary["items"]
+    )
+    lines = [f"trace: {path}", ""]
+    if not groups:
+        lines.append("no span records found")
+        return "\n".join(lines)
+    lines.append(
+        f"{'span':<24} {'batches':>8} {'items':>8} {'total_ms':>10} "
+        f"{'p50_ms':>8} {'p99_ms':>8}"
+    )
+    for name in sorted(groups):
+        group = groups[name]
+        hist = group["hist"]
+        p50 = hist.quantile_us(0.50)
+        p99 = hist.quantile_us(0.99)
+        lines.append(
+            f"{name:<24} {group['batches']:>8} {group['items']:>8} "
+            f"{_fmt_ms(hist.total_us):>10} "
+            f"{_fmt_ms(p50) if p50 is not None else '-':>8} "
+            f"{_fmt_ms(p99) if p99 is not None else '-':>8}"
+        )
+    lines.append("")
+    if counts:
+        lines.append(f"{'counter':<28} {'total':>12} {'per item':>10}")
+        for key in sorted(counts):
+            per = counts[key] / items if items else 0.0
+            lines.append(f"{key:<28} {counts[key]:>12} {per:>10.2f}")
+    else:
+        lines.append("no solver counters recorded")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ import json
 import signal
 import sys
 
+from ..obs.trace import TraceWriter
 from .engine import ServiceConfig, SolveService
 from .faults import FaultPlan
 from .server import serve_stdio, serve_tcp
@@ -95,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arm a deterministic fault plan (testing only): "
                              "a preset name (kill/delay/raise/drop/wedge/"
                              "sigkill) or FaultPlan JSON")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="dump one JSONL span summary per dispatched "
+                             "micro-batch (solver counters, solve wall time) "
+                             "to FILE; summarize with "
+                             "'python -m repro.experiments obs FILE'")
+    parser.add_argument("--slow-ms", type=int, default=None, metavar="MS",
+                        help="log any request slower than MS milliseconds "
+                             "end to end, with its per-stage breakdown, to "
+                             "the repro.service logger (default: off)")
     return parser
 
 
@@ -111,8 +121,10 @@ async def _amain(args: argparse.Namespace) -> int:
         workers=args.workers,
         hard_kill_grace_ms=args.hard_kill_grace_ms,
         xbatch=args.xbatch,
+        slow_ms=args.slow_ms,
     )
-    async with SolveService(config, faults=args.faults) as service:
+    trace = TraceWriter(args.trace) if args.trace is not None else None
+    async with SolveService(config, faults=args.faults, trace=trace) as service:
         if args.tcp is None:
             await serve_stdio(service)
         else:
@@ -138,6 +150,10 @@ async def _amain(args: argparse.Namespace) -> int:
                     pass
                 server.close()
                 await server.wait_closed()
+    if trace is not None:
+        # Spans are flushed per record, so even an abnormal exit loses
+        # nothing; this just releases the handle on the graceful path.
+        trace.close()
     return 0
 
 

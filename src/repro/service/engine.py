@@ -34,18 +34,24 @@ Guarantees:
 from __future__ import annotations
 
 import asyncio
+import logging
 import numbers
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..algos.batch_api import _validate_request
 from ..core.cancel import CancelToken
 from ..core.fastnum import validate_kernel
+from ..obs.metrics import Metrics, RequestTimes
+from ..obs.trace import TraceWriter
 from .faults import FaultPlan
 from .protocol import ServiceError, SolveRequest
 from .shards import ProcessShard, Shard, ShardStats, _Work, shard_index
 
 __all__ = ["ServiceConfig", "ServiceStats", "SolveService"]
+
+log = logging.getLogger("repro.service")
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,10 @@ class ServiceConfig:
     workers: str = "thread"
     hard_kill_grace_ms: int = 200
     xbatch: bool = False
+    #: Log any request whose total lifecycle (submit -> result) takes at
+    #: least this many milliseconds, with its per-stage breakdown, to the
+    #: ``repro.service`` logger.  ``None`` disables the slow-request log.
+    slow_ms: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
@@ -137,6 +147,14 @@ class ServiceConfig:
                 "restart_backoff must be a non-negative number (seconds), "
                 f"got {self.restart_backoff!r}"
             )
+        if self.slow_ms is not None and (
+            isinstance(self.slow_ms, bool)
+            or not isinstance(self.slow_ms, int)
+            or self.slow_ms < 1
+        ):
+            raise ValueError(
+                f"slow_ms must be a positive int or None, got {self.slow_ms!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -161,6 +179,8 @@ class ServiceStats:
     workers: str               # backend: "thread" | "process"
     rerouted: int              # requests rerouted off failed shards
     degraded_shards: tuple[int, ...]  # failed shard indices serving reroutes
+    queue_depth: int           # Σ per-shard pending queue depths (now)
+    inflight: int              # admitted-but-unanswered requests (now)
     shards: tuple[ShardStats, ...]
 
     def to_obj(self) -> dict:
@@ -184,6 +204,8 @@ class ServiceStats:
             "workers": self.workers,
             "rerouted": self.rerouted,
             "degraded_shards": list(self.degraded_shards),
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
             "shards": [
                 {
                     "index": s.index,
@@ -195,6 +217,8 @@ class ServiceStats:
                     "restarts": s.restarts,
                     "worker_deaths": s.worker_deaths,
                     "failed": s.failed,
+                    "queue_depth": s.queue_depth,
+                    "inflight": s.inflight,
                     "entries": s.lru.entries,
                     "peak_entries": s.lru.peak_entries,
                     "hits": s.lru.hits,
@@ -228,9 +252,14 @@ class SolveService:
     """
 
     def __init__(self, config: ServiceConfig | None = None, *,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 trace: Optional[TraceWriter] = None) -> None:
         self.config = config or ServiceConfig()
         self.faults = faults
+        # Loop-thread-writer metrics (admission/total; the servers add
+        # encode).  Shard workers own queue/assembly/solve and the
+        # solver counters; metrics_obj() merges everything.
+        self._metrics = Metrics()
         shard_kwargs = dict(
             max_batch=self.config.max_batch,
             max_instances=self.config.max_instances,
@@ -254,6 +283,9 @@ class SolveService:
             self._shards = [
                 Shard(i, **shard_kwargs) for i in range(self.config.shards)
             ]
+        if trace is not None:
+            for shard in self._shards:
+                shard.trace = trace
         self._sem = asyncio.Semaphore(self.config.max_inflight)
         self._inflight = 0
         self._peak_inflight = 0
@@ -317,7 +349,11 @@ class SolveService:
         fingerprint = request.instance.fingerprint()
         shard = self._route(shard_index(fingerprint, len(self._shards)))
         loop = asyncio.get_running_loop()
+        times = RequestTimes()
+        times.submit = time.monotonic()
         await self._sem.acquire()
+        times.admitted = time.monotonic()
+        self._metrics.observe("admission", times.admitted - times.submit)
         self._inflight += 1
         self._peak_inflight = max(self._peak_inflight, self._inflight)
         try:
@@ -328,11 +364,16 @@ class SolveService:
                     "request deadline expired awaiting admission"
                 )
             future = loop.create_future()
-            shard.submit(_Work(item=item, future=future, loop=loop, cancel=token))
+            shard.submit(_Work(
+                item=item, future=future, loop=loop, cancel=token, times=times,
+            ))
             return await future
         finally:
             self._inflight -= 1
             self._sem.release()
+            times.done = time.monotonic()
+            self._metrics.observe("total", times.done - times.submit)
+            self._maybe_log_slow(request, fingerprint, times)
 
     def _route(self, index: int) -> Shard:
         """Degraded-mode routing: walk off a failed shard to a survivor.
@@ -355,6 +396,29 @@ class SolveService:
                     self._rerouted += 1
                     return survivor
         return shard
+
+    def _maybe_log_slow(self, request: SolveRequest, fingerprint: str,
+                        times: RequestTimes) -> None:
+        """Log one slow request's per-stage breakdown (``config.slow_ms``).
+
+        Taxonomy-safe: the line carries the routing fingerprint, the
+        request's variant/algorithm names, and stage timings — never the
+        instance payload.  Stages a request did not reach (shed at
+        admission, process backend's child-side solve) are simply
+        absent from the breakdown.
+        """
+        slow_ms = self.config.slow_ms
+        if slow_ms is None or times.submit is None or times.done is None:
+            return
+        total_ms = (times.done - times.submit) * 1000.0
+        if total_ms < slow_ms:
+            return
+        log.warning(
+            "slow request: fingerprint=%s variant=%s algorithm=%s "
+            "total_ms=%.3f stages=%s",
+            fingerprint, request.variant.value, request.algorithm,
+            total_ms, times.stage_ms(),
+        )
 
     async def submit_many(self, requests: Iterable[SolveRequest]) -> list:
         """Submit concurrently, return results in request order."""
@@ -387,5 +451,25 @@ class SolveService:
             workers=self.config.workers,
             rerouted=self._rerouted,
             degraded_shards=tuple(s.index for s in shard_stats if s.failed),
+            queue_depth=sum(s.queue_depth for s in shard_stats),
+            inflight=self._inflight,
             shards=shard_stats,
         )
+
+    def metrics_obj(self) -> dict:
+        """One mergeable metrics snapshot for the whole service.
+
+        Loop-side admission/total/encode merged with every shard's
+        queue/assembly/solve histograms and solver counters — identical
+        shape on both worker backends (the process backend's solve stage
+        and counters ride home on result frames; see
+        :meth:`~repro.service.shards.ProcessShard.metrics_obj`).
+        """
+        merged = Metrics.from_obj(self._metrics.to_obj())
+        for shard in self._shards:
+            merged.merge(Metrics.from_obj(shard.metrics_obj()))
+        return merged.to_obj()
+
+    def observe_encode(self, seconds: float) -> None:
+        """Record one response's wire-encode latency (servers, loop side)."""
+        self._metrics.observe("encode", seconds)

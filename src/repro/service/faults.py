@@ -84,7 +84,9 @@ __all__ = [
 ]
 
 
-def execute_directive(directive: Optional[dict]) -> None:
+def execute_directive(directive: Optional[dict], *,
+                      clock: Callable[[], float] = time.monotonic,
+                      sleep: Callable[[float], None] = time.sleep) -> None:
     """Execute one item directive from :meth:`FaultPlan.item_directives`.
 
     Runs wherever the item is actually solved: in the shard thread
@@ -92,16 +94,21 @@ def execute_directive(directive: Optional[dict]) -> None:
     process (process backend, directive shipped inside the batch frame).
     Order matters and mirrors the historical hook: sleep the delays,
     spin the wedges, then raise.
+
+    ``clock`` and ``sleep`` are injectable (the same pattern as
+    :class:`repro.core.cancel.CancelToken` and
+    :class:`repro.obs.trace.TraceScope`) so tests can drive the wedge's
+    busy-wait and the delay deterministically without wall-clock waits.
     """
     if not directive:
         return
     for seconds in directive.get("delays", ()):
-        time.sleep(seconds)
+        sleep(seconds)
     for seconds in directive.get("wedges", ()):
         # Busy-wait, never sleep, never check a token: the point is
         # a hang cooperative cancellation cannot reach.
-        end = time.monotonic() + seconds
-        while time.monotonic() < end:
+        end = clock() + seconds
+        while clock() < end:
             pass
     message = directive.get("raise")
     if message is not None:

@@ -57,6 +57,8 @@ from ..algos.batch_api import BatchItem, SweepPoint, solve_batch
 from ..core.bounds import Variant
 from ..core.cancel import CancelToken, SolveCancelled
 from ..core.schedule import Schedule, ScheduleColumns
+from ..obs.metrics import Metrics
+from ..obs.trace import TraceScope
 from .cache import InstanceLRU
 from .faults import execute_directive
 from .protocol import (
@@ -370,8 +372,18 @@ def _error_outcome(exc: Exception) -> tuple:
     return ("err", "internal", "internal error", False)
 
 
-def _run_batch(items_wire, *, lru, kernel, xbatch=False) -> list[tuple]:
-    """Solve one micro-batch: the child-side mirror of ``Shard._dispatch``."""
+def _run_batch(items_wire, *, lru, kernel, xbatch=False, metrics=None,
+               spans=None, span_name="batch") -> list[tuple]:
+    """Solve one micro-batch: the child-side mirror of ``Shard._dispatch``.
+
+    With ``metrics`` (a :class:`~repro.obs.metrics.Metrics`), the batch
+    runs under an armed :class:`TraceScope` whose counters fold into it
+    and whose "solve" histogram gets one observation per item — the
+    child *owns* the solve stage, so the parent's merged snapshot has
+    the same shape as the thread backend's without double counting.
+    With ``spans`` (a list), a per-batch span summary is appended
+    (timestamps are child-monotonic).
+    """
     # `local` holds instances decoded from payload-carrying items in THIS
     # batch, so slim siblings behind them resolve even when the LRU is
     # still cold (solve_batch only admits after all items are decoded).
@@ -390,27 +402,40 @@ def _run_batch(items_wire, *, lru, kernel, xbatch=False) -> list[tuple]:
         (lambda item: execute_directive(directives.get(id(item))))
         if directives else None
     )
-    try:
-        results = solve_batch(
-            items, kernel=kernel, reps=lru, cancels=tokens,
-            before_solve=before, xbatch=xbatch,
-        )
-    except Exception:
-        # Same per-item isolation as the thread backend: one bad request
-        # must not poison its micro-batch.
-        outcomes = []
-        for item, token in zip(items, tokens):
-            try:
-                result = solve_batch(
-                    [item], kernel=kernel, reps=lru,
-                    cancels=[token], before_solve=before, xbatch=xbatch,
-                )[0]
-            except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
-                outcomes.append(_error_outcome(exc))
-            else:
-                outcomes.append(("ok", result_to_wire(result)))
-        return outcomes
-    return [("ok", result_to_wire(result)) for result in results]
+    t0 = time.monotonic()
+    with TraceScope(span_name, propagate=False) as scope:
+        try:
+            results = solve_batch(
+                items, kernel=kernel, reps=lru, cancels=tokens,
+                before_solve=before, xbatch=xbatch,
+            )
+        except Exception:
+            # Same per-item isolation as the thread backend: one bad
+            # request must not poison its micro-batch.
+            outcomes = []
+            for item, token in zip(items, tokens):
+                try:
+                    result = solve_batch(
+                        [item], kernel=kernel, reps=lru,
+                        cancels=[token], before_solve=before, xbatch=xbatch,
+                    )[0]
+                except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
+                    outcomes.append(_error_outcome(exc))
+                else:
+                    outcomes.append(("ok", result_to_wire(result)))
+        else:
+            outcomes = [("ok", result_to_wire(result)) for result in results]
+    dur = time.monotonic() - t0
+    if metrics is not None:
+        for _ in items:
+            metrics.observe("solve", dur)
+        metrics.add_counts(scope.counts)
+    if spans is not None:
+        spans.append({
+            "name": span_name, "t0": t0, "dur": dur,
+            "n": len(items), "counts": dict(scope.counts),
+        })
+    return outcomes
 
 
 def _lru_obj(lru: InstanceLRU) -> dict:
@@ -449,6 +474,7 @@ def main(argv=None) -> int:
     inp = os.fdopen(os.dup(sys.stdin.fileno()), "rb", buffering=1 << 20)
 
     lru = InstanceLRU(args.max_instances)
+    metrics = Metrics()  # cumulative; a snapshot rides every result frame
     wlock = threading.Lock()
 
     with wlock:
@@ -475,11 +501,17 @@ def main(argv=None) -> int:
             if msg[0] != "batch":
                 continue
             _, batch_id, items_wire = msg
+            spans: list = []
             outcomes = _run_batch(
-                items_wire, lru=lru, kernel=args.kernel, xbatch=args.xbatch
+                items_wire, lru=lru, kernel=args.kernel, xbatch=args.xbatch,
+                metrics=metrics, spans=spans,
+                span_name=f"shard{args.shard}.batch",
             )
             with wlock:
-                write_frame(out, ("result", batch_id, outcomes, _lru_obj(lru)))
+                write_frame(out, (
+                    "result", batch_id, outcomes, _lru_obj(lru),
+                    metrics.to_obj(), spans,
+                ))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         return 0
     finally:

@@ -20,7 +20,9 @@ Request shape (``op`` defaults to ``"solve"``)::
 instance's own ``m`` ignored); otherwise one result at ``instance.m``.
 ``bounds_only`` (equivalently ``"schedules": false``) resolves the
 certified ``T*``/ratio/lower-bound certificate without constructing a
-schedule.  Housekeeping ops: ``{"op": "ping"}``, ``{"op": "stats"}`` and
+schedule.  Housekeeping ops: ``{"op": "ping"}``, ``{"op": "stats"}``,
+``{"op": "metrics", "format": "json"|"prometheus"}`` (counters and
+per-stage latency histograms, see :mod:`repro.obs.metrics`) and
 ``{"op": "shutdown"}`` (acknowledges, then closes the connection).
 
 Response shape::
@@ -66,6 +68,7 @@ from ..core.instance import Instance
 
 __all__ = [
     "ERROR_CODES",
+    "METRICS_FORMATS",
     "ProtocolError",
     "ServiceError",
     "SolveRequest",
@@ -77,6 +80,7 @@ __all__ = [
     "result_to_obj",
     "response_line",
     "error_line",
+    "metrics_line",
 ]
 
 
@@ -385,3 +389,30 @@ def error_line(request_id, error: Union["ServiceError", str]) -> str:
         {"id": request_id, "ok": False, "error": error.to_obj()},
         separators=(",", ":"),
     )
+
+
+#: Exposition formats the ``{"op": "metrics"}`` request accepts.
+METRICS_FORMATS = ("json", "prometheus")
+
+
+def metrics_line(request_id, metrics_obj: dict, fmt: str = "json") -> str:
+    """The response line for one ``{"op": "metrics"}`` request.
+
+    ``fmt="json"`` carries the all-int mergeable snapshot verbatim
+    (``"metrics"`` key) — exact over the wire, re-mergeable by an
+    aggregator.  ``fmt="prometheus"`` carries the Prometheus text
+    exposition of the same snapshot as one string (``"metrics_text"``),
+    for scrapers that want the standard format.
+    """
+    from ..obs.metrics import render_prometheus
+
+    if fmt not in METRICS_FORMATS:
+        raise ProtocolError(
+            f"metrics format must be one of {list(METRICS_FORMATS)}, got {fmt!r}"
+        )
+    if fmt == "prometheus":
+        payload = {"id": request_id, "ok": True,
+                   "metrics_text": render_prometheus(metrics_obj)}
+    else:
+        payload = {"id": request_id, "ok": True, "metrics": metrics_obj}
+    return json.dumps(payload, separators=(",", ":"))

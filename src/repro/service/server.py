@@ -10,10 +10,12 @@ interleaving of completions.  A per-connection admission window of
 fast-pipelining client cannot queue unbounded work.
 
 Housekeeping ops: ``ping`` answers inline; ``stats`` (the engine's
-counters plus the process's ``ru_maxrss``) snapshots at its position in
-the response order, so it deterministically counts every request that
-precedes it on the connection; ``shutdown`` acknowledges, then closes
-the connection — and stops a TCP server.
+counters plus the process's ``ru_maxrss``) and ``metrics`` (mergeable
+counters + per-stage latency histograms, JSON or Prometheus text)
+snapshot at their position in the response order, so they
+deterministically count every request that precedes them on the
+connection; ``shutdown`` acknowledges, then closes the connection — and
+stops a TCP server.
 
 Every failure goes on the wire as a structured
 :class:`~repro.service.protocol.ServiceError` object.  Unexpected
@@ -28,13 +30,16 @@ import asyncio
 import json
 import logging
 import sys
+import time
 from typing import Awaitable, Callable, Optional
 
 from .engine import SolveService
 from .protocol import (
+    METRICS_FORMATS,
     ProtocolError,
     ServiceError,
     error_line,
+    metrics_line,
     request_from_obj,
     response_line,
 )
@@ -102,7 +107,10 @@ async def handle_lines(
         try:
             request = request_from_obj(obj)
             result = await service.submit(request)
-            return response_line(request.id, result)
+            t0 = time.monotonic()
+            line = response_line(request.id, result)
+            service.observe_encode(time.monotonic() - t0)
+            return line
         except ServiceError as exc:  # already taxonomized (timeout/shed/...)
             return error_line(request_id, exc)
         except (ProtocolError, ValueError) as exc:
@@ -123,6 +131,9 @@ async def handle_lines(
         return json.dumps(
             {"id": request_id, "ok": True, "stats": payload}, separators=(",", ":")
         )
+
+    async def metrics_reply(request_id, fmt: str) -> str:
+        return metrics_line(request_id, service.metrics_obj(), fmt)
 
     writer_task = asyncio.create_task(writer())
     try:
@@ -167,6 +178,19 @@ async def handle_lines(
                 # precede it on this connection (a task would snapshot at
                 # parse time, while earlier solves are still in flight).
                 responses.put_nowait(stats_line(request_id))
+            elif op == "metrics":
+                # Same bare-coroutine discipline as stats: the snapshot
+                # evaluates at its position in the response order.
+                fmt = obj.get("format", "json")
+                if fmt not in METRICS_FORMATS:
+                    responses.put_nowait(asyncio.ensure_future(immediate(
+                        error_line(request_id, ServiceError.bad_request(
+                            f"metrics format must be one of "
+                            f"{list(METRICS_FORMATS)}, got {fmt!r}"
+                        ))
+                    )))
+                else:
+                    responses.put_nowait(metrics_reply(request_id, fmt))
             elif op == "shutdown":
                 responses.put_nowait(asyncio.ensure_future(immediate(
                     json.dumps({"id": request_id, "ok": True, "bye": True},

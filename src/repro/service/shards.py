@@ -51,6 +51,8 @@ from typing import NamedTuple, Optional
 
 from ..algos.batch_api import solve_batch
 from ..core.cancel import SolveCancelled
+from ..obs.metrics import Metrics
+from ..obs.trace import TraceScope, TraceWriter
 from .cache import InstanceLRU, LRUStats
 from .faults import FaultPlan, WorkerKilled
 from .procworker import WorkerProc, result_from_wire, work_to_wire
@@ -80,6 +82,8 @@ class ShardStats:
     worker_deaths: int     # worker threads that died (restarted or not)
     failed: bool           # restart budget exhausted; shard serves errors only
     lru: LRUStats
+    queue_depth: int = 0   # requests waiting in the shard queue right now
+    inflight: int = 0      # requests handed to the worker, not yet resolved
 
 
 class _Work(NamedTuple):
@@ -87,6 +91,7 @@ class _Work(NamedTuple):
     future: object      # asyncio.Future
     loop: object        # the event loop that owns the future
     cancel: object = None  # Optional[CancelToken] (the request's deadline)
+    times: object = None   # Optional[RequestTimes] (per-stage clock card)
 
 
 class Shard:
@@ -125,6 +130,14 @@ class Shard:
         self._shed = 0          # loop thread (shedding happens at submit)
         self._restarts = 0      # worker thread (supervision is sequential)
         self._deaths = 0
+        # Worker-thread-writer metrics: queue/assembly/solve stage
+        # histograms plus the solver counters folded from each batch's
+        # TraceScope.  Snapshot via metrics_obj() (loop side, lock-free;
+        # see that method for the read-side caveat).
+        self.metrics = Metrics()
+        #: Optional TraceWriter the service installs; the worker writes
+        #: one span summary per dispatched micro-batch.
+        self.trace: Optional[TraceWriter] = None
         self._inflight: tuple[_Work, ...] = ()
         self._started = False
         self._closed = False
@@ -156,6 +169,8 @@ class Shard:
                 f"shard {self.index} queue full ({self.queue_bound} pending); "
                 f"retry after backoff"
             )
+        if work.times is not None:
+            work.times.enqueued = time.monotonic()
         self._queue.put(work)
         # TOCTOU guards: close()/failure may have completed (worker gone,
         # queue drained) between the checks above and our put, in which
@@ -234,7 +249,29 @@ class Shard:
             worker_deaths=self._deaths,
             failed=self._failed,
             lru=self._lru_stats(),
+            queue_depth=self._queue.qsize(),
+            inflight=len(self._inflight),
         )
+
+    def metrics_obj(self) -> dict:
+        """Snapshot this shard's metrics (loop side, no locks).
+
+        The worker owns the writes; this read can race a counter-dict
+        insert (new glossary key mid-snapshot raises ``RuntimeError``
+        from dict iteration), so retry a few times.  The key set
+        stabilizes after the first batches, making a retry storm
+        impossible in practice; values may lag by an in-flight batch,
+        which is the documented single-writer trade.
+        """
+        return self._metrics_snapshot().to_obj()
+
+    def _metrics_snapshot(self) -> Metrics:
+        for _ in range(8):
+            try:
+                return Metrics.from_obj(self.metrics.to_obj())
+            except RuntimeError:  # counters grew mid-iteration; retry
+                continue
+        return Metrics.from_obj(self.metrics.to_obj())
 
     # ------------------------------------------------------------------ #
     # join/teardown helpers
@@ -366,9 +403,20 @@ class Shard:
         return batch
 
     def _expire(self, batch: list[_Work]) -> list[_Work]:
-        """Skip dequeued work whose deadline already passed: no solve."""
+        """Skip dequeued work whose deadline already passed: no solve.
+
+        Also the queue-stage observation point: both backends dequeue
+        through here on their worker/pump thread (the metrics writer),
+        so "queue" means the same thing thread- and process-side.
+        """
         live: list[_Work] = []
+        now = time.monotonic()
         for work in batch:
+            times = work.times
+            if times is not None:
+                times.dequeued = now
+                if times.enqueued is not None:
+                    self.metrics.observe("queue", now - times.enqueued)
             token = work.cancel
             if token is not None and token.cancelled:
                 self._timeouts_w += 1
@@ -399,7 +447,16 @@ class Shard:
         return error
 
     def _dispatch(self, live: list[_Work]) -> None:
-        """Solve one micro-batch; every future in ``live`` gets resolved."""
+        """Solve one micro-batch; every future in ``live`` gets resolved.
+
+        The batch runs under an armed :class:`TraceScope` — bit-identity
+        is a proven invariant of the seams (the armed/disarmed fuzz
+        suites), so always-on service counters cost one dict bump per
+        seam hit and change no numbers.  The scope's counters fold into
+        the shard metrics; per request, "solve" observes the duration of
+        the micro-batch that carried it (items in a batch are
+        indistinguishable solve-wise — they ran together).
+        """
         self._batches += 1
         self._requests += len(live)
         self._max_batch_seen = max(self._max_batch_seen, len(live))
@@ -407,31 +464,59 @@ class Shard:
         if self._faults is not None:
             self._faults.on_batch_start(self.index)  # may raise WorkerKilled
             before = self._faults.item_hook(self.index)
+        t0 = time.monotonic()
+        for work in live:
+            times = work.times
+            if times is not None:
+                times.solve_start = t0
+                if times.dequeued is not None:
+                    self.metrics.observe("assembly", t0 - times.dequeued)
         cancels = [w.cancel for w in live]
-        try:
-            results = solve_batch(
-                [w.item for w in live], kernel=self.kernel, reps=self.lru,
-                cancels=cancels, before_solve=before, xbatch=self.xbatch,
-            )
-        except Exception:
-            # Isolate the offender: re-run item by item so the rest of
-            # the micro-batch still gets its (bit-identical) answers and
-            # only the failing/expired request carries the error.
-            for work in live:
-                try:
-                    result = solve_batch(
-                        [work.item], kernel=self.kernel, reps=self.lru,
-                        cancels=[work.cancel], before_solve=before,
-                        xbatch=self.xbatch,
-                    )[0]
-                except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
-                    self._resolve(work, None, self._request_error(exc))
-                else:
-                    self._resolve(work, result, None)
-        else:
-            self._resolve_batch(
-                [(work, result, None) for work, result in zip(live, results)]
-            )
+        with TraceScope(f"shard{self.index}", propagate=False) as scope:
+            try:
+                results = solve_batch(
+                    [w.item for w in live], kernel=self.kernel, reps=self.lru,
+                    cancels=cancels, before_solve=before, xbatch=self.xbatch,
+                )
+            except Exception:
+                # Isolate the offender: re-run item by item so the rest
+                # of the micro-batch still gets its (bit-identical)
+                # answers and only the failing/expired request carries
+                # the error.
+                for work in live:
+                    try:
+                        result = solve_batch(
+                            [work.item], kernel=self.kernel, reps=self.lru,
+                            cancels=[work.cancel], before_solve=before,
+                            xbatch=self.xbatch,
+                        )[0]
+                    except Exception as exc:  # noqa: BLE001 - mapped to taxonomy
+                        self._resolve(work, None, self._request_error(exc))
+                    else:
+                        self._resolve(work, result, None)
+                self._note_solved(live, t0, scope)
+                return
+        results_list = list(zip(live, results))
+        self._note_solved(live, t0, scope)
+        self._resolve_batch(
+            [(work, result, None) for work, result in results_list]
+        )
+
+    def _note_solved(self, live: list[_Work], t0: float, scope) -> None:
+        """Fold one batch's trace into the metrics; emit its span."""
+        t1 = time.monotonic()
+        for work in live:
+            times = work.times
+            if times is not None:
+                times.solve_end = t1
+            self.metrics.observe("solve", t1 - t0)
+        self.metrics.add_counts(scope.counts)
+        trace = self.trace
+        if trace is not None:
+            trace.write({
+                "name": f"shard{self.index}.batch", "t0": t0, "dur": t1 - t0,
+                "n": len(live), "counts": dict(scope.counts),
+            })
 
     def _run(self) -> None:
         try:
@@ -563,6 +648,12 @@ class ProcessShard(Shard):
         self._lru_live: Optional[dict] = None
         self._lru_dead = {"hits": 0, "misses": 0, "evictions": 0,
                           "peak_entries": 0}
+        # Child-side metrics, same live/dead split: the child's solver
+        # counters and its "solve" histogram ride every result frame
+        # (cumulative snapshot); dead generations fold on retire so a
+        # crash never loses more than its in-flight batch's numbers.
+        self._met_live: Optional[dict] = None
+        self._met_dead = Metrics()
         # Shadow replay of the live child's LRU, in send order (see
         # _slim_plan): real keys are fingerprints *provably* warm
         # child-side; "?N" phantom slots model the worst-case
@@ -607,7 +698,7 @@ class ProcessShard(Shard):
         return child
 
     def _retire_child(self) -> None:
-        """Fold the child's cache counters into the totals and reap it."""
+        """Fold the child's cache+metrics counters into totals, reap it."""
         child, self._child = self._child, None
         live, self._lru_live = self._lru_live, None
         if live:
@@ -618,6 +709,9 @@ class ProcessShard(Shard):
             dead["peak_entries"] = max(
                 dead["peak_entries"], live.get("peak_entries", 0)
             )
+        met_live, self._met_live = self._met_live, None
+        if met_live:
+            self._met_dead.merge(Metrics.from_obj(met_live))
         if child is not None:
             child.destroy()
 
@@ -749,6 +843,17 @@ class ProcessShard(Shard):
             self._child_failure(
                 list(live) + doomed, "worker pipe broke mid-send", cause=exc
             )
+        # Assembly ends when the batch is shipped.  The "solve" stage is
+        # owned by the child (it rides home on the result frame); the
+        # parent-side solve_start/solve_end stamps exist only for the
+        # slow-request log and include the pipe round trip.
+        t_sent = time.monotonic()
+        for work in live:
+            times = work.times
+            if times is not None:
+                times.solve_start = t_sent
+                if times.dequeued is not None:
+                    self.metrics.observe("assembly", t_sent - times.dequeued)
         if sigkill:
             child.kill()  # injected mid-flight crash (frames go EOF)
         return child, batch_id, live
@@ -873,14 +978,49 @@ class ProcessShard(Shard):
                 )
             if not (isinstance(msg, tuple) and msg and msg[0] == "result"):
                 continue
-            _, got_id, outcomes, lru_obj = msg
+            # Tolerant unpack: frames from PR-7 children carry 4 fields;
+            # current children append the metrics snapshot and the
+            # batch's span summaries.
+            got_id, outcomes, lru_obj = msg[1], msg[2], msg[3]
+            met_obj = msg[4] if len(msg) > 4 else None
+            spans = msg[5] if len(msg) > 5 else ()
             if got_id != batch_id:  # stale frame from a raced teardown
                 continue
             self._lru_live = lru_obj
+            if met_obj is not None:
+                self._met_live = met_obj
+            trace = self.trace
+            if trace is not None:
+                for record in spans:
+                    trace.write(record)
             self._resolve_outcomes(live, outcomes)
             return
 
+    def metrics_obj(self) -> dict:
+        """Pump-side stages merged with the child's counters+solve.
+
+        Shapes match the thread backend exactly: queue/assembly come
+        from the pump (observed in :meth:`_expire`/:meth:`_send`),
+        solve and the solver counters from the child generations
+        (live snapshot + dead totals).
+        """
+        for _ in range(8):
+            try:
+                merged = Metrics.from_obj(self.metrics.to_obj())
+                merged.merge(self._met_dead)
+                live = self._met_live
+                if live:
+                    merged.merge(Metrics.from_obj(live))
+                return merged.to_obj()
+            except RuntimeError:  # pump folded a child mid-read; retry
+                continue
+        return self._metrics_snapshot().to_obj()  # pragma: no cover
+
     def _resolve_outcomes(self, live, outcomes) -> None:
+        now = time.monotonic()
+        for work in live:
+            if work.times is not None:
+                work.times.solve_end = now
         entries = []
         for work, outcome in zip(live, outcomes):
             if outcome[0] == "ok":

@@ -161,6 +161,76 @@ def test_cross_instance_fuzz_seeded(seed):
     _check_cross_instance_case(seed)
 
 
+# --------------------------------------------------------------------------- #
+# armed tracing is bit-identity-invisible (the repro.obs contract)
+# --------------------------------------------------------------------------- #
+
+
+def _solve_key(res):
+    return (
+        res.T, res.ratio_bound, res.opt_lower_bound, res.makespan,
+        [
+            (p.machine, p.start, p.length, p.cls, p.job)
+            for p in res.schedule.iter_all()
+        ],
+    )
+
+
+def _check_armed_case(seed: int, m: int) -> None:
+    """``solve()`` under an armed TraceScope — same bits, counters filled."""
+    from repro.obs.trace import TraceScope
+
+    inst = _random_instance(seed, m)
+    tag = f"seed={seed} m={m}"
+    seen: dict[str, int] = {}
+    for variant in Variant:
+        for kernel in ("fast", "fraction"):
+            bare = solve(inst, variant, "three_halves", kernel=kernel)
+            with TraceScope(f"fuzz-{seed}") as scope:
+                armed = solve(inst, variant, "three_halves", kernel=kernel)
+            assert _solve_key(armed) == _solve_key(bare), (tag, variant, kernel)
+            seen.update(scope.counts)
+    # across the variant/kernel grid the seams did report — except on a
+    # single machine, where every variant short-circuits without probing
+    assert seen or m == 1, tag
+
+
+@pytest.mark.parametrize("seed,m", SEEDED_CASES[::3])
+def test_fuzz_armed_tracing_invisible(seed, m):
+    _check_armed_case(seed, m)
+
+
+def _check_armed_cross_instance_case(seed: int) -> None:
+    """xbatch lockstep under an armed TraceScope — same bits as disarmed."""
+    from repro.algos.batch_api import BatchItem, solve_batch
+    from repro.obs.trace import TraceScope
+
+    rng = random.Random(seed)
+    items = []
+    for _ in range(rng.randint(2, 5)):
+        inst = _random_instance(rng.randint(0, 10**9), rng.randint(1, 7))
+        items.append(BatchItem(
+            instance=inst,
+            variant=rng.choice(list(Variant)),
+            schedules=rng.random() < 0.5,
+        ))
+    tag = f"seed={seed}"
+    bare = solve_batch(items, xbatch=True)
+    with TraceScope(f"fuzz-x-{seed}") as scope:
+        armed = solve_batch(items, xbatch=True)
+    assert scope.counts, tag
+    for item, a, b in zip(items, armed, bare):
+        if not item.schedules:
+            assert a == b, (tag, item.variant)
+        else:
+            assert _solve_key(a) == _solve_key(b), (tag, item.variant)
+
+
+@pytest.mark.parametrize("seed", range(0, 20, 4))
+def test_cross_instance_fuzz_armed_seeded(seed):
+    _check_armed_cross_instance_case(seed)
+
+
 if HAVE_HYPOTHESIS:
 
     @settings(max_examples=60, deadline=None)
